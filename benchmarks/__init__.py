@@ -1,0 +1,1 @@
+"""Experiment benchmarks: one module per paper table/figure/claim."""

@@ -1,0 +1,76 @@
+"""Ablation — FEC group geometry (k, r) on a lossy long-delay path.
+
+The SCS's ``fec_k``/``fec_r`` knobs trade bandwidth overhead (r/k parity)
+against repair strength (up to r losses per k+r group).  Sweeping the
+geometry over a satellite path with ~8% frame loss shows the design
+space Stage II picks from:
+
+* r=1 (XOR-grade) leaves residual loss whenever a group takes 2+ hits;
+* r=2 at the same k repairs nearly everything for 2× the overhead;
+* growing k at fixed r cuts overhead but weakens repair (more chances of
+  >r losses per group).
+"""
+
+from repro.core.scenario import PointToPointScenario
+from repro.netsim.profiles import satellite
+from repro.tko.config import SessionConfig
+from repro.unites.present import render_table
+
+from benchmarks.conftest import record
+
+LOSSY_SAT = satellite().scaled(ber=8e-6)
+N_MSGS = 300
+
+
+def run_geometry(k: int, r: int):
+    sc = PointToPointScenario(
+        config=SessionConfig(
+            connection="implicit", transmission="rate", rate_pps=60.0,
+            ack="none", recovery="fec-rs", fec_k=k, fec_r=r,
+            sequencing="none", segment_size=800,
+        ),
+        workload="bulk",
+        workload_kw={"total_bytes": N_MSGS * 800, "chunk_bytes": 800},
+        profile=LOSSY_SAT,
+        duration=25.0,
+        seed=61,
+    )
+    sc.run(25.0)
+    s = sc.session
+    overhead = s.stats.parity_sent / max(1, s.stats.msgs_sent)
+    rx = list(sc.b.protocol.sessions.values())
+    return {
+        "delivered": float(sc.tracker.count),
+        "loss_rate": 1.0 - sc.tracker.count / max(1, sc.source.messages_sent),
+        "parity_overhead": overhead,
+        "fec_recoveries": float(rx[0].stats.fec_recoveries) if rx else 0.0,
+        "wire_bytes": float(s.stats.wire_bytes_sent),
+    }
+
+
+def test_ablation_fec_geometry(benchmark):
+    geometries = [(4, 1), (4, 2), (8, 1), (8, 2), (12, 2)]
+
+    def run():
+        return {(k, r): run_geometry(k, r) for k, r in geometries}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [{"k": k, "r": r, **v} for (k, r), v in results.items()]
+    record(
+        benchmark,
+        render_table(
+            rows,
+            ["k", "r", "delivered", "loss_rate", "parity_overhead",
+             "fec_recoveries", "wire_bytes"],
+            title="Ablation — FEC (k, r) on a lossy satellite path",
+        ),
+    )
+    # stronger code at same k: fewer residual losses, more overhead
+    assert results[(4, 2)]["loss_rate"] <= results[(4, 1)]["loss_rate"]
+    assert results[(4, 2)]["parity_overhead"] > results[(4, 1)]["parity_overhead"] * 1.5
+    # wider groups at same r: cheaper, weaker (or at best equal)
+    assert results[(12, 2)]["parity_overhead"] < results[(4, 2)]["parity_overhead"]
+    assert results[(12, 2)]["loss_rate"] >= results[(4, 2)]["loss_rate"]
+    # every geometry recovers something on this path
+    for v in results.values():
+        assert v["fec_recoveries"] > 0

@@ -1,0 +1,69 @@
+"""Ablation — playout-buffer depth vs interactivity.
+
+The playout point is the paper's jitter mechanism (Table 1's jitter-
+sensitivity column).  A deeper buffer absorbs more delay variance (fewer
+late frames) but adds exactly its depth to every frame's mouth-to-ear
+latency — the conversational-quality trade-off.  Sweeping the depth for
+voice over a jitter-inducing congested WAN exposes the knee.
+"""
+
+from repro.core.scenario import PointToPointScenario
+from repro.netsim.profiles import wan_internet
+from repro.tko.config import SessionConfig
+from repro.unites.present import render_table
+
+from benchmarks.conftest import record
+
+
+def run_depth(playout_delay: float):
+    sc = PointToPointScenario(
+        config=SessionConfig(
+            connection="implicit", transmission="rate", rate_pps=50.0,
+            ack="none", recovery="none", sequencing="none",
+            jitter="playout", playout_delay=playout_delay,
+            segment_size=160, priority=True,
+        ),
+        workload="voice",
+        profile=wan_internet(),
+        bg_bps=1.05e6,           # cross traffic: queueing jitter
+        duration=20.0,
+        seed=71,
+        deadline=0.4,            # interactivity bound
+    )
+    sc.run(20.0)
+    rx = list(sc.b.protocol.sessions.values())
+    late = rx[0].stats.late_arrivals if rx else 0
+    return {
+        "delivered": float(sc.tracker.count),
+        "late_arrivals": float(late),
+        "jitter": sc.tracker.jitter,
+        "mean_latency": sc.tracker.mean_latency,
+        "deadline_miss_rate": sc.tracker.deadline_miss_rate(),
+    }
+
+
+def test_ablation_playout_depth(benchmark):
+    depths = [0.0, 0.04, 0.12, 0.3, 0.6]
+
+    def run():
+        return {d: run_depth(d) for d in depths}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [{"playout_s": d, **v} for d, v in results.items()]
+    record(
+        benchmark,
+        render_table(
+            rows,
+            ["playout_s", "delivered", "late_arrivals", "jitter",
+             "mean_latency", "deadline_miss_rate"],
+            title="Ablation — playout depth for voice over a jittery WAN",
+        ),
+    )
+    # no buffer: raw network jitter reaches the application
+    # deep buffer: jitter absorbed, at the price of added latency
+    assert results[0.3]["jitter"] < results[0.0]["jitter"] / 3
+    assert results[0.3]["mean_latency"] > results[0.0]["mean_latency"]
+    # late arrivals shrink monotonically-ish with depth
+    assert results[0.3]["late_arrivals"] < results[0.04]["late_arrivals"]
+    # but an over-deep buffer blows the interactivity deadline
+    assert results[0.6]["deadline_miss_rate"] > results[0.12]["deadline_miss_rate"]

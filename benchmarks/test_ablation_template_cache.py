@@ -1,0 +1,85 @@
+"""Ablation — configuration-delay amortization across session churn.
+
+§4.2.2: "the benefits of a dynamically configured architecture are reduced
+if the configuration and/or reconfiguration process is overly
+time-consuming.  [TKO_Templates] reduce the complexity and duration of the
+connection negotiation phase."
+
+An OLTP-like front end opens many short transactional sessions in a row.
+Variants: a cold cache per open (worst case), one warm shared cache
+(normal operation — the first open seeds it), and a cache preloaded from
+the TSC defaults (`preload_tsc_templates`).  Measured: total host
+instructions spent on Stage III instantiation across the churn.
+"""
+
+from repro.host.nic import Host
+from repro.mantts.acd import ACD
+from repro.mantts.monitor import NetworkState
+from repro.mantts.transform import specify_scs
+from repro.mantts.tsc import APP_PROFILES
+from repro.netsim.profiles import ethernet_10, linear_path
+from repro.sim.kernel import Simulator
+from repro.tko.protocol import TKOProtocol
+from repro.tko.synthesizer import TKOSynthesizer
+from repro.tko.templates import TemplateCache, preload_tsc_templates
+from repro.unites.present import render_table
+
+from benchmarks.conftest import record
+
+N_SESSIONS = 50
+PATH = NetworkState("A", "B", True, 0.004, 0.004, 10e6, 1500, 1e-6, 0.0, 0.0, 3)
+
+
+def churn(mode: str) -> float:
+    """Total instantiation instructions for N short OLTP sessions."""
+    sim = Simulator()
+    net = linear_path(sim, ethernet_10(), ("A", "B"))
+    host = Host(sim, net, "A")
+    shared = TemplateCache()
+    if mode == "preloaded":
+        preload_tsc_templates(shared)
+    p = APP_PROFILES["oltp"]
+    acd = ACD(participants=("B",), quantitative=p.quantitative(),
+              qualitative=p.qualitative())
+    cfg = specify_scs(acd, PATH).config
+    total = 0.0
+    protocol = None
+    for i in range(N_SESSIONS):
+        cache = TemplateCache() if mode == "cold-every-time" else shared
+        synth = TKOSynthesizer(cache)
+        if protocol is None:
+            protocol = TKOProtocol(host, synth)
+        else:
+            protocol.synthesizer = synth
+        before = host.cpu.instructions_retired
+        protocol.create_session(cfg, "B", 7000 + i)
+        sim.run(until=sim.now + 1e-6)
+        total += host.cpu.instructions_retired - before
+    return total
+
+
+def test_ablation_template_cache_amortization(benchmark):
+    def run():
+        return {
+            "cold-every-time": churn("cold-every-time"),
+            "warm-shared": churn("warm-shared"),
+            "preloaded": churn("preloaded"),
+        }
+
+    r = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        {"cache": k, "total_instantiation_instr": v,
+         "per_session": v / N_SESSIONS}
+        for k, v in r.items()
+    ]
+    record(
+        benchmark,
+        render_table(
+            rows, ["cache", "total_instantiation_instr", "per_session"],
+            title=f"Ablation — Stage III cost across {N_SESSIONS} short sessions",
+        ),
+    )
+    # a shared cache amortizes all but the first synthesis
+    assert r["warm-shared"] < r["cold-every-time"] / 3
+    # preloading removes even the first-session miss
+    assert r["preloaded"] < r["warm-shared"]

@@ -1,0 +1,61 @@
+"""Ablation — flow-control window vs the bandwidth-delay product.
+
+Stage II sizes the sliding window to the path BDP (§4.1.1's "initial
+window advertisements and scaling factors" are exactly this knob; §2.2(C)
+lists "large flow-control windows" among what long-delay paths need).
+Sweeping the window on a high-BDP path (100 Mb/s, ~30 ms RTT, BDP ≈ 80
+PDUs) shows throughput climbing ~linearly below BDP and saturating above
+it — the knee the derivation targets.
+"""
+
+from repro.core.scenario import PointToPointScenario
+from repro.netsim.profiles import NetworkProfile
+from repro.tko.config import SessionConfig
+from repro.unites.present import render_table
+
+from benchmarks.conftest import record
+
+# a long-haul fiber path: high rate and high latency, generous queues
+LONG_FAT = NetworkProfile("long-fat", 100e6, 5e-3, 0.0, 4500, 256)
+
+
+def run_window(window: int) -> float:
+    sc = PointToPointScenario(
+        config=SessionConfig(window=window),
+        workload="bulk",
+        workload_kw={"total_bytes": 8_000_000, "chunk_bytes": 32_768},
+        profile=LONG_FAT,
+        duration=6.0,
+        seed=67,
+        mips=400.0,  # keep the host out of the way: this is a wire/window study
+    )
+    sc.run(6.0)
+    return sc.tracker.goodput_bps()
+
+
+def test_ablation_window_vs_bdp(benchmark):
+    windows = [4, 16, 64, 128, 220]
+
+    def run():
+        return {w: run_window(w) for w in windows}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    seg = 4500 - 56
+    rtt = 2 * (3 * 5e-3 + 3 * 4500 * 8 / 100e6)
+    bdp = 100e6 * rtt / (8 * seg)
+    rows = [
+        {"window": w, "goodput_bps": g, "window/bdp": w / bdp}
+        for w, g in results.items()
+    ]
+    record(
+        benchmark,
+        render_table(rows, ["window", "goodput_bps", "window/bdp"],
+                     title=f"Ablation — window sweep (path BDP ≈ {bdp:.0f} PDUs)"),
+    )
+    # below the BDP, goodput tracks the window ~linearly
+    assert results[16] > results[4] * 3
+    assert results[64] > results[16] * 2.5
+    # beyond the BDP, returns vanish (saturation knee)
+    assert results[220] < results[128] * 1.3
+    # saturated goodput approaches the channel
+    assert results[220] > 50e6

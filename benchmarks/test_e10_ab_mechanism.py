@@ -1,0 +1,99 @@
+"""E10 — controlled single-mechanism measurement (§5).
+
+"ADAPTIVE enables precise measurement of application and network
+performance changes that result from selectively modifying certain
+transport system mechanisms (e.g., measuring the effect of switching from
+implicit to explicit connection management or from selective repeat to
+go-back-n retransmission)."
+
+Both of the paper's named A/B pairs, run through the UNITES experiment
+harness with everything else held identical (same seed, same topology,
+same workload — the determinism the simulator guarantees):
+
+* A/B 1: go-back-N vs selective repeat on a lossy path — the *only*
+  config fields changed are recovery+ack;
+* A/B 2: implicit vs explicit connection management on a transactional
+  workload — the only field changed is connection.
+
+Shape: the harness isolates the effect: identical delivered counts with a
+clear retransmission delta in A/B 1; identical steady-state behaviour
+with a setup-time delta in A/B 2.
+"""
+
+from repro.core.scenario import run_point_to_point
+from repro.netsim.profiles import ethernet_10, wan_internet
+from repro.tko.config import SessionConfig
+from repro.unites.experiment import Experiment
+
+from benchmarks.conftest import record
+
+LOSSY = ethernet_10().scaled(ber=2e-6)
+
+
+def ab_recovery():
+    exp = Experiment("E10a — recovery mechanism only: GBN vs SR")
+    base = dict(
+        workload="bulk",
+        workload_kw={"total_bytes": 300_000, "chunk_bytes": 4096},
+        profile=LOSSY,
+        duration=30.0,
+        seed=41,
+    )
+    exp.add_variant(
+        "gbn",
+        lambda: run_point_to_point(config=SessionConfig(recovery="gbn", ack="cumulative"), **base),
+    )
+    exp.add_variant(
+        "sr",
+        lambda: run_point_to_point(config=SessionConfig(recovery="sr", ack="selective"), **base),
+    )
+    exp.run()
+    return exp
+
+
+def ab_connection():
+    exp = Experiment("E10b — connection management only: implicit vs explicit")
+    base = dict(
+        workload="rpc",
+        workload_kw={"request_bytes": 128},
+        profile=wan_internet(),
+        duration=10.0,
+        seed=43,
+    )
+    for mode in ("implicit", "explicit-3way"):
+        exp.add_variant(
+            mode,
+            (lambda m: lambda: run_point_to_point(
+                config=SessionConfig(connection=m), **base))(mode),
+        )
+    exp.run()
+    return exp
+
+
+def test_e10_single_mechanism_ab(benchmark):
+    def run():
+        return ab_recovery(), ab_connection()
+
+    rec_exp, conn_exp = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = rec_exp.table(
+        ["msgs_delivered", "retransmissions", "wire_bytes", "goodput_bps"]
+    )
+    table += "\n\n" + conn_exp.table(
+        ["setup_time", "rpc_completed", "rpc_mean_response"]
+    )
+    record(benchmark, table)
+
+    # A/B 1: same delivery outcome, isolated retransmission economy
+    gbn = rec_exp.result("gbn").metrics
+    sr = rec_exp.result("sr").metrics
+    assert gbn["msgs_delivered"] == sr["msgs_delivered"] == gbn["msgs_sent"]
+    assert sr["retransmissions"] < gbn["retransmissions"]
+    assert sr["wire_bytes"] < gbn["wire_bytes"]
+    assert rec_exp.winner("retransmissions", higher_is_better=False) == "sr"
+
+    # A/B 2: setup-time delta is the whole story
+    imp = conn_exp.result("implicit").metrics
+    exp3 = conn_exp.result("explicit-3way").metrics
+    assert imp["setup_time"] == 0.0
+    assert exp3["setup_time"] > 0.1        # ≥ one WAN round trip
+    assert imp["rpc_completed"] >= exp3["rpc_completed"]

@@ -1,0 +1,76 @@
+"""E1 — the *overweight* configuration (§2.2(B)).
+
+"An example of an overweight configuration is one where a protocol (such
+as TP4) provides retransmission support for loss-tolerant, constrained
+latency applications such as interactive voice.  In this case the extra
+mechanisms required to provide retransmission simply slow down the
+protocol processing."
+
+Workload: two-way-quality voice (150 ms latency deadline) over a lossy
+copper LAN.  Variants: the TP4-like heavyweight vs the MANTTS-derived
+lightweight voice configuration (no retransmission, unordered, playout).
+
+Shape: the lightweight config misses far fewer deadlines and shows lower
+p95 latency; the overweight config loses *nothing* but delivers late —
+exactly the wrong trade for voice.
+"""
+
+from repro.baselines import tp4_like_config
+from repro.core.scenario import run_point_to_point
+from repro.mantts.acd import ACD
+from repro.mantts.monitor import NetworkState
+from repro.mantts.transform import specify_scs
+from repro.mantts.tsc import APP_PROFILES
+from repro.netsim.profiles import ethernet_10
+from repro.unites.experiment import Experiment
+
+from benchmarks.conftest import record
+
+DEADLINE = 0.15
+LOSSY_LAN = ethernet_10().scaled(ber=2e-5)
+
+
+def voice_config():
+    p = APP_PROFILES["voice-conversation"]
+    acd = ACD(participants=("B",), quantitative=p.quantitative(),
+              qualitative=p.qualitative())
+    state = NetworkState(
+        src="A", dst="B", reachable=True, rtt=0.004, base_rtt=0.004,
+        bottleneck_bps=10e6, mtu=1500, ber=2e-5, congestion=0.0,
+        loss_rate=0.0, hops=3,
+    )
+    return specify_scs(acd, state).config
+
+
+def run_variant(cfg):
+    return run_point_to_point(
+        config=cfg,
+        workload="voice",
+        profile=LOSSY_LAN,
+        duration=20.0,
+        deadline=DEADLINE,
+        seed=11,
+    )
+
+
+def test_e1_overweight_tp4_for_voice(benchmark):
+    exp = Experiment("E1 — TP4-style heavyweight vs tailored voice config")
+    exp.add_variant("tp4-overweight",
+                    lambda: run_variant(tp4_like_config(binding="dynamic")),
+                    notes="retransmits everything, ordered")
+    exp.add_variant("adaptive-voice", lambda: run_variant(voice_config()),
+                    notes="no retransmission, playout buffer")
+    benchmark.pedantic(exp.run, rounds=1, iterations=1)
+    record(benchmark, exp.table(
+        ["msgs_sent", "msgs_delivered", "mean_latency", "p95_latency",
+         "jitter", "deadline_miss_rate", "retransmissions"]
+    ))
+
+    tp4 = exp.result("tp4-overweight").metrics
+    voice = exp.result("adaptive-voice").metrics
+    # the heavyweight *does* deliver more frames ... late
+    assert tp4["retransmissions"] > 0
+    assert voice["retransmissions"] == 0
+    # the voice-quality verdict: tailored config misses far fewer deadlines
+    assert voice["deadline_miss_rate"] < tp4["deadline_miss_rate"] / 2
+    assert voice["p95_latency"] < tp4["p95_latency"]

@@ -1,0 +1,145 @@
+"""E2 — the *underweight* configuration (§2.2(B)).
+
+"An example of an underweight configuration is one where a protocol (such
+as TCP) does not provide a service (such as reliable multicast support)
+for applications that require it (such as interactive teleconferencing
+applications)."
+
+Workload: one speaker reliably distributing conference media to N
+listeners on a shared LAN.  Variants:
+
+* **tcp-unicast-fanout** — TCP lacks multicast, so the application must
+  open N independent reliable sessions and transmit every frame N times;
+* **adaptive-multicast** — one session, group-addressed frames replicated
+  by the network, per-member ACK aggregation for reliability.
+
+Shape: the fan-out workaround burns ~N× the sender's access-link bytes
+and sender CPU; with more members the gap widens.  Delivery completeness
+is equal (both are reliable) — the point is the *cost* of retrofitting a
+missing service.
+"""
+
+from repro.baselines import tcp_like_config
+from repro.core.system import AdaptiveSystem
+from repro.netsim.profiles import fddi_100, star
+from repro.tko.config import SessionConfig
+from repro.unites.present import render_table
+
+from benchmarks.conftest import record
+
+N_FRAMES = 40
+FRAME = 900
+
+
+def build_conference(members):
+    sysm = AdaptiveSystem(seed=2)
+    sysm.attach_network(star(sysm.sim, fddi_100(), ["A", *members], rng=sysm.rng))
+    sender = sysm.node("A")
+    rx = {}
+    nodes = {}
+    for m in members:
+        nodes[m] = sysm.node(m)
+        rx[m] = []
+    return sysm, sender, nodes, rx
+
+
+def tcp_fanout(members):
+    sysm, sender, nodes, rx = build_conference(members)
+    cfg = tcp_like_config(binding="dynamic")
+    for m in members:
+        nodes[m].protocol.listen(
+            7000,
+            lambda pdu, frame: cfg,
+            (lambda lst: lambda s: setattr(s, "on_deliver", lambda d, meta: lst.append(d)))(rx[m]),
+        )
+    sessions = [sender.protocol.create_session(cfg, m, 7000) for m in members]
+    for s in sessions:
+        s.connect()
+    sysm.run(until=1.0)
+    for _ in range(N_FRAMES):
+        for s in sessions:  # the application must send N copies itself
+            s.send(b"f" * FRAME)
+    sysm.run(until=10.0)
+    access_bytes = sum(
+        sysm.network.links[("A", "hub")].stats.bytes_delivered for _ in (0,)
+    )
+    return {
+        "delivered_min": min(len(v) for v in rx.values()),
+        "access_link_bytes": float(access_bytes),
+        "sender_pdus": float(sum(s.stats.pdus_sent for s in sessions)),
+        "sender_cpu_instr": sender.host.cpu.instructions_retired,
+        "sessions": float(len(sessions)),
+    }
+
+
+def adaptive_multicast(members):
+    sysm, sender, nodes, rx = build_conference(members)
+    mcfg = SessionConfig(
+        connection="implicit", delivery="multicast",
+        transmission="sliding-window", ack="selective", recovery="sr",
+        sequencing="ordered-dedup", window=16,
+    )
+    for m in members:
+        sysm.network.join_group("conf", m)
+        nodes[m].protocol.listen(
+            7000,
+            lambda pdu, frame: mcfg.with_(delivery="unicast"),
+            (lambda lst: lambda s: setattr(s, "on_deliver", lambda d, meta: lst.append(d)))(rx[m]),
+        )
+    s = sender.protocol.create_session(
+        mcfg, "conf", 7000, group="conf", members=list(members)
+    )
+    s.connect()
+    sysm.run(until=0.2)
+    for _ in range(N_FRAMES):
+        s.send(b"f" * FRAME)
+    sysm.run(until=10.0)
+    return {
+        "delivered_min": min(len(v) for v in rx.values()),
+        "access_link_bytes": float(
+            sysm.network.links[("A", "hub")].stats.bytes_delivered
+        ),
+        "sender_pdus": float(s.stats.pdus_sent),
+        "sender_cpu_instr": sender.host.cpu.instructions_retired,
+        "sessions": 1.0,
+    }
+
+
+def test_e2_underweight_tcp_lacks_multicast(benchmark):
+    members3 = ("B", "C", "D")
+    members6 = ("B", "C", "D", "E", "F", "G")
+
+    def run():
+        return {
+            ("tcp", 3): tcp_fanout(members3),
+            ("mc", 3): adaptive_multicast(members3),
+            ("tcp", 6): tcp_fanout(members6),
+            ("mc", 6): adaptive_multicast(members6),
+        }
+
+    r = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        {"variant": f"{k[0]}-{k[1]}members", **v} for k, v in r.items()
+    ]
+    record(
+        benchmark,
+        render_table(
+            rows,
+            ["variant", "sessions", "delivered_min", "access_link_bytes",
+             "sender_pdus", "sender_cpu_instr"],
+            title="E2 — reliable conference: TCP unicast fan-out vs multicast",
+        ),
+    )
+    for n in (3, 6):
+        tcp, mc = r[("tcp", n)], r[("mc", n)]
+        assert tcp["delivered_min"] == N_FRAMES
+        assert mc["delivered_min"] == N_FRAMES
+        # the underweight workaround costs ~N× on the sender's access link
+        assert tcp["access_link_bytes"] > mc["access_link_bytes"] * (n - 1)
+        # sender CPU also pays (multicast still processes per-member ACKs,
+        # so the margin is smaller than the N× wire cost)
+        assert tcp["sender_cpu_instr"] > mc["sender_cpu_instr"]
+    # and the gap widens with group size
+    ratio3 = r[("tcp", 3)]["access_link_bytes"] / r[("mc", 3)]["access_link_bytes"]
+    ratio6 = r[("tcp", 6)]["access_link_bytes"] / r[("mc", 6)]["access_link_bytes"]
+    assert ratio6 > ratio3

@@ -1,0 +1,123 @@
+"""E4 — the RTT policy: retransmission → FEC on satellite failover (§3(C)).
+
+"The transport system may also contain policies that cause the
+reliability management mechanism to switch from retransmission-based to
+forward error correction-based when the round-trip delay time increases
+beyond some threshold (e.g., when a route switches from a terrestrial
+link to a satellite link)."
+
+Workload: a paced media stream over a dual-homed path whose terrestrial
+route fails mid-session, shifting traffic onto a ~270 ms GEO hop with an
+elevated error rate.  Variants post-failover: static retransmission
+(GBN), static Reed-Solomon FEC, and the adaptive session running the TSA
+rule.
+
+Shape: after failover, repairing a loss by retransmission costs at least
+one extra satellite RTT (~0.6 s+), so the retransmission variant's p95
+latency explodes; FEC repairs in-line at constant overhead, keeping p95
+near the one-way delay.  The adaptive variant starts cheap (retransmission
+on the terrestrial path) and converges to FEC behaviour after the switch.
+"""
+
+from repro.core.system import AdaptiveSystem
+from repro.mantts.acd import ACD
+from repro.mantts.policies import rtt_switch_to_fec
+from repro.mantts.qos import QualitativeQoS, QuantitativeQoS
+from repro.netsim.profiles import dual_path, ethernet_10, satellite
+from repro.unites.present import render_table
+
+from benchmarks.conftest import record
+
+FAILOVER_AT = 5.0
+DURATION = 40.0
+FRAME = 512
+SAT = satellite().scaled(ber=3e-6)
+
+
+def run_variant(mode: str, seed=17):
+    sysm = AdaptiveSystem(seed=seed)
+    sysm.attach_network(dual_path(sysm.sim, ethernet_10(), SAT, rng=sysm.rng))
+    a, b = sysm.node("A"), sysm.node("B")
+    lat = []
+    b.mantts.register_service(
+        7000, on_deliver=lambda d, m: lat.append((sysm.now, m["latency"]))
+    )
+    acd = ACD(
+        participants=("B",),
+        quantitative=QuantitativeQoS(
+            avg_throughput_bps=96e3, duration=600, loss_tolerance=0.02,
+            message_size=FRAME,
+        ),
+        qualitative=QualitativeQoS(ordered=False, duplicate_sensitive=False),
+        tsa=rtt_switch_to_fec(threshold=0.2) if mode == "adaptive" else (),
+    )
+    conn = a.mantts.open(acd)
+    sysm.run(until=0.3)
+    if mode == "retransmit":
+        conn.apply_overrides(
+            {"recovery": "gbn", "ack": "cumulative",
+             "transmission": "window-rate", "rate_pps": 24.0},
+            reason="static retransmission variant",
+        )
+    elif mode == "fec":
+        conn.apply_overrides(
+            {"recovery": "fec-rs", "ack": "none", "transmission": "rate",
+             "rate_pps": 24.0, "fec_k": 4, "fec_r": 2},
+            reason="static FEC variant",
+        )
+    else:
+        conn.apply_overrides(
+            {"recovery": "gbn", "ack": "cumulative",
+             "transmission": "window-rate", "rate_pps": 24.0},
+            reason="adaptive starts on retransmission",
+        )
+    from repro.apps.video import CbrVideoSource
+
+    src = CbrVideoSource(sysm.sim, conn, fps=24, frame_bytes=FRAME)
+    src.start(0.5)
+    sysm.sim.schedule(FAILOVER_AT, sysm.network.fail_link, "p1", "p2")
+    sysm.run(until=DURATION)
+    post = [l for t, l in lat if t > FAILOVER_AT + 3.0]
+    post.sort()
+    p95 = post[int(len(post) * 0.95)] if post else float("inf")
+    delivered_post = len(post)
+    return {
+        "delivered_post_failover": float(delivered_post),
+        "p95_latency_post": p95,
+        "max_latency_post": post[-1] if post else float("inf"),
+        "final_recovery": conn.cfg.recovery,
+        "retransmissions": float(conn.session.stats.retransmissions),
+        "parity_sent": float(conn.session.stats.parity_sent),
+    }
+
+
+def test_e4_fec_over_satellite(benchmark):
+    def run():
+        return {m: run_variant(m) for m in ("retransmit", "fec", "adaptive")}
+
+    r = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [{"variant": k, **v} for k, v in r.items()]
+    record(
+        benchmark,
+        render_table(
+            rows,
+            ["variant", "delivered_post_failover", "p95_latency_post",
+             "max_latency_post", "final_recovery", "retransmissions",
+             "parity_sent"],
+            title="E4 — media stream across terrestrial→satellite failover",
+        ),
+    )
+    rtx, fec, ad = r["retransmit"], r["fec"], r["adaptive"]
+    one_way = SAT.delay * 3  # three satellite-grade hops on the backup path
+    # FEC's repairs never wait a satellite round trip
+    assert fec["p95_latency_post"] < one_way * 1.5
+    # a retransmission repair costs at least one extra satellite traverse
+    # on top of FEC's in-line repair
+    assert rtx["max_latency_post"] > fec["max_latency_post"] + one_way
+    # and the unscaled window throttles delivery over the long-delay path
+    # (the §2.2(C) long-delay-link complaint, visible as starved delivery)
+    assert rtx["delivered_post_failover"] < fec["delivered_post_failover"] / 2
+    # the adaptive session switched to FEC and inherits its latency profile
+    assert ad["final_recovery"] == "fec-rs"
+    assert ad["parity_sent"] > 0
+    assert ad["p95_latency_post"] < rtx["max_latency_post"]

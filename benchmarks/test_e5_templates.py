@@ -1,0 +1,92 @@
+"""E5 — binding styles and the customization trade-off (§4.2.2).
+
+"Although dynamic binding enhances flexibility ..., it increases
+processing overhead somewhat due to the extra level of indirection
+required to dispatch C++ virtual functions.  To reduce this overhead,
+TKO employs ... customization, which generates non-dynamically bound
+configurations ... Customization incurs a time-space tradeoff, however,
+since inline expansion ... may lead to excessive code bloat."
+
+Same bulk workload under the three binding styles.  Shape: per-PDU host
+instructions strictly ordered static < reconfigurable < dynamic; the
+static variant refuses segue (flexibility forfeited); the template cache
+reports the code-space price of each customized template.
+"""
+
+import pytest
+
+from repro.core.scenario import PointToPointScenario
+from repro.mechanisms.retransmission import SelectiveRepeat
+from repro.tko.config import SessionConfig
+from repro.tko.templates import TemplateCache
+from repro.unites.present import render_table
+
+from benchmarks.conftest import record
+
+
+def run_binding(binding: str):
+    sc = PointToPointScenario(
+        config=SessionConfig(binding=binding),
+        workload="bulk",
+        workload_kw={"total_bytes": 400_000, "chunk_bytes": 4096},
+        duration=6.0,
+        seed=23,
+    )
+    sc.run(6.0)
+    s = sc.session
+    handled = s.stats.pdus_sent + s.stats.pdus_received
+    instr_per_pdu = sc.a.host.cpu.instructions_retired / max(1, handled)
+    can_segue = True
+    try:
+        s.segue("recovery", SelectiveRepeat())
+    except RuntimeError:
+        can_segue = False
+    return {
+        "instr_per_pdu": instr_per_pdu,
+        "goodput_bps": sc.tracker.goodput_bps(),
+        "delivered": float(sc.tracker.count),
+        "can_segue": str(can_segue),
+    }
+
+
+def test_e5_binding_styles(benchmark):
+    def run():
+        return {b: run_binding(b) for b in ("dynamic", "reconfigurable", "static")}
+
+    r = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # code-bloat accounting from the template cache
+    cache = TemplateCache()
+    for i, binding in enumerate(("static", "static", "static", "reconfigurable")):
+        cfg = SessionConfig(binding=binding, window=16 + i)
+        # distinct mechanism sets so each static template is a new entry
+        cfg = cfg.with_(detection=["checksum", "crc32", "none", "checksum"][i],
+                        ack=["cumulative", "cumulative", "none", "delayed"][i],
+                        recovery=["gbn", "gbn", "none", "gbn"][i],
+                        transmission=["sliding-window", "sliding-window", "rate",
+                                      "sliding-window"][i],
+                        rate_pps=100.0 if i == 2 else None)
+        cache.store(cfg)
+
+    rows = [{"binding": k, **v} for k, v in r.items()]
+    table = render_table(
+        rows, ["binding", "instr_per_pdu", "goodput_bps", "delivered", "can_segue"],
+        title="E5 — per-PDU cost and flexibility by binding style",
+    )
+    table += (
+        f"\ncode bloat: {len(cache)} cached templates occupy "
+        f"{cache.total_code_bytes} bytes of customized code"
+    )
+    record(benchmark, table)
+
+    dyn, rec, sta = r["dynamic"], r["reconfigurable"], r["static"]
+    # all deliver everything
+    assert dyn["delivered"] == rec["delivered"] == sta["delivered"]
+    # indirection cost strictly ordered
+    assert sta["instr_per_pdu"] < rec["instr_per_pdu"] < dyn["instr_per_pdu"]
+    # flexibility forfeited exactly where the paper says
+    assert dyn["can_segue"] == "True"
+    assert rec["can_segue"] == "True"
+    assert sta["can_segue"] == "False"
+    # static templates are the only ones costing code space
+    assert cache.total_code_bytes == 3 * 7 * 1800

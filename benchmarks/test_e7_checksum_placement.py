@@ -1,0 +1,108 @@
+"""E7 — control-format efficiency: checksum placement and header layout.
+
+§2.2(C) footnote 2: "neither TCP nor TP4 place their checksum in the
+packet trailer, thereby precluding simultaneous transmission and checksum
+computation ... many fields in the TCP header are not word-aligned and
+the option formats are not fixed-sized, which increases header parsing
+overhead."
+
+Two effects, measured separately:
+
+* **placement → latency.**  On a single-CPU host the checksum cycles are
+  spent either way, so pipelined *throughput* is unchanged; what trailer
+  placement buys is the critical path — transmission (and upward delivery)
+  no longer wait for the sum.  Measured as request latency of a
+  stop-and-wait transfer of large PDUs on a slow host, where each PDU's
+  critical path is end-to-end exposed.
+* **header layout → per-PDU instructions and throughput.**  Legacy
+  unaligned/variable headers cost ``header_parse_unaligned`` on every
+  received PDU and widen every header; measured on a CPU-bound pipelined
+  bulk transfer.
+"""
+
+from repro.core.scenario import PointToPointScenario
+from repro.netsim.profiles import fddi_100
+from repro.tko.config import SessionConfig
+from repro.unites.present import render_table
+
+from benchmarks.conftest import record
+
+
+def run_latency_case(placement: str):
+    """Stop-and-wait large messages on a slow host: critical path exposed."""
+    sc = PointToPointScenario(
+        config=SessionConfig(
+            checksum_placement=placement,
+            transmission="stop-and-wait",
+            window=1,
+            segment_size=4096,
+        ),
+        workload="bulk",
+        workload_kw={"total_bytes": 200_000, "chunk_bytes": 4096},
+        profile=fddi_100().scaled(ber=0.0),
+        duration=8.0,
+        seed=31,
+        mips=5.0,
+    )
+    sc.run(8.0)
+    return {
+        "mean_latency": sc.tracker.mean_latency,
+        "delivered": float(sc.tracker.count),
+    }
+
+
+def run_layout_case(compact: bool):
+    """Pipelined CPU-bound bulk: parse cost and header bytes visible."""
+    sc = PointToPointScenario(
+        config=SessionConfig(compact_headers=compact, window=12),
+        workload="bulk",
+        workload_kw={"total_bytes": 3_000_000, "chunk_bytes": 16_384},
+        profile=fddi_100().scaled(ber=0.0),
+        duration=5.0,
+        seed=31,
+        mips=20.0,
+    )
+    sc.run(5.0)
+    return {
+        "goodput_bps": sc.tracker.goodput_bps(),
+        "rx_instr_per_pdu": sc.b.host.cpu.instructions_retired
+        / max(1, sc.b.host.frames_received),
+    }
+
+
+def test_e7_checksum_placement_latency(benchmark):
+    def run():
+        return {
+            "trailer": run_latency_case("trailer"),
+            "header": run_latency_case("header"),
+        }
+
+    r = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [{"placement": k, **v} for k, v in r.items()]
+    record(
+        benchmark,
+        render_table(rows, ["placement", "mean_latency", "delivered"],
+                     title="E7a — checksum placement: stop-and-wait latency"),
+    )
+    assert r["trailer"]["delivered"] == r["header"]["delivered"]
+    # trailer keeps the per-byte sum off the critical path at both ends
+    assert r["trailer"]["mean_latency"] < r["header"]["mean_latency"] * 0.9
+
+
+def test_e7_header_layout_cost(benchmark):
+    def run():
+        return {
+            "compact-aligned": run_layout_case(True),
+            "legacy-unaligned": run_layout_case(False),
+        }
+
+    r = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [{"layout": k, **v} for k, v in r.items()]
+    record(
+        benchmark,
+        render_table(rows, ["layout", "goodput_bps", "rx_instr_per_pdu"],
+                     title="E7b — header layout: parse cost on a CPU-bound path"),
+    )
+    compact, legacy = r["compact-aligned"], r["legacy-unaligned"]
+    assert legacy["rx_instr_per_pdu"] > compact["rx_instr_per_pdu"]
+    assert compact["goodput_bps"] > legacy["goodput_bps"]

@@ -1,0 +1,94 @@
+"""Table 1 — Application Transport Service Classes.
+
+Regenerates the paper's Table 1 and extends it with what this
+implementation *does* with each row: the Stage I class selection and the
+Stage II mechanism derivation over a reference 10 Mbps Ethernet path.
+The shape assertions pin the policy outcomes the taxonomy implies:
+loss-tolerant isochronous rows get no retransmission-based recovery,
+fully-reliable rows always get it, isochronous rows are rate-paced with
+playout buffering, and so on.
+"""
+
+from repro.mantts.acd import ACD
+from repro.mantts.monitor import NetworkState
+from repro.mantts.transform import specify_scs
+from repro.mantts.tsc import APP_PROFILES, TSC, select_tsc
+from repro.unites.present import render_table
+
+from benchmarks.conftest import record
+
+REFERENCE_PATH = NetworkState(
+    src="A", dst="B", reachable=True, rtt=0.004, base_rtt=0.004,
+    bottleneck_bps=10e6, mtu=1500, ber=1e-6, congestion=0.0,
+    loss_rate=0.0, hops=3,
+)
+
+
+def derive_all():
+    rows = []
+    for app, profile in APP_PROFILES.items():
+        acd = ACD(
+            participants=("B", "C") if profile.multicast else ("B",),
+            quantitative=profile.quantitative(),
+            qualitative=profile.qualitative(),
+        )
+        tsc = select_tsc(acd)
+        scs = specify_scs(acd, REFERENCE_PATH, tsc=tsc)
+        c = scs.config
+        rows.append(
+            {
+                "application": app,
+                "tsc": tsc.value,
+                "thruput": profile.avg_throughput.name.lower(),
+                "loss-tol": profile.loss_tolerance.name.lower(),
+                "conn": c.connection,
+                "tx": c.transmission,
+                "recovery": c.recovery,
+                "seq": c.sequencing,
+                "jitter": c.jitter,
+                "dlv": c.delivery,
+                "prio": "yes" if c.priority else "no",
+            }
+        )
+    return rows
+
+
+def test_table1_tsc_taxonomy(benchmark):
+    rows = benchmark.pedantic(derive_all, rounds=1, iterations=1)
+    table = render_table(
+        rows,
+        ["application", "tsc", "thruput", "loss-tol", "conn", "tx",
+         "recovery", "seq", "jitter", "dlv", "prio"],
+        title="Table 1 — TSC taxonomy and derived session configurations",
+    )
+    record(benchmark, table)
+    by_app = {r["application"]: r for r in rows}
+
+    # Stage I classes match the paper's leftmost column
+    assert by_app["voice-conversation"]["tsc"] == TSC.INTERACTIVE_ISOCHRONOUS.value
+    assert by_app["full-motion-video-raw"]["tsc"] == TSC.DISTRIBUTIONAL_ISOCHRONOUS.value
+    assert by_app["manufacturing-control"]["tsc"] == TSC.REALTIME_NONISOCHRONOUS.value
+    assert by_app["file-transfer"]["tsc"] == TSC.NONREALTIME_NONISOCHRONOUS.value
+
+    # policy shape: loss tolerance drives recovery weight
+    assert by_app["voice-conversation"]["recovery"] in ("none", "fec-xor")
+    for reliable_app in ("file-transfer", "telnet", "oltp"):
+        assert by_app[reliable_app]["recovery"] in ("gbn", "sr")
+
+    # isochronous rows are paced and jitter-buffered
+    for iso_app in ("voice-conversation", "tele-conferencing", "full-motion-video-raw"):
+        assert "rate" in by_app[iso_app]["tx"]
+        assert by_app[iso_app]["jitter"] == "playout"
+    assert by_app["file-transfer"]["jitter"] == "none"
+
+    # multicast column honoured
+    assert by_app["tele-conferencing"]["dlv"] == "multicast"
+    assert by_app["voice-conversation"]["dlv"] == "unicast"
+
+    # priority column honoured
+    assert by_app["telnet"]["prio"] == "yes"
+    assert by_app["file-transfer"]["prio"] == "no"
+
+    # order sensitivity drives sequencing
+    assert by_app["voice-conversation"]["seq"] == "none"
+    assert by_app["file-transfer"]["seq"] == "ordered-dedup"

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""File-transfer shootout: baselines vs the MANTTS-derived configuration.
+
+Runs the same 1 MB transfer over three environments (clean LAN, lossy
+copper LAN, congested WAN) under three transport configurations — the
+TCP-like and TP4-like monolithic baselines and whatever MANTTS Stage II
+derives for each environment — and prints the UNITES comparison tables.
+
+This is the "experimentation-based protocol development methodology" of
+§5 in miniature: same workload, controlled environment, one configuration
+axis varied.
+
+Run:  python examples/file_transfer_shootout.py
+"""
+
+from repro import APP_PROFILES, ACD
+from repro.baselines import tcp_like_config, tp4_like_config
+from repro.core.scenario import run_point_to_point
+from repro.netsim.profiles import ethernet_10, wan_internet
+from repro.unites.experiment import Experiment
+
+ENVIRONMENTS = {
+    "clean-lan": dict(profile=ethernet_10().scaled(ber=0.0)),
+    "lossy-lan": dict(profile=ethernet_10().scaled(ber=3e-6)),
+    "congested-wan": dict(profile=wan_internet(), bg_bps=1.1e6),
+}
+
+WORKLOAD = dict(
+    workload="bulk",
+    workload_kw={"total_bytes": 1_000_000, "chunk_bytes": 8192},
+    duration=30.0,
+    seed=77,
+)
+
+
+def adaptive_acd() -> ACD:
+    p = APP_PROFILES["file-transfer"]
+    return ACD(
+        participants=("B",),
+        quantitative=p.quantitative(),
+        qualitative=p.qualitative(),
+        service_port=7000,
+    )
+
+
+def main() -> None:
+    for env_name, env_kw in ENVIRONMENTS.items():
+        exp = Experiment(f"1 MB file transfer — {env_name}")
+        exp.add_variant(
+            "tcp-like",
+            lambda kw=env_kw: run_point_to_point(
+                config=tcp_like_config(binding="dynamic"), **kw, **WORKLOAD
+            ),
+        )
+        exp.add_variant(
+            "tp4-like",
+            lambda kw=env_kw: run_point_to_point(
+                config=tp4_like_config(binding="dynamic"), **kw, **WORKLOAD
+            ),
+        )
+        exp.add_variant(
+            "adaptive",
+            lambda kw=env_kw: run_point_to_point(
+                acd=adaptive_acd(), default_policies=True, **kw, **WORKLOAD
+            ),
+        )
+        exp.run()
+        print()
+        print(exp.table(
+            ["msgs_delivered", "goodput_bps", "retransmissions",
+             "wire_bytes", "setup_time", "cpu_a"]
+        ))
+        best = exp.winner("goodput_bps")
+        print(f"--> fastest on {env_name}: {best}")
+
+
+if __name__ == "__main__":
+    main()

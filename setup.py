@@ -1,0 +1,13 @@
+"""Legacy setup shim.
+
+The canonical metadata lives in pyproject.toml; this file exists so that
+environments without the ``wheel`` package (where pip cannot build the
+PEP 660 editable wheel) can still do a development install via
+
+    pip install -e . --no-build-isolation --no-use-pep517
+    # or: python setup.py develop
+"""
+
+from setuptools import setup
+
+setup()

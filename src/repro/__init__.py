@@ -1,0 +1,54 @@
+"""ADAPTIVE — "A Dynamically Assembled Protocol Transformation,
+Integration, and Validation Environment".
+
+A complete Python reproduction of the transport system architecture of
+Schmidt, Box & Suda (HPDC 1992): the MANTTS policy subsystem, the TKO
+mechanism framework, and the UNITES measurement subsystem, running over a
+deterministic discrete-event network/host simulator.
+
+Quick start (see ``examples/quickstart.py`` for the narrated version)::
+
+    from repro import AdaptiveSystem, ACD, QuantitativeQoS, QualitativeQoS
+    from repro.netsim.profiles import ethernet_10, linear_path
+
+    system = AdaptiveSystem(seed=1)
+    system.attach_network(linear_path(system.sim, ethernet_10(), ("A", "B")))
+    a, b = system.node("A"), system.node("B")
+    b.mantts.register_service(7000, on_deliver=lambda data, meta: print(len(data)))
+    conn = a.mantts.open(ACD(participants=("B",), service_port=7000))
+    system.run(until=0.5)
+    conn.send(b"hello, 1992")
+    system.run(until=1.0)
+"""
+
+from repro.core.system import AdaptiveNode, AdaptiveSystem
+from repro.core.scenario import PointToPointScenario, run_point_to_point
+from repro.mantts.acd import ACD, TMC, TSARule
+from repro.mantts.api import MANTTS, AdaptiveConnection
+from repro.mantts.qos import QualitativeQoS, QuantitativeQoS
+from repro.mantts.tsc import TSC, APP_PROFILES
+from repro.sim.kernel import Simulator
+from repro.tko.config import SessionConfig
+from repro.unites.collect import UNITES
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdaptiveSystem",
+    "AdaptiveNode",
+    "PointToPointScenario",
+    "run_point_to_point",
+    "ACD",
+    "TMC",
+    "TSARule",
+    "MANTTS",
+    "AdaptiveConnection",
+    "QuantitativeQoS",
+    "QualitativeQoS",
+    "TSC",
+    "APP_PROFILES",
+    "Simulator",
+    "SessionConfig",
+    "UNITES",
+    "__version__",
+]

@@ -1,0 +1,119 @@
+"""Command-line entry point: ``python -m repro``.
+
+Small operational conveniences for exploring the reproduction:
+
+* ``python -m repro list``        — catalogue of examples and experiments
+* ``python -m repro example X``   — run one example by name
+* ``python -m repro table1``      — print Table 1's derived configurations
+* ``python -m repro profiles``    — print the network profile catalogue
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import runpy
+import sys
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+BENCH_DIR = pathlib.Path(__file__).resolve().parents[2] / "benchmarks"
+
+
+def cmd_list(_args) -> int:
+    print("examples (run with: python -m repro example <name>):")
+    if EXAMPLES_DIR.is_dir():
+        for path in sorted(EXAMPLES_DIR.glob("*.py")):
+            doc = path.read_text().split('"""')
+            hook = doc[1].strip().splitlines()[0] if len(doc) > 1 else ""
+            print(f"  {path.stem:<24} {hook}")
+    print("\nexperiments (run with: pytest benchmarks/<file> --benchmark-only -s):")
+    if BENCH_DIR.is_dir():
+        for path in sorted(BENCH_DIR.glob("test_*.py")):
+            doc = path.read_text().split('"""')
+            hook = doc[1].strip().splitlines()[0] if len(doc) > 1 else ""
+            print(f"  {path.name:<36} {hook}")
+    return 0
+
+
+def cmd_example(args) -> int:
+    path = EXAMPLES_DIR / f"{args.name}.py"
+    if not path.exists():
+        print(f"no example named {args.name!r}; try: python -m repro list",
+              file=sys.stderr)
+        return 2
+    runpy.run_path(str(path), run_name="__main__")
+    return 0
+
+
+def cmd_table1(_args) -> int:
+    from repro.mantts.acd import ACD
+    from repro.mantts.monitor import NetworkState
+    from repro.mantts.transform import specify_scs
+    from repro.mantts.tsc import APP_PROFILES, select_tsc
+    from repro.unites.present import render_table
+
+    path = NetworkState("A", "B", True, 0.004, 0.004, 10e6, 1500, 1e-6,
+                        0.0, 0.0, 3)
+    rows = []
+    for app, profile in APP_PROFILES.items():
+        acd = ACD(
+            participants=("B", "C") if profile.multicast else ("B",),
+            quantitative=profile.quantitative(),
+            qualitative=profile.qualitative(),
+        )
+        scs = specify_scs(acd, path, tsc=select_tsc(acd))
+        rows.append({"application": app, "tsc": scs.tsc.value,
+                     "configuration": scs.config.describe()})
+    print(render_table(rows, ["application", "tsc", "configuration"],
+                       title="Table 1 — derived session configurations "
+                             "(reference 10 Mb/s Ethernet path)"))
+    return 0
+
+
+def cmd_profiles(_args) -> int:
+    from repro.netsim.profiles import PROFILES
+    from repro.unites.present import render_table
+
+    rows = [
+        {
+            "profile": p.name,
+            "bandwidth_bps": p.bandwidth_bps,
+            "delay_s": p.delay,
+            "ber": p.ber,
+            "mtu": p.mtu,
+            "queue": p.queue_limit,
+        }
+        for p in PROFILES.values()
+    ]
+    print(render_table(rows, ["profile", "bandwidth_bps", "delay_s", "ber",
+                              "mtu", "queue"],
+                       title="network profiles (paper §2.1(B) environments)"))
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="ADAPTIVE transport system reproduction (HPDC 1992)",
+    )
+    sub = parser.add_subparsers(dest="command")
+    sub.add_parser("list", help="catalogue of examples and experiments")
+    p_ex = sub.add_parser("example", help="run one example by name")
+    p_ex.add_argument("name")
+    sub.add_parser("table1", help="print Table 1's derived configurations")
+    sub.add_parser("profiles", help="print the network profile catalogue")
+    args = parser.parse_args(argv)
+    handlers = {
+        "list": cmd_list,
+        "example": cmd_example,
+        "table1": cmd_table1,
+        "profiles": cmd_profiles,
+    }
+    if args.command is None:
+        parser.print_help()
+        return 0
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

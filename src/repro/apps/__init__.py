@@ -1,0 +1,31 @@
+"""Application workload generators — Table 1's rows as traffic sources.
+
+Real multimedia applications are replaced (per the substitution rules in
+DESIGN.md) by generators reproducing their traffic shapes: talk-spurt
+voice, CBR/VBR video, request-response RPC/OLTP, keystroke TELNET, and
+windowed bulk transfer.  Each generator drives any object exposing
+``send(bytes) -> msg_id`` — a raw :class:`~repro.tko.session.TKOSession`
+or a MANTTS :class:`~repro.mantts.api.AdaptiveConnection` — so the same
+workload can exercise ADAPTIVE configurations and baselines alike.
+"""
+
+from repro.apps.workloads import AppSource, DeliveryTracker, make_source
+from repro.apps.voice import VoiceSource
+from repro.apps.video import CbrVideoSource, VbrVideoSource
+from repro.apps.bulk import BulkSource
+from repro.apps.control import ControlLoopSource
+from repro.apps.telnet import TelnetSource
+from repro.apps.rpc import RequestResponseClient
+
+__all__ = [
+    "AppSource",
+    "DeliveryTracker",
+    "make_source",
+    "VoiceSource",
+    "CbrVideoSource",
+    "VbrVideoSource",
+    "BulkSource",
+    "ControlLoopSource",
+    "TelnetSource",
+    "RequestResponseClient",
+]

@@ -1,0 +1,42 @@
+"""Bulk data transfer — Table 1's file-transfer row.
+
+Queues a fixed volume as fast as the transport's flow control admits
+(the source paces itself only by chunk granularity; the window/rate
+mechanisms do the real shaping).  Completion is observed at the receiver
+via a :class:`~repro.apps.workloads.DeliveryTracker`.
+"""
+
+from __future__ import annotations
+
+from repro.apps.workloads import AppSource
+
+
+class BulkSource(AppSource):
+    """Send ``total_bytes`` in ``chunk_bytes`` application messages."""
+
+    def __init__(
+        self,
+        sim,
+        sender,
+        rng=None,
+        total_bytes: int = 1_000_000,
+        chunk_bytes: int = 8_192,
+        name: str = "bulk",
+    ) -> None:
+        super().__init__(sim, sender, name, rng)
+        if total_bytes <= 0 or chunk_bytes <= 0:
+            raise ValueError("sizes must be positive")
+        self.total_bytes = total_bytes
+        self.chunk_bytes = chunk_bytes
+        self.done = False
+
+    def _body(self):
+        remaining = self.total_bytes
+        while remaining > 0:
+            size = min(self.chunk_bytes, remaining)
+            self.emit(b"\x42" * size)
+            remaining -= size
+            # hand control back to the kernel so transmission interleaves;
+            # the transport's window, not this delay, governs the rate
+            yield 0.0005
+        self.done = True

@@ -1,0 +1,54 @@
+"""Manufacturing-control traffic — Table 1's real-time non-isochronous row.
+
+A periodic sensor/actuator control loop (fixed-size updates at a fixed
+scan rate) punctuated by *alarm bursts*: a machine event produces a run
+of back-to-back high-priority messages.  Hard real-time: the figure of
+merit is the fraction of updates delivered within the control deadline,
+tracked receive-side with a :class:`~repro.apps.workloads.DeliveryTracker`
+built with ``deadline=``.
+"""
+
+from __future__ import annotations
+
+from repro.apps.workloads import AppSource
+
+
+class ControlLoopSource(AppSource):
+    """Periodic control updates with Poisson alarm bursts."""
+
+    def __init__(
+        self,
+        sim,
+        sender,
+        rng=None,
+        scan_interval: float = 0.01,
+        update_bytes: int = 256,
+        alarm_rate: float = 0.2,
+        alarm_burst: int = 8,
+        name: str = "control-loop",
+    ) -> None:
+        super().__init__(sim, sender, name, rng)
+        if scan_interval <= 0 or update_bytes <= 0 or alarm_burst < 1:
+            raise ValueError("bad control-loop parameters")
+        self.scan_interval = scan_interval
+        self.update_bytes = update_bytes
+        self.alarm_rate = alarm_rate
+        self.alarm_burst = alarm_burst
+        self.alarms = 0
+        self._next_alarm = None
+
+    def _body(self):
+        if self.alarm_rate > 0:
+            self._next_alarm = float(self.rng.exponential(1.0 / self.alarm_rate))
+        t = 0.0
+        while True:
+            self.emit(b"\x11" * self.update_bytes)
+            if self._next_alarm is not None and t >= self._next_alarm:
+                self.alarms += 1
+                for _ in range(self.alarm_burst):
+                    self.emit(b"\xEE" * self.update_bytes)
+                self._next_alarm = t + float(
+                    self.rng.exponential(1.0 / self.alarm_rate)
+                )
+            yield self.scan_interval
+            t += self.scan_interval

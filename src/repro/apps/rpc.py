@@ -1,0 +1,91 @@
+"""Request-response traffic — Table 1's OLTP / remote-file-service rows.
+
+A closed-loop client: send a request, wait for the matching response,
+think, repeat.  Response latency (not throughput) is the figure of merit,
+which is why these rows drive the implicit-negotiation design (§4.1.1:
+"latency-sensitive applications that must not incur any QoS negotiation
+delay").
+
+The server half, :class:`EchoResponder`, is a delivery callback that
+answers each request over the responder-side session; wire it to a MANTTS
+service or a raw listener.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.apps.workloads import AppSource
+
+
+class RequestResponseClient(AppSource):
+    """Closed-loop request/response client."""
+
+    def __init__(
+        self,
+        sim,
+        sender,
+        rng=None,
+        request_bytes: int = 128,
+        response_timeout: float = 5.0,
+        think_time: float = 0.05,
+        name: str = "rpc",
+    ) -> None:
+        super().__init__(sim, sender, name, rng)
+        if request_bytes <= 0 or response_timeout <= 0 or think_time < 0:
+            raise ValueError("bad rpc parameters")
+        self.request_bytes = request_bytes
+        self.response_timeout = response_timeout
+        self.think_time = think_time
+        self.completed = 0
+        self.timeouts = 0
+        self.response_times: List[float] = []
+        self._awaiting_since: Optional[float] = None
+
+    # wire this as the *client-side* delivery callback
+    def on_deliver(self, data: bytes, meta: Dict) -> None:
+        if self._awaiting_since is None:
+            return
+        self.response_times.append(self.sim.now - self._awaiting_since)
+        self.completed += 1
+        self._awaiting_since = None
+
+    @property
+    def mean_response_time(self) -> float:
+        if not self.response_times:
+            return 0.0
+        return sum(self.response_times) / len(self.response_times)
+
+    def _body(self):
+        while True:
+            self._awaiting_since = self.sim.now
+            self.emit(b"Q" * self.request_bytes)
+            waited = 0.0
+            step = 0.005
+            while self._awaiting_since is not None and waited < self.response_timeout:
+                yield step
+                waited += step
+            if self._awaiting_since is not None:
+                self.timeouts += 1
+                self._awaiting_since = None
+            yield float(self.rng.exponential(self.think_time)) if self.think_time else 0.0
+
+
+class EchoResponder:
+    """Server half: replies ``response_bytes`` to every request."""
+
+    def __init__(self, response_bytes: int = 512) -> None:
+        self.response_bytes = response_bytes
+        self.requests_served = 0
+        self._session: Optional[Any] = None
+
+    def attach(self, session) -> None:
+        """Bind to the responder-side session (MANTTS on_session hook)."""
+        self._session = session
+        session.on_deliver = self.on_deliver
+
+    def on_deliver(self, data: bytes, meta: Dict) -> None:
+        if self._session is None or self._session.closed:
+            return
+        self.requests_served += 1
+        self._session.send(b"R" * self.response_bytes)

@@ -1,0 +1,37 @@
+"""Remote terminal traffic — Table 1's TELNET row.
+
+Very low average throughput but highly bursty and delay-sensitive:
+Poisson keystroke batches of a few bytes.  The canonical workload for
+which per-packet overhead (not bandwidth) dominates.
+"""
+
+from __future__ import annotations
+
+from repro.apps.workloads import AppSource
+
+
+class TelnetSource(AppSource):
+    """Poisson keystroke/line traffic."""
+
+    def __init__(
+        self,
+        sim,
+        sender,
+        rng=None,
+        rate_per_s: float = 3.0,
+        min_bytes: int = 1,
+        max_bytes: int = 8,
+        name: str = "telnet",
+    ) -> None:
+        super().__init__(sim, sender, name, rng)
+        if rate_per_s <= 0 or min_bytes <= 0 or max_bytes < min_bytes:
+            raise ValueError("bad telnet parameters")
+        self.rate = rate_per_s
+        self.min_bytes = min_bytes
+        self.max_bytes = max_bytes
+
+    def _body(self):
+        while True:
+            yield float(self.rng.exponential(1.0 / self.rate))
+            n = int(self.rng.integers(self.min_bytes, self.max_bytes + 1))
+            self.emit(b"k" * n)

@@ -1,0 +1,78 @@
+"""Full-motion video sources — Table 1's distributional isochronous rows.
+
+* ``CbrVideoSource`` — raw (uncompressed) video: constant frame size at a
+  fixed frame rate; very high average throughput, low burstiness;
+* ``VbrVideoSource`` — compressed video: a 12-frame I/P group-of-pictures
+  pattern with lognormal size variation; high burst factor, the workload
+  whose rate spikes stress switch queues.
+"""
+
+from __future__ import annotations
+
+from repro.apps.workloads import AppSource
+
+
+class CbrVideoSource(AppSource):
+    """Constant-bit-rate video frames."""
+
+    def __init__(
+        self,
+        sim,
+        sender,
+        rng=None,
+        fps: float = 30.0,
+        frame_bytes: int = 16_000,
+        name: str = "video-cbr",
+    ) -> None:
+        super().__init__(sim, sender, name, rng)
+        if fps <= 0 or frame_bytes <= 0:
+            raise ValueError("fps and frame size must be positive")
+        self.interval = 1.0 / fps
+        self.frame_bytes = frame_bytes
+
+    @property
+    def rate_bps(self) -> float:
+        return self.frame_bytes * 8.0 / self.interval
+
+    def _body(self):
+        payload = b"\xA5" * self.frame_bytes
+        while True:
+            self.emit(payload)
+            yield self.interval
+
+
+class VbrVideoSource(AppSource):
+    """Variable-bit-rate video with an I/P GoP structure."""
+
+    GOP = 12             #: frames per group of pictures
+    I_FACTOR = 4.0       #: I-frames this much larger than mean P-frame
+
+    def __init__(
+        self,
+        sim,
+        sender,
+        rng=None,
+        fps: float = 30.0,
+        mean_frame_bytes: int = 6_000,
+        name: str = "video-vbr",
+    ) -> None:
+        super().__init__(sim, sender, name, rng)
+        if fps <= 0 or mean_frame_bytes <= 0:
+            raise ValueError("fps and frame size must be positive")
+        self.interval = 1.0 / fps
+        self.mean_frame_bytes = mean_frame_bytes
+        self._frame_no = 0
+
+    def next_frame_size(self) -> int:
+        base = self.mean_frame_bytes
+        if self._frame_no % self.GOP == 0:
+            size = base * self.I_FACTOR * float(self.rng.lognormal(0.0, 0.2))
+        else:
+            size = base * float(self.rng.lognormal(0.0, 0.35))
+        self._frame_no += 1
+        return max(200, int(size))
+
+    def _body(self):
+        while True:
+            self.emit(b"\xC3" * self.next_frame_size())
+            yield self.interval

@@ -1,0 +1,49 @@
+"""Voice conversation source — Table 1's interactive isochronous row.
+
+The classic Brady on/off model: exponentially distributed talk spurts
+(mean 0.4 s) and silence gaps (mean 0.6 s); during a spurt, one fixed-size
+frame per packetization interval (20 ms of 64 kbit/s PCM = 160 bytes).
+Low average throughput, high delay *and* jitter sensitivity, high loss
+tolerance — the canonical "a late packet is worthless, a lost one is
+fine" workload that makes retransmission-based reliability overweight.
+"""
+
+from __future__ import annotations
+
+from repro.apps.workloads import AppSource
+
+
+class VoiceSource(AppSource):
+    """Talk-spurt voice traffic."""
+
+    def __init__(
+        self,
+        sim,
+        sender,
+        rng=None,
+        frame_interval: float = 0.020,
+        frame_bytes: int = 160,
+        mean_talk: float = 0.4,
+        mean_silence: float = 0.6,
+        name: str = "voice",
+    ) -> None:
+        super().__init__(sim, sender, name, rng)
+        if frame_interval <= 0 or frame_bytes <= 0:
+            raise ValueError("frame interval and size must be positive")
+        self.frame_interval = frame_interval
+        self.frame_bytes = frame_bytes
+        self.mean_talk = mean_talk
+        self.mean_silence = mean_silence
+        self.talk_spurts = 0
+
+    def _body(self):
+        payload = b"\x55" * self.frame_bytes
+        while True:
+            self.talk_spurts += 1
+            spurt = float(self.rng.exponential(self.mean_talk))
+            t = 0.0
+            while t < spurt:
+                self.emit(payload)
+                yield self.frame_interval
+                t += self.frame_interval
+            yield float(self.rng.exponential(self.mean_silence))

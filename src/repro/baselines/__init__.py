@@ -1,0 +1,26 @@
+"""Monolithic baseline protocols (§2.2's inadequate incumbents).
+
+The comparators the paper argues against, built *inside* the ADAPTIVE
+framework as static templates — demonstrating §4.2.2's note that "static
+templates are also used to implement backward compatibility with existing
+protocols like TCP":
+
+* :mod:`repro.baselines.tcp_like` — reliable byte stream: 3-way
+  handshake, cumulative ACKs, go-back-N, slow-start/AIMD congestion
+  control, legacy unaligned headers with a header-resident checksum;
+* :mod:`repro.baselines.udp_like` — raw checksummed datagrams;
+* :mod:`repro.baselines.tp4_like` — the heavyweight: everything TCP-like
+  has, plus conservative timers and small fixed windows; the *overweight*
+  configuration of §2.2(B) when pointed at loss-tolerant media.
+"""
+
+from repro.baselines.tcp_like import TcpCongestionControl, tcp_like_config
+from repro.baselines.udp_like import udp_like_config
+from repro.baselines.tp4_like import tp4_like_config
+
+__all__ = [
+    "tcp_like_config",
+    "TcpCongestionControl",
+    "udp_like_config",
+    "tp4_like_config",
+]

@@ -1,0 +1,87 @@
+"""TCP-like baseline: reliable byte stream with slow start + AIMD.
+
+Configuration choices mirror 4.3BSD TCP as the paper characterises it
+(§2.2(C)): three-way handshake, cumulative acknowledgments, go-back-N
+retransmission, *header*-resident checksum in a variable, unaligned
+header format (no transmit/checksum overlap, expensive parsing), ordered
+duplicate-suppressed delivery.  Congestion control is Jacobson slow
+start + additive-increase/multiplicative-decrease, registered as the
+``tcp-aimd`` transmission mechanism.
+"""
+
+from __future__ import annotations
+
+from repro.mechanisms.base import TransmissionControl
+from repro.mechanisms.registry import MECHANISM_REGISTRY
+from repro.tko.config import SessionConfig
+from repro.tko.pdu import PDU
+
+
+class TcpCongestionControl(TransmissionControl):
+    """Slow start + congestion avoidance over the sliding window."""
+
+    name = "tcp-aimd"
+    SEND_COST = 120.0
+    RECV_COST = 90.0
+    DISPATCH_SEND = 3
+    DISPATCH_RECV = 3
+
+    INITIAL_CWND = 2.0
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.cwnd = self.INITIAL_CWND
+        self.ssthresh = 64.0
+
+    # ------------------------------------------------------------------
+    def effective_window(self) -> int:
+        s = self.session
+        peer = s.state.peer_window if s.state.peer_window is not None else s.cfg.window
+        return max(1, min(int(self.cwnd), peer, s.cfg.window))
+
+    def can_send(self) -> bool:
+        return self.session.state.outstanding_count() < self.effective_window()
+
+    def send_gap(self) -> float:
+        return 0.0
+
+    def on_ack(self, pdu: PDU) -> None:
+        if pdu.window:
+            self.session.state.peer_window = pdu.window
+        if self.cwnd < self.ssthresh:
+            self.cwnd += 1.0              # slow start: exponential
+        else:
+            self.cwnd += 1.0 / self.cwnd  # congestion avoidance: linear
+
+    def on_loss(self) -> None:
+        # multiplicative decrease (the paper's "slow start and
+        # multiplicative decrease ... used to simulate access control")
+        self.ssthresh = max(2.0, self.cwnd / 2.0)
+        self.cwnd = self.INITIAL_CWND
+
+    def adopt(self, old: TransmissionControl) -> None:
+        if isinstance(old, TcpCongestionControl):
+            self.cwnd = old.cwnd
+            self.ssthresh = old.ssthresh
+
+
+MECHANISM_REGISTRY["transmission"]["tcp-aimd"] = TcpCongestionControl
+
+
+def tcp_like_config(window: int = 64, binding: str = "static") -> SessionConfig:
+    """The full TCP-like static template."""
+    return SessionConfig(
+        connection="explicit-3way",
+        transmission="tcp-aimd",
+        detection="checksum",
+        checksum_placement="header",   # TCP keeps its checksum in the header
+        ack="cumulative",
+        recovery="gbn",
+        sequencing="ordered-dedup",
+        delivery="unicast",
+        jitter="none",
+        buffer="variable",
+        window=window,
+        compact_headers=False,         # variable options, unaligned fields
+        binding=binding,
+    )

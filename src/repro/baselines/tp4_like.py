@@ -1,0 +1,36 @@
+"""TP4-like baseline: the heavyweight OSI transport configuration.
+
+The paper's canonical *overweight* example (§2.2(B)): "a protocol (such
+as TP4) provides retransmission support for loss-tolerant, constrained
+latency applications such as interactive voice ... the extra mechanisms
+required to provide retransmission simply slow down the protocol
+processing."  Relative to the TCP-like template this one is even more
+conservative: stop-start slow timers, a small fixed window, CRC-grade
+checksumming in the header, and full ordered-reliable semantics — always,
+regardless of what the application actually needs.
+"""
+
+from __future__ import annotations
+
+from repro.tko.config import SessionConfig
+
+
+def tp4_like_config(binding: str = "static") -> SessionConfig:
+    """The heavyweight static template."""
+    return SessionConfig(
+        connection="explicit-3way",
+        transmission="sliding-window",
+        detection="crc32",             # strongest (and costliest) detection
+        checksum_placement="header",   # computed before transmission starts
+        ack="cumulative",
+        recovery="gbn",
+        sequencing="ordered-dedup",
+        delivery="unicast",
+        jitter="none",
+        buffer="variable",
+        window=8,                      # conservative fixed credit
+        rto_initial=1.0,               # sluggish timers
+        rto_min=0.2,
+        compact_headers=False,
+        binding=binding,
+    )

@@ -1,0 +1,29 @@
+"""UDP-like baseline: unreliable checksummed datagrams.
+
+The *underweight* end of §2.2(B)'s spectrum: no connection setup, no
+flow/transmission control, no recovery, no ordering — fine for tolerant
+traffic, inadequate the moment an application needs any of the missing
+services (reliable multicast being the paper's example).
+"""
+
+from __future__ import annotations
+
+from repro.tko.config import SessionConfig
+
+
+def udp_like_config(binding: str = "static") -> SessionConfig:
+    """The datagram static template."""
+    return SessionConfig(
+        connection="implicit",
+        transmission="none",
+        detection="checksum",
+        checksum_placement="header",
+        ack="none",
+        recovery="none",
+        sequencing="none",
+        delivery="unicast",
+        jitter="none",
+        buffer="variable",
+        compact_headers=False,
+        binding=binding,
+    )

@@ -1,0 +1,23 @@
+"""The integrated ADAPTIVE system façade.
+
+The paper's contribution is the *whole* of Figure 1 — MANTTS + TKO +
+UNITES cooperating per host.  This package wires them together:
+
+* :class:`~repro.core.system.AdaptiveSystem` — one call per host gets a
+  fully assembled node (Host + TKO protocol + MANTTS entity sharing the
+  system-wide UNITES repository and template cache);
+* :mod:`repro.core.scenario` — canned experiment scenarios (point-to-point
+  transfer, conference, failover path) parameterised by configuration and
+  workload, returning the metric dictionaries the benchmark harness and
+  EXPERIMENTS.md tables are built from.
+"""
+
+from repro.core.system import AdaptiveNode, AdaptiveSystem
+from repro.core.scenario import PointToPointScenario, run_point_to_point
+
+__all__ = [
+    "AdaptiveSystem",
+    "AdaptiveNode",
+    "PointToPointScenario",
+    "run_point_to_point",
+]

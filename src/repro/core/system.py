@@ -1,0 +1,94 @@
+"""System assembly: one object per experiment, one node per host."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.host.cpu import CpuCosts
+from repro.host.nic import Host
+from repro.mantts.api import MANTTS
+from repro.mantts.resources import ResourceManager
+from repro.netsim.network import Network
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RngStreams
+from repro.tko.protocol import TKOProtocol
+from repro.tko.synthesizer import TKOSynthesizer
+from repro.tko.templates import TemplateCache
+from repro.unites.collect import UNITES
+
+
+@dataclass
+class AdaptiveNode:
+    """One fully assembled ADAPTIVE host."""
+
+    host: Host
+    protocol: TKOProtocol
+    mantts: MANTTS
+
+    @property
+    def name(self) -> str:
+        return self.host.name
+
+
+class AdaptiveSystem:
+    """Owns the simulator, network, UNITES, and the per-host nodes."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.sim = Simulator()
+        self.rng = RngStreams(seed)
+        self.network: Optional[Network] = None
+        self.unites = UNITES(self.sim)
+        self.templates = TemplateCache()
+        self.nodes: Dict[str, AdaptiveNode] = {}
+
+    # ------------------------------------------------------------------
+    def attach_network(self, network: Network) -> Network:
+        """Install the (already built) topology; its RNG is unified."""
+        if self.network is not None:
+            raise RuntimeError("system already has a network")
+        self.network = network
+        return network
+
+    def node(
+        self,
+        name: str,
+        mips: float = 25.0,
+        costs: Optional[CpuCosts] = None,
+        buffer_capacity: int = 1 << 20,
+        admission_bps: float = 1e9,
+        cores: int = 1,
+    ) -> AdaptiveNode:
+        """Assemble Host + TKO + MANTTS on network node ``name``."""
+        if self.network is None:
+            raise RuntimeError("attach_network() before creating nodes")
+        if name in self.nodes:
+            raise ValueError(f"duplicate node {name!r}")
+        host = Host(
+            self.sim,
+            self.network,
+            name,
+            mips=mips,
+            costs=costs,
+            buffer_capacity=buffer_capacity,
+            cores=cores,
+        )
+        synthesizer = TKOSynthesizer(self.templates)
+        protocol = TKOProtocol(host, synthesizer)
+        mantts = MANTTS(
+            host,
+            protocol=protocol,
+            resources=ResourceManager(host, admission_bps=admission_bps),
+        )
+        mantts.unites = self.unites
+        node = AdaptiveNode(host=host, protocol=protocol, mantts=mantts)
+        self.nodes[name] = node
+        return node
+
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> None:
+        self.sim.run(until=until)
+
+    @property
+    def now(self) -> float:
+        return self.sim.now

@@ -1,0 +1,18 @@
+"""Host operating-system model.
+
+The paper's "transport system factors" (§1) — CPU speed, interrupt and
+context-switch overhead, memory-to-memory copying, message buffering — are
+modelled here.  The host CPU is a serialized resource: every per-packet
+protocol processing step costs instructions, instructions take virtual time
+at the host's MIPS rating, and concurrent work queues up.  This is what
+makes the *throughput preservation problem* (§2.1(A)) reproducible: raise
+the channel rate and the delivered application throughput saturates at what
+the host-side protocol processing can sustain.
+"""
+
+from repro.host.cpu import Cpu, CpuCosts
+from repro.host.buffers import Buffer, BufferPool
+from repro.host.ports import PortTable
+from repro.host.nic import Host
+
+__all__ = ["Cpu", "CpuCosts", "Buffer", "BufferPool", "PortTable", "Host"]

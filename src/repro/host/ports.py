@@ -1,0 +1,66 @@
+"""Transport-layer port table and demultiplexing.
+
+One of the "medium-granularity" services the paper's TKO protocol
+architecture insulates sessions from (§4.2.1): mapping an arriving PDU to
+the session that owns it.  Lookups match the most specific binding first:
+
+1. a *connected* binding ``(local_port, remote_host, remote_port)``;
+2. a *listening* binding ``(local_port, *, *)``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+ConnKey = Tuple[int, str, int]
+
+
+class PortTable:
+    """Per-host registry mapping ports/connections to session objects."""
+
+    #: first port handed out by :meth:`ephemeral_port`
+    EPHEMERAL_BASE = 32768
+
+    def __init__(self) -> None:
+        self._listeners: Dict[int, Any] = {}
+        self._connections: Dict[ConnKey, Any] = {}
+        self._next_ephemeral = self.EPHEMERAL_BASE
+
+    # ------------------------------------------------------------------
+    def listen(self, port: int, owner: Any) -> None:
+        """Bind a wildcard listener on ``port``."""
+        if port in self._listeners:
+            raise ValueError(f"port {port} already has a listener")
+        self._listeners[port] = owner
+
+    def connect(self, local_port: int, remote_host: str, remote_port: int, owner: Any) -> None:
+        """Bind a fully-qualified connection tuple."""
+        key = (local_port, remote_host, remote_port)
+        if key in self._connections:
+            raise ValueError(f"connection {key} already bound")
+        self._connections[key] = owner
+
+    def release(self, local_port: int, remote_host: Optional[str] = None,
+                remote_port: Optional[int] = None) -> None:
+        """Remove a binding; connection tuples and listeners independently."""
+        if remote_host is None:
+            self._listeners.pop(local_port, None)
+        else:
+            self._connections.pop((local_port, remote_host, int(remote_port or 0)), None)
+
+    # ------------------------------------------------------------------
+    def demux(self, local_port: int, remote_host: str, remote_port: int) -> Optional[Any]:
+        """Most-specific-match lookup for an arriving PDU."""
+        owner = self._connections.get((local_port, remote_host, remote_port))
+        if owner is not None:
+            return owner
+        return self._listeners.get(local_port)
+
+    def ephemeral_port(self) -> int:
+        """Hand out a fresh client-side port number."""
+        port = self._next_ephemeral
+        self._next_ephemeral += 1
+        return port
+
+    def __len__(self) -> int:
+        return len(self._listeners) + len(self._connections)

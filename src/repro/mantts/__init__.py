@@ -1,0 +1,53 @@
+"""MANTTS — "Map Applications and Networks To Transport Systems" (§4.1).
+
+The policy subsystem of Figure 1: it accepts an application communication
+descriptor (Table 2), selects a transport service class (Table 1, Stage I),
+reconciles it with observed network state into a session configuration
+specification (Stage II), negotiates with the remote MANTTS entity
+(implicitly or over the out-of-band channel of Figure 3), hands the SCS to
+the TKO synthesizer (Stage III), and thereafter watches the session and
+network — reconfiguring mechanisms when TSA policies fire (§4.1.2).
+"""
+
+from repro.mantts.acd import ACD, TMC, TSARule
+from repro.mantts.qos import QualitativeQoS, QuantitativeQoS, Sensitivity
+from repro.mantts.tsc import TSC, APP_PROFILES, AppProfile, select_tsc
+from repro.mantts.scs import SCS
+from repro.mantts.monitor import NetworkMonitor, NetworkState
+from repro.mantts.transform import specify_scs
+from repro.mantts.policies import (
+    Action,
+    Condition,
+    PolicyEngine,
+    congestion_rate_backoff,
+    congestion_switch_gbn_to_sr,
+    rtt_switch_to_fec,
+)
+from repro.mantts.resources import ResourceManager
+from repro.mantts.api import MANTTS, AdaptiveConnection
+
+__all__ = [
+    "ACD",
+    "TMC",
+    "TSARule",
+    "QualitativeQoS",
+    "QuantitativeQoS",
+    "Sensitivity",
+    "TSC",
+    "AppProfile",
+    "APP_PROFILES",
+    "select_tsc",
+    "SCS",
+    "NetworkMonitor",
+    "NetworkState",
+    "specify_scs",
+    "Condition",
+    "Action",
+    "PolicyEngine",
+    "congestion_switch_gbn_to_sr",
+    "rtt_switch_to_fec",
+    "congestion_rate_backoff",
+    "ResourceManager",
+    "MANTTS",
+    "AdaptiveConnection",
+]

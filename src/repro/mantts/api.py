@@ -1,0 +1,687 @@
+"""The MANTTS entity and the application-facing MANTTS-API (§4.1).
+
+One ``MANTTS`` instance runs on every ADAPTIVE host.  It owns the host's
+TKO protocol object, listens on the well-known signalling port, and serves
+two roles:
+
+* **initiator** — :meth:`MANTTS.open` takes an ACD (Table 2) through the
+  three-stage transformation of Figure 2, negotiates (implicitly or over
+  the out-of-band channel) and returns an :class:`AdaptiveConnection`;
+* **responder** — :meth:`MANTTS.register_service` binds an application
+  port; arriving negotiation requests run admission control, arriving
+  data sessions are synthesized from the negotiated (or piggybacked)
+  configuration.
+
+An ``AdaptiveConnection`` is the application handle: ``send`` / ``close``
+plus the adaptive machinery — a network monitor feeding a policy engine
+whose TSA rules reconfigure the live session (and its remote peers) when
+conditions cross thresholds (§4.1.2).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.host.nic import Host
+from repro.mantts.acd import ACD
+from repro.mantts.monitor import NetworkMonitor, NetworkState
+from repro.mantts.negotiation import (
+    MANTTS_PORT,
+    SIGNALLING_CONFIG,
+    decode,
+    encode,
+    respond_to_open,
+)
+from repro.mantts.policies import PolicyEngine
+from repro.mantts.resources import ResourceManager
+from repro.mantts.scs import SCS
+from repro.mantts.transform import specify_scs
+from repro.mantts.tsc import TSC, select_tsc
+from repro.tko.config import SessionConfig
+from repro.tko.protocol import TKOProtocol
+from repro.tko.session import TKOSession
+from repro.tko.synthesizer import TKOSynthesizer
+
+_conn_refs = itertools.count(1)
+
+#: seconds an initiator waits for all negotiation replies before failing
+NEGOTIATION_TIMEOUT = 3.0
+
+
+class MANTTS:
+    """The per-host MANTTS entity."""
+
+    def __init__(
+        self,
+        host: Host,
+        protocol: Optional[TKOProtocol] = None,
+        synthesizer: Optional[TKOSynthesizer] = None,
+        resources: Optional[ResourceManager] = None,
+        monitor_interval: float = 0.1,
+    ) -> None:
+        self.host = host
+        self.protocol = protocol if protocol is not None else TKOProtocol(
+            host, synthesizer or TKOSynthesizer()
+        )
+        self.synthesizer = self.protocol.synthesizer
+        self.resources = resources if resources is not None else ResourceManager(
+            host, admission_bps=1e9
+        )
+        self.monitor_interval = monitor_interval
+        #: optional UNITES facade; when set, TMC requests are honoured
+        self.unites = None
+
+        self._sig_sessions: Dict[str, TKOSession] = {}
+        self._pending: Dict[str, Callable[[dict], None]] = {}
+        self._probe_waiters: Dict[str, list] = {}
+        self._services: Dict[int, dict] = {}
+        #: (peer_host, service_port) -> negotiated config awaiting arrival
+        self._negotiated: Dict[Tuple[str, int], SessionConfig] = {}
+        #: (peer_host, service_port) -> reservation ref to release on close
+        self._reservation_refs: Dict[Tuple[str, int], str] = {}
+        #: (remote_host, remote_port, local_port) -> live responder session
+        self._peer_sessions: Dict[Tuple[str, int, int], TKOSession] = {}
+        self.connections: Dict[str, "AdaptiveConnection"] = {}
+
+        self.protocol.listen(MANTTS_PORT, self._sig_cfg_factory, self._on_sig_session)
+
+    # ------------------------------------------------------------------
+    # signalling channel plumbing
+    # ------------------------------------------------------------------
+    def _sig_cfg_factory(self, pdu, frame) -> SessionConfig:
+        return SIGNALLING_CONFIG
+
+    def _on_sig_session(self, session: TKOSession) -> None:
+        session.on_deliver = lambda data, meta: self._handle_signalling(data, session)
+        peer = session.remote_host
+        session.on_signalling = lambda pdu: self._on_probe_reply(pdu, peer)
+
+    def _sig_session(self, peer: str) -> TKOSession:
+        sess = self._sig_sessions.get(peer)
+        if sess is None or sess.closed:
+            sess = self.protocol.create_session(
+                SIGNALLING_CONFIG,
+                peer,
+                MANTTS_PORT,
+                on_deliver=lambda data, meta: self._handle_signalling(data, None),
+            )
+            sess.on_signalling = lambda pdu, p=peer: self._on_probe_reply(pdu, p)
+            sess.connect()
+            self._sig_sessions[peer] = sess
+        return sess
+
+    # ------------------------------------------------------------------
+    # active round-trip measurement (§3(D): RTT "used at run-time to
+    # determine when to reconfigure")
+    # ------------------------------------------------------------------
+    def measure_rtt(self, peer: str, callback: Callable[[float], None]) -> None:
+        """Send a PROBE over the control channel; callback gets the RTT.
+
+        Unlike the network monitor's model-derived estimate, this is an
+        end-to-end measurement through real queues and host processing.
+        """
+        from repro.tko.pdu import PduType
+
+        sess = self._sig_session(peer)
+        probe = sess.make_pdu(PduType.PROBE)
+        probe.timestamp = self.host.sim.now
+        self._probe_waiters.setdefault(peer, []).append(callback)
+        sess.emit_control(probe)
+
+    def _on_probe_reply(self, pdu, peer: str) -> None:
+        from repro.tko.pdu import PduType
+
+        if pdu.ptype is not PduType.PROBE_REPLY:
+            return
+        rtt = self.host.sim.now - pdu.timestamp
+        waiters = self._probe_waiters.get(peer, [])
+        if waiters:
+            waiters.pop(0)(rtt)
+
+    def _send_signalling(self, peer: str, msg: dict) -> None:
+        self._sig_session(peer).send(encode(msg))
+
+    # ------------------------------------------------------------------
+    # responder side
+    # ------------------------------------------------------------------
+    def register_service(
+        self,
+        port: int,
+        on_session: Optional[Callable[[TKOSession], None]] = None,
+        on_deliver: Optional[Callable[[bytes, dict], None]] = None,
+        default_config: Optional[SessionConfig] = None,
+    ) -> None:
+        """Bind an application service to ``port`` (passive open)."""
+        if port == MANTTS_PORT:
+            raise ValueError(f"port {MANTTS_PORT} is reserved for MANTTS signalling")
+        self._services[port] = {
+            "on_session": on_session,
+            "on_deliver": on_deliver,
+            "default_config": default_config,
+        }
+        self.protocol.listen(
+            port,
+            lambda pdu, frame: self._service_config(port, pdu, frame),
+            lambda session: self._service_session(port, session),
+        )
+
+    def _service_config(self, port: int, pdu, frame) -> SessionConfig:
+        """Responder Stage II: negotiated > piggybacked > service default."""
+        negotiated = self._negotiated.get((frame.src, port))
+        if negotiated is not None:
+            return self._receiver_view(negotiated)
+        carried = pdu.options.get("cfg")
+        if isinstance(carried, dict):
+            try:
+                return self._receiver_view(SessionConfig.from_dict(carried))
+            except (ValueError, TypeError):
+                pass
+        default = self._services[port]["default_config"]
+        return default if default is not None else SessionConfig(connection="implicit")
+
+    @staticmethod
+    def _receiver_view(cfg: SessionConfig) -> SessionConfig:
+        """The responder's session is always a unicast endpoint (a multicast
+        sender's receivers each hold a unicast session back to it)."""
+        if cfg.delivery == "multicast":
+            return cfg.with_(delivery="unicast", connection="implicit")
+        return cfg
+
+    def _service_session(self, port: int, session: TKOSession) -> None:
+        service = self._services[port]
+        key = (session.remote_host, session.remote_port, session.local_port)
+        self._peer_sessions[key] = session
+        # §4.1.3: the termination phase releases the resources the
+        # negotiation reserved — chained onto the session's close callback
+        res_key = (session.remote_host, port)
+        original_on_closed = session.on_closed
+
+        def release_then(original=original_on_closed):
+            ref = self._reservation_refs.pop(res_key, None)
+            if ref is not None:
+                self.resources.release(ref)
+            self._peer_sessions.pop(key, None)
+            if original is not None:
+                original()
+
+        session.on_closed = release_then
+        if service["on_deliver"] is not None:
+            session.on_deliver = service["on_deliver"]
+        if service["on_session"] is not None:
+            service["on_session"](session)
+
+    # ------------------------------------------------------------------
+    # signalling message handling
+    # ------------------------------------------------------------------
+    def _handle_signalling(self, data: bytes, session: Optional[TKOSession]) -> None:
+        try:
+            msg = decode(data)
+        except ValueError:
+            return
+        mtype = msg.get("type")
+        if mtype == "open-request":
+            self._on_open_request(msg)
+        elif mtype in ("open-accept", "open-refuse"):
+            handler = self._pending.pop(msg.get("ref", ""), None)
+            if handler is not None:
+                handler(msg)
+        elif mtype == "reconfig":
+            self._on_reconfig(msg)
+        elif mtype == "member-update":
+            self._on_member_update(msg)
+
+    def _on_open_request(self, msg: dict) -> None:
+        ref = msg["ref"]
+        initiator = msg["from"]
+        port = msg["service_port"]
+        if port not in self._services:
+            self._send_signalling(
+                initiator,
+                {"type": "open-refuse", "ref": ref, "reason": f"no service on {port}"},
+            )
+            return
+        verdict, final, payload = respond_to_open(msg, self.resources, conn_ref=ref)
+        if verdict == "accept":
+            assert final is not None
+            self._negotiated[(initiator, port)] = final
+            self._reservation_refs[(initiator, port)] = ref
+            if msg.get("group"):
+                # multicast: join the delivery tree before data flows
+                self.host.network.join_group(msg["group"], self.host.name)
+            self._send_signalling(
+                initiator, {"type": "open-accept", "ref": ref, "from": self.host.name, **payload}
+            )
+        else:
+            self._send_signalling(
+                initiator, {"type": "open-refuse", "ref": ref, "from": self.host.name, **payload}
+            )
+
+    def _on_reconfig(self, msg: dict) -> None:
+        key = (msg["from"], msg["data_port"], msg["service_port"])
+        session = self._peer_sessions.get(key)
+        if session is None or session.closed:
+            return
+        try:
+            cfg = self._receiver_view(SessionConfig.from_dict(msg["config"]))
+        except (ValueError, TypeError):
+            return
+        self.synthesizer.reconfigure(session, cfg)
+        self._negotiated[(msg["from"], msg["service_port"])] = cfg
+
+    def _on_member_update(self, msg: dict) -> None:
+        group = msg["group"]
+        if msg["op"] == "join":
+            self.host.network.join_group(group, self.host.name)
+        else:
+            self.host.network.leave_group(group, self.host.name)
+
+    # ------------------------------------------------------------------
+    # initiator side: the MANTTS-API
+    # ------------------------------------------------------------------
+    def open(
+        self,
+        acd: ACD,
+        on_deliver: Optional[Callable[[bytes, dict], None]] = None,
+        on_connected: Optional[Callable[["AdaptiveConnection"], None]] = None,
+        on_closed: Optional[Callable[[], None]] = None,
+        on_notify: Optional[Callable[[str, NetworkState], None]] = None,
+        on_failed: Optional[Callable[[str], None]] = None,
+        binding: str = "dynamic",
+        default_policies: bool = False,
+        renegotiate: bool = False,
+    ) -> "AdaptiveConnection":
+        """Initiate an adaptive connection described by ``acd``.
+
+        Returns the handle immediately; establishment is asynchronous
+        (``on_connected`` / ``on_failed`` report the outcome).
+
+        With ``default_policies=True`` and an ACD that carries no TSA
+        rules of its own, MANTTS installs the policy bundle the selected
+        TSC "embodies" (congestion-driven recovery switching and rate
+        clamping, RTT-driven FEC for media) — see
+        :func:`repro.mantts.policies.default_policies_for`.
+        """
+        conn = AdaptiveConnection(
+            self,
+            acd,
+            on_deliver=on_deliver,
+            on_connected=on_connected,
+            on_closed=on_closed,
+            on_notify=on_notify,
+            on_failed=on_failed,
+            binding=binding,
+            default_policies=default_policies,
+            renegotiate=renegotiate,
+        )
+        self.connections[conn.ref] = conn
+        conn.begin()
+        return conn
+
+
+class AdaptiveConnection:
+    """Application handle for one adaptive transport association."""
+
+    def __init__(
+        self,
+        mantts: MANTTS,
+        acd: ACD,
+        on_deliver=None,
+        on_connected=None,
+        on_closed=None,
+        on_notify=None,
+        on_failed=None,
+        binding: str = "dynamic",
+        default_policies: bool = False,
+        renegotiate: bool = False,
+    ) -> None:
+        self.mantts = mantts
+        self.acd = acd
+        self.host = mantts.host
+        self.ref = f"{self.host.name}-{next(_conn_refs)}"
+        self.on_deliver = on_deliver
+        self.on_connected = on_connected
+        self.on_closed = on_closed
+        self.on_notify = on_notify
+        self.on_failed = on_failed
+        self.binding = binding
+        self.default_policies = default_policies
+        #: §4.1.1: on refusal, "allow the application to re-negotiate at a
+        #: lower quality of service" — one retry at the responder's offer
+        self.renegotiate = renegotiate
+        self._renegotiated = False
+
+        self.tsc: Optional[TSC] = None
+        self.scs: Optional[SCS] = None
+        self.session: Optional[TKOSession] = None
+        self.monitor: Optional[NetworkMonitor] = None
+        self.policies = PolicyEngine(self)
+        self.group: Optional[str] = None
+        self.members: List[str] = []
+        self.reconfig_log: List[Tuple[float, str]] = []
+        self._replies: Dict[str, dict] = {}
+        self._failed = False
+        self._established = False
+        #: messages accepted while negotiation is still in flight; flushed
+        #: into the session the moment Stage III instantiates it
+        self._pending_sends: List[bytes] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def sim(self):
+        return self.host.sim
+
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    @property
+    def cfg(self) -> SessionConfig:
+        if self.session is not None:
+            return self.session.cfg
+        assert self.scs is not None
+        return self.scs.config
+
+    # ------------------------------------------------------------------
+    # establishment (Figure 2 stages + Figure 3 negotiation)
+    # ------------------------------------------------------------------
+    def begin(self) -> None:
+        acd = self.acd
+        primary = acd.participants[0]
+        self.monitor = NetworkMonitor(
+            self.sim,
+            self.host.network,
+            self.host.name,
+            primary,
+            interval=self.mantts.monitor_interval,
+        )
+        state = self.monitor.snapshot()
+        if not state.reachable:
+            self._fail(f"no route to {primary}")
+            return
+        self.tsc = select_tsc(acd)                      # Stage I
+        self.scs = specify_scs(acd, state, tsc=self.tsc, binding=self.binding)  # Stage II
+        self.members = list(acd.participants)
+        if acd.is_multicast:
+            self.group = f"mc-{self.ref}"
+        self.policies.add_rules(acd.tsa)
+        if self.default_policies and not acd.tsa:
+            from repro.mantts.policies import default_policies_for
+
+            self.policies.add_rules(default_policies_for(self.tsc, self.scs.config))
+        if self.scs.config.connection == "implicit" and not acd.is_multicast:
+            # implicit negotiation: configuration rides the first DATA PDU
+            self._instantiate(self.scs.config)
+        else:
+            self._negotiate_explicit()
+
+    def _negotiate_explicit(self, throughput_bps: Optional[float] = None) -> None:
+        assert self.scs is not None
+        acd = self.acd
+        requested = throughput_bps or acd.quantitative.avg_throughput_bps
+        outstanding = set(self.members)
+        results: Dict[str, dict] = {}
+        timeout = self.sim.schedule(
+            NEGOTIATION_TIMEOUT, self._negotiation_timeout, outstanding
+        )
+
+        def reply_handler(member: str):
+            def on_reply(msg: dict) -> None:
+                if self._failed or self._established:
+                    return
+                results[member] = msg
+                outstanding.discard(member)
+                if msg["type"] == "open-refuse":
+                    self.sim.cancel(timeout)
+                    offer = float(msg.get("offer_bps", 0.0))
+                    if (
+                        self.renegotiate
+                        and not self._renegotiated
+                        and not self.group
+                        and offer > 0.0
+                    ):
+                        # retry once at whatever the responder can admit
+                        self._renegotiated = True
+                        self.scs.note(
+                            f"renegotiating down: {member} offered {offer:.0f} bps"
+                        )
+                        self._clamp_scs_to(offer)
+                        self._negotiate_explicit(throughput_bps=offer)
+                        return
+                    self._fail(f"{member} refused: {msg.get('reason', '?')}")
+                    return
+                if not outstanding:
+                    self.sim.cancel(timeout)
+                    self._complete_negotiation(results)
+            return on_reply
+
+        attempt = "retry" if self._renegotiated else "first"
+        for member in self.members:
+            ref = f"{self.ref}:{member}:{attempt}"
+            self.mantts._pending[ref] = reply_handler(member)
+            self.mantts._send_signalling(
+                member,
+                {
+                    "type": "open-request",
+                    "ref": ref,
+                    "from": self.host.name,
+                    "service_port": acd.service_port,
+                    "config": self.scs.config.to_dict(),
+                    "throughput_bps": requested,
+                    "min_throughput_bps": requested * (0.5 if self._renegotiated else 0.25),
+                    "group": self.group,
+                },
+            )
+
+    def _clamp_scs_to(self, bps: float) -> None:
+        """Scale the proposed configuration down to an offered bit rate."""
+        assert self.scs is not None
+        cfg = self.scs.config
+        overrides = {}
+        if cfg.rate_pps is not None:
+            seg = cfg.segment_size or 1024
+            overrides["rate_pps"] = max(1.0, bps / (8 * seg))
+        if overrides:
+            self.scs.config = cfg.with_(**overrides)
+
+    def _negotiation_timeout(self, outstanding: set) -> None:
+        if not self._established and not self._failed:
+            self._fail(f"negotiation timed out waiting for {sorted(outstanding)}")
+
+    def _complete_negotiation(self, results: Dict[str, dict]) -> None:
+        """Merge counters: the session runs at the *weakest* accepted QoS."""
+        assert self.scs is not None
+        final = self.scs.config
+        for msg in results.values():
+            counter = SessionConfig.from_dict(msg["config"])
+            merged = {}
+            if counter.window < final.window:
+                merged["window"] = counter.window
+            if counter.rate_pps is not None and (
+                final.rate_pps is None or counter.rate_pps < final.rate_pps
+            ):
+                merged["rate_pps"] = counter.rate_pps
+            if merged:
+                final = final.with_(**merged)
+                self.scs.note(f"countered by {msg.get('from', '?')}: {merged}")
+        self._instantiate(final)
+
+    def _instantiate(self, cfg: SessionConfig) -> None:
+        """Stage III: hand the SCS to the TKO synthesizer."""
+        assert self.scs is not None
+        self.scs.config = cfg
+        acd = self.acd
+        self.session = self.mantts.protocol.create_session(
+            cfg,
+            self.group if self.group else acd.participants[0],
+            acd.service_port,
+            group=self.group,
+            members=self.members if self.group else None,
+            on_deliver=self._deliver,
+            on_connected=self._connected,
+            on_closed=self._closed,
+            on_open_failed=self._fail,
+        )
+        self.session.connect()
+        for data in self._pending_sends:
+            self.session.send(data)
+        self._pending_sends.clear()
+        if self.monitor is not None:
+            self.monitor.on_sample.append(self._on_network_sample)
+            self.monitor.start()
+        unites = self.mantts.unites
+        if unites is not None and acd.tmc is not None:
+            unites.instrument(self, acd.tmc)
+
+    # ------------------------------------------------------------------
+    # data path passthrough
+    # ------------------------------------------------------------------
+    def send(self, data: bytes) -> int:
+        """Queue an application message.
+
+        During explicit negotiation the session does not exist yet; data
+        accepted in that window is buffered and released in order once
+        Stage III instantiates the session (failed negotiation discards it
+        with the failure callback).  Returns 0 for buffered messages.
+        """
+        if self._failed:
+            raise RuntimeError("connection failed to establish")
+        if self.session is None:
+            self._pending_sends.append(bytes(data))
+            return 0
+        return self.session.send(data)
+
+    def close(self) -> None:
+        if self.monitor is not None:
+            self.monitor.stop()
+        for member in self.members if self.group else []:
+            self.mantts._send_signalling(
+                member, {"type": "member-update", "group": self.group, "op": "leave"}
+            )
+        if self.session is not None:
+            self.session.close()
+
+    # ------------------------------------------------------------------
+    # adaptation (the §4.1.2 reconfiguration actions)
+    # ------------------------------------------------------------------
+    def apply_overrides(self, overrides: dict, reason: str = "") -> bool:
+        """Adjust-the-SCS: retune or segue the live session, both ends."""
+        if self.session is None or self.session.closed:
+            return False
+        if all(getattr(self.cfg, k, None) == v for k, v in overrides.items()):
+            return False  # no-op: the requested state is already in effect
+        try:
+            new_cfg = self.cfg.with_(**overrides)
+        except (ValueError, TypeError) as exc:
+            self.reconfig_log.append((self.now, f"rejected ({exc})"))
+            return False
+        self.mantts.synthesizer.reconfigure(self.session, new_cfg)
+        self.reconfig_log.append((self.now, reason or str(sorted(overrides))))
+        self._signal_reconfig(new_cfg)
+        return True
+
+    def change_tsc(self, tsc_name: str, state: NetworkState) -> bool:
+        """Adjust-the-TSC: rederive the whole SCS under a new service class."""
+        try:
+            tsc = TSC(tsc_name)
+        except ValueError:
+            return False
+        new_scs = specify_scs(self.acd, state, tsc=tsc, binding=self.binding)
+        self.tsc = tsc
+        self.scs = new_scs
+        if self.session is None:
+            return False
+        self.mantts.synthesizer.reconfigure(self.session, new_scs.config)
+        self.reconfig_log.append((self.now, f"tsc->{tsc_name}"))
+        self._signal_reconfig(new_scs.config)
+        return True
+
+    def notify_app(self, tag: str, state: NetworkState) -> None:
+        """Application-specific action: the §4.1.2 call-back."""
+        if self.on_notify is not None:
+            self.on_notify(tag, state)
+
+    def _signal_reconfig(self, cfg: SessionConfig) -> None:
+        assert self.session is not None
+        for member in (self.members if self.group else [self.session.remote_host]):
+            self.mantts._send_signalling(
+                member,
+                {
+                    "type": "reconfig",
+                    "from": self.host.name,
+                    "service_port": self.acd.service_port,
+                    "data_port": self.session.local_port,
+                    "config": cfg.to_dict(),
+                },
+            )
+
+    # ------------------------------------------------------------------
+    # multicast membership dynamics
+    # ------------------------------------------------------------------
+    def add_member(self, member: str) -> None:
+        """A participant joins the conference (§2.1(B) dynamics)."""
+        if not self.group:
+            raise RuntimeError("not a multicast connection")
+        if member in self.members:
+            return
+        self.members.append(member)
+        self.mantts._negotiated  # responder will learn config from signalling
+        ref = f"{self.ref}:{member}:late"
+        self.mantts._pending[ref] = lambda msg: None
+        self.mantts._send_signalling(
+            member,
+            {
+                "type": "open-request",
+                "ref": ref,
+                "from": self.host.name,
+                "service_port": self.acd.service_port,
+                "config": self.cfg.to_dict(),
+                "throughput_bps": self.acd.quantitative.avg_throughput_bps,
+                "group": self.group,
+            },
+        )
+        if self.session is not None:
+            self.session.context.delivery.membership_changed(list(self.members))
+
+    def remove_member(self, member: str) -> None:
+        """A participant leaves; pending ACK aggregation is re-evaluated."""
+        if not self.group or member not in self.members:
+            return
+        self.members.remove(member)
+        self.mantts._send_signalling(
+            member, {"type": "member-update", "group": self.group, "op": "leave"}
+        )
+        if self.session is not None:
+            self.session.context.delivery.membership_changed(list(self.members))
+
+    # ------------------------------------------------------------------
+    # internal callbacks
+    # ------------------------------------------------------------------
+    def _on_network_sample(self, state: NetworkState) -> None:
+        self.policies.evaluate(state)
+
+    def _deliver(self, data: bytes, meta: dict) -> None:
+        if self.on_deliver is not None:
+            self.on_deliver(data, meta)
+
+    def _connected(self) -> None:
+        self._established = True
+        if self.on_connected is not None:
+            self.on_connected(self)
+
+    def _closed(self) -> None:
+        if self.monitor is not None:
+            self.monitor.stop()
+        self.mantts.connections.pop(self.ref, None)
+        if self.on_closed is not None:
+            self.on_closed()
+
+    def _fail(self, reason: str) -> None:
+        if self._failed:
+            return
+        self._failed = True
+        if self.monitor is not None:
+            self.monitor.stop()
+        self.mantts.connections.pop(self.ref, None)
+        if self.on_failed is not None:
+            self.on_failed(reason)

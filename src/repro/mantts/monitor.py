@@ -1,0 +1,135 @@
+"""MANTTS Network Monitor Interface (MANTTS-NMI).
+
+"A network state descriptor maintained by the MANTTS-NMI samples, records,
+and estimates the current state of dynamic network characteristics"
+(§4.1.1).  The monitor watches one path, periodically sampling:
+
+* static-per-route facts — path MTU, bottleneck bandwidth, compound BER,
+  base propagation RTT (these change when routes change, which is exactly
+  the failover signal of §4.1.2);
+* dynamic state — queue occupancy along the path (the congestion signal)
+  and measured loss at the path's links, both EWMA-smoothed.
+
+The intermediate-node visibility models the paper's negotiation "with
+intermediate switching nodes": ADAPTIVE switch nodes expose their queue
+state to MANTTS entities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.netsim.network import Network
+from repro.sim.kernel import Simulator
+from repro.sim.timers import Timer
+
+
+@dataclass(frozen=True)
+class NetworkState:
+    """One snapshot of a path's characteristics."""
+
+    src: str
+    dst: str
+    reachable: bool
+    rtt: float                 #: estimated round-trip time, seconds
+    base_rtt: float            #: unloaded (propagation + serialization) RTT
+    bottleneck_bps: float
+    mtu: int
+    ber: float
+    congestion: float          #: mean queue fill fraction along path [0,1]
+    loss_rate: float           #: EWMA of per-link overflow drop fraction
+    hops: int
+
+    @property
+    def bandwidth_delay_pdus(self) -> int:
+        """Bandwidth×delay product in nominal 1 kB PDUs — window sizing."""
+        if self.rtt <= 0 or self.bottleneck_bps <= 0:
+            return 1
+        return max(1, int(self.bottleneck_bps * self.rtt / (8 * 1024)))
+
+
+class NetworkMonitor:
+    """Periodic sampler producing :class:`NetworkState` for one path."""
+
+    #: EWMA smoothing factor for congestion/loss estimates
+    ALPHA = 0.3
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        src: str,
+        dst: str,
+        interval: float = 0.1,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("monitor interval must be positive")
+        self.sim = sim
+        self.network = network
+        self.src = src
+        self.dst = dst
+        self.interval = interval
+        self._congestion = 0.0
+        self._loss = 0.0
+        self._queue_delay = 0.0
+        self._prev_counts: Optional[tuple] = None
+        self.samples = 0
+        self.on_sample: List[Callable[[NetworkState], None]] = []
+        self._timer = Timer(sim, self._tick, interval=interval, periodic=True)
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self._timer.schedule(self.interval)
+
+    def stop(self) -> None:
+        self._timer.cancel()
+
+    # ------------------------------------------------------------------
+    def _tick(self) -> None:
+        self.samples += 1
+        state = self.snapshot()
+        for cb in self.on_sample:
+            cb(state)
+
+    def snapshot(self) -> NetworkState:
+        """Sample the path now and fold into the smoothed estimates."""
+        net = self.network
+        links = net.path_links(self.src, self.dst)
+        if not links:
+            return NetworkState(
+                self.src, self.dst, False, float("inf"), float("inf"),
+                0.0, 0, 1.0, 1.0, 1.0, 0,
+            )
+        # congestion: instantaneous queue occupancy, smoothed
+        inst_cong = net.path_queue_occupancy(self.src, self.dst)
+        self._congestion += self.ALPHA * (inst_cong - self._congestion)
+        # queueing delay contribution: queued bytes / link rate, summed
+        qdelay = sum(
+            l.queue_len * 1000 * 8.0 / l.bandwidth_bps for l in links
+        )
+        self._queue_delay += self.ALPHA * (qdelay - self._queue_delay)
+        # loss: delta of overflow drops vs delta of offered frames
+        drops = sum(l.stats.dropped_overflow for l in links)
+        offered = sum(l.stats.enqueued + l.stats.dropped_overflow for l in links)
+        if self._prev_counts is not None:
+            d_drop = drops - self._prev_counts[0]
+            d_off = offered - self._prev_counts[1]
+            inst_loss = d_drop / d_off if d_off > 0 else 0.0
+            self._loss += self.ALPHA * (inst_loss - self._loss)
+        self._prev_counts = (drops, offered)
+
+        base_rtt = self.network.nominal_rtt(self.src, self.dst) or float("inf")
+        return NetworkState(
+            src=self.src,
+            dst=self.dst,
+            reachable=True,
+            rtt=base_rtt + 2 * self._queue_delay,
+            base_rtt=base_rtt,
+            bottleneck_bps=net.path_bottleneck_bps(self.src, self.dst) or 0.0,
+            mtu=net.path_mtu(self.src, self.dst) or 0,
+            ber=net.path_ber(self.src, self.dst),
+            congestion=self._congestion,
+            loss_rate=max(0.0, self._loss),
+            hops=len(links),
+        )

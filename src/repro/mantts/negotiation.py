@@ -1,0 +1,119 @@
+"""Out-of-band QoS negotiation between MANTTS entities (§4.1.1, Figure 3).
+
+Explicit negotiation runs over a dedicated, reliable, high-priority
+signalling channel — itself an ADAPTIVE session with a small fixed
+configuration (the control path of Figure 3, kept off the data fast
+path).  Messages are JSON-encoded dictionaries:
+
+``open-request``   initiator → responder: proposed SessionConfig + QoS
+``open-accept``    responder → initiator: final (possibly countered) config
+``open-refuse``    responder → initiator: admission failed, no counter
+``reconfig``       either direction: revised config for a live session
+``reconfig-ack``   confirmation
+``member-update``  multicast membership change announcement
+
+The responder's counter logic implements "negotiation need not determine
+an optimal configuration, as long as it produces one that meets the
+application's requirements": it clamps the proposed window and pacing
+rate to what its resource manager can admit, refusing only when even the
+floor cannot be met.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional, Tuple
+
+from repro.mantts.resources import ResourceManager
+from repro.tko.config import SessionConfig
+
+#: well-known MANTTS signalling port on every ADAPTIVE host
+MANTTS_PORT = 500
+
+#: the signalling channel's own fixed configuration: reliable, ordered,
+#: tiny window, high priority, implicit setup (zero-RTT for the channel
+#: itself — negotiation delay is the *payload* exchange, not the channel)
+SIGNALLING_CONFIG = SessionConfig(
+    connection="implicit",
+    transmission="sliding-window",
+    detection="crc32",
+    checksum_placement="trailer",
+    ack="cumulative",
+    recovery="gbn",
+    sequencing="ordered-dedup",
+    delivery="unicast",
+    jitter="none",
+    buffer="variable",
+    window=4,
+    segment_size=1024,
+    rto_initial=0.25,
+    priority=True,
+    compact_headers=True,
+    binding="reconfigurable",
+)
+
+
+def encode(msg: dict) -> bytes:
+    """Serialize one signalling message."""
+    return json.dumps(msg, separators=(",", ":")).encode()
+
+
+def decode(data: bytes) -> dict:
+    """Parse one signalling message (raises ValueError on garbage)."""
+    try:
+        msg = json.loads(data.decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ValueError(f"malformed signalling message: {exc}") from exc
+    if not isinstance(msg, dict) or "type" not in msg:
+        raise ValueError("signalling message must be an object with a type")
+    return msg
+
+
+# ----------------------------------------------------------------------
+def respond_to_open(
+    msg: dict,
+    resources: ResourceManager,
+    conn_ref: str,
+) -> Tuple[str, Optional[SessionConfig], dict]:
+    """Responder-side admission + counter-proposal.
+
+    Returns ``(verdict, final_config, reply_payload)`` where verdict is
+    ``accept`` or ``refuse``.  On accept a resource reservation has been
+    taken under ``conn_ref``.
+    """
+    proposal = SessionConfig.from_dict(msg["config"])
+    requested_bps = float(msg.get("throughput_bps", 64000.0))
+    seg = proposal.segment_size or 1024
+
+    offer = resources.best_offer_bps()
+    if offer <= 0:
+        return "refuse", None, {"reason": "no admission capacity"}
+
+    granted_bps = min(requested_bps, offer)
+    floor = float(msg.get("min_throughput_bps", 0.0))
+    if granted_bps < floor:
+        return "refuse", None, {
+            "reason": f"can offer {granted_bps:.0f} bps < floor {floor:.0f}",
+            "offer_bps": granted_bps,
+        }
+
+    # counter: clamp pacing rate and window to the granted share
+    overrides = {}
+    if proposal.rate_pps is not None:
+        granted_pps = max(1.0, granted_bps / (8 * seg))
+        if granted_pps < proposal.rate_pps:
+            overrides["rate_pps"] = granted_pps
+    max_window = max(2, int(resources.buffer_budget * 0.25 / seg))
+    if proposal.window > max_window:
+        overrides["window"] = max_window
+    final = proposal.with_(**overrides) if overrides else proposal
+
+    buffer_bytes = final.window * seg
+    if resources.admit(conn_ref, granted_bps, buffer_bytes) is None:
+        return "refuse", None, {"reason": "admission race: capacity consumed"}
+    reply = {
+        "config": final.to_dict(),
+        "granted_bps": granted_bps,
+        "countered": bool(overrides),
+    }
+    return "accept", final, reply

@@ -1,0 +1,105 @@
+"""Quality-of-service parameter sets (Table 2's quantitative/qualitative).
+
+The paper splits QoS into *quantitative* performance criteria (throughput,
+latency, jitter, error-rate probabilities, duration) and *qualitative*
+functional requests (sequencing, duplicate sensitivity, connection
+management style, transmission granularity).  Table 1 expresses several of
+these as ordinal sensitivities (low/moderate/high), so a small ordinal type
+is provided for profile definitions; hard numeric bounds live in
+``QuantitativeQoS``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class Sensitivity(enum.IntEnum):
+    """Ordinal sensitivity scale used by Table 1's columns."""
+
+    NONE = 0
+    LOW = 1
+    MODERATE = 2
+    HIGH = 3
+    VERY_HIGH = 4
+
+    @classmethod
+    def parse(cls, text: str) -> "Sensitivity":
+        key = text.strip().upper().replace("-", "_").replace(" ", "_")
+        aliases = {
+            "MOD": "MODERATE",
+            "VERY_LOW": "NONE",
+            "VAR": "MODERATE",  # "variable" rows default to moderate
+            "N_D": "NONE",
+            "N/D": "NONE",
+        }
+        key = aliases.get(key, key)
+        return cls[key]
+
+
+@dataclass(frozen=True)
+class QuantitativeQoS:
+    """Numeric performance criteria requested by the application."""
+
+    #: sustained application-level throughput required, bits/second
+    avg_throughput_bps: float = 64_000.0
+    #: peak throughput during bursts, bits/second
+    peak_throughput_bps: Optional[float] = None
+    #: one-way delivery latency bound, seconds (None = best effort)
+    max_latency: Optional[float] = None
+    #: delivery-time standard-deviation bound, seconds
+    max_jitter: Optional[float] = None
+    #: tolerable fraction of messages lost (0.0 = full reliability)
+    loss_tolerance: float = 0.0
+    #: expected session duration, seconds (drives implicit-vs-explicit
+    #: negotiation and whether adaptive reconfiguration is worthwhile)
+    duration: float = 60.0
+    #: typical application message size, bytes
+    message_size: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.avg_throughput_bps <= 0:
+            raise ValueError("average throughput must be positive")
+        if not (0.0 <= self.loss_tolerance <= 1.0):
+            raise ValueError("loss tolerance is a fraction in [0,1]")
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+        if self.message_size <= 0:
+            raise ValueError("message size must be positive")
+
+    @property
+    def peak_bps(self) -> float:
+        return self.peak_throughput_bps or self.avg_throughput_bps
+
+    @property
+    def burst_factor(self) -> float:
+        """Peak/average ratio — Table 1's "Burst Factor" column."""
+        return self.peak_bps / self.avg_throughput_bps
+
+
+@dataclass(frozen=True)
+class QualitativeQoS:
+    """Functional behaviour requested by the application."""
+
+    #: in-order delivery required (Table 1 "Order Sens")
+    ordered: bool = True
+    #: duplicates must be suppressed (Table 2 "duplicate sensitivity")
+    duplicate_sensitive: bool = True
+    #: isochronous pacing: deliver at a steady clock (voice/video)
+    isochronous: bool = False
+    #: hard real-time delivery (manufacturing control)
+    real_time: bool = False
+    #: prioritized network delivery requested (Table 1 "Priority Delivery")
+    priority: bool = False
+    #: multicast association (Table 1 "Multicast")
+    multicast: bool = False
+    #: "explicit"/"implicit"/None — connection-management preference
+    connection_preference: Optional[str] = None
+    #: request-response interaction (OLTP/RPC): setup latency dominates
+    transactional: bool = False
+
+    def __post_init__(self) -> None:
+        if self.connection_preference not in (None, "explicit", "implicit"):
+            raise ValueError("connection preference is explicit/implicit/None")

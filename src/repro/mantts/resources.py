@@ -1,0 +1,101 @@
+"""MANTTS resource management and admission control.
+
+MANTTS "manages various resources (message buffers, control blocks for
+open sessions, and available communication ports)" (§4.1) and the
+termination phase "releases resources and recalculates transport system
+load information" (§4.1.3).  The resource manager tracks per-host
+bandwidth reservations and buffer commitments; explicit negotiation asks
+it whether a requested QoS can be admitted, and failed admission produces
+the paper's negotiate-down-or-refuse outcome.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.host.nic import Host
+
+
+@dataclass
+class Reservation:
+    """One admitted session's resource commitment."""
+
+    conn_ref: str
+    throughput_bps: float
+    buffer_bytes: int
+
+
+class ResourceManager:
+    """Per-host admission control over bandwidth and buffer budgets."""
+
+    def __init__(
+        self,
+        host: Host,
+        admission_bps: float = 100e6,
+        buffer_budget: Optional[int] = None,
+        overbooking: float = 1.0,
+    ) -> None:
+        if admission_bps <= 0:
+            raise ValueError("admission bandwidth must be positive")
+        if overbooking < 1.0:
+            raise ValueError("overbooking factor cannot be below 1.0")
+        self.host = host
+        self.admission_bps = admission_bps
+        self.buffer_budget = buffer_budget if buffer_budget is not None else host.buffers.capacity
+        self.overbooking = overbooking
+        self._reservations: Dict[str, Reservation] = {}
+        self.refusals = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def reserved_bps(self) -> float:
+        return sum(r.throughput_bps for r in self._reservations.values())
+
+    @property
+    def reserved_buffer(self) -> int:
+        return sum(r.buffer_bytes for r in self._reservations.values())
+
+    def available_bps(self) -> float:
+        return self.admission_bps * self.overbooking - self.reserved_bps
+
+    # ------------------------------------------------------------------
+    def admit(
+        self,
+        conn_ref: str,
+        throughput_bps: float,
+        buffer_bytes: int,
+    ) -> Optional[Reservation]:
+        """Try to reserve; returns None (refusal) when over budget.
+
+        A refusal is the signal for the negotiator to counter with a lower
+        QoS rather than hard-fail the application ("allow the application
+        to re-negotiate at a lower quality of service", §4.1.1).
+        """
+        if conn_ref in self._reservations:
+            raise ValueError(f"connection {conn_ref!r} already has a reservation")
+        if throughput_bps > self.available_bps() or (
+            self.reserved_buffer + buffer_bytes > self.buffer_budget
+        ):
+            self.refusals += 1
+            return None
+        r = Reservation(conn_ref, throughput_bps, buffer_bytes)
+        self._reservations[conn_ref] = r
+        return r
+
+    def best_offer_bps(self) -> float:
+        """The throughput this host could still admit (counter-proposal)."""
+        return max(0.0, self.available_bps())
+
+    def release(self, conn_ref: str) -> None:
+        """Termination-phase resource release (idempotent)."""
+        self._reservations.pop(conn_ref, None)
+
+    def update(self, conn_ref: str, throughput_bps: float) -> None:
+        """Adjust a live reservation after renegotiation."""
+        r = self._reservations.get(conn_ref)
+        if r is not None:
+            r.throughput_bps = throughput_bps
+
+    def __len__(self) -> int:
+        return len(self._reservations)

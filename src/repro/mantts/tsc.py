@@ -1,0 +1,189 @@
+"""Transport Service Classes — Table 1 encoded (Stage I of Figure 2).
+
+A TSC "embodies a set of related policy decisions that satisfy the
+application's QoS requests".  Four classes, per the paper's taxonomy:
+
+* **interactive isochronous** — voice conversation, tele-conferencing;
+* **distributional isochronous** — full-motion video (compressed & raw);
+* **real-time non-isochronous** — manufacturing control;
+* **non-real-time non-isochronous** — file transfer, TELNET, OLTP,
+  remote file service.
+
+``APP_PROFILES`` reproduces Table 1's nine rows verbatim (ordinal columns
+as :class:`~repro.mantts.qos.Sensitivity`); each row can also be rendered
+as a concrete (quantitative, qualitative) QoS pair for the workload
+generators and the Table 1 regeneration bench.
+
+``select_tsc`` is Stage I: ACD → TSC.  Applications may short-circuit it
+by naming a TSC explicitly (§4.1.1).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.mantts.acd import ACD
+from repro.mantts.qos import QualitativeQoS, QuantitativeQoS, Sensitivity
+
+S = Sensitivity
+
+
+class TSC(enum.Enum):
+    """The paper's four transport service classes."""
+
+    INTERACTIVE_ISOCHRONOUS = "interactive-isochronous"
+    DISTRIBUTIONAL_ISOCHRONOUS = "distributional-isochronous"
+    REALTIME_NONISOCHRONOUS = "real-time-non-isochronous"
+    NONREALTIME_NONISOCHRONOUS = "non-real-time-non-isochronous"
+
+
+#: ordinal throughput ratings → representative bits/second
+THROUGHPUT_BPS: Dict[Sensitivity, float] = {
+    S.NONE: 9_600.0,        # "very-low"
+    S.LOW: 64_000.0,
+    S.MODERATE: 1_500_000.0,
+    S.HIGH: 10_000_000.0,
+    S.VERY_HIGH: 100_000_000.0,
+}
+
+
+@dataclass(frozen=True)
+class AppProfile:
+    """One row of Table 1."""
+
+    app: str
+    tsc: TSC
+    avg_throughput: Sensitivity
+    burst_factor: Sensitivity
+    delay_sensitivity: Sensitivity
+    jitter_sensitivity: Sensitivity
+    order_sensitivity: Sensitivity
+    loss_tolerance: Sensitivity
+    priority_delivery: bool
+    multicast: bool
+    #: request-response interaction pattern (OLTP, RPC file service)
+    transactional: bool = False
+    #: typical application message size, bytes (drives segment sizing and
+    #: the pacing-rate computation in Stage II)
+    message_bytes: int = 1024
+
+    def quantitative(self) -> QuantitativeQoS:
+        """Concrete numeric QoS representative of this row."""
+        avg = THROUGHPUT_BPS[self.avg_throughput]
+        burst = {S.NONE: 1.0, S.LOW: 1.2, S.MODERATE: 2.0, S.HIGH: 5.0, S.VERY_HIGH: 8.0}[
+            self.burst_factor
+        ]
+        latency = {S.NONE: None, S.LOW: None, S.MODERATE: 0.5, S.HIGH: 0.15, S.VERY_HIGH: 0.05}[
+            self.delay_sensitivity
+        ]
+        jitter = {S.NONE: None, S.LOW: None, S.MODERATE: 0.05, S.HIGH: 0.02, S.VERY_HIGH: 0.01}[
+            self.jitter_sensitivity
+        ]
+        loss = {S.NONE: 0.0, S.LOW: 0.001, S.MODERATE: 0.01, S.HIGH: 0.05, S.VERY_HIGH: 0.1}[
+            self.loss_tolerance
+        ]
+        return QuantitativeQoS(
+            avg_throughput_bps=avg,
+            peak_throughput_bps=avg * burst,
+            max_latency=latency,
+            max_jitter=jitter,
+            loss_tolerance=loss,
+            message_size=self.message_bytes,
+        )
+
+    def qualitative(self) -> QualitativeQoS:
+        iso = self.tsc in (TSC.INTERACTIVE_ISOCHRONOUS, TSC.DISTRIBUTIONAL_ISOCHRONOUS)
+        return QualitativeQoS(
+            ordered=self.order_sensitivity >= S.MODERATE,
+            duplicate_sensitive=self.order_sensitivity >= S.MODERATE,
+            isochronous=iso,
+            real_time=self.tsc is TSC.REALTIME_NONISOCHRONOUS,
+            priority=self.priority_delivery,
+            multicast=self.multicast,
+            transactional=self.transactional,
+        )
+
+
+#: Table 1, row for row (ratings transcribed from the paper)
+APP_PROFILES: Dict[str, AppProfile] = {
+    p.app: p
+    for p in (
+        AppProfile(
+            "voice-conversation", TSC.INTERACTIVE_ISOCHRONOUS,
+            S.LOW, S.LOW, S.HIGH, S.HIGH, S.LOW, S.HIGH,
+            priority_delivery=False, multicast=False, message_bytes=160,
+        ),
+        AppProfile(
+            "tele-conferencing", TSC.INTERACTIVE_ISOCHRONOUS,
+            S.MODERATE, S.MODERATE, S.HIGH, S.HIGH, S.LOW, S.MODERATE,
+            priority_delivery=True, multicast=True, message_bytes=512,
+        ),
+        AppProfile(
+            "full-motion-video-compressed", TSC.DISTRIBUTIONAL_ISOCHRONOUS,
+            S.HIGH, S.HIGH, S.HIGH, S.MODERATE, S.LOW, S.MODERATE,
+            priority_delivery=True, multicast=True, message_bytes=6000,
+        ),
+        AppProfile(
+            "full-motion-video-raw", TSC.DISTRIBUTIONAL_ISOCHRONOUS,
+            S.VERY_HIGH, S.LOW, S.HIGH, S.HIGH, S.LOW, S.MODERATE,
+            priority_delivery=True, multicast=True, message_bytes=16000,
+        ),
+        AppProfile(
+            "manufacturing-control", TSC.REALTIME_NONISOCHRONOUS,
+            S.MODERATE, S.MODERATE, S.HIGH, S.MODERATE, S.HIGH, S.LOW,
+            priority_delivery=True, multicast=True, message_bytes=256,
+        ),
+        AppProfile(
+            "file-transfer", TSC.NONREALTIME_NONISOCHRONOUS,
+            S.MODERATE, S.LOW, S.LOW, S.NONE, S.HIGH, S.NONE,
+            priority_delivery=False, multicast=False, message_bytes=8192,
+        ),
+        AppProfile(
+            "telnet", TSC.NONREALTIME_NONISOCHRONOUS,
+            S.NONE, S.HIGH, S.HIGH, S.LOW, S.HIGH, S.NONE,
+            priority_delivery=True, multicast=False, message_bytes=8,
+        ),
+        AppProfile(
+            "oltp", TSC.NONREALTIME_NONISOCHRONOUS,
+            S.LOW, S.HIGH, S.HIGH, S.LOW, S.MODERATE, S.NONE,
+            priority_delivery=False, multicast=False, transactional=True, message_bytes=128,
+        ),
+        AppProfile(
+            "remote-file-service", TSC.NONREALTIME_NONISOCHRONOUS,
+            S.LOW, S.HIGH, S.HIGH, S.LOW, S.MODERATE, S.NONE,
+            priority_delivery=False, multicast=True, transactional=True, message_bytes=512,
+        ),
+    )
+}
+
+_TSC_BY_NAME = {t.value: t for t in TSC}
+
+
+def select_tsc(acd: ACD) -> TSC:
+    """Stage I: map an ACD's QoS onto a transport service class.
+
+    An explicitly named TSC wins (it "simplif[ies] the subsequent ...
+    configuration process"); otherwise classification follows the taxonomy
+    axes: isochronous? → interactive vs distributional by throughput;
+    non-isochronous → real-time vs not.
+    """
+    if acd.explicit_tsc is not None:
+        tsc = _TSC_BY_NAME.get(acd.explicit_tsc)
+        if tsc is None:
+            raise ValueError(f"unknown TSC {acd.explicit_tsc!r}")
+        return tsc
+    qual = acd.qualitative
+    quant = acd.quantitative
+    if qual.isochronous:
+        # interactive = conversational, bidirectional, lower rate;
+        # distributional = one-to-many bulk media delivery
+        if quant.avg_throughput_bps >= THROUGHPUT_BPS[S.HIGH] or (
+            qual.multicast and not qual.transactional and quant.avg_throughput_bps > THROUGHPUT_BPS[S.MODERATE]
+        ):
+            return TSC.DISTRIBUTIONAL_ISOCHRONOUS
+        return TSC.INTERACTIVE_ISOCHRONOUS
+    if qual.real_time:
+        return TSC.REALTIME_NONISOCHRONOUS
+    return TSC.NONREALTIME_NONISOCHRONOUS

@@ -1,0 +1,35 @@
+"""Protocol mechanism repository (paper Figure 5).
+
+Each module holds one inheritance hierarchy rooted at an abstract base
+class in :mod:`repro.mechanisms.base`.  Concrete subclasses "specialize
+basic session mechanisms" and are composed by the TKO synthesizer into a
+session's dispatch table; all of them support *segue* — run-time
+replacement with state handoff — which is what makes ADAPTIVE sessions
+reconfigurable without loss of data (§4.2.2, and the MSP comparison in
+§2.3).
+"""
+
+from repro.mechanisms.base import (
+    Acknowledgment,
+    ConnectionManagement,
+    Delivery,
+    ErrorDetection,
+    ErrorRecovery,
+    JitterControl,
+    Mechanism,
+    TransmissionControl,
+)
+from repro.mechanisms.registry import MECHANISM_REGISTRY, build_mechanism
+
+__all__ = [
+    "Mechanism",
+    "ConnectionManagement",
+    "TransmissionControl",
+    "ErrorDetection",
+    "Acknowledgment",
+    "ErrorRecovery",
+    "Delivery",
+    "JitterControl",
+    "MECHANISM_REGISTRY",
+    "build_mechanism",
+]

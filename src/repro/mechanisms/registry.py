@@ -1,0 +1,110 @@
+"""Mechanism registry: name → concrete class, per slot.
+
+The synthesizer's Stage III lookup table — the code realisation of the
+"protocol mechanisms repository" of Figure 1.  ``build_mechanism``
+instantiates a slot's concrete mechanism from a
+:class:`~repro.tko.config.SessionConfig`, passing whatever constructor
+parameters that mechanism family takes from the config.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Type
+
+from repro.mechanisms.acknowledgment import CumulativeAck, DelayedAck, NoAck, SelectiveAck
+from repro.mechanisms.base import Mechanism
+from repro.mechanisms.buffer_mgmt import FixedBuffers, VariableBuffers
+from repro.mechanisms.connection import Explicit2Way, Explicit3Way, ImplicitConnection
+from repro.mechanisms.delivery import MulticastDelivery, UnicastDelivery
+from repro.mechanisms.detection import Crc32, InternetChecksum, NoDetection
+from repro.mechanisms.fec import FecRS, FecXor
+from repro.mechanisms.jitter import NoJitterControl, PlayoutBuffer
+from repro.mechanisms.retransmission import GoBackN, NoRecovery, SelectiveRepeat
+from repro.mechanisms.sequencing import Ordered, OrderedDedup, Unsequenced
+from repro.mechanisms.transmission import (
+    NoTransmissionControl,
+    RateControl,
+    SlidingWindow,
+    StopAndWait,
+    WindowRate,
+)
+
+MECHANISM_REGISTRY: Dict[str, Dict[str, Type[Mechanism]]] = {
+    "connection": {
+        "implicit": ImplicitConnection,
+        "explicit-2way": Explicit2Way,
+        "explicit-3way": Explicit3Way,
+    },
+    "transmission": {
+        "none": NoTransmissionControl,
+        "stop-and-wait": StopAndWait,
+        "sliding-window": SlidingWindow,
+        "rate": RateControl,
+        "window-rate": WindowRate,
+    },
+    "detection": {
+        "none": NoDetection,
+        "checksum": InternetChecksum,
+        "crc32": Crc32,
+    },
+    "ack": {
+        "none": NoAck,
+        "cumulative": CumulativeAck,
+        "delayed": DelayedAck,
+        "selective": SelectiveAck,
+    },
+    "recovery": {
+        "none": NoRecovery,
+        "gbn": GoBackN,
+        "sr": SelectiveRepeat,
+        "fec-xor": FecXor,
+        "fec-rs": FecRS,
+    },
+    "sequencing": {
+        "none": Unsequenced,
+        "ordered": Ordered,
+        "ordered-dedup": OrderedDedup,
+    },
+    "delivery": {
+        "unicast": UnicastDelivery,
+        "multicast": MulticastDelivery,
+    },
+    "jitter": {
+        "none": NoJitterControl,
+        "playout": PlayoutBuffer,
+    },
+    "buffer": {
+        "fixed": FixedBuffers,
+        "variable": VariableBuffers,
+    },
+}
+
+
+def build_mechanism(
+    slot: str,
+    cfg,
+    group: Optional[str] = None,
+    members: Optional[list] = None,
+) -> Mechanism:
+    """Instantiate the concrete mechanism ``cfg`` selects for ``slot``."""
+    table = MECHANISM_REGISTRY.get(slot)
+    if table is None:
+        raise KeyError(f"unknown mechanism slot {slot!r}")
+    choice = getattr(cfg, slot if slot != "detection" else "detection")
+    cls = table.get(choice)
+    if cls is None:
+        raise KeyError(f"no {slot} mechanism named {choice!r}")
+    # family-specific constructor parameters
+    if slot == "detection" and cls is not NoDetection:
+        return cls(placement=cfg.checksum_placement)  # type: ignore[call-arg]
+    if slot == "transmission" and cls in (RateControl, WindowRate):
+        return cls(rate_pps=cfg.rate_pps)  # type: ignore[call-arg]
+    if slot == "recovery" and cls in (FecXor, FecRS):
+        return cls(k=cfg.fec_k, r=cfg.fec_r)  # type: ignore[call-arg]
+    if slot == "jitter" and cls is PlayoutBuffer:
+        return cls(playout_delay=cfg.playout_delay)  # type: ignore[call-arg]
+    if slot == "delivery" and cls is MulticastDelivery:
+        if group is None:
+            raise ValueError("multicast delivery requires a group address")
+        return cls(group=group, members=members or [])  # type: ignore[call-arg]
+    return cls()

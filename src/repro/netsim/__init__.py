@@ -1,0 +1,46 @@
+"""Network substrate: links, switching nodes, topologies, traffic.
+
+This package replaces the physical networks of the paper's testbed
+(Ethernet, Token Ring, FDDI, DQDB, ATM — §2.1(B)) with a discrete-event
+model that preserves the characteristics the ADAPTIVE architecture reacts
+to: channel speed, propagation delay, bit-error rate, maximum transmission
+unit, finite switch queues (and therefore congestion loss), route changes,
+and genuine multicast replication inside the network.
+"""
+
+from repro.netsim.frame import Frame
+from repro.netsim.link import Link, LinkStats
+from repro.netsim.node import Node
+from repro.netsim.network import Network
+from repro.netsim.profiles import (
+    NetworkProfile,
+    PROFILES,
+    atm_155,
+    atm_622,
+    ethernet_10,
+    fddi_100,
+    satellite,
+    token_ring_16,
+    wan_internet,
+)
+from repro.netsim.traffic import BackgroundLoad, OnOffLoad, PoissonLoad
+
+__all__ = [
+    "Frame",
+    "Link",
+    "LinkStats",
+    "Node",
+    "Network",
+    "NetworkProfile",
+    "PROFILES",
+    "ethernet_10",
+    "token_ring_16",
+    "fddi_100",
+    "atm_155",
+    "atm_622",
+    "wan_internet",
+    "satellite",
+    "BackgroundLoad",
+    "OnOffLoad",
+    "PoissonLoad",
+]

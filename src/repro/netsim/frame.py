@@ -1,0 +1,110 @@
+"""The network-layer transmission unit.
+
+A ``Frame`` is what traverses links and switch queues.  The transport system
+(TKO) hands the network a frame per PDU (or per fragment, when the PDU
+exceeds the path MTU).  The payload is opaque to the network — exactly the
+separation the paper draws between the transport system and the underlying
+network service.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Optional, Sequence
+
+_frame_ids = itertools.count(1)
+
+# Priority classes for the network's priority-delivery service (Table 1's
+# "Priority Delivery" column).  Lower numeric value is served first.
+PRIO_CONTROL = 0   # out-of-band signalling (Figure 3's control path)
+PRIO_HIGH = 1
+PRIO_NORMAL = 2
+
+
+class Frame:
+    """One unit of network transmission.
+
+    Attributes
+    ----------
+    src, dst:
+        Host names.  For multicast, ``dst`` is a group address and
+        ``multicast_dsts`` carries the resolved member list while the frame
+        fans out through the tree.
+    size:
+        Total on-wire size in bytes (headers included) — drives
+        serialization delay and bit-error probability.
+    payload:
+        Opaque transport-layer object (a :class:`repro.tko.message.TKOMessage`
+        in normal operation).
+    priority:
+        Network service class; control frames preempt data in switch queues.
+    corrupted:
+        Set by a link when channel bit errors hit the frame.  The network
+        still delivers it — detecting the damage is the *transport system's*
+        job (or not, for configurations without a checksum).
+    hops:
+        Incremented at each switch; used by whitebox metrics.
+    """
+
+    __slots__ = (
+        "id",
+        "src",
+        "dst",
+        "size",
+        "payload",
+        "priority",
+        "corrupted",
+        "hops",
+        "multicast_dsts",
+        "created_at",
+        "trace",
+    )
+
+    def __init__(
+        self,
+        src: str,
+        dst: str,
+        size: int,
+        payload: Any = None,
+        priority: int = PRIO_NORMAL,
+        multicast_dsts: Optional[Sequence[str]] = None,
+        created_at: float = 0.0,
+    ) -> None:
+        if size <= 0:
+            raise ValueError(f"frame size must be positive, got {size}")
+        self.id = next(_frame_ids)
+        self.src = src
+        self.dst = dst
+        self.size = int(size)
+        self.payload = payload
+        self.priority = priority
+        self.corrupted = False
+        self.hops = 0
+        self.multicast_dsts = list(multicast_dsts) if multicast_dsts else None
+        self.created_at = created_at
+        self.trace: list[str] = []
+
+    def clone_for(self, dsts: Sequence[str]) -> "Frame":
+        """Replicate the frame at a multicast branch point.
+
+        The payload reference is shared (the network never copies payload
+        bytes), mirroring hardware multicast where a switch replicates a
+        frame onto several output ports.
+        """
+        f = Frame(
+            self.src,
+            self.dst,
+            self.size,
+            payload=self.payload,
+            priority=self.priority,
+            multicast_dsts=dsts,
+            created_at=self.created_at,
+        )
+        f.corrupted = self.corrupted
+        f.hops = self.hops
+        f.trace = list(self.trace)
+        return f
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        mc = f" mc={self.multicast_dsts}" if self.multicast_dsts else ""
+        return f"<Frame#{self.id} {self.src}->{self.dst} {self.size}B{mc}>"

@@ -1,0 +1,180 @@
+"""Point-to-point simplex link with serialization, queueing, and bit errors.
+
+Each link is a single-server queue: frames wait in per-priority FIFO queues,
+are serialized at the channel rate, then propagate for a fixed delay.  The
+queue has finite capacity — overflow is *the* congestion-loss mechanism the
+paper's adaptive policies respond to ("greater packet loss due to queue
+overflows at intermediate switching nodes", §3(C)).
+
+Bit errors are applied per frame with probability ``1 - (1 - BER)**bits``
+using the link's own random stream, so changing one link's traffic never
+perturbs another's error pattern.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.netsim.frame import Frame
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RngStreams
+
+#: number of distinct priority classes a link serves (see frame.PRIO_*)
+N_PRIORITIES = 3
+
+
+@dataclass
+class LinkStats:
+    """Counters exposed to MANTTS' network monitor and to UNITES."""
+
+    enqueued: int = 0
+    delivered: int = 0
+    dropped_overflow: int = 0
+    dropped_down: int = 0
+    dropped_mtu: int = 0
+    corrupted: int = 0
+    bytes_delivered: int = 0
+    busy_time: float = 0.0
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` the channel spent transmitting."""
+        return self.busy_time / elapsed if elapsed > 0 else 0.0
+
+
+class Link:
+    """A directed link ``a -> b`` with finite queue and error model.
+
+    Parameters
+    ----------
+    bandwidth_bps:
+        Channel rate in bits per second.
+    delay:
+        One-way propagation delay in seconds.
+    ber:
+        Channel bit-error rate (1e-4 copper, 1e-9 fiber per paper §2.1(B)).
+    queue_limit:
+        Maximum frames queued awaiting transmission (drop-tail beyond).
+    mtu:
+        Maximum frame size the link accepts, in bytes.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rng: RngStreams,
+        name: str,
+        bandwidth_bps: float,
+        delay: float,
+        ber: float = 0.0,
+        queue_limit: int = 64,
+        mtu: int = 1500,
+        deliver: Optional[Callable[[Frame], None]] = None,
+    ) -> None:
+        if bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if delay < 0:
+            raise ValueError("propagation delay cannot be negative")
+        if not (0.0 <= ber < 1.0):
+            raise ValueError("BER must be in [0, 1)")
+        self.sim = sim
+        self.name = name
+        self.bandwidth_bps = float(bandwidth_bps)
+        self.delay = float(delay)
+        self.ber = float(ber)
+        self.queue_limit = int(queue_limit)
+        self.mtu = int(mtu)
+        self.deliver = deliver
+        self.up = True
+        self.stats = LinkStats()
+        self._queues: list[deque[Frame]] = [deque() for _ in range(N_PRIORITIES)]
+        self._transmitting = False
+        self._rng = rng.stream(f"link:{name}")
+
+    # ------------------------------------------------------------------
+    @property
+    def queue_len(self) -> int:
+        """Frames currently waiting (not counting the one on the wire)."""
+        return sum(len(q) for q in self._queues)
+
+    def serialization_time(self, size_bytes: int) -> float:
+        """Time to clock ``size_bytes`` onto the channel."""
+        return size_bytes * 8.0 / self.bandwidth_bps
+
+    # ------------------------------------------------------------------
+    def send(self, frame: Frame) -> bool:
+        """Enqueue a frame for transmission.
+
+        Returns False (and records the drop) when the link is down, the
+        frame exceeds the MTU, or the queue is full.  Callers never get an
+        exception for loss — loss is a normal network behaviour that the
+        transport configuration may or may not compensate for.
+        """
+        if not self.up:
+            self.stats.dropped_down += 1
+            return False
+        if frame.size > self.mtu:
+            # A frame sized for a fatter path arriving after a route change:
+            # the 1992-era network has no fragmentation, so this is a
+            # path-MTU black hole — the frame is dropped and counted, and
+            # the transport sees it as loss (reliable sessions will
+            # retransmit until their give-up threshold surfaces the fault).
+            self.stats.dropped_mtu += 1
+            return False
+        if self.queue_len >= self.queue_limit:
+            self.stats.dropped_overflow += 1
+            return False
+        prio = min(max(frame.priority, 0), N_PRIORITIES - 1)
+        self._queues[prio].append(frame)
+        self.stats.enqueued += 1
+        if not self._transmitting:
+            self._start_next()
+        return True
+
+    def _start_next(self) -> None:
+        frame = None
+        for q in self._queues:
+            if q:
+                frame = q.popleft()
+                break
+        if frame is None:
+            self._transmitting = False
+            return
+        self._transmitting = True
+        ser = self.serialization_time(frame.size)
+        self.stats.busy_time += ser
+        self.sim.schedule(ser, self._tx_done, frame)
+
+    def _tx_done(self, frame: Frame) -> None:
+        # Channel errors are imposed while the frame is on the wire.
+        if self.ber > 0.0 and not frame.corrupted:
+            p_err = 1.0 - (1.0 - self.ber) ** (frame.size * 8)
+            if self._rng.random() < p_err:
+                frame.corrupted = True
+                self.stats.corrupted += 1
+        if self.up:
+            self.sim.schedule(self.delay, self._arrive, frame)
+        else:
+            self.stats.dropped_down += 1
+        self._start_next()
+
+    def _arrive(self, frame: Frame) -> None:
+        self.stats.delivered += 1
+        self.stats.bytes_delivered += frame.size
+        if self.deliver is not None:
+            self.deliver(frame)
+
+    # ------------------------------------------------------------------
+    def fail(self) -> None:
+        """Take the link down; queued and in-flight frames are lost."""
+        self.up = False
+        for q in self._queues:
+            self.stats.dropped_down += len(q)
+            q.clear()
+
+    def restore(self) -> None:
+        """Bring the link back up."""
+        self.up = True

@@ -1,0 +1,238 @@
+"""Topology, routing, multicast groups, and the network-state view.
+
+The ``Network`` ties nodes and links into a ``networkx`` digraph, computes
+(and caches) shortest routes weighted by link latency, recomputes them when
+links fail or recover, and maintains multicast group membership.  It also
+exposes the aggregate state that the MANTTS Network Monitor Interface
+samples: per-path RTT estimates, bottleneck bandwidth, path MTU, and queue
+occupancy at intermediate nodes (the paper's negotiation "with intermediate
+switching nodes", §4.1.1).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.netsim.frame import Frame
+from repro.netsim.link import Link
+from repro.netsim.node import Node
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RngStreams
+
+#: nominal probe size used to weight routes (favours fast, short links)
+_ROUTE_PROBE_BYTES = 512
+
+
+class Network:
+    """A simulated internetwork of switching nodes and hosts."""
+
+    def __init__(self, sim: Simulator, rng: Optional[RngStreams] = None) -> None:
+        self.sim = sim
+        self.rng = rng or RngStreams(0)
+        self.graph = nx.DiGraph()
+        self.nodes: Dict[str, Node] = {}
+        self.links: Dict[Tuple[str, str], Link] = {}
+        self.groups: Dict[str, set[str]] = {}
+        self._route_cache: Dict[Tuple[str, str], Optional[List[str]]] = {}
+
+    # ------------------------------------------------------------------
+    # topology construction
+    # ------------------------------------------------------------------
+    def add_node(self, name: str, switch_latency: float = 5e-6) -> Node:
+        """Create a switching node (idempotent on name collision is an error)."""
+        if name in self.nodes:
+            raise ValueError(f"duplicate node {name!r}")
+        node = Node(self, name, switch_latency)
+        self.nodes[name] = node
+        self.graph.add_node(name)
+        return node
+
+    def add_link(
+        self,
+        a: str,
+        b: str,
+        bandwidth_bps: float,
+        delay: float,
+        ber: float = 0.0,
+        queue_limit: int = 64,
+        mtu: int = 1500,
+        bidirectional: bool = True,
+    ) -> None:
+        """Connect two existing nodes; by default with a link each way."""
+        pairs = [(a, b), (b, a)] if bidirectional else [(a, b)]
+        for u, v in pairs:
+            if u not in self.nodes or v not in self.nodes:
+                raise KeyError(f"both endpoints must exist before linking {u}->{v}")
+            if (u, v) in self.links:
+                raise ValueError(f"duplicate link {u}->{v}")
+            link = Link(
+                self.sim,
+                self.rng,
+                name=f"{u}->{v}",
+                bandwidth_bps=bandwidth_bps,
+                delay=delay,
+                ber=ber,
+                queue_limit=queue_limit,
+                mtu=mtu,
+                deliver=self.nodes[v].receive,
+            )
+            self.links[(u, v)] = link
+            weight = delay + _ROUTE_PROBE_BYTES * 8.0 / bandwidth_bps
+            self.graph.add_edge(u, v, weight=weight)
+        self._route_cache.clear()
+
+    def attach_host(self, name: str, deliver: Callable[[Frame], None]) -> Node:
+        """Attach a host NIC callback to node ``name`` (creating it if new)."""
+        node = self.nodes.get(name) or self.add_node(name)
+        node.attach_host(deliver)
+        return node
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def route(self, src: str, dst: str) -> Optional[List[str]]:
+        """Full node path ``src..dst`` or None when unreachable (cached)."""
+        key = (src, dst)
+        if key in self._route_cache:
+            return self._route_cache[key]
+        try:
+            path = nx.shortest_path(self.graph, src, dst, weight="weight")
+        except (nx.NetworkXNoPath, nx.NodeNotFound):
+            path = None
+        self._route_cache[key] = path
+        return path
+
+    def next_hop(self, at: str, dst: str) -> Optional[str]:
+        """The neighbour to which ``at`` forwards traffic bound for ``dst``."""
+        path = self.route(at, dst)
+        if path is None or len(path) < 2:
+            return None
+        return path[1]
+
+    def link(self, u: str, v: str) -> Link:
+        return self.links[(u, v)]
+
+    def fail_link(self, a: str, b: str, bidirectional: bool = True) -> None:
+        """Take link(s) down and force route recomputation.
+
+        Models the paper's "intermediate node failure ... routes change from
+        a terrestrial link to a satellite link" scenario (§4.1.2).
+        """
+        pairs = [(a, b), (b, a)] if bidirectional else [(a, b)]
+        for u, v in pairs:
+            self.links[(u, v)].fail()
+            if self.graph.has_edge(u, v):
+                self.graph.remove_edge(u, v)
+        self._route_cache.clear()
+
+    def restore_link(self, a: str, b: str, bidirectional: bool = True) -> None:
+        """Bring link(s) back and restore their routing weight."""
+        pairs = [(a, b), (b, a)] if bidirectional else [(a, b)]
+        for u, v in pairs:
+            link = self.links[(u, v)]
+            link.restore()
+            weight = link.delay + _ROUTE_PROBE_BYTES * 8.0 / link.bandwidth_bps
+            self.graph.add_edge(u, v, weight=weight)
+        self._route_cache.clear()
+
+    #: destination address meaning "every attached host except the sender"
+    #: (the paper's broadcast service, e.g. distributed name resolution)
+    BROADCAST = "*"
+
+    # ------------------------------------------------------------------
+    # transmission
+    # ------------------------------------------------------------------
+    def send(self, frame: Frame) -> None:
+        """Inject a frame at its source node."""
+        node = self.nodes.get(frame.src)
+        if node is None:
+            raise KeyError(f"unknown source host {frame.src!r}")
+        if frame.multicast_dsts is None:
+            if frame.dst == self.BROADCAST:
+                frame.multicast_dsts = sorted(
+                    name
+                    for name, n in self.nodes.items()
+                    if n.host_deliver is not None and name != frame.src
+                )
+            elif frame.dst in self.groups:
+                frame.multicast_dsts = sorted(self.groups[frame.dst])
+        node.inject(frame)
+
+    # ------------------------------------------------------------------
+    # multicast groups
+    # ------------------------------------------------------------------
+    def join_group(self, group: str, host: str) -> None:
+        """Add ``host`` to multicast group ``group``."""
+        if host not in self.nodes:
+            raise KeyError(f"unknown host {host!r}")
+        self.groups.setdefault(group, set()).add(host)
+
+    def leave_group(self, group: str, host: str) -> None:
+        """Remove ``host`` from ``group`` (no-op if absent)."""
+        members = self.groups.get(group)
+        if members is not None:
+            members.discard(host)
+            if not members:
+                del self.groups[group]
+
+    def group_members(self, group: str) -> set[str]:
+        return set(self.groups.get(group, set()))
+
+    # ------------------------------------------------------------------
+    # network-state view (MANTTS-NMI ground truth)
+    # ------------------------------------------------------------------
+    def path_links(self, src: str, dst: str) -> List[Link]:
+        """Links along the current route, empty when unreachable."""
+        path = self.route(src, dst)
+        if path is None:
+            return []
+        return [self.links[(u, v)] for u, v in zip(path, path[1:])]
+
+    def path_mtu(self, src: str, dst: str) -> Optional[int]:
+        """Minimum MTU along the route (what the transport must fragment to)."""
+        links = self.path_links(src, dst)
+        return min((l.mtu for l in links), default=None)
+
+    def path_propagation_delay(self, src: str, dst: str) -> Optional[float]:
+        """Sum of one-way propagation delays (excludes queueing)."""
+        links = self.path_links(src, dst)
+        if not links:
+            return None
+        return sum(l.delay for l in links)
+
+    def path_bottleneck_bps(self, src: str, dst: str) -> Optional[float]:
+        """Minimum channel rate along the route."""
+        links = self.path_links(src, dst)
+        return min((l.bandwidth_bps for l in links), default=None)
+
+    def path_queue_occupancy(self, src: str, dst: str) -> float:
+        """Worst queue fill fraction along the route — the congestion signal.
+
+        The maximum (not the mean) is reported: one full bottleneck queue
+        is what loses packets, however many empty hops surround it.
+        """
+        links = self.path_links(src, dst)
+        if not links:
+            return 0.0
+        return max(l.queue_len / l.queue_limit for l in links)
+
+    def path_ber(self, src: str, dst: str) -> float:
+        """Compound bit-error rate along the route."""
+        links = self.path_links(src, dst)
+        ok = 1.0
+        for l in links:
+            ok *= 1.0 - l.ber
+        return 1.0 - ok
+
+    def nominal_rtt(self, src: str, dst: str, size: int = _ROUTE_PROBE_BYTES) -> Optional[float]:
+        """Unloaded round-trip estimate for a ``size``-byte probe."""
+        fwd = self.path_links(src, dst)
+        rev = self.path_links(dst, src)
+        if not fwd or not rev:
+            return None
+        t = 0.0
+        for l in fwd + rev:
+            t += l.delay + l.serialization_time(size)
+        return t

@@ -1,0 +1,190 @@
+"""Canonical network profiles and topology builders.
+
+The paper motivates ADAPTIVE with the diversity of deployed networks
+(§2.1(B)): channel speeds from 4 Mbps Token Ring to 622 Mbps ATM, BERs of
+roughly 1e-4 (copper) vs 1e-9 (fiber), MTUs from 48-byte cells to 9188-byte
+SMDS frames, LAN vs congestion-prone WAN vs long-delay satellite paths.
+This module captures those environments as reusable profiles plus the small
+standard topologies every experiment uses.
+
+Substitutions (recorded in DESIGN.md):
+
+* ATM is modelled at the AAL5 service level (9180-byte SDUs) rather than at
+  48-byte cell granularity; the transport system sees the same MTU/latency
+  interface either way.
+* Copper BER is scaled to 1e-6 so that a 1500-byte frame survives with
+  ~98.8% probability — the paper's literal 1e-4 would destroy ~70% of full
+  frames and no transport, lightweight or not, would function.  The
+  qualitative copper ≫ fiber error ordering is preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.netsim.network import Network
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RngStreams
+
+
+@dataclass(frozen=True)
+class NetworkProfile:
+    """Static characteristics of one network technology."""
+
+    name: str
+    bandwidth_bps: float
+    delay: float            #: one-way propagation delay per link, seconds
+    ber: float              #: channel bit-error rate
+    mtu: int                #: bytes
+    queue_limit: int = 64   #: switch output-queue capacity, frames
+
+    def scaled(self, **overrides) -> "NetworkProfile":
+        """A copy with selected fields overridden (experiment sweeps)."""
+        return replace(self, **overrides)
+
+
+def ethernet_10() -> NetworkProfile:
+    """10 Mbps Ethernet: low-latency, copper-grade errors (paper env. 1)."""
+    return NetworkProfile("ethernet-10", 10e6, 100e-6, 1e-6, 1500, 50)
+
+
+def token_ring_16() -> NetworkProfile:
+    """16 Mbps Token Ring with its larger 4464-byte MTU."""
+    return NetworkProfile("token-ring-16", 16e6, 150e-6, 1e-6, 4464, 50)
+
+
+def fddi_100() -> NetworkProfile:
+    """100 Mbps FDDI: fiber BER, 4500-byte frames."""
+    return NetworkProfile("fddi-100", 100e6, 100e-6, 1e-9, 4500, 64)
+
+
+def atm_155() -> NetworkProfile:
+    """155 Mbps ATM (B-ISDN access), modelled at the AAL5 SDU level."""
+    return NetworkProfile("atm-155", 155e6, 1e-3, 1e-9, 9180, 128)
+
+
+def atm_622() -> NetworkProfile:
+    """622 Mbps ATM WAN trunk — high bandwidth *and* high latency (env. 3)."""
+    return NetworkProfile("atm-622", 622e6, 5e-3, 1e-9, 9180, 128)
+
+
+def wan_internet() -> NetworkProfile:
+    """Congestion-prone, high-latency internet path (paper env. 2)."""
+    return NetworkProfile("wan-internet", 1.5e6, 35e-3, 1e-7, 1500, 30)
+
+
+def satellite() -> NetworkProfile:
+    """GEO satellite hop: ~270 ms one-way, elevated error rate."""
+    return NetworkProfile("satellite", 1.5e6, 270e-3, 1e-6, 1500, 40)
+
+
+PROFILES: Dict[str, NetworkProfile] = {
+    p.name: p
+    for p in (
+        ethernet_10(),
+        token_ring_16(),
+        fddi_100(),
+        atm_155(),
+        atm_622(),
+        wan_internet(),
+        satellite(),
+    )
+}
+
+
+# ----------------------------------------------------------------------
+# standard topologies
+# ----------------------------------------------------------------------
+def linear_path(
+    sim: Simulator,
+    profile: NetworkProfile,
+    hosts: Sequence[str] = ("A", "B"),
+    n_switches: int = 2,
+    rng: Optional[RngStreams] = None,
+) -> Network:
+    """``hostA - s1 - ... - sN - hostB`` with uniform links.
+
+    The workhorse topology: two end systems separated by ``n_switches``
+    intermediate switching nodes whose finite queues provide the congestion
+    behaviour adaptive policies react to.
+    """
+    if len(hosts) != 2:
+        raise ValueError("linear_path takes exactly two hosts")
+    net = Network(sim, rng)
+    switches = [f"s{i + 1}" for i in range(n_switches)]
+    for name in (hosts[0], *switches, hosts[1]):
+        net.add_node(name)
+    chain = [hosts[0], *switches, hosts[1]]
+    for u, v in zip(chain, chain[1:]):
+        net.add_link(
+            u,
+            v,
+            bandwidth_bps=profile.bandwidth_bps,
+            delay=profile.delay,
+            ber=profile.ber,
+            queue_limit=profile.queue_limit,
+            mtu=profile.mtu,
+        )
+    return net
+
+
+def star(
+    sim: Simulator,
+    profile: NetworkProfile,
+    hosts: Sequence[str],
+    hub: str = "hub",
+    rng: Optional[RngStreams] = None,
+) -> Network:
+    """Hosts around a single switch — the multicast/conference topology."""
+    net = Network(sim, rng)
+    net.add_node(hub)
+    for h in hosts:
+        net.add_node(h)
+        net.add_link(
+            h,
+            hub,
+            bandwidth_bps=profile.bandwidth_bps,
+            delay=profile.delay,
+            ber=profile.ber,
+            queue_limit=profile.queue_limit,
+            mtu=profile.mtu,
+        )
+    return net
+
+
+def dual_path(
+    sim: Simulator,
+    primary: NetworkProfile,
+    backup: NetworkProfile,
+    hosts: Tuple[str, str] = ("A", "B"),
+    rng: Optional[RngStreams] = None,
+) -> Network:
+    """Two hosts with a primary route and a differently-characterised backup.
+
+    Built for the paper's route-failover scenario (§4.1.2): fail the primary
+    (terrestrial) path and traffic shifts onto the backup (satellite) path,
+    changing the RTT regime that reliability policies key off.
+    """
+    a, b = hosts
+    net = Network(sim, rng)
+    for name in (a, b, "p1", "p2", "q1", "q2"):
+        net.add_node(name)
+    for u, v, prof in [
+        (a, "p1", primary),
+        ("p1", "p2", primary),
+        ("p2", b, primary),
+        (a, "q1", backup),
+        ("q1", "q2", backup),
+        ("q2", b, backup),
+    ]:
+        net.add_link(
+            u,
+            v,
+            bandwidth_bps=prof.bandwidth_bps,
+            delay=prof.delay,
+            ber=prof.ber,
+            queue_limit=prof.queue_limit,
+            mtu=prof.mtu,
+        )
+    return net

@@ -1,0 +1,25 @@
+"""Discrete-event simulation kernel.
+
+This package is the lowest substrate of the reproduction: a deterministic
+discrete-event simulator on which the network model (:mod:`repro.netsim`),
+host model (:mod:`repro.host`), and the ADAPTIVE transport system itself are
+built.  The paper's prototype ran on the x-kernel / SVR4 STREAMS; here every
+temporal behaviour (propagation delay, queueing, timer expiry, CPU cost) is
+an event on a single global virtual clock, which gives the controlled,
+repeatable experimentation environment that UNITES (paper §4.3) requires.
+"""
+
+from repro.sim.kernel import Event, EventQueue, Simulator
+from repro.sim.process import Process
+from repro.sim.rng import RngStreams
+from repro.sim.timers import Timer, TimerWheel
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "Simulator",
+    "Process",
+    "RngStreams",
+    "Timer",
+    "TimerWheel",
+]

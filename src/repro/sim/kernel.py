@@ -1,0 +1,255 @@
+"""Core discrete-event simulation kernel.
+
+The kernel is intentionally small and allocation-light: a binary heap of
+``Event`` records ordered by ``(time, priority, seq)``.  The ``seq`` field
+guarantees a deterministic total order for simultaneous events, which is what
+makes every experiment in :mod:`benchmarks` exactly repeatable — the property
+the paper's UNITES subsystem calls *controlled, empirical experimentation*
+(§4.3).
+
+Cancellation is O(1): a cancelled event stays in the heap but is skipped when
+popped (lazy deletion), the standard technique for simulators with heavy
+timer churn such as retransmission timers that are almost always cancelled by
+an arriving acknowledgment.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (scheduling into the past, re-running, ...)."""
+
+
+class Event:
+    """A single scheduled occurrence.
+
+    Attributes
+    ----------
+    time:
+        Absolute virtual time (seconds) at which the event fires.
+    priority:
+        Secondary ordering key; lower fires first among same-time events.
+    seq:
+        Kernel-assigned monotone sequence number — the final tie-breaker that
+        makes simultaneous-event ordering deterministic.
+    fn / args:
+        Callback invoked as ``fn(*args)`` when the event fires.
+    """
+
+    __slots__ = ("time", "priority", "seq", "fn", "args", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        fn: Callable[..., Any],
+        args: tuple,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event so the kernel skips it (idempotent, O(1))."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.priority, self.seq) < (
+            other.time,
+            other.priority,
+            other.seq,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<Event t={self.time:.9f} prio={self.priority} seq={self.seq} {state}>"
+
+
+class EventQueue:
+    """Binary-heap pending-event set with lazy deletion."""
+
+    __slots__ = ("_heap", "_live")
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._live = 0
+
+    def push(self, event: Event) -> None:
+        heapq.heappush(self._heap, event)
+        self._live += 1
+
+    def pop(self) -> Optional[Event]:
+        """Pop the earliest non-cancelled event, or None if empty."""
+        heap = self._heap
+        while heap:
+            ev = heapq.heappop(heap)
+            if not ev.cancelled:
+                self._live -= 1
+                return ev
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Virtual time of the next live event, or None."""
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+        return heap[0].time if heap else None
+
+    def note_cancel(self) -> None:
+        """Inform the queue that one of its events was cancelled."""
+        self._live -= 1
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+
+class Simulator:
+    """The global virtual clock and event dispatcher.
+
+    A simulator instance is the root object of every experiment: networks,
+    hosts, protocol sessions and workloads all hold a reference to one
+    ``Simulator`` and schedule their behaviour through it.
+
+    Examples
+    --------
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule(1.5, fired.append, "a")
+    >>> _ = sim.schedule(0.5, fired.append, "b")
+    >>> sim.run()
+    >>> fired
+    ['b', 'a']
+    >>> sim.now
+    1.5
+    """
+
+    def __init__(self) -> None:
+        self._queue = EventQueue()
+        self._now = 0.0
+        self._seq = 0
+        self._running = False
+        self._stopped = False
+        self.events_dispatched = 0
+
+    # ------------------------------------------------------------------
+    # clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        delay: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self._now + delay, fn, *args, priority=priority)
+
+    def schedule_at(
+        self,
+        time: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``fn(*args)`` at absolute virtual time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule into the past (t={time} < now={self._now})"
+            )
+        self._seq += 1
+        ev = Event(time, priority, self._seq, fn, args)
+        self._queue.push(ev)
+        return ev
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously scheduled event (idempotent)."""
+        if not event.cancelled:
+            event.cancel()
+            self._queue.note_cancel()
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Dispatch the single earliest event.  Returns False when idle."""
+        ev = self._queue.pop()
+        if ev is None:
+            return False
+        self._now = ev.time
+        self.events_dispatched += 1
+        ev.fn(*ev.args)
+        return True
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run until the queue drains, ``until`` is reached, or ``max_events``.
+
+        When ``until`` is given the clock is advanced to exactly ``until``
+        even if the last event fires earlier, so back-to-back ``run`` calls
+        compose naturally in phased experiments.
+        """
+        if self._running:
+            raise SimulationError("simulator is not re-entrant")
+        self._running = True
+        self._stopped = False
+        dispatched = 0
+        try:
+            while self._queue and not self._stopped:
+                if max_events is not None and dispatched >= max_events:
+                    break
+                next_t = self._queue.peek_time()
+                if until is not None and next_t is not None and next_t > until:
+                    break
+                self.step()
+                dispatched += 1
+            if until is not None and not self._stopped and self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+
+    def stop(self) -> None:
+        """Request that the current :meth:`run` loop return after this event."""
+        self._stopped = True
+
+    def pending(self) -> int:
+        """Number of live (non-cancelled) scheduled events."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # convenience
+    # ------------------------------------------------------------------
+    def call_each(self, interval: float, fn: Callable[..., Any], *args: Any) -> "Event":
+        """Schedule ``fn`` every ``interval`` seconds until it returns False."""
+        if interval <= 0:
+            raise SimulationError("interval must be positive")
+
+        def tick() -> None:
+            if fn(*args) is False:
+                return
+            self.schedule(interval, tick)
+
+        return self.schedule(interval, tick)
+
+    def drain(self, events: Iterable[Event]) -> None:
+        """Cancel a collection of events (helper for teardown paths)."""
+        for ev in events:
+            self.cancel(ev)

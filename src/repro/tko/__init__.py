@@ -1,0 +1,41 @@
+"""TKO — Transport Kernel Objects (paper §4.2).
+
+The two-level framework of Figure 4:
+
+* the **protocol architecture** — medium-granularity classes insulating the
+  transport system from the OS: :class:`~repro.tko.event.TKOEvent`
+  (timers), :class:`~repro.tko.message.TKOMessage` (zero-copy buffers),
+  :class:`~repro.tko.protocol.TKOProtocol` (protocol graph, mux/demux),
+  :class:`~repro.tko.session.TKOSession`;
+* the **session architecture** — fine-grain session mechanisms held in a
+  :class:`~repro.tko.context.TKOContext` dispatch table, composed and
+  instantiated by the :class:`~repro.tko.synthesizer.TKOSynthesizer` from a
+  session configuration specification, with run-time rebinding via *segue*
+  and a cache of static/reconfigurable templates
+  (:mod:`repro.tko.templates`).
+"""
+
+from repro.tko.config import SessionConfig
+from repro.tko.event import TKOEvent
+from repro.tko.message import CopyMeter, Header, TKOMessage
+from repro.tko.pdu import PDU, PduType
+from repro.tko.protocol import TKOProtocol
+from repro.tko.session import TKOSession
+from repro.tko.context import TKOContext
+from repro.tko.synthesizer import TKOSynthesizer
+from repro.tko.templates import TemplateCache
+
+__all__ = [
+    "SessionConfig",
+    "TKOEvent",
+    "TKOMessage",
+    "Header",
+    "CopyMeter",
+    "PDU",
+    "PduType",
+    "TKOProtocol",
+    "TKOSession",
+    "TKOContext",
+    "TKOSynthesizer",
+    "TemplateCache",
+]

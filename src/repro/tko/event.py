@@ -1,0 +1,48 @@
+"""TKO_Event: protocol timer objects (paper §4.2.1).
+
+``TKO_Event`` objects "schedule themselves to expire one or more times,
+may be cancelled, and are triggered to expire asynchronously by the
+operating system's timer facility".  The simulation kernel's
+:class:`repro.sim.timers.Timer` already implements exactly that contract
+(``schedule`` / ``expire`` / ``cancel``, one-shot or periodic), so the TKO
+class is a named specialization that additionally charges the host CPU for
+timer-management work when bound to a host.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.host.cpu import Cpu
+from repro.sim.kernel import Simulator
+from repro.sim.timers import Timer
+
+
+class TKOEvent(Timer):
+    """A protocol timer that accounts its OS cost against the host CPU."""
+
+    __slots__ = ("cpu",)
+
+    def __init__(
+        self,
+        sim: Simulator,
+        fn: Callable[..., Any],
+        *args: Any,
+        interval: float = 0.0,
+        periodic: bool = False,
+        cpu: Optional[Cpu] = None,
+    ) -> None:
+        super().__init__(sim, fn, *args, interval=interval, periodic=periodic)
+        self.cpu = cpu
+
+    def schedule(self, interval: Optional[float] = None) -> None:
+        """Arm the timer, charging one timer operation to the host CPU."""
+        if self.cpu is not None:
+            self.cpu.instructions_retired += self.cpu.costs.timer_op
+        super().schedule(interval)
+
+    def cancel(self) -> None:
+        """Disarm, charging one timer operation when actually armed."""
+        if self.cpu is not None and self.armed:
+            self.cpu.instructions_retired += self.cpu.costs.timer_op
+        super().cancel()

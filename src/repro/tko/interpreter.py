@@ -1,0 +1,156 @@
+"""The protocol interpreter's cost model and binding styles.
+
+Stage III's output is "an executable session object representation that
+guides the actions of an interpreter that performs protocol processing
+activities on PDUs" (§4.1.1).  Here the interpreter's *work* is modelled
+as instruction counts charged to the host CPU; the *binding style* models
+the customization trade-off of §4.2.2:
+
+* ``dynamic``   — a freshly synthesized configuration: every mechanism
+  call goes through the dispatch table (full virtual-call indirection);
+* ``reconfigurable`` — a cached reconfigurable template: bindings are
+  pre-resolved but still indirect enough to allow segue (reduced cost);
+* ``static``    — a fully customized template: calls are inline-expanded,
+  zero indirection — and segue is *impossible* (the template is
+  "guaranteed not to change"), which the session enforces.
+
+Each customized static template also carries a code-size estimate so the
+template cache can report the "code bloat" cost of inline expansion that
+the paper borrows from the Synthesis kernel discussion.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.tko.context import TKOContext
+    from repro.tko.pdu import PDU
+    from repro.tko.session import TKOSession
+
+#: indirection multiplier per binding style (× virtual_dispatch cost)
+BINDING_FACTOR = {"dynamic": 1.0, "reconfigurable": 0.4, "static": 0.0}
+
+#: estimated machine-code bytes per inline-expanded mechanism (static only)
+CODE_BYTES_PER_MECHANISM = 1800
+
+#: network-layer encapsulation below the transport PDU, bytes
+NETWORK_HEADER_BYTES = 24
+
+
+class CostModel:
+    """Computes the per-PDU instruction charge for one session."""
+
+    #: context slots whose mechanisms touch every outgoing DATA PDU
+    SEND_SLOTS = ("connection", "transmission", "detection", "recovery",
+                  "sequencing", "delivery", "buffer")
+    #: slots touching every incoming DATA PDU
+    RECV_SLOTS = ("connection", "detection", "recovery", "sequencing",
+                  "delivery", "jitter", "buffer")
+
+    def __init__(self, session: "TKOSession") -> None:
+        self.session = session
+        self.factor = BINDING_FACTOR[session.cfg.binding]
+
+    # ------------------------------------------------------------------
+    def send_charge(self, pdu: "PDU") -> Tuple[float, float]:
+        """(critical_path, deferrable) instructions for transmitting ``pdu``.
+
+        The deferrable component is the trailer-placed checksum: with the
+        check value at the end of the PDU it is computed *while* earlier
+        bytes are already being serialized, so it consumes CPU without
+        delaying the transmission start (§2.2(C) fn. 2).
+        """
+        s = self.session
+        ctx = s.context
+        costs = s.host.cpu.costs
+        critical = float(costs.layer_fixed)
+        deferred = 0.0
+        dispatches = 0
+        for slot in self.SEND_SLOTS:
+            mech = ctx.get(slot)
+            c = mech.send_cost(pdu)
+            if slot == "detection" and mech.overlaps_tx:
+                deferred += c
+            else:
+                critical += c
+            dispatches += mech.DISPATCH_SEND
+        critical += dispatches * costs.virtual_dispatch * self.factor
+        return critical, deferred
+
+    def recv_charge(self, pdu: "PDU") -> Tuple[float, float]:
+        """(critical_path, deferrable) instructions for receiving ``pdu``.
+
+        Symmetric to :meth:`send_charge`: a trailer-placed checksum is
+        verified incrementally while the PDU's bytes are still being
+        consumed from the interface, so its per-byte cost burns CPU
+        without delaying delivery upward; a header-placed checksum must
+        complete before the payload may be trusted.
+        """
+        s = self.session
+        ctx = s.context
+        costs = s.host.cpu.costs
+        parse = (
+            costs.header_parse_aligned if pdu.compact else costs.header_parse_unaligned
+        )
+        critical = float(costs.layer_fixed + parse)
+        deferred = 0.0
+        dispatches = 0
+        for slot in self.RECV_SLOTS:
+            mech = ctx.get(slot)
+            c = mech.recv_cost(pdu)
+            if slot == "detection" and mech.overlaps_tx:
+                deferred += c
+            else:
+                critical += c
+            dispatches += mech.DISPATCH_RECV
+        critical += dispatches * costs.virtual_dispatch * self.factor
+        return critical, deferred
+
+    def control_charge(self, pdu: "PDU") -> float:
+        """Instructions for a control PDU (handshake/ACK/signalling)."""
+        costs = self.session.host.cpu.costs
+        parse = (
+            costs.header_parse_aligned if pdu.compact else costs.header_parse_unaligned
+        )
+        return float(costs.layer_fixed + parse)
+
+    # ------------------------------------------------------------------
+    def breakdown(self, pdu: "PDU") -> dict:
+        """Per-mechanism instruction breakdown for one PDU, both paths.
+
+        The paper's whitebox metric "the number of instructions required
+        to execute a protocol function" (§4.3), resolved per Figure 5
+        slot.  Keys are slot names plus ``os-fixed`` (layer bookkeeping +
+        header parse) and ``dispatch`` (binding indirection).
+        """
+        s = self.session
+        costs = s.host.cpu.costs
+        out: dict = {}
+        parse = (
+            costs.header_parse_aligned if pdu.compact else costs.header_parse_unaligned
+        )
+        out["os-fixed"] = 2.0 * costs.layer_fixed + parse
+        dispatches = 0
+        for slot in set(self.SEND_SLOTS) | set(self.RECV_SLOTS):
+            mech = s.context.get(slot)
+            total = 0.0
+            if slot in self.SEND_SLOTS:
+                total += mech.send_cost(pdu)
+                dispatches += mech.DISPATCH_SEND
+            if slot in self.RECV_SLOTS:
+                total += mech.recv_cost(pdu)
+                dispatches += mech.DISPATCH_RECV
+            out[slot] = total
+        out["dispatch"] = dispatches * costs.virtual_dispatch * self.factor
+        return out
+
+    def code_size(self) -> int:
+        """Estimated customized-code bytes for this configuration.
+
+        Nonzero only for static templates, which inline-expand one copy of
+        every mechanism (the time/space trade-off).
+        """
+        if self.session.cfg.binding != "static":
+            return 0
+        return CODE_BYTES_PER_MECHANISM * len(self.SEND_SLOTS)

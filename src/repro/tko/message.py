@@ -1,0 +1,252 @@
+"""TKO_Message: zero-copy message buffers (paper §4.2.1).
+
+A message is logically a *header region* (a stack of structured headers,
+pushed and popped in O(1) as the message moves between layers) and a *data
+region* (a list of immutable byte segments shared by reference).  The
+operations the paper names map directly:
+
+=================  ====================================================
+paper operation     here
+=================  ====================================================
+``push``            :meth:`TKOMessage.push` — prepend a header, no copy
+``pop``             :meth:`TKOMessage.pop` — strip a header, no copy
+create/copy         :meth:`TKOMessage.clone` — lazy, shares segments
+split               :meth:`TKOMessage.split` — fragmentation, no copy
+``concat``          :meth:`TKOMessage.concat` — reassembly, no copy
+=================  ====================================================
+
+The only operation that touches payload bytes is :meth:`materialize`
+(flatten to one contiguous buffer) — exactly the memory-to-memory copy the
+paper identifies as a dominant overhead.  Every copy is recorded on the
+message's :class:`CopyMeter` so experiments can count bytes copied under
+zero-copy vs naive buffering disciplines (experiment E8).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+_msg_ids = itertools.count(1)
+
+
+class CopyMeter:
+    """Accumulates the cost of real byte copies.
+
+    One meter is typically shared by all messages on a host so that the
+    host's per-byte copy cost can be charged from a single place.
+    """
+
+    __slots__ = ("copies", "bytes_copied")
+
+    def __init__(self) -> None:
+        self.copies = 0
+        self.bytes_copied = 0
+
+    def record(self, nbytes: int) -> None:
+        self.copies += 1
+        self.bytes_copied += nbytes
+
+    def reset(self) -> None:
+        self.copies = 0
+        self.bytes_copied = 0
+
+
+@dataclass
+class Header:
+    """One protocol header in the header region.
+
+    ``size`` is the on-wire byte count; ``aligned`` records whether the
+    layout is fixed-size/word-aligned (the paper's "efficient control
+    format", §2.2(C) fn. 2) which determines the parse cost charged by the
+    receiving stack.
+    """
+
+    name: str
+    size: int
+    fields: Dict[str, Any] = field(default_factory=dict)
+    aligned: bool = True
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ValueError("header size cannot be negative")
+
+
+class TKOMessage:
+    """A message with O(1) header manipulation and shared data segments."""
+
+    __slots__ = ("id", "_headers", "_segments", "meter")
+
+    def __init__(
+        self,
+        data: bytes | bytearray | memoryview | Iterable[memoryview] = b"",
+        meter: Optional[CopyMeter] = None,
+    ) -> None:
+        self.id = next(_msg_ids)
+        self._headers: List[Header] = []
+        if isinstance(data, (bytes, bytearray, memoryview)):
+            mv = memoryview(bytes(data)) if not isinstance(data, memoryview) else data
+            self._segments: List[memoryview] = [mv] if len(mv) else []
+        else:
+            self._segments = [s for s in data if len(s)]
+        self.meter = meter if meter is not None else CopyMeter()
+
+    # ------------------------------------------------------------------
+    # sizes
+    # ------------------------------------------------------------------
+    @property
+    def data_length(self) -> int:
+        """Bytes in the data region."""
+        return sum(len(s) for s in self._segments)
+
+    @property
+    def header_length(self) -> int:
+        """Bytes of pushed headers."""
+        return sum(h.size for h in self._headers)
+
+    @property
+    def length(self) -> int:
+        """Total on-wire size."""
+        return self.data_length + self.header_length
+
+    @property
+    def segment_count(self) -> int:
+        return len(self._segments)
+
+    # ------------------------------------------------------------------
+    # header region
+    # ------------------------------------------------------------------
+    def push(self, header: Header) -> None:
+        """Prepend a header (innermost header is pushed last, popped first)."""
+        self._headers.append(header)
+
+    def pop(self) -> Header:
+        """Strip and return the outermost header."""
+        if not self._headers:
+            raise IndexError("pop from message with no headers")
+        return self._headers.pop()
+
+    def peek(self) -> Optional[Header]:
+        """The outermost header, or None."""
+        return self._headers[-1] if self._headers else None
+
+    @property
+    def headers(self) -> Tuple[Header, ...]:
+        """Outermost-last view of the header stack (read-only)."""
+        return tuple(self._headers)
+
+    # ------------------------------------------------------------------
+    # data region: lazy operations
+    # ------------------------------------------------------------------
+    def clone(self) -> "TKOMessage":
+        """Lazy copy: shares every data segment, duplicates header stack.
+
+        Cost is O(#headers + #segments) with zero payload bytes moved —
+        this is what lets a retransmission queue hold references to sent
+        PDUs without doubling memory traffic.
+        """
+        m = TKOMessage((), meter=self.meter)
+        m._segments = list(self._segments)
+        m._headers = [Header(h.name, h.size, dict(h.fields), h.aligned) for h in self._headers]
+        return m
+
+    def split(self, at: int) -> Tuple["TKOMessage", "TKOMessage"]:
+        """Split the data region at byte offset ``at`` without copying.
+
+        Headers stay with the left part (they describe the start of the
+        message).  Used for fragmentation to the path MTU.
+        """
+        if not (0 <= at <= self.data_length):
+            raise ValueError(f"split offset {at} outside data region")
+        left_segs: List[memoryview] = []
+        right_segs: List[memoryview] = []
+        remaining = at
+        for seg in self._segments:
+            if remaining >= len(seg):
+                left_segs.append(seg)
+                remaining -= len(seg)
+            elif remaining > 0:
+                left_segs.append(seg[:remaining])
+                right_segs.append(seg[remaining:])
+                remaining = 0
+            else:
+                right_segs.append(seg)
+        left = TKOMessage((), meter=self.meter)
+        left._segments = left_segs
+        left._headers = self._headers
+        right = TKOMessage((), meter=self.meter)
+        right._segments = right_segs
+        return left, right
+
+    def concat(self, other: "TKOMessage") -> None:
+        """Append ``other``'s data region to this one (reassembly), no copy."""
+        self._segments.extend(other._segments)
+
+    def take(self, n: int) -> "TKOMessage":
+        """Detach and return the first ``n`` data bytes as a new message."""
+        left, right = self.split(n)
+        self._segments = right._segments
+        self._headers = []
+        return left
+
+    # ------------------------------------------------------------------
+    # the one real copy
+    # ------------------------------------------------------------------
+    def materialize(self) -> bytes:
+        """Flatten the data region into contiguous bytes (a *real* copy).
+
+        Records the traffic on the meter; the application does this once on
+        final delivery, and naive (non-TKO) buffering does it at every
+        layer boundary.
+        """
+        out = b"".join(bytes(s) for s in self._segments)
+        self.meter.record(len(out))
+        self._segments = [memoryview(out)] if out else []
+        return out
+
+    def copy_through(self) -> "TKOMessage":
+        """Eager copy (the naive discipline): duplicates all payload bytes."""
+        flat = b"".join(bytes(s) for s in self._segments)
+        self.meter.record(len(flat))
+        m = TKOMessage(flat, meter=self.meter)
+        m._headers = [Header(h.name, h.size, dict(h.fields), h.aligned) for h in self._headers]
+        return m
+
+    # ------------------------------------------------------------------
+    def segments_view(self) -> Tuple[memoryview, ...]:
+        """Read-only view of the data segments (for copy-free scanning)."""
+        return tuple(self._segments)
+
+    def checksum16(self) -> int:
+        """RFC-1071-style 16-bit ones-complement sum over the data region.
+
+        Walks segments in place — no flattening — so checksum computation
+        itself is copy-free.  Vectorised with numpy: the byte stream is
+        summed as big-endian 16-bit words with end-around carry folding.
+        """
+        total = 0
+        odd_carry: Optional[int] = None
+        for seg in self._segments:
+            b = bytes(seg)
+            if odd_carry is not None:
+                total += (odd_carry << 8) | b[0]
+                b = b[1:]
+                odd_carry = None
+            if len(b) % 2:
+                odd_carry = b[-1]
+                b = b[:-1]
+            if b:
+                arr = np.frombuffer(b, dtype=">u2")
+                total += int(arr.sum(dtype=np.uint64))
+        if odd_carry is not None:
+            total += odd_carry << 8
+        while total >> 16:
+            total = (total & 0xFFFF) + (total >> 16)
+        return (~total) & 0xFFFF
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        hs = "/".join(h.name for h in reversed(self._headers)) or "-"
+        return f"<TKOMessage#{self.id} hdr[{hs}]={self.header_length}B data={self.data_length}B>"

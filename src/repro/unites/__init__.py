@@ -1,0 +1,51 @@
+"""UNITES — "UNIform Transport Evaluation Subsystem" (§4.3, Figure 6).
+
+Metric specification, collection, analysis, and presentation for
+controlled transport-system experimentation:
+
+* :mod:`repro.unites.metrics` — the blackbox/whitebox metric catalogue;
+* :mod:`repro.unites.repository` — the metric repository (an in-memory
+  database queried per-session, per-host, or system-wide);
+* :mod:`repro.unites.collect` — collectors and the ``UNITES`` facade that
+  MANTTS hands TMC requests to;
+* :mod:`repro.unites.analyze` — statistics and A/B comparison;
+* :mod:`repro.unites.present` — tables / CSV / series rendering;
+* :mod:`repro.unites.experiment` — the controlled hypothesis-testing
+  harness used by every benchmark in ``benchmarks/``.
+"""
+
+from repro.unites.metrics import (
+    BLACKBOX,
+    METRICS,
+    WHITEBOX,
+    MetricSpec,
+    session_snapshot,
+)
+from repro.unites.repository import MetricRepository, Sample
+from repro.unites.collect import UNITES, SessionCollector
+from repro.unites.analyze import compare, percentile, summarize
+from repro.unites.present import render_csv, render_series, render_table
+from repro.unites.experiment import Experiment, VariantResult
+from repro.unites.trace import SessionTracer, TraceEvent
+
+__all__ = [
+    "SessionTracer",
+    "TraceEvent",
+    "MetricSpec",
+    "METRICS",
+    "BLACKBOX",
+    "WHITEBOX",
+    "session_snapshot",
+    "MetricRepository",
+    "Sample",
+    "UNITES",
+    "SessionCollector",
+    "summarize",
+    "compare",
+    "percentile",
+    "render_table",
+    "render_csv",
+    "render_series",
+    "Experiment",
+    "VariantResult",
+]

@@ -1,0 +1,83 @@
+"""Metric analysis: summaries and controlled A/B comparison (§4.3).
+
+"Information collected by the UNITES metrics quantifies trade-offs and
+interactions among different configurations, thereby providing meaningful
+design and implementation evaluations."  The analysis layer is small and
+numeric: distribution summaries over sample sets, and a comparison
+operator over two configurations' metric dicts that reports per-metric
+ratios — the primitive every experiment in ``benchmarks/`` builds its
+who-wins verdicts from.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """q-th percentile (q in [0, 100]) of a non-empty sample."""
+    if not len(values):
+        raise ValueError("no samples")
+    return float(np.percentile(np.asarray(values, dtype=float), q))
+
+
+def summarize(values: Sequence[float]) -> Dict[str, float]:
+    """Distribution summary: n/mean/std/min/p50/p95/max."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return {"n": 0, "mean": 0.0, "std": 0.0, "min": 0.0, "p50": 0.0, "p95": 0.0, "max": 0.0}
+    return {
+        "n": int(arr.size),
+        "mean": float(arr.mean()),
+        "std": float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        "min": float(arr.min()),
+        "p50": float(np.percentile(arr, 50)),
+        "p95": float(np.percentile(arr, 95)),
+        "max": float(arr.max()),
+    }
+
+
+def compare(
+    baseline: Dict[str, Optional[float]],
+    candidate: Dict[str, Optional[float]],
+    higher_is_better: Iterable[str] = ("throughput_bps", "throughput_pps", "goodput_bps"),
+) -> Dict[str, Dict[str, float]]:
+    """Per-metric comparison of two configuration runs.
+
+    Returns ``{metric: {baseline, candidate, ratio, better}}`` where
+    ``ratio`` is candidate/baseline and ``better`` is +1 when the
+    candidate wins, -1 when it loses, 0 on a tie/undefined.
+    """
+    hib = set(higher_is_better)
+    out: Dict[str, Dict[str, float]] = {}
+    for metric in sorted(set(baseline) | set(candidate)):
+        b, c = baseline.get(metric), candidate.get(metric)
+        if b is None or c is None:
+            continue
+        ratio = c / b if b not in (0, None) else float("inf") if c else 1.0
+        if abs(c - b) < 1e-12:
+            better = 0
+        elif metric in hib:
+            better = 1 if c > b else -1
+        else:
+            better = 1 if c < b else -1
+        out[metric] = {"baseline": b, "candidate": c, "ratio": ratio, "better": better}
+    return out
+
+
+def time_weighted_mean(series: List[tuple]) -> float:
+    """Mean of a (time, value) series weighted by the interval each value
+    held — correct for unevenly sampled gauges."""
+    if not series:
+        raise ValueError("empty series")
+    if len(series) == 1:
+        return float(series[0][1])
+    total = 0.0
+    weight = 0.0
+    for (t0, v0), (t1, _v1) in zip(series, series[1:]):
+        dt = t1 - t0
+        total += v0 * dt
+        weight += dt
+    return total / weight if weight > 0 else float(series[-1][1])

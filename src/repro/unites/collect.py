@@ -1,0 +1,227 @@
+"""Metric collectors and the UNITES facade.
+
+Two collection routes, matching §4.3's two monitoring modes:
+
+1. applications request metrics through the ACD's Transport Measurement
+   Component — MANTTS calls :meth:`UNITES.instrument` and the collector
+   samples the instrumented session at the TMC's rate;
+2. experimenters request metrics directly (:meth:`UNITES.watch_session`,
+   :meth:`UNITES.watch_host`) — the language/graphics interface of the
+   paper is replaced by this programmatic one.
+
+All samples land in the shared :class:`~repro.unites.repository.MetricRepository`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional
+
+from repro.sim.kernel import Simulator
+from repro.sim.timers import Timer
+from repro.unites.metrics import METRICS, session_snapshot
+from repro.unites.repository import MetricRepository
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mantts.acd import TMC
+    from repro.mantts.api import AdaptiveConnection
+    from repro.tko.session import TKOSession
+
+
+class SessionCollector:
+    """Periodic sampler for one session's metric set."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        repository: MetricRepository,
+        session: "TKOSession",
+        entity: str,
+        metrics: Iterable[str],
+        interval: float = 0.5,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("sampling interval must be positive")
+        unknown = [m for m in metrics if m not in METRICS]
+        if unknown:
+            raise KeyError(f"unknown metrics requested: {unknown}")
+        self.sim = sim
+        self.repository = repository
+        self.session = session
+        self.entity = entity
+        self.metrics = list(metrics)
+        self.interval = interval
+        self.samples_taken = 0
+        self._timer = Timer(sim, self._tick, interval=interval, periodic=True)
+
+    def start(self) -> None:
+        self._timer.schedule(self.interval)
+
+    def stop(self) -> None:
+        self._timer.cancel()
+
+    def _tick(self) -> None:
+        if self.session.closed:
+            # one final sample at close, then stand down
+            self._sample()
+            self.stop()
+            return
+        self._sample()
+
+    def _sample(self) -> None:
+        self.samples_taken += 1
+        values = session_snapshot(self.session, self.metrics)
+        self.repository.record_many(self.sim.now, "session", self.entity, values)
+
+
+class UNITES:
+    """Facade tying specification, collection, and the repository together."""
+
+    def __init__(self, sim: Simulator, repository: Optional[MetricRepository] = None) -> None:
+        self.sim = sim
+        self.repository = repository if repository is not None else MetricRepository()
+        self.collectors: List[SessionCollector] = []
+        #: connection ref -> TMC presentation format requested in the ACD
+        self._presentations: dict = {}
+
+    # ------------------------------------------------------------------
+    def instrument(self, connection: "AdaptiveConnection", tmc: "TMC") -> SessionCollector:
+        """Honour an ACD's Transport Measurement Component (route 1)."""
+        assert connection.session is not None
+        metrics = list(tmc.metrics) if tmc.metrics else list(METRICS)
+        collector = SessionCollector(
+            self.sim,
+            self.repository,
+            connection.session,
+            entity=connection.ref,
+            metrics=metrics,
+            interval=tmc.sampling_interval,
+        )
+        collector.start()
+        self.collectors.append(collector)
+        self._presentations[connection.ref] = tmc.presentation
+        return collector
+
+    def render_tmc(self, conn_ref: str) -> str:
+        """Render one instrumented connection's metrics in the format its
+        TMC asked for (Table 2's "presentation format" parameter)."""
+        from repro.unites.present import render_csv, render_series, render_table
+
+        fmt = self._presentations.get(conn_ref, "table")
+        repo = self.repository
+        metrics = repo.metrics_for("session", conn_ref)
+        if not metrics:
+            return f"(no samples for {conn_ref})"
+        if fmt == "series":
+            blocks = [
+                render_series(repo.series(m, "session", conn_ref), label=m)
+                for m in metrics
+            ]
+            return "\n".join(blocks)
+        rows = []
+        for m in metrics:
+            series = repo.series(m, "session", conn_ref)
+            rows.append(
+                {"metric": m, "samples": len(series), "latest": series[-1][1]}
+            )
+        if fmt == "csv":
+            return render_csv(rows, ["metric", "samples", "latest"])
+        return render_table(rows, ["metric", "samples", "latest"],
+                            title=f"== TMC report: {conn_ref} ==")
+
+    def watch_session(
+        self,
+        session: "TKOSession",
+        entity: str,
+        metrics: Optional[Iterable[str]] = None,
+        interval: float = 0.5,
+    ) -> SessionCollector:
+        """Experimenter-driven collection (route 2)."""
+        collector = SessionCollector(
+            self.sim,
+            self.repository,
+            session,
+            entity=entity,
+            metrics=list(metrics) if metrics is not None else list(METRICS),
+            interval=interval,
+        )
+        collector.start()
+        self.collectors.append(collector)
+        return collector
+
+    def watch_host(self, host, interval: float = 0.5) -> Timer:
+        """Sample host-scope metrics (CPU utilization, buffer pressure)."""
+
+        start_time = self.sim.now
+
+        def tick() -> None:
+            elapsed = max(1e-9, self.sim.now - start_time)
+            self.repository.record_many(
+                self.sim.now,
+                "host",
+                host.name,
+                {
+                    "cpu_utilization": host.cpu.utilization(elapsed),
+                    "buffer_fill": host.buffers.fill_fraction,
+                    "frames_sent": float(host.frames_sent),
+                    "frames_received": float(host.frames_received),
+                },
+            )
+
+        timer = Timer(self.sim, tick, interval=interval, periodic=True)
+        timer.schedule(interval)
+        return timer
+
+    # ------------------------------------------------------------------
+    def final_snapshot(self, session: "TKOSession", entity: str) -> Dict[str, Optional[float]]:
+        """One complete snapshot, recorded and returned (end-of-run)."""
+        values = session_snapshot(session)
+        self.repository.record_many(self.sim.now, "session", entity, values)
+        return values
+
+    def stop_all(self) -> None:
+        for c in self.collectors:
+            c.stop()
+
+    # ------------------------------------------------------------------
+    def report(self) -> str:
+        """A full repository report at all three scopes (Figure 6's
+        "systemwide, per-host, or per-connection" presentation).
+
+        Rows show the latest value of every metric per entity; the system
+        scope aggregates each metric's mean across entities.
+        """
+        from repro.unites.present import render_table
+
+        repo = self.repository
+        sections = []
+        for scope, title in (("session", "per-connection"), ("host", "per-host")):
+            entities = repo.entities(scope)
+            if not entities:
+                continue
+            metrics = sorted({m for e in entities for m in repo.metrics_for(scope, e)})
+            rows = []
+            for e in entities:
+                row: dict = {"entity": e}
+                for m in metrics:
+                    row[m] = repo.latest(m, scope, e)
+                rows.append(row)
+            sections.append(render_table(rows, ["entity", *metrics],
+                                         title=f"== UNITES {title} =="))
+        # systemwide: mean of each session metric across entities
+        sess_entities = repo.entities("session")
+        if sess_entities:
+            metrics = sorted(
+                {m for e in sess_entities for m in repo.metrics_for("session", e)}
+            )
+            row: dict = {"entity": "system"}
+            for m in metrics:
+                values = [
+                    repo.latest(m, "session", e)
+                    for e in sess_entities
+                    if repo.latest(m, "session", e) is not None
+                ]
+                row[m] = sum(values) / len(values) if values else None
+            sections.append(
+                render_table([row], ["entity", *metrics], title="== UNITES systemwide ==")
+            )
+        return "\n\n".join(sections) if sections else "(no metrics collected)"

@@ -1,0 +1,98 @@
+"""Controlled experiment harness (§4.3's hypothesis-testing goal).
+
+"A fundamental goal of ADAPTIVE is to provide a framework that supports
+controlled hypothesis testing of different transport system session
+configurations."  An :class:`Experiment` runs each *variant* (a named
+scenario factory) in its own fresh simulator with its own deterministic
+RNG root, collects one metric dict per variant, and renders a comparison
+— the same methodology every table/figure reproduction in ``benchmarks/``
+uses.
+
+A variant factory receives nothing and returns the final metric dict; it
+is expected to build its whole world (network, hosts, stacks, workload),
+run the simulator, and snapshot.  Helpers in this module cover the common
+"run one session over one path with one config" shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.unites.analyze import compare
+from repro.unites.present import render_table
+
+
+@dataclass
+class VariantResult:
+    """One variant's outcome."""
+
+    name: str
+    metrics: Dict[str, Optional[float]]
+    notes: str = ""
+
+
+class Experiment:
+    """Named set of variants producing a comparison table."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._variants: List[tuple] = []
+        self.results: List[VariantResult] = []
+
+    # ------------------------------------------------------------------
+    def add_variant(
+        self,
+        name: str,
+        factory: Callable[[], Dict[str, Optional[float]]],
+        notes: str = "",
+    ) -> None:
+        """Register a variant; ``factory`` builds, runs, and measures."""
+        self._variants.append((name, factory, notes))
+
+    def run(self) -> List[VariantResult]:
+        """Execute every variant (idempotent: reruns from scratch)."""
+        self.results = []
+        for name, factory, notes in self._variants:
+            metrics = factory()
+            self.results.append(VariantResult(name, metrics, notes))
+        return self.results
+
+    # ------------------------------------------------------------------
+    def table(self, columns: Optional[List[str]] = None) -> str:
+        """Render all variants' metrics side by side."""
+        if not self.results:
+            raise RuntimeError("run() the experiment first")
+        rows = []
+        for r in self.results:
+            row: Dict[str, object] = {"variant": r.name}
+            row.update({k: v for k, v in r.metrics.items()})
+            if r.notes:
+                row["notes"] = r.notes
+            rows.append(row)
+        cols = ["variant"] + (columns or sorted(self.results[0].metrics))
+        if any(r.notes for r in self.results):
+            cols.append("notes")
+        return render_table(rows, cols, title=f"== {self.name} ==")
+
+    def result(self, name: str) -> VariantResult:
+        for r in self.results:
+            if r.name == name:
+                return r
+        raise KeyError(f"no variant named {name!r}")
+
+    def compare(self, baseline: str, candidate: str) -> Dict[str, Dict[str, float]]:
+        """Per-metric ratio comparison of two variants."""
+        return compare(self.result(baseline).metrics, self.result(candidate).metrics)
+
+    def winner(self, metric: str, higher_is_better: bool = True) -> str:
+        """Variant name winning on one metric (the shape checks in tests)."""
+        scored = [
+            (r.metrics.get(metric), r.name)
+            for r in self.results
+            if r.metrics.get(metric) is not None
+        ]
+        if not scored:
+            raise ValueError(f"no variant produced metric {metric!r}")
+        chooser = max if higher_is_better else min
+        return chooser(scored, key=lambda pair: pair[0])[1]

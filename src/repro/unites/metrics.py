@@ -1,0 +1,179 @@
+"""The UNITES metric catalogue (§4.3).
+
+Metrics divide into two classes exactly as the paper does:
+
+* **blackbox** — collected "without knowledge of internal implementation
+  details": throughput (packets and bits per second) and latency
+  (round-trip time for interactive traffic);
+* **whitebox** — requiring internal instrumentation of the synthesized
+  session configuration: connection establishment/termination latency,
+  (re)transmission counts, instructions per protocol function, interrupt
+  and scheduling overhead, jitter (delay variance), and packet loss.
+
+Every metric is a :class:`MetricSpec` with an extractor over the live
+session (plus its host), so collectors are data-driven: a TMC names the
+metrics, the collector resolves them here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.tko.session import TKOSession
+
+
+def _elapsed(session: "TKOSession") -> float:
+    start = session.stats.established_at or session.stats.opened_at or 0.0
+    end = session.stats.closed_at if session.stats.closed_at is not None else session.now
+    return max(1e-9, end - start)
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """One collectable metric."""
+
+    name: str
+    kind: str                   #: "blackbox" | "whitebox"
+    unit: str
+    description: str
+    extract: Callable[["TKOSession"], Optional[float]]
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("blackbox", "whitebox"):
+            raise ValueError(f"metric kind must be blackbox/whitebox, not {self.kind!r}")
+
+
+_SPECS = (
+    # --- blackbox -------------------------------------------------------
+    MetricSpec(
+        "throughput_bps", "blackbox", "bit/s",
+        "application data delivered per second",
+        lambda s: s.stats.data_bytes_delivered * 8.0 / _elapsed(s),
+    ),
+    MetricSpec(
+        "throughput_pps", "blackbox", "pkt/s",
+        "PDUs transmitted per second (the paper's throughput definition)",
+        lambda s: s.stats.pdus_sent / _elapsed(s),
+    ),
+    MetricSpec(
+        "goodput_bps", "blackbox", "bit/s",
+        "delivered data rate excluding retransmitted/parity overhead",
+        lambda s: s.stats.data_bytes_delivered * 8.0 / _elapsed(s),
+    ),
+    MetricSpec(
+        "latency", "blackbox", "s",
+        "mean message delivery latency (send to application hand-off)",
+        lambda s: s.stats.mean_latency if s.stats.latency_samples else None,
+    ),
+    MetricSpec(
+        "rtt", "blackbox", "s",
+        "smoothed round-trip time estimate",
+        lambda s: s.rtt.srtt,
+    ),
+    # --- whitebox -------------------------------------------------------
+    MetricSpec(
+        "connection_setup_time", "whitebox", "s",
+        "open request to establishment",
+        lambda s: s.stats.connection_setup_time,
+    ),
+    MetricSpec(
+        "retransmissions", "whitebox", "count",
+        "DATA PDUs retransmitted",
+        lambda s: float(s.stats.retransmissions),
+    ),
+    MetricSpec(
+        "retransmission_rate", "whitebox", "fraction",
+        "retransmitted / transmitted PDUs",
+        lambda s: s.stats.retransmissions / max(1, s.stats.pdus_sent),
+    ),
+    MetricSpec(
+        "jitter", "whitebox", "s",
+        "delivery-latency standard deviation (paper: variance in delay)",
+        lambda s: s.stats.jitter,
+    ),
+    MetricSpec(
+        "loss_rate", "whitebox", "fraction",
+        "fraction of sent messages with no local delivery (meaningful for "
+        "request-response sessions; None for one-directional endpoints, "
+        "whose loss is observable only at the peer)",
+        lambda s: (
+            max(0.0, 1.0 - s.stats.msgs_delivered / s.stats.msgs_sent)
+            if s.stats.msgs_sent > 0 and s.stats.msgs_delivered > 0
+            else None
+        ),
+    ),
+    MetricSpec(
+        "instructions_per_pdu", "whitebox", "instr",
+        "host instructions retired per PDU handled (protocol function cost)",
+        lambda s: s.host.cpu.instructions_retired
+        / max(1, s.stats.pdus_sent + s.stats.pdus_received),
+    ),
+    MetricSpec(
+        "cpu_utilization", "whitebox", "fraction",
+        "host CPU busy fraction (interrupt + protocol + scheduling overhead)",
+        lambda s: s.host.cpu.utilization(_elapsed(s)),
+    ),
+    MetricSpec(
+        "acks_sent", "whitebox", "count",
+        "acknowledgment PDUs generated",
+        lambda s: float(s.stats.acks_sent),
+    ),
+    MetricSpec(
+        "acks_received", "whitebox", "count",
+        "acknowledgment PDUs processed",
+        lambda s: float(s.stats.acks_received),
+    ),
+    MetricSpec(
+        "fec_recoveries", "whitebox", "count",
+        "DATA PDUs reconstructed from parity",
+        lambda s: float(s.stats.fec_recoveries),
+    ),
+    MetricSpec(
+        "checksum_rejections", "whitebox", "count",
+        "corrupted PDUs caught by error detection",
+        lambda s: float(s.stats.checksum_rejections),
+    ),
+    MetricSpec(
+        "corrupted_delivered", "whitebox", "count",
+        "damaged payloads handed to the application",
+        lambda s: float(s.stats.corrupted_delivered),
+    ),
+    MetricSpec(
+        "late_arrivals", "whitebox", "count",
+        "messages that missed their playout point",
+        lambda s: float(s.stats.late_arrivals),
+    ),
+    MetricSpec(
+        "buffer_drops", "whitebox", "count",
+        "PDUs dropped for want of receive buffers",
+        lambda s: float(s.stats.buffer_drops),
+    ),
+    MetricSpec(
+        "reconfigurations", "whitebox", "count",
+        "run-time mechanism segues performed",
+        lambda s: float(s.stats.reconfigurations),
+    ),
+    MetricSpec(
+        "copies_bytes", "whitebox", "bytes",
+        "payload bytes physically copied on this host",
+        lambda s: float(s.copy_meter.bytes_copied),
+    ),
+)
+
+METRICS: Dict[str, MetricSpec] = {m.name: m for m in _SPECS}
+BLACKBOX = {n: m for n, m in METRICS.items() if m.kind == "blackbox"}
+WHITEBOX = {n: m for n, m in METRICS.items() if m.kind == "whitebox"}
+
+
+def session_snapshot(session: "TKOSession", metrics=None) -> Dict[str, Optional[float]]:
+    """Evaluate a set of metrics (default: all) against a session now."""
+    chosen = metrics if metrics is not None else METRICS.keys()
+    out: Dict[str, Optional[float]] = {}
+    for name in chosen:
+        spec = METRICS.get(name)
+        if spec is None:
+            raise KeyError(f"unknown metric {name!r}")
+        out[name] = spec.extract(session)
+    return out

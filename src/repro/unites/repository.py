@@ -1,0 +1,83 @@
+"""The UNITES Metric Repository (Figure 6).
+
+"The UNITES Metric Repository stores the collected metric information in a
+database ... presented in either a systemwide, per-host, or per-connection
+manner."  Samples are (time, scope, entity, metric, value) rows held in
+memory with simple secondary indexing; queries return time series or
+aggregates at any of the three scopes.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+SCOPES = ("session", "host", "system")
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One stored measurement."""
+
+    time: float
+    scope: str          #: "session" | "host" | "system"
+    entity: str         #: connection ref / host name / ""
+    metric: str
+    value: float
+
+
+class MetricRepository:
+    """In-memory measurement database with scope/metric indexing."""
+
+    def __init__(self) -> None:
+        self._samples: List[Sample] = []
+        self._by_key: Dict[Tuple[str, str, str], List[Sample]] = defaultdict(list)
+
+    # ------------------------------------------------------------------
+    def record(self, time: float, scope: str, entity: str, metric: str, value: float) -> None:
+        if scope not in SCOPES:
+            raise ValueError(f"scope must be one of {SCOPES}")
+        if value is None:
+            return
+        s = Sample(time, scope, entity, metric, float(value))
+        self._samples.append(s)
+        self._by_key[(scope, entity, metric)].append(s)
+
+    def record_many(self, time: float, scope: str, entity: str, values: Dict[str, Optional[float]]) -> None:
+        for metric, value in values.items():
+            if value is not None:
+                self.record(time, scope, entity, metric, value)
+
+    # ------------------------------------------------------------------
+    def series(self, metric: str, scope: str = "session", entity: str = "") -> List[Tuple[float, float]]:
+        """Time series of one metric for one entity."""
+        return [(s.time, s.value) for s in self._by_key.get((scope, entity, metric), [])]
+
+    def latest(self, metric: str, scope: str = "session", entity: str = "") -> Optional[float]:
+        rows = self._by_key.get((scope, entity, metric))
+        return rows[-1].value if rows else None
+
+    def values(self, metric: str, scope: Optional[str] = None) -> List[float]:
+        """All values of one metric, across entities (systemwide view)."""
+        return [
+            s.value
+            for s in self._samples
+            if s.metric == metric and (scope is None or s.scope == scope)
+        ]
+
+    def entities(self, scope: str) -> List[str]:
+        return sorted({s.entity for s in self._samples if s.scope == scope})
+
+    def metrics_for(self, scope: str, entity: str) -> List[str]:
+        return sorted(
+            {s.metric for s in self._samples if s.scope == scope and s.entity == entity}
+        )
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def clear(self) -> None:
+        self._samples.clear()
+        self._by_key.clear()

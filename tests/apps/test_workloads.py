@@ -1,0 +1,142 @@
+"""Tests for the application workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    BulkSource,
+    CbrVideoSource,
+    DeliveryTracker,
+    RequestResponseClient,
+    TelnetSource,
+    VbrVideoSource,
+    VoiceSource,
+    make_source,
+)
+from repro.tko.config import SessionConfig
+from tests.conftest import TwoHosts
+
+
+class SinkSender:
+    """Records sends without a network (pure generator tests)."""
+
+    def __init__(self):
+        self.sent = []
+
+    def send(self, data):
+        self.sent.append(data)
+        return len(self.sent)
+
+
+class TestVoice:
+    def test_talk_spurt_pattern(self, sim):
+        rng = np.random.default_rng(0)
+        src = VoiceSource(sim, SinkSender(), rng=rng)
+        src.start()
+        sim.run(until=10.0)
+        # 40% duty at 50 pps → ~200 frames over 10 s
+        assert 80 < src.messages_sent < 350
+        assert src.talk_spurts > 2
+
+    def test_frame_size_fixed(self, sim):
+        sender = SinkSender()
+        src = VoiceSource(sim, sender, rng=np.random.default_rng(1), frame_bytes=160)
+        src.start()
+        sim.run(until=2.0)
+        assert all(len(p) == 160 for p in sender.sent)
+
+    def test_bad_params(self, sim):
+        with pytest.raises(ValueError):
+            VoiceSource(sim, SinkSender(), frame_interval=0)
+
+
+class TestVideo:
+    def test_cbr_rate(self, sim):
+        src = CbrVideoSource(sim, SinkSender(), fps=30, frame_bytes=1000)
+        src.start()
+        sim.run(until=2.0)
+        assert src.messages_sent == pytest.approx(60, abs=2)
+        assert src.rate_bps == pytest.approx(240_000)
+
+    def test_vbr_i_frames_bigger(self, sim):
+        sender = SinkSender()
+        src = VbrVideoSource(sim, sender, rng=np.random.default_rng(2),
+                             fps=30, mean_frame_bytes=2000)
+        src.start()
+        sim.run(until=4.0)
+        sizes = [len(p) for p in sender.sent]
+        i_frames = sizes[:: src.GOP]
+        p_frames = [s for i, s in enumerate(sizes) if i % src.GOP]
+        assert np.mean(i_frames) > 2 * np.mean(p_frames)
+
+
+class TestBulk:
+    def test_sends_exact_volume(self, sim):
+        sender = SinkSender()
+        src = BulkSource(sim, sender, total_bytes=10_000, chunk_bytes=3000)
+        src.start()
+        sim.run(until=1.0)
+        assert src.done
+        assert sum(len(p) for p in sender.sent) == 10_000
+        assert [len(p) for p in sender.sent] == [3000, 3000, 3000, 1000]
+
+
+class TestTelnet:
+    def test_small_bursty(self, sim):
+        sender = SinkSender()
+        src = TelnetSource(sim, sender, rng=np.random.default_rng(3), rate_per_s=5)
+        src.start()
+        sim.run(until=10.0)
+        assert 20 < src.messages_sent < 100
+        assert all(1 <= len(p) <= 8 for p in sender.sent)
+
+
+class TestRpcEndToEnd:
+    def test_closed_loop_over_network(self):
+        from repro.apps.rpc import EchoResponder
+
+        w = TwoHosts()
+        responder = EchoResponder(response_bytes=256)
+        w.pb.listen(7000, lambda p, f: SessionConfig(connection="implicit"),
+                    responder.attach)
+        s = w.pa.create_session(SessionConfig(connection="implicit"), "B", 7000)
+        s.connect()
+        client = RequestResponseClient(w.sim, s, rng=np.random.default_rng(4),
+                                       think_time=0.01)
+        s.on_deliver = client.on_deliver
+        client.start()
+        w.sim.run(until=3.0)
+        assert client.completed > 10
+        assert client.timeouts == 0
+        assert responder.requests_served == client.completed
+        assert client.mean_response_time > 0
+
+
+class TestFactoryAndTracker:
+    def test_factory_known_kinds(self, sim):
+        for kind in ("voice", "video-cbr", "video-vbr", "bulk", "telnet", "rpc"):
+            src = make_source(kind, sim, SinkSender())
+            assert src is not None
+
+    def test_factory_unknown(self, sim):
+        with pytest.raises(KeyError):
+            make_source("quantum", sim, SinkSender())
+
+    def test_tracker_deadline_accounting(self, sim):
+        t = DeliveryTracker(deadline=0.1).bind_clock(sim)
+        t.on_deliver(b"x", {"latency": 0.05})
+        t.on_deliver(b"y", {"latency": 0.5})
+        assert t.deadline_misses == 1
+        assert t.deadline_miss_rate() == 0.5
+        assert t.mean_latency == pytest.approx(0.275)
+
+    def test_source_tolerates_unestablished_sender(self, sim):
+        class Closed:
+            def send(self, data):
+                raise RuntimeError("closed")
+
+        src = BulkSource(sim, Closed(), total_bytes=5000, chunk_bytes=1000)
+        src.start()
+        sim.run(until=1.0)
+        assert src.send_errors == 5
+        assert src.messages_sent == 0

@@ -1,0 +1,86 @@
+"""Tests for the monolithic baseline protocols."""
+
+import pytest
+
+from repro.baselines import tcp_like_config, tp4_like_config, udp_like_config
+from repro.baselines.tcp_like import TcpCongestionControl
+from repro.netsim.profiles import ethernet_10, wan_internet
+from repro.netsim.traffic import BackgroundLoad
+from repro.tko.config import SessionConfig
+from tests.conftest import TwoHosts
+
+
+class TestConfigs:
+    def test_tcp_shape(self):
+        cfg = tcp_like_config()
+        assert cfg.connection == "explicit-3way"
+        assert cfg.transmission == "tcp-aimd"
+        assert cfg.checksum_placement == "header"
+        assert not cfg.compact_headers
+        assert cfg.binding == "static"
+
+    def test_udp_shape(self):
+        cfg = udp_like_config()
+        assert cfg.recovery == "none" and cfg.ack == "none"
+        assert cfg.transmission == "none"
+
+    def test_tp4_heavier_than_tcp(self):
+        tp4 = tp4_like_config()
+        assert tp4.detection == "crc32"
+        assert tp4.rto_initial >= 1.0
+        assert tp4.window <= 8
+
+
+class TestTcpBehaviour:
+    def test_reliable_delivery(self):
+        w = TwoHosts(profile=ethernet_10().scaled(ber=3e-6))
+        s = w.transfer(tcp_like_config(binding="dynamic"), [b"d" * 1000] * 30, until=20.0)
+        assert len(w.delivered) == 30
+
+    def test_slow_start_grows_cwnd(self):
+        w = TwoHosts()
+        w.listen()
+        s = w.open(tcp_like_config(binding="dynamic"))
+        cc = s.context.transmission
+        assert isinstance(cc, TcpCongestionControl)
+        start = cc.cwnd
+        for _ in range(30):
+            s.send(b"d" * 1000)
+        w.sim.run(until=5.0)
+        assert cc.cwnd > start
+
+    def test_loss_halves_into_recovery(self):
+        w = TwoHosts(profile=wan_internet().scaled(queue_limit=8))
+        w.listen()
+        s = w.open(tcp_like_config(binding="dynamic"))
+        bg = BackgroundLoad(w.net, "s1", "s2", rate_bps=1.2e6)
+        bg.start()
+        for _ in range(60):
+            s.send(b"d" * 1000)
+        w.sim.run(until=30.0)
+        cc = s.context.transmission
+        assert s.stats.retransmissions > 0
+        assert cc.ssthresh < 64.0  # multiplicative decrease happened
+
+    def test_static_tcp_template_cannot_segue(self):
+        w = TwoHosts()
+        w.listen()
+        s = w.open(tcp_like_config())  # binding=static
+        from repro.mechanisms.retransmission import SelectiveRepeat
+
+        with pytest.raises(RuntimeError):
+            s.segue("recovery", SelectiveRepeat())
+
+
+class TestUdpBehaviour:
+    def test_no_acks_no_retransmissions(self):
+        w = TwoHosts()
+        s = w.transfer(udp_like_config(), [b"d" * 500] * 20, until=3.0)
+        assert s.stats.retransmissions == 0
+        assert s.stats.acks_received == 0
+        assert len(w.delivered) == 20
+
+    def test_loses_under_loss_without_repair(self):
+        w = TwoHosts(profile=ethernet_10().scaled(ber=3e-5))
+        w.transfer(udp_like_config(), [b"d" * 1000] * 50, until=5.0)
+        assert len(w.delivered) < 50

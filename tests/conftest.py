@@ -1,0 +1,71 @@
+"""Shared fixtures: assembled two-host worlds and tiny builders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.host.nic import Host
+from repro.netsim.profiles import ethernet_10, linear_path
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RngStreams
+from repro.tko.config import SessionConfig
+from repro.tko.protocol import TKOProtocol
+
+
+class TwoHosts:
+    """A↔B over Ethernet with TKO protocols and delivery capture."""
+
+    def __init__(self, profile=None, n_switches: int = 2, seed: int = 0, mips: float = 25.0):
+        self.sim = Simulator()
+        self.rng = RngStreams(seed)
+        self.net = linear_path(
+            self.sim, profile or ethernet_10(), ("A", "B"), n_switches=n_switches, rng=self.rng
+        )
+        self.ha = Host(self.sim, self.net, "A", mips=mips)
+        self.hb = Host(self.sim, self.net, "B", mips=mips)
+        self.pa = TKOProtocol(self.ha)
+        self.pb = TKOProtocol(self.hb)
+        self.delivered: list = []
+        self.rx_sessions: list = []
+
+    def listen(self, cfg: SessionConfig | None = None, port: int = 7000):
+        def factory(pdu, frame):
+            if cfg is not None:
+                return cfg
+            carried = pdu.options.get("cfg")
+            if isinstance(carried, dict):
+                c = SessionConfig.from_dict(carried)
+                if c.delivery == "multicast":
+                    c = c.with_(delivery="unicast", connection="implicit")
+                return c
+            return SessionConfig(connection="implicit")
+
+        def on_session(s):
+            s.on_deliver = lambda data, meta: self.delivered.append((data, meta))
+            self.rx_sessions.append(s)
+
+        self.pb.listen(port, factory, on_session)
+
+    def open(self, cfg: SessionConfig, port: int = 7000, **callbacks):
+        s = self.pa.create_session(cfg, "B", port, **callbacks)
+        s.connect()
+        return s
+
+    def transfer(self, cfg: SessionConfig, messages, until: float = 10.0):
+        """Round-trip helper: listen, open, send all, run; returns sender."""
+        self.listen()
+        s = self.open(cfg)
+        for m in messages:
+            s.send(m)
+        self.sim.run(until=until)
+        return s
+
+
+@pytest.fixture
+def world():
+    return TwoHosts()
+
+
+@pytest.fixture
+def sim():
+    return Simulator()

@@ -1,0 +1,98 @@
+"""Tests for the core façade: system assembly and canned scenarios."""
+
+import pytest
+
+from repro.core.scenario import PointToPointScenario, run_point_to_point
+from repro.core.system import AdaptiveSystem
+from repro.mantts.acd import ACD
+from repro.mantts.tsc import APP_PROFILES
+from repro.netsim.profiles import ethernet_10, linear_path, wan_internet
+from repro.tko.config import SessionConfig
+
+
+class TestAdaptiveSystem:
+    def test_node_requires_network(self):
+        sysm = AdaptiveSystem()
+        with pytest.raises(RuntimeError):
+            sysm.node("A")
+
+    def test_double_network_rejected(self):
+        sysm = AdaptiveSystem()
+        sysm.attach_network(linear_path(sysm.sim, ethernet_10(), ("A", "B")))
+        with pytest.raises(RuntimeError):
+            sysm.attach_network(linear_path(sysm.sim, ethernet_10(), ("C", "D")))
+
+    def test_duplicate_node_rejected(self):
+        sysm = AdaptiveSystem()
+        sysm.attach_network(linear_path(sysm.sim, ethernet_10(), ("A", "B")))
+        sysm.node("A")
+        with pytest.raises(ValueError):
+            sysm.node("A")
+
+    def test_nodes_share_template_cache(self):
+        sysm = AdaptiveSystem()
+        sysm.attach_network(linear_path(sysm.sim, ethernet_10(), ("A", "B")))
+        a, b = sysm.node("A"), sysm.node("B")
+        assert a.protocol.synthesizer.templates is b.protocol.synthesizer.templates
+
+
+class TestScenario:
+    def test_exactly_one_driver_required(self):
+        with pytest.raises(ValueError):
+            PointToPointScenario()
+        with pytest.raises(ValueError):
+            PointToPointScenario(
+                config=SessionConfig(), acd=ACD(participants=("B",))
+            )
+
+    def test_config_mode_metrics(self):
+        m = run_point_to_point(
+            config=SessionConfig(),
+            workload="bulk",
+            workload_kw={"total_bytes": 100_000, "chunk_bytes": 4096},
+            duration=5.0,
+        )
+        assert m["msgs_delivered"] == m["msgs_sent"]
+        assert m["goodput_bps"] > 1e5
+        assert m["cpu_a"] > 0
+
+    def test_acd_mode_metrics(self):
+        p = APP_PROFILES["file-transfer"]
+        acd = ACD(participants=("B",), quantitative=p.quantitative(),
+                  qualitative=p.qualitative(), service_port=7000)
+        m = run_point_to_point(
+            acd=acd, workload="bulk",
+            workload_kw={"total_bytes": 50_000, "chunk_bytes": 4096},
+            duration=5.0,
+        )
+        assert m["msgs_delivered"] == m["msgs_sent"]
+
+    def test_rpc_mode(self):
+        m = run_point_to_point(
+            config=SessionConfig(connection="implicit"),
+            workload="rpc",
+            duration=3.0,
+        )
+        assert m["rpc_completed"] > 5
+        assert m["rpc_mean_response"] > 0
+
+    def test_congestion_produces_drops(self):
+        m = run_point_to_point(
+            config=SessionConfig(),
+            workload="bulk",
+            workload_kw={"total_bytes": 300_000, "chunk_bytes": 4096},
+            profile=wan_internet(),
+            bg_bps=1.4e6,
+            duration=15.0,
+        )
+        assert m["link_drops"] > 0
+
+    def test_seed_reproducibility(self):
+        kw = dict(
+            config=SessionConfig(),
+            workload="voice",
+            profile=ethernet_10().scaled(ber=2e-6),
+            duration=5.0,
+            seed=42,
+        )
+        assert run_point_to_point(**kw) == run_point_to_point(**kw)

@@ -1,0 +1,96 @@
+"""Unit tests for buffer pools (fixed vs variable disciplines)."""
+
+import pytest
+
+from repro.host.buffers import BufferPool
+
+
+class TestVariablePool:
+    def test_exact_footprint(self):
+        p = BufferPool(10_000, "variable")
+        b = p.alloc(333)
+        assert b.footprint == 333
+        assert p.in_use == 333
+
+    def test_free_returns_capacity(self):
+        p = BufferPool(1000, "variable")
+        b = p.alloc(800)
+        p.free(b)
+        assert p.in_use == 0
+        assert p.alloc(900) is not None
+
+    def test_exhaustion_returns_none(self):
+        p = BufferPool(1000, "variable")
+        assert p.alloc(600) is not None
+        assert p.alloc(600) is None
+        assert p.failures == 1
+
+    def test_double_free_rejected(self):
+        p = BufferPool(1000)
+        b = p.alloc(10)
+        p.free(b)
+        with pytest.raises(ValueError):
+            p.free(b)
+
+    def test_zero_alloc_rejected(self):
+        with pytest.raises(ValueError):
+            BufferPool(1000).alloc(0)
+
+    def test_high_water(self):
+        p = BufferPool(1000)
+        b1 = p.alloc(400)
+        b2 = p.alloc(400)
+        p.free(b1)
+        p.free(b2)
+        assert p.high_water == 800
+
+    def test_fill_fraction(self):
+        p = BufferPool(1000)
+        p.alloc(250)
+        assert p.fill_fraction == 0.25
+
+
+class TestFixedPool:
+    def test_rounds_up_to_slab(self):
+        p = BufferPool(10_000, "fixed", slab_size=2048)
+        b = p.alloc(100)
+        assert b.footprint == 2048
+
+    def test_multi_slab(self):
+        p = BufferPool(10_000, "fixed", slab_size=2048)
+        b = p.alloc(5000)
+        assert b.footprint == 3 * 2048
+
+    def test_waste_reduces_effective_capacity(self):
+        var = BufferPool(8192, "variable")
+        fix = BufferPool(8192, "fixed", slab_size=2048)
+        n_var = sum(1 for _ in range(100) if var.alloc(100))
+        n_fix = sum(1 for _ in range(100) if fix.alloc(100))
+        assert n_fix < n_var  # internal fragmentation bites
+
+    def test_exact_multiple_wastes_nothing(self):
+        p = BufferPool(8192, "fixed", slab_size=2048)
+        b = p.alloc(2048)
+        assert b.footprint == 2048
+
+
+class TestResize:
+    def test_shrink_blocks_new_allocations(self):
+        p = BufferPool(1000)
+        p.alloc(800)
+        p.resize(500)
+        assert p.alloc(10) is None
+
+    def test_grow_allows_more(self):
+        p = BufferPool(100)
+        assert p.alloc(200) is None
+        p.resize(1000)
+        assert p.alloc(200) is not None
+
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError):
+            BufferPool(0)
+        with pytest.raises(ValueError):
+            BufferPool(100, "weird")
+        with pytest.raises(ValueError):
+            BufferPool(100).resize(0)

@@ -1,0 +1,83 @@
+"""Unit tests for the CPU cost model."""
+
+import pytest
+
+from repro.host.cpu import Cpu, CpuCosts
+
+
+class TestCpu:
+    def test_seconds_for(self, sim):
+        cpu = Cpu(sim, mips=10.0)
+        assert cpu.seconds_for(10e6) == pytest.approx(1.0)
+
+    def test_submit_delays_callback(self, sim):
+        cpu = Cpu(sim, mips=1.0)  # 1e6 instr/sec
+        done = []
+        cpu.submit(500_000, lambda: done.append(sim.now))
+        sim.run()
+        assert done == [pytest.approx(0.5)]
+
+    def test_serialization_of_work(self, sim):
+        cpu = Cpu(sim, mips=1.0)
+        done = []
+        cpu.submit(100_000, lambda: done.append(sim.now))
+        cpu.submit(100_000, lambda: done.append(sim.now))
+        sim.run()
+        assert done == [pytest.approx(0.1), pytest.approx(0.2)]
+
+    def test_backlog(self, sim):
+        cpu = Cpu(sim, mips=1.0)
+        cpu.submit(1_000_000, lambda: None)
+        assert cpu.backlog == pytest.approx(1.0)
+        sim.run()
+        assert cpu.backlog == 0.0
+
+    def test_busy_time_and_utilization(self, sim):
+        cpu = Cpu(sim, mips=1.0)
+        cpu.submit(250_000, lambda: None)
+        sim.run(until=1.0)
+        assert cpu.busy_time == pytest.approx(0.25)
+        assert cpu.utilization(1.0) == pytest.approx(0.25)
+
+    def test_utilization_caps_at_one(self, sim):
+        cpu = Cpu(sim, mips=1.0)
+        cpu.submit(5_000_000, lambda: None)
+        assert cpu.utilization(1.0) == 1.0
+
+    def test_instructions_retired(self, sim):
+        cpu = Cpu(sim, mips=10)
+        cpu.submit(123, lambda: None)
+        cpu.submit(77, lambda: None)
+        assert cpu.instructions_retired == 200
+
+    def test_zero_cost_submit_runs_now(self, sim):
+        cpu = Cpu(sim, mips=1.0)
+        done = []
+        cpu.submit(0, lambda: done.append(sim.now))
+        sim.run()
+        assert done == [0.0]
+
+    def test_negative_instructions_rejected(self, sim):
+        cpu = Cpu(sim)
+        with pytest.raises(ValueError):
+            cpu.submit(-1, lambda: None)
+
+    def test_bad_mips_rejected(self, sim):
+        with pytest.raises(ValueError):
+            Cpu(sim, mips=0)
+
+    def test_faster_cpu_finishes_sooner(self, sim):
+        slow, fast = Cpu(sim, mips=10), Cpu(sim, mips=100)
+        done = {}
+        slow.submit(1e6, lambda: done.setdefault("slow", sim.now))
+        fast.submit(1e6, lambda: done.setdefault("fast", sim.now))
+        sim.run()
+        assert done["fast"] < done["slow"]
+
+    def test_default_costs_relative_magnitudes(self):
+        c = CpuCosts()
+        # the paper's ordering: context switches dominate, parsing an
+        # unaligned header costs several times an aligned one
+        assert c.context_switch > c.interrupt > c.header_parse_unaligned
+        assert c.header_parse_unaligned > c.header_parse_aligned
+        assert c.buffer_alloc_variable > c.buffer_alloc_fixed

@@ -1,0 +1,69 @@
+"""Tests for the multi-core CPU model (§3(B)(6b) parallel processing)."""
+
+import pytest
+
+from repro.core.scenario import PointToPointScenario
+from repro.host.cpu import Cpu
+from repro.netsim.profiles import fddi_100
+from repro.tko.config import SessionConfig
+
+
+class TestMultiCoreCpu:
+    def test_two_cores_run_in_parallel(self, sim):
+        cpu = Cpu(sim, mips=1.0, cores=2)
+        done = []
+        cpu.submit(1_000_000, lambda: done.append(sim.now))
+        cpu.submit(1_000_000, lambda: done.append(sim.now))
+        sim.run()
+        assert done == [1.0, 1.0]
+
+    def test_third_job_queues_behind_earliest(self, sim):
+        cpu = Cpu(sim, mips=1.0, cores=2)
+        done = []
+        cpu.submit(1_000_000, lambda: done.append(sim.now))
+        cpu.submit(2_000_000, lambda: done.append(sim.now))
+        cpu.submit(1_000_000, lambda: done.append(sim.now))
+        sim.run()
+        assert sorted(done) == [1.0, 2.0, 2.0]
+
+    def test_single_core_serializes(self, sim):
+        cpu = Cpu(sim, mips=1.0, cores=1)
+        done = []
+        cpu.submit(1_000_000, lambda: done.append(sim.now))
+        cpu.submit(1_000_000, lambda: done.append(sim.now))
+        sim.run()
+        assert done == [1.0, 2.0]
+
+    def test_utilization_normalized_per_core(self, sim):
+        cpu = Cpu(sim, mips=1.0, cores=4)
+        cpu.submit(1_000_000, lambda: None)
+        sim.run(until=1.0)
+        assert cpu.utilization(1.0) == pytest.approx(0.25)
+
+    def test_bad_core_count(self, sim):
+        with pytest.raises(ValueError):
+            Cpu(sim, cores=0)
+
+
+class TestParallelProtocolProcessing:
+    """The Zitterbart-style claim: more processors → more protocol
+    throughput when the host, not the wire, is the bottleneck."""
+
+    def _goodput(self, cores: int) -> float:
+        sc = PointToPointScenario(
+            config=SessionConfig(window=12),
+            workload="bulk",
+            workload_kw={"total_bytes": 2_000_000, "chunk_bytes": 16_384},
+            profile=fddi_100().scaled(ber=0.0),
+            duration=4.0,
+            seed=51,
+            mips=10.0,
+            cores=cores,
+        )
+        sc.run(4.0)
+        return sc.tracker.goodput_bps()
+
+    def test_cores_scale_cpu_bound_throughput(self):
+        g1 = self._goodput(1)
+        g4 = self._goodput(4)
+        assert g4 > g1 * 1.5

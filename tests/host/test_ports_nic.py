@@ -1,0 +1,108 @@
+"""Unit tests for port demultiplexing and the host NIC."""
+
+import pytest
+
+from repro.host.nic import Host
+from repro.host.ports import PortTable
+from repro.netsim.frame import Frame
+from repro.netsim.profiles import ethernet_10, linear_path
+
+
+class TestPortTable:
+    def test_connected_beats_listener(self):
+        t = PortTable()
+        t.listen(80, "listener")
+        t.connect(80, "peer", 1234, "conn")
+        assert t.demux(80, "peer", 1234) == "conn"
+        assert t.demux(80, "other", 999) == "listener"
+
+    def test_unknown_port_none(self):
+        assert PortTable().demux(81, "x", 1) is None
+
+    def test_duplicate_listener_rejected(self):
+        t = PortTable()
+        t.listen(80, "a")
+        with pytest.raises(ValueError):
+            t.listen(80, "b")
+
+    def test_duplicate_connection_rejected(self):
+        t = PortTable()
+        t.connect(80, "p", 1, "a")
+        with pytest.raises(ValueError):
+            t.connect(80, "p", 1, "b")
+
+    def test_release_listener(self):
+        t = PortTable()
+        t.listen(80, "a")
+        t.release(80)
+        assert t.demux(80, "x", 1) is None
+
+    def test_release_connection_keeps_listener(self):
+        t = PortTable()
+        t.listen(80, "l")
+        t.connect(80, "p", 1, "c")
+        t.release(80, "p", 1)
+        assert t.demux(80, "p", 1) == "l"
+
+    def test_ephemeral_ports_unique_and_high(self):
+        t = PortTable()
+        ports = {t.ephemeral_port() for _ in range(10)}
+        assert len(ports) == 10
+        assert min(ports) >= PortTable.EPHEMERAL_BASE
+
+    def test_len(self):
+        t = PortTable()
+        t.listen(1, "a")
+        t.connect(2, "h", 3, "b")
+        assert len(t) == 2
+
+
+class TestHost:
+    def _world(self, sim):
+        net = linear_path(sim, ethernet_10(), ("A", "B"))
+        return Host(sim, net, "A"), Host(sim, net, "B"), net
+
+    def test_transmit_reaches_peer(self, sim):
+        ha, hb, net = self._world(sim)
+        got = []
+        hb.register_protocol_entry(got.append)
+        ha.transmit(Frame("A", "B", 500))
+        sim.run()
+        assert len(got) == 1
+        assert ha.frames_sent == 1 and hb.frames_received == 1
+
+    def test_rx_without_protocol_discards(self, sim):
+        ha, hb, net = self._world(sim)
+        ha.transmit(Frame("A", "B", 500))
+        sim.run()
+        assert hb.frames_discarded == 1
+
+    def test_double_protocol_entry_rejected(self, sim):
+        ha, _, _ = self._world(sim)
+        ha.register_protocol_entry(lambda f: None)
+        with pytest.raises(ValueError):
+            ha.register_protocol_entry(lambda f: None)
+
+    def test_rx_charges_interrupt_and_context_switch(self, sim):
+        ha, hb, _ = self._world(sim)
+        hb.register_protocol_entry(lambda f: None)
+        ha.transmit(Frame("A", "B", 500))
+        sim.run()
+        expected = hb.cpu.costs.interrupt + hb.cpu.costs.context_switch
+        assert hb.cpu.instructions_retired == expected
+
+    def test_extra_instructions_delay_transmission(self, sim):
+        ha, hb, _ = self._world(sim)
+        seen_at = []
+        hb.register_protocol_entry(lambda f: seen_at.append(sim.now))
+        ha.transmit(Frame("A", "B", 500), extra_instructions=0)
+        sim.run()
+        t_fast = seen_at[0]
+
+        sim2_world = self._world(type(sim)())
+        ha2, hb2, _ = sim2_world
+        seen2 = []
+        hb2.register_protocol_entry(lambda f: seen2.append(ha2.sim.now))
+        ha2.transmit(Frame("A", "B", 500), extra_instructions=1_000_000)
+        ha2.sim.run()
+        assert seen2[0] > t_fast

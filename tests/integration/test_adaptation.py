@@ -1,0 +1,108 @@
+"""Full-system adaptation scenarios — the paper's two worked policies,
+executed end to end through MANTTS + TKO + UNITES."""
+
+import pytest
+
+from repro.core.system import AdaptiveSystem
+from repro.mantts.acd import ACD
+from repro.mantts.policies import congestion_switch_gbn_to_sr, rtt_switch_to_fec
+from repro.mantts.qos import QualitativeQoS, QuantitativeQoS
+from repro.netsim.profiles import dual_path, ethernet_10, linear_path, satellite, wan_internet
+from repro.netsim.traffic import BackgroundLoad
+
+
+class TestCongestionPolicy:
+    """§3(C) example 1: GBN → SR when congestion crosses the threshold."""
+
+    def test_policy_switches_and_restores(self):
+        sysm = AdaptiveSystem(seed=3)
+        sysm.attach_network(
+            linear_path(sysm.sim, wan_internet(), ("A", "B"), rng=sysm.rng)
+        )
+        a, b = sysm.node("A"), sysm.node("B")
+        got = []
+        b.mantts.register_service(7000, on_deliver=lambda d, m: got.append(d))
+        acd = ACD(
+            participants=("B",),
+            quantitative=QuantitativeQoS(avg_throughput_bps=400e3, duration=600),
+            qualitative=QualitativeQoS(),
+            tsa=congestion_switch_gbn_to_sr(high=0.5, low=0.1),
+        )
+        conn = a.mantts.open(acd)
+        sysm.run(until=1.0)
+        assert conn.cfg.recovery == "gbn"
+        # phase 1: congest the path
+        load = BackgroundLoad(sysm.network, "s1", "s2", rate_bps=2.2e6)
+        load.start(1.0)
+        sysm.run(until=8.0)
+        assert conn.cfg.recovery == "sr"
+        # phase 2: congestion subsides → restore go-back-N
+        load.stop()
+        sysm.run(until=25.0)
+        assert conn.cfg.recovery == "gbn"
+        # traffic kept flowing across both segues
+        conn.send(b"end" * 100)
+        sysm.run(until=30.0)
+        assert got
+
+
+class TestSatellitePolicy:
+    """§3(C) example 2: retransmission → FEC when the route fails over to
+    a satellite path and the RTT crosses the threshold."""
+
+    def test_failover_triggers_fec(self):
+        sysm = AdaptiveSystem(seed=4)
+        sysm.attach_network(
+            dual_path(sysm.sim, ethernet_10(), satellite(), rng=sysm.rng)
+        )
+        a, b = sysm.node("A"), sysm.node("B")
+        got = []
+        b.mantts.register_service(7000, on_deliver=lambda d, m: got.append(d))
+        acd = ACD(
+            participants=("B",),
+            quantitative=QuantitativeQoS(
+                avg_throughput_bps=128e3, duration=600, loss_tolerance=0.02,
+                message_size=512,
+            ),
+            qualitative=QualitativeQoS(ordered=False, duplicate_sensitive=False),
+            tsa=rtt_switch_to_fec(threshold=0.2),
+        )
+        conn = a.mantts.open(acd)
+        sysm.run(until=1.0)
+        assert conn.cfg.recovery in ("gbn", "none", "fec-xor")
+        before = conn.cfg.recovery
+        sysm.network.fail_link("p1", "p2")
+        sysm.run(until=6.0)
+        assert conn.cfg.recovery == "fec-rs"
+        assert conn.cfg.ack == "none"
+        # data still flows over the satellite path with FEC protection
+        n0 = len(got)
+        for _ in range(10):
+            conn.send(b"s" * 400)
+        sysm.run(until=15.0)
+        assert len(got) > n0
+
+
+class TestAdaptiveVsStaticSketch:
+    """Adaptive reconfiguration keeps goodput when conditions change."""
+
+    def test_reconfiguration_counter_visible_in_stats(self):
+        sysm = AdaptiveSystem(seed=5)
+        sysm.attach_network(
+            linear_path(sysm.sim, wan_internet(), ("A", "B"), rng=sysm.rng)
+        )
+        a, b = sysm.node("A"), sysm.node("B")
+        b.mantts.register_service(7000, on_deliver=lambda d, m: None)
+        acd = ACD(
+            participants=("B",),
+            quantitative=QuantitativeQoS(duration=600),
+            qualitative=QualitativeQoS(),
+            tsa=congestion_switch_gbn_to_sr(high=0.4),
+        )
+        conn = a.mantts.open(acd)
+        sysm.run(until=1.0)
+        load = BackgroundLoad(sysm.network, "s1", "s2", rate_bps=2.5e6)
+        load.start(1.0)
+        sysm.run(until=8.0)
+        assert conn.session.stats.reconfigurations >= 1
+        assert conn.reconfig_log

@@ -1,0 +1,91 @@
+"""Property-based fuzzing over the configuration space.
+
+Two system-level invariants:
+
+* every *valid* SessionConfig moves data end-to-end on a clean LAN —
+  whatever combination of mechanisms the synthesizer is asked to compose;
+* reliable configurations deliver *everything* even under loss.
+
+Config validity is the SessionConfig constructor's own contract; the
+strategies draw from the full choice space and discard combinations the
+constructor rejects, so these tests also pin that the validator and the
+engine agree about what is runnable.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.tko.config import (
+    ACK_CHOICES,
+    CONNECTION_CHOICES,
+    DETECTION_CHOICES,
+    PLACEMENT_CHOICES,
+    RECOVERY_CHOICES,
+    SEQUENCING_CHOICES,
+    SessionConfig,
+)
+from tests.conftest import TwoHosts
+
+
+@st.composite
+def session_configs(draw):
+    """Any constructor-valid unicast configuration."""
+    kwargs = dict(
+        connection=draw(st.sampled_from(CONNECTION_CHOICES)),
+        transmission=draw(
+            st.sampled_from(("none", "stop-and-wait", "sliding-window", "rate",
+                             "window-rate"))
+        ),
+        detection=draw(st.sampled_from(DETECTION_CHOICES)),
+        checksum_placement=draw(st.sampled_from(PLACEMENT_CHOICES)),
+        ack=draw(st.sampled_from(ACK_CHOICES)),
+        recovery=draw(st.sampled_from(RECOVERY_CHOICES)),
+        sequencing=draw(st.sampled_from(SEQUENCING_CHOICES)),
+        jitter=draw(st.sampled_from(("none", "playout"))),
+        buffer=draw(st.sampled_from(("fixed", "variable"))),
+        window=draw(st.integers(min_value=1, max_value=64)),
+        rate_pps=draw(st.sampled_from((None, 50.0, 500.0))),
+        fec_k=draw(st.integers(min_value=1, max_value=8)),
+        fec_r=draw(st.integers(min_value=1, max_value=3)),
+        compact_headers=draw(st.booleans()),
+        binding=draw(st.sampled_from(("dynamic", "reconfigurable", "static"))),
+    )
+    if kwargs["transmission"] in ("rate", "window-rate") and kwargs["rate_pps"] is None:
+        kwargs["rate_pps"] = 200.0
+    try:
+        return SessionConfig(**kwargs)
+    except ValueError:
+        return None
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(cfg=session_configs())
+def test_any_valid_config_moves_data_on_clean_lan(cfg):
+    if cfg is None:
+        return  # constructor rejected the combination: nothing to run
+    from repro.netsim.profiles import ethernet_10
+
+    w = TwoHosts(profile=ethernet_10().scaled(ber=0.0))
+    w.transfer(cfg, [b"payload-%d" % i * 20 for i in range(5)], until=30.0)
+    assert len(w.delivered) == 5
+    assert sorted(d for d, _ in w.delivered) == sorted(
+        b"payload-%d" % i * 20 for i in range(5)
+    )
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    recovery_ack=st.sampled_from((("gbn", "cumulative"), ("sr", "selective"),
+                                  ("gbn", "delayed"))),
+    connection=st.sampled_from(CONNECTION_CHOICES),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_reliable_configs_deliver_all_under_loss(recovery_ack, connection, seed):
+    from repro.netsim.profiles import ethernet_10
+
+    recovery, ack = recovery_ack
+    cfg = SessionConfig(connection=connection, recovery=recovery, ack=ack)
+    w = TwoHosts(profile=ethernet_10().scaled(ber=3e-6), seed=seed)
+    w.transfer(cfg, [bytes([i % 256]) * 900 for i in range(15)], until=60.0)
+    assert len(w.delivered) == 15

@@ -1,0 +1,152 @@
+"""Failure-injection integration tests: flaps, partitions, pressure, garbage."""
+
+import pytest
+
+from repro.core.system import AdaptiveSystem
+from repro.mantts.acd import ACD
+from repro.mantts.negotiation import MANTTS_PORT
+from repro.mantts.qos import QualitativeQoS, QuantitativeQoS
+from repro.netsim.frame import Frame
+from repro.netsim.profiles import dual_path, ethernet_10, linear_path
+from repro.tko.config import SessionConfig
+from tests.conftest import TwoHosts
+
+
+class TestLinkFlap:
+    def test_reliable_session_survives_brief_outage(self):
+        w = TwoHosts()
+        w.listen()
+        s = w.open(SessionConfig())
+        for _ in range(20):
+            s.send(b"d" * 1000)
+        # the only path goes down for 200 ms mid-transfer
+        w.sim.schedule(0.01, w.net.fail_link, "s1", "s2")
+        w.sim.schedule(0.21, w.net.restore_link, "s1", "s2")
+        w.sim.run(until=20.0)
+        assert len(w.delivered) == 20
+        assert s.stats.retransmissions > 0
+
+    def test_failover_to_backup_path_mid_transfer(self):
+        from repro.sim.kernel import Simulator
+        from repro.host.nic import Host
+        from repro.tko.protocol import TKOProtocol
+
+        sim = Simulator()
+        net = dual_path(sim, ethernet_10(), ethernet_10())
+        ha, hb = Host(sim, net, "A"), Host(sim, net, "B")
+        pa, pb = TKOProtocol(ha), TKOProtocol(hb)
+        got = []
+        pb.listen(7000, lambda p, f: SessionConfig(),
+                  lambda s: setattr(s, "on_deliver", lambda d, m: got.append(d)))
+        s = pa.create_session(SessionConfig(), "B", 7000)
+        s.connect()
+        for _ in range(30):
+            s.send(b"x" * 1000)
+        sim.schedule(0.02, net.fail_link, "p1", "p2")  # permanent failover
+        sim.run(until=20.0)
+        assert len(got) == 30
+
+    def test_permanent_partition_aborts(self):
+        w = TwoHosts()
+        w.listen()
+        s = w.open(SessionConfig(max_retries=3))
+        s.send(b"d" * 500)
+        w.sim.run(until=0.002)
+        w.net.fail_link("A", "s1")     # total partition, never restored
+        w.sim.run(until=120.0)
+        assert s.stats.aborted is not None
+
+
+class TestBufferPressure:
+    def test_tiny_receiver_pool_throttles_not_breaks(self):
+        from repro.sim.kernel import Simulator
+        from repro.host.nic import Host
+        from repro.tko.protocol import TKOProtocol
+        from repro.netsim.profiles import linear_path, ethernet_10
+
+        sim = Simulator()
+        net = linear_path(sim, ethernet_10(), ("A", "B"))
+        ha = Host(sim, net, "A")
+        hb = Host(sim, net, "B", buffer_capacity=8_000)  # ~5 PDUs worth
+        pa, pb = TKOProtocol(ha), TKOProtocol(hb)
+        got = []
+        pb.listen(7000, lambda p, f: SessionConfig(window=64),
+                  lambda s: setattr(s, "on_deliver", lambda d, m: got.append(d)))
+        s = pa.create_session(SessionConfig(window=64), "B", 7000)
+        s.connect()
+        for _ in range(30):
+            s.send(b"d" * 1200)
+        sim.run(until=30.0)
+        # everything arrives despite the receiver's tiny pool: the
+        # advertised window (pool-pressure-scaled) throttles the sender
+        assert len(got) == 30
+
+    def test_advertised_window_shrinks_under_pressure(self):
+        w = TwoHosts()
+        w.listen()
+        s = w.open(SessionConfig(window=32))
+        s.send(b"x")
+        w.sim.run(until=1.0)
+        rx = w.rx_sessions[0]
+        open_window = rx.advertised_window()
+        # consume 95% of the receiver's pool
+        w.hb.buffers.alloc(int(w.hb.buffers.capacity * 0.95))
+        assert rx.advertised_window() < open_window / 2
+
+
+class TestGarbageTolerance:
+    def test_garbage_to_signalling_port_ignored(self):
+        sysm = AdaptiveSystem(seed=0)
+        sysm.attach_network(
+            linear_path(sysm.sim, ethernet_10(), ("A", "B"), rng=sysm.rng)
+        )
+        a, b = sysm.node("A"), sysm.node("B")
+        b.mantts.register_service(7000, on_deliver=lambda d, m: None)
+        # a signalling session delivering non-JSON bytes must be shrugged off
+        sig = a.mantts._sig_session("B")
+        sig.send(b"\xff\xfe this is not a signalling message")
+        sysm.run(until=1.0)
+        # the entity still works afterwards
+        conn = a.mantts.open(ACD(participants=("B",)))
+        sysm.run(until=1.5)
+        conn.send(b"ok")
+        sysm.run(until=2.5)
+        assert conn.session is not None
+
+    def test_non_pdu_frames_discarded(self):
+        w = TwoHosts()
+        w.listen()
+        s = w.open(SessionConfig())
+        w.net.send(Frame("A", "B", 64, payload=12345))
+        s.send(b"real data")
+        w.sim.run(until=2.0)
+        assert len(w.delivered) == 1
+
+
+class TestChangeTsc:
+    def test_adjust_tsc_rederives_whole_config(self):
+        sysm = AdaptiveSystem(seed=6)
+        sysm.attach_network(
+            linear_path(sysm.sim, ethernet_10(), ("A", "B"), rng=sysm.rng)
+        )
+        a, b = sysm.node("A"), sysm.node("B")
+        b.mantts.register_service(7000, on_deliver=lambda d, m: None)
+        acd = ACD(
+            participants=("B",),
+            quantitative=QuantitativeQoS(duration=600, loss_tolerance=0.05,
+                                         max_jitter=0.02),
+            qualitative=QualitativeQoS(ordered=True, duplicate_sensitive=True),
+        )
+        conn = a.mantts.open(acd)
+        sysm.run(until=1.0)
+        assert conn.tsc.value == "non-real-time-non-isochronous"
+        before = conn.cfg.jitter
+        state = conn.monitor.snapshot()
+        ok = conn.change_tsc("interactive-isochronous", state)
+        assert ok
+        sysm.run(until=2.0)
+        assert conn.tsc.value == "interactive-isochronous"
+        # the §4.1.2 example: app switched coding, now needs isochronous
+        assert conn.cfg.jitter == "playout" or conn.cfg.transmission in ("rate", "window-rate")
+        conn.send(b"still alive")
+        sysm.run(until=3.0)

@@ -1,0 +1,141 @@
+"""Tests for live protocol-graph layering, broadcast, and control traffic."""
+
+import numpy as np
+import pytest
+
+from repro.netsim.frame import Frame
+from repro.netsim.profiles import ethernet_10, fddi_100, star
+from repro.sim.kernel import Simulator
+from repro.tko.config import SessionConfig
+from repro.tko.protocol import PassthroughLayer
+from tests.conftest import TwoHosts
+
+
+class TestLiveLayering:
+    def test_layers_add_wire_bytes(self):
+        plain = TwoHosts()
+        s0 = plain.transfer(SessionConfig(), [b"x" * 500], until=2.0)
+        layered = TwoHosts()
+        for i in range(4):
+            layered.pa.insert_layer(PassthroughLayer(f"l{i}", header_bytes=16))
+        s1 = layered.transfer(SessionConfig(), [b"x" * 500], until=2.0)
+        assert len(layered.delivered) == 1
+        # frame sizes grew by the layer headers on the sender side
+        assert (
+            layered.net.links[("A", "s1")].stats.bytes_delivered
+            > plain.net.links[("A", "s1")].stats.bytes_delivered
+        )
+
+    def test_layers_charge_cpu_per_direction(self):
+        plain = TwoHosts()
+        plain.transfer(SessionConfig(), [b"x" * 500] * 5, until=2.0)
+        base = plain.ha.cpu.instructions_retired
+        layered = TwoHosts()
+        for i in range(6):
+            layered.pa.insert_layer(PassthroughLayer(f"l{i}", header_bytes=4))
+        layered.transfer(SessionConfig(), [b"x" * 500] * 5, until=2.0)
+        assert layered.ha.cpu.instructions_retired > base
+
+    def test_naive_layers_copy_payload(self):
+        w = TwoHosts()
+        w.pa.insert_layer(PassthroughLayer("naive", header_bytes=4, zero_copy=False))
+        before = w.ha.copy_meter.bytes_copied
+        w.transfer(SessionConfig(), [b"z" * 1000], until=2.0)
+        assert w.ha.copy_meter.bytes_copied > before
+
+    def test_zero_copy_layers_do_not_copy(self):
+        w = TwoHosts()
+        w.pa.insert_layer(PassthroughLayer("zc", header_bytes=4, zero_copy=True))
+        w.listen()
+        s = w.open(SessionConfig())
+        sender_meter = w.ha.copy_meter
+        before = sender_meter.bytes_copied
+        s.send(b"z" * 1000)
+        w.sim.run(until=2.0)
+        assert sender_meter.bytes_copied == before
+
+    def test_layer_removal_restores_path(self):
+        w = TwoHosts()
+        layer = PassthroughLayer("tmp", header_bytes=64)
+        w.pa.insert_layer(layer)
+        w.pa.remove_layer(layer)
+        w.transfer(SessionConfig(), [b"q" * 100], until=2.0)
+        assert len(w.delivered) == 1
+
+
+class TestBroadcast:
+    def test_broadcast_reaches_every_attached_host(self, sim):
+        net = star(sim, ethernet_10(), ["A", "B", "C", "D"])
+        rx = {h: [] for h in "BCD"}
+        net.attach_host("A", lambda f: None)
+        for h in "BCD":
+            net.attach_host(h, rx[h].append)
+        net.send(Frame("A", net.BROADCAST, 200))
+        sim.run()
+        assert all(len(v) == 1 for v in rx.values())
+
+    def test_broadcast_skips_sender_and_bare_switches(self, sim):
+        net = star(sim, ethernet_10(), ["A", "B"])
+        back_at_a = []
+        net.attach_host("A", back_at_a.append)
+        net.attach_host("B", lambda f: None)
+        net.send(Frame("A", net.BROADCAST, 200))
+        sim.run()
+        assert back_at_a == []
+        assert net.nodes["hub"].stats.dropped_no_route == 0
+
+
+class TestControlWorkload:
+    def test_periodic_scan_rate(self, sim):
+        from repro.apps.control import ControlLoopSource
+
+        class Sink:
+            def __init__(self):
+                self.n = 0
+
+            def send(self, data):
+                self.n += 1
+
+        sink = Sink()
+        src = ControlLoopSource(sim, sink, rng=np.random.default_rng(0),
+                                scan_interval=0.01, alarm_rate=0.0)
+        src.start()
+        sim.run(until=1.0)
+        assert sink.n == pytest.approx(100, abs=2)
+
+    def test_alarm_bursts_fire(self, sim):
+        from repro.apps.control import ControlLoopSource
+
+        sent = []
+
+        class Sink:
+            def send(self, data):
+                sent.append(data)
+
+        src = ControlLoopSource(sim, Sink(), rng=np.random.default_rng(1),
+                                scan_interval=0.01, alarm_rate=2.0, alarm_burst=5)
+        src.start()
+        sim.run(until=5.0)
+        assert src.alarms > 3
+        assert any(d.startswith(b"\xEE") for d in sent)
+
+    def test_hard_deadline_over_priority_session(self):
+        from repro.apps.control import ControlLoopSource
+        from repro.apps.workloads import DeliveryTracker
+
+        w = TwoHosts(profile=fddi_100())
+        tracker = DeliveryTracker(deadline=0.01).bind_clock(w.sim)
+        cfg = SessionConfig(
+            connection="implicit", transmission="sliding-window",
+            ack="selective", recovery="sr", sequencing="ordered-dedup",
+            priority=True, segment_size=256,
+        )
+        w.pb.listen(7000, lambda p, f: cfg,
+                    lambda s: setattr(s, "on_deliver", tracker.on_deliver))
+        s = w.pa.create_session(cfg, "B", 7000)
+        s.connect()
+        src = ControlLoopSource(w.sim, s, rng=np.random.default_rng(2))
+        src.start(0.1)
+        w.sim.run(until=3.0)
+        assert tracker.count > 200
+        assert tracker.deadline_miss_rate() < 0.01

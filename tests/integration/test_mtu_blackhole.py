@@ -1,0 +1,77 @@
+"""Path-MTU black hole after failover: the fault surfaces, never hangs."""
+
+import pytest
+
+from repro.netsim.profiles import NetworkProfile, ethernet_10
+from repro.netsim.network import Network
+from repro.host.nic import Host
+from repro.sim.kernel import Simulator
+from repro.tko.config import SessionConfig
+from repro.tko.protocol import TKOProtocol
+
+FAT = NetworkProfile("fat", 100e6, 1e-4, 0.0, 4500, 64)
+THIN = NetworkProfile("thin", 100e6, 1e-4, 0.0, 1500, 64)
+
+
+def dual_mtu_net(sim):
+    """A↔B with a fat primary path and a thin-MTU backup."""
+    net = Network(sim)
+    for n in ("A", "B", "p", "q"):
+        net.add_node(n)
+    net.add_link("A", "p", FAT.bandwidth_bps, FAT.delay, mtu=FAT.mtu)
+    net.add_link("p", "B", FAT.bandwidth_bps, FAT.delay, mtu=FAT.mtu)
+    net.add_link("A", "q", THIN.bandwidth_bps, THIN.delay * 3, mtu=THIN.mtu)
+    net.add_link("q", "B", THIN.bandwidth_bps, THIN.delay * 3, mtu=THIN.mtu)
+    return net
+
+
+class TestMtuBlackHole:
+    def test_oversize_retransmissions_abort_not_hang(self):
+        sim = Simulator()
+        net = dual_mtu_net(sim)
+        ha, hb = Host(sim, net, "A"), Host(sim, net, "B")
+        pa, pb = TKOProtocol(ha), TKOProtocol(hb)
+        got = []
+        pb.listen(7000, lambda p, f: SessionConfig(),
+                  lambda s: setattr(s, "on_deliver", lambda d, m: got.append(d)))
+        # 4 KB segments sized for the fat path
+        s = pa.create_session(SessionConfig(max_retries=4), "B", 7000)
+        s.connect()
+        for _ in range(100):
+            s.send(b"x" * 4000)
+        sim.run(until=0.004)      # mid-transfer, queue still full
+        assert s.state.outstanding_count() + len(s._send_queue) > 0
+        net.fail_link("A", "p")   # reroute onto the 1500-MTU path
+        sim.run(until=120.0)
+        # the session does not hang forever: the give-up threshold fires
+        assert s.closed
+        assert s.stats.aborted is not None
+        drops = sum(l.stats.dropped_mtu for l in net.links.values())
+        assert drops > 0
+
+    def test_dynamic_segment_size_recovers_new_sends(self):
+        """Sessions that derive the segment size per send() adapt to the
+        thinner path; only the pre-failover PDUs are lost to the hole."""
+        sim = Simulator()
+        net = dual_mtu_net(sim)
+        ha, hb = Host(sim, net, "A"), Host(sim, net, "B")
+        pa, pb = TKOProtocol(ha), TKOProtocol(hb)
+        got = []
+        pb.listen(7000, lambda p, f: SessionConfig(connection="implicit",
+                                                   transmission="rate",
+                                                   rate_pps=200, ack="none",
+                                                   recovery="none",
+                                                   sequencing="none"),
+                  lambda s: setattr(s, "on_deliver", lambda d, m: got.append(d)))
+        cfg = SessionConfig(connection="implicit", transmission="rate",
+                            rate_pps=200, ack="none", recovery="none",
+                            sequencing="none")  # segment_size=None: dynamic
+        s = pa.create_session(cfg, "B", 7000)
+        s.connect()
+        s.send(b"x" * 4000)
+        sim.run(until=0.05)
+        assert len(got) == 1
+        net.fail_link("A", "p")
+        s.send(b"y" * 4000)   # re-fragmented for the 1500-MTU path
+        sim.run(until=1.0)
+        assert len(got) == 2

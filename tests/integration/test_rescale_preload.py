@@ -1,0 +1,110 @@
+"""Tests for the window-rescale policy and TSC template preloading."""
+
+import pytest
+
+from repro.core.system import AdaptiveSystem
+from repro.mantts.acd import ACD
+from repro.mantts.policies import rtt_window_rescale
+from repro.mantts.qos import QualitativeQoS, QuantitativeQoS
+from repro.netsim.profiles import dual_path, ethernet_10, satellite
+from repro.tko.templates import TemplateCache, preload_tsc_templates
+
+
+class TestWindowRescale:
+    def test_failover_grows_window_to_new_bdp(self):
+        sat = satellite().scaled(bandwidth_bps=8e6)
+        sysm = AdaptiveSystem(seed=14)
+        sysm.attach_network(dual_path(sysm.sim, ethernet_10(), sat, rng=sysm.rng))
+        a, b = sysm.node("A"), sysm.node("B")
+        got = []
+        b.mantts.register_service(7000, on_deliver=lambda d, m: got.append(d))
+        acd = ACD(
+            participants=("B",),
+            quantitative=QuantitativeQoS(avg_throughput_bps=1e6, duration=600,
+                                         message_size=1024),
+            qualitative=QualitativeQoS(),
+            tsa=rtt_window_rescale(threshold=0.15),
+        )
+        conn = a.mantts.open(acd)
+        sysm.run(until=1.0)
+        w_before = conn.cfg.window
+        sysm.network.fail_link("p1", "p2")
+        sysm.run(until=6.0)
+        assert conn.cfg.window > w_before * 3
+        # data still flows at the new regime
+        for _ in range(5):
+            conn.send(b"m" * 1024)
+        sysm.run(until=12.0)
+        assert len(got) == 5
+
+    def test_rescale_is_parameter_only_no_segue(self):
+        sat = satellite().scaled(bandwidth_bps=8e6)
+        sysm = AdaptiveSystem(seed=15)
+        sysm.attach_network(dual_path(sysm.sim, ethernet_10(), sat, rng=sysm.rng))
+        a, b = sysm.node("A"), sysm.node("B")
+        b.mantts.register_service(7000, on_deliver=lambda d, m: None)
+        acd = ACD(
+            participants=("B",),
+            quantitative=QuantitativeQoS(duration=600),
+            qualitative=QualitativeQoS(),
+            tsa=rtt_window_rescale(threshold=0.15),
+        )
+        conn = a.mantts.open(acd)
+        sysm.run(until=1.0)
+        segues_before = conn.session.stats.reconfigurations
+        sysm.network.fail_link("p1", "p2")
+        sysm.run(until=6.0)
+        # window is a tuning knob: reconfigure retunes in place
+        assert conn.session.stats.reconfigurations == segues_before
+        assert conn.reconfig_log
+
+
+class TestTemplatePreload:
+    def test_preload_fills_cache(self):
+        cache = TemplateCache()
+        n = preload_tsc_templates(cache)
+        assert n >= 5
+        assert len(cache) == n
+
+    def test_common_profiles_hit_after_preload(self):
+        from repro.mantts.monitor import NetworkState
+        from repro.mantts.transform import specify_scs
+        from repro.mantts.tsc import APP_PROFILES
+
+        cache = TemplateCache()
+        preload_tsc_templates(cache)
+        path = NetworkState("A", "B", True, 0.004, 0.004, 10e6, 1500, 1e-6,
+                            0.0, 0.0, 3)
+        p = APP_PROFILES["file-transfer"]
+        acd = ACD(participants=("B",), quantitative=p.quantitative(),
+                  qualitative=p.qualitative())
+        cfg = specify_scs(acd, path).config
+        cost, hit = cache.instantiation_cost(cfg)
+        assert hit
+
+    def test_preload_idempotent(self):
+        cache = TemplateCache()
+        n1 = preload_tsc_templates(cache)
+        n2 = preload_tsc_templates(cache)
+        assert n2 == 0
+        assert len(cache) == n1
+
+    def test_preloaded_sessions_instantiate_cheaply(self):
+        sysm = AdaptiveSystem(seed=16)
+        from repro.netsim.profiles import linear_path
+
+        sysm.attach_network(
+            linear_path(sysm.sim, ethernet_10(), ("A", "B"), rng=sysm.rng)
+        )
+        preload_tsc_templates(sysm.templates)
+        misses_before = sysm.templates.misses
+        a, b = sysm.node("A"), sysm.node("B")
+        b.mantts.register_service(7000, on_deliver=lambda d, m: None)
+        from repro.mantts.tsc import APP_PROFILES
+
+        p = APP_PROFILES["oltp"]
+        acd = ACD(participants=("B",), quantitative=p.quantitative(),
+                  qualitative=p.qualitative())
+        conn = a.mantts.open(acd)
+        sysm.run(until=1.0)
+        assert conn.session is not None

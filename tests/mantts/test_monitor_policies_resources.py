@@ -1,0 +1,250 @@
+"""Tests for the network monitor, policy engine, and resource manager."""
+
+import pytest
+
+from repro.host.nic import Host
+from repro.mantts.acd import TSARule
+from repro.mantts.monitor import NetworkMonitor, NetworkState
+from repro.mantts.policies import (
+    PolicyEngine,
+    buffer_pressure_notify,
+    congestion_rate_backoff,
+    congestion_switch_gbn_to_sr,
+    rtt_switch_to_fec,
+)
+from repro.mantts.resources import ResourceManager
+from repro.netsim.profiles import dual_path, ethernet_10, linear_path, satellite, wan_internet
+from repro.netsim.traffic import BackgroundLoad
+from repro.sim.kernel import Simulator
+
+
+class TestNetworkMonitor:
+    def test_snapshot_static_facts(self, sim):
+        net = linear_path(sim, ethernet_10(), ("A", "B"))
+        m = NetworkMonitor(sim, net, "A", "B")
+        s = m.snapshot()
+        assert s.reachable
+        assert s.mtu == 1500
+        assert s.bottleneck_bps == 10e6
+        assert s.hops == 3
+
+    def test_unreachable_state(self, sim):
+        net = linear_path(sim, ethernet_10(), ("A", "B"))
+        net.add_node("iso")
+        m = NetworkMonitor(sim, net, "A", "iso")
+        s = m.snapshot()
+        assert not s.reachable
+        assert s.loss_rate == 1.0
+
+    def test_congestion_rises_under_load(self, sim):
+        net = linear_path(sim, wan_internet(), ("A", "B"))
+        m = NetworkMonitor(sim, net, "A", "B", interval=0.05)
+        m.start()
+        load = BackgroundLoad(net, "A", "B", rate_bps=3e6)
+        load.start()
+        sim.run(until=2.0)
+        s = m.snapshot()
+        assert s.congestion > 0.3
+        assert s.loss_rate > 0.0
+        assert s.rtt > s.base_rtt
+        m.stop()
+
+    def test_rtt_jumps_after_failover(self, sim):
+        net = dual_path(sim, ethernet_10(), satellite())
+        m = NetworkMonitor(sim, net, "A", "B")
+        before = m.snapshot().rtt
+        net.fail_link("p1", "p2")
+        after = m.snapshot().rtt
+        assert after > before * 50
+
+    def test_callbacks_invoked_per_tick(self, sim):
+        net = linear_path(sim, ethernet_10(), ("A", "B"))
+        m = NetworkMonitor(sim, net, "A", "B", interval=0.1)
+        seen = []
+        m.on_sample.append(seen.append)
+        m.start()
+        sim.run(until=0.55)
+        assert len(seen) == 5
+        m.stop()
+
+    def test_bandwidth_delay_pdus(self):
+        s = NetworkState("A", "B", True, rtt=0.1, base_rtt=0.1,
+                         bottleneck_bps=8e6, mtu=1500, ber=0.0,
+                         congestion=0.0, loss_rate=0.0, hops=1)
+        assert s.bandwidth_delay_pdus == int(8e6 * 0.1 / (8 * 1024))
+
+    def test_bad_interval(self, sim):
+        net = linear_path(sim, ethernet_10(), ("A", "B"))
+        with pytest.raises(ValueError):
+            NetworkMonitor(sim, net, "A", "B", interval=0)
+
+
+class FakeConnection:
+    """Minimal AdaptiveConnection stand-in for engine unit tests."""
+
+    def __init__(self, sim, host):
+        self.sim = sim
+        self.host = host
+        self.session = None
+        self.cfg = None
+        self.applied = []
+        self.tsc_changes = []
+        self.notifications = []
+
+    @property
+    def now(self):
+        return self.sim.now
+
+    def apply_overrides(self, overrides, reason=""):
+        self.applied.append((overrides, reason))
+        return True
+
+    def change_tsc(self, tag, state):
+        self.tsc_changes.append(tag)
+        return True
+
+    def notify_app(self, tag, state):
+        self.notifications.append(tag)
+
+
+def make_state(**kw):
+    base = dict(src="A", dst="B", reachable=True, rtt=0.01, base_rtt=0.01,
+                bottleneck_bps=1e7, mtu=1500, ber=0.0, congestion=0.0,
+                loss_rate=0.0, hops=2)
+    base.update(kw)
+    return NetworkState(**base)
+
+
+@pytest.fixture
+def engine(sim):
+    from repro.netsim.profiles import linear_path
+
+    net = linear_path(sim, ethernet_10(), ("A", "B"))
+    host = Host(sim, net, "A")
+    conn = FakeConnection(sim, host)
+    return PolicyEngine(conn), conn, sim
+
+
+class TestPolicyEngine:
+    def test_edge_trigger_fires_once(self, engine):
+        eng, conn, sim = engine
+        eng.add_rules(congestion_switch_gbn_to_sr(high=0.5))
+        for _ in range(5):
+            eng.evaluate(make_state(congestion=0.8))
+        assert len(conn.applied) == 1
+        assert conn.applied[0][0]["recovery"] == "sr"
+
+    def test_hysteresis_restores(self, engine):
+        eng, conn, sim = engine
+        eng.add_rules(congestion_switch_gbn_to_sr(high=0.5, low=0.1))
+        eng.evaluate(make_state(congestion=0.8))
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        eng.evaluate(make_state(congestion=0.05))
+        assert len(conn.applied) == 2
+        assert conn.applied[1][0]["recovery"] == "gbn"
+
+    def test_refire_guard(self, engine):
+        eng, conn, sim = engine
+        to_sr, _to_gbn = congestion_switch_gbn_to_sr(high=0.5)
+        eng.add_rule(to_sr)
+        eng.evaluate(make_state(congestion=0.8))
+        eng.evaluate(make_state(congestion=0.1))   # condition falls
+        eng.evaluate(make_state(congestion=0.8))   # rises again immediately
+        assert len(conn.applied) == 1  # guarded: < REFIRE_GUARD seconds
+
+    def test_rtt_to_fec_rule_complete_overrides(self, engine):
+        eng, conn, sim = engine
+
+        class Cfg:
+            rate_pps = None
+            segment_size = 1024
+
+        conn.cfg = Cfg()
+        eng.add_rules(rtt_switch_to_fec(threshold=0.2))
+        eng.evaluate(make_state(rtt=0.6))
+        overrides = conn.applied[0][0]
+        assert overrides["recovery"] == "fec-rs"
+        assert overrides["ack"] == "none"
+        assert overrides["transmission"] == "rate"
+        assert overrides["rate_pps"] > 0
+
+    def test_rate_backoff_callable_override(self, engine):
+        eng, conn, sim = engine
+
+        class Cfg:
+            rate_pps = 400.0
+
+        conn.cfg = Cfg()
+        eng.add_rules(congestion_rate_backoff(threshold=0.6, factor=0.5))
+        eng.evaluate(make_state(congestion=0.7))
+        assert conn.applied[0][0]["rate_pps"] == pytest.approx(200.0)
+
+    def test_notify_action(self, engine):
+        eng, conn, sim = engine
+        eng.add_rules(buffer_pressure_notify(threshold=0.5))
+        conn.host.buffers.alloc(int(conn.host.buffers.capacity * 0.9))
+        eng.evaluate(make_state())
+        assert conn.notifications == ["buffer-pressure"]
+
+    def test_unknown_metric_ignored(self, engine):
+        eng, conn, sim = engine
+        eng.add_rule(TSARule("phase-of-moon", ">", 0.5, "notify"))
+        eng.evaluate(make_state())
+        assert conn.notifications == []
+
+    def test_firings_logged(self, engine):
+        eng, conn, sim = engine
+        eng.add_rules(congestion_switch_gbn_to_sr(high=0.5))
+        eng.evaluate(make_state(congestion=0.9))
+        assert eng.firings and eng.firings[0][1] == "congestion"
+
+
+class TestResourceManager:
+    def _host(self, sim):
+        net = linear_path(sim, ethernet_10(), ("A", "B"))
+        return Host(sim, net, "A")
+
+    def test_admit_within_budget(self, sim):
+        rm = ResourceManager(self._host(sim), admission_bps=10e6)
+        assert rm.admit("c1", 4e6, 1000) is not None
+        assert rm.reserved_bps == 4e6
+
+    def test_refuse_over_budget(self, sim):
+        rm = ResourceManager(self._host(sim), admission_bps=10e6)
+        rm.admit("c1", 8e6, 1000)
+        assert rm.admit("c2", 4e6, 1000) is None
+        assert rm.refusals == 1
+
+    def test_release_frees(self, sim):
+        rm = ResourceManager(self._host(sim), admission_bps=10e6)
+        rm.admit("c1", 8e6, 1000)
+        rm.release("c1")
+        assert rm.admit("c2", 8e6, 1000) is not None
+
+    def test_buffer_budget_enforced(self, sim):
+        host = self._host(sim)
+        rm = ResourceManager(host, admission_bps=1e9, buffer_budget=10_000)
+        assert rm.admit("c1", 1e6, 9_000) is not None
+        assert rm.admit("c2", 1e6, 2_000) is None
+
+    def test_duplicate_reservation_rejected(self, sim):
+        rm = ResourceManager(self._host(sim))
+        rm.admit("c1", 1e6, 100)
+        with pytest.raises(ValueError):
+            rm.admit("c1", 1e6, 100)
+
+    def test_best_offer(self, sim):
+        rm = ResourceManager(self._host(sim), admission_bps=10e6)
+        rm.admit("c1", 6e6, 100)
+        assert rm.best_offer_bps() == pytest.approx(4e6)
+
+    def test_update_reservation(self, sim):
+        rm = ResourceManager(self._host(sim), admission_bps=10e6)
+        rm.admit("c1", 6e6, 100)
+        rm.update("c1", 2e6)
+        assert rm.best_offer_bps() == pytest.approx(8e6)
+
+    def test_overbooking(self, sim):
+        rm = ResourceManager(self._host(sim), admission_bps=10e6, overbooking=1.5)
+        assert rm.admit("c1", 14e6, 100) is not None

@@ -1,0 +1,104 @@
+"""Unit tests for the negotiation codec and responder logic."""
+
+import pytest
+
+from repro.host.nic import Host
+from repro.mantts.negotiation import (
+    MANTTS_PORT,
+    SIGNALLING_CONFIG,
+    decode,
+    encode,
+    respond_to_open,
+)
+from repro.mantts.resources import ResourceManager
+from repro.netsim.profiles import ethernet_10, linear_path
+from repro.tko.config import SessionConfig
+
+
+@pytest.fixture
+def resources(sim):
+    net = linear_path(sim, ethernet_10(), ("A", "B"))
+    host = Host(sim, net, "A")
+    return ResourceManager(host, admission_bps=10e6, buffer_budget=1 << 20)
+
+
+def open_msg(**overrides):
+    msg = {
+        "type": "open-request",
+        "ref": "r1",
+        "from": "A",
+        "service_port": 7000,
+        "config": SessionConfig().to_dict(),
+        "throughput_bps": 2e6,
+        "min_throughput_bps": 0.5e6,
+    }
+    msg.update(overrides)
+    return msg
+
+
+class TestSignallingChannel:
+    def test_signalling_config_is_reliable_and_prioritized(self):
+        cfg = SIGNALLING_CONFIG
+        assert cfg.recovery in ("gbn", "sr")
+        assert cfg.detection == "crc32"
+        assert cfg.priority is True
+        assert cfg.connection == "implicit"  # the channel itself is zero-RTT
+
+    def test_mantts_port_reserved(self):
+        assert MANTTS_PORT == 500
+
+    def test_codec_unicode_safety(self):
+        msg = {"type": "x", "text": "héllo ∞"}
+        assert decode(encode(msg)) == msg
+
+
+class TestRespondToOpen:
+    def test_accept_within_capacity(self, resources):
+        verdict, final, reply = respond_to_open(open_msg(), resources, "c1")
+        assert verdict == "accept"
+        assert final is not None
+        assert reply["granted_bps"] == pytest.approx(2e6)
+        assert resources.reserved_bps == pytest.approx(2e6)
+
+    def test_counter_clamps_rate(self, resources):
+        cfg = SessionConfig(
+            connection="implicit", transmission="rate", rate_pps=2000.0,
+            ack="none", recovery="none", sequencing="none", segment_size=1000,
+        )
+        msg = open_msg(config=cfg.to_dict(), throughput_bps=20e6,
+                       min_throughput_bps=1e6)
+        verdict, final, reply = respond_to_open(msg, resources, "c1")
+        assert verdict == "accept"
+        assert reply["countered"]
+        assert final.rate_pps < 2000.0
+        assert final.rate_pps * 8 * 1000 <= 10e6 * 1.01
+
+    def test_refuse_below_floor(self, resources):
+        resources.admit("existing", 9.8e6, 100)
+        msg = open_msg(throughput_bps=5e6, min_throughput_bps=4e6)
+        verdict, final, reply = respond_to_open(msg, resources, "c2")
+        assert verdict == "refuse"
+        assert final is None
+        assert reply["offer_bps"] == pytest.approx(0.2e6)
+
+    def test_refuse_no_capacity_at_all(self, resources):
+        resources.admit("existing", 10e6, 100)
+        verdict, _, reply = respond_to_open(open_msg(), resources, "c2")
+        assert verdict == "refuse"
+        assert "offer_bps" not in reply
+
+    def test_window_clamped_to_buffer_budget(self, sim):
+        net = linear_path(sim, ethernet_10(), ("X", "Y"))
+        host = Host(sim, net, "X")
+        rm = ResourceManager(host, admission_bps=1e9, buffer_budget=64_000)
+        cfg = SessionConfig(window=256, segment_size=1024)
+        msg = open_msg(config=cfg.to_dict())
+        verdict, final, reply = respond_to_open(msg, rm, "c1")
+        assert verdict == "accept"
+        assert final.window <= 64_000 * 0.25 / 1024 + 1
+
+    def test_each_accept_reserves_independently(self, resources):
+        respond_to_open(open_msg(ref="a"), resources, "a")
+        respond_to_open(open_msg(ref="b"), resources, "b")
+        assert resources.reserved_bps == pytest.approx(4e6)
+        assert len(resources) == 2

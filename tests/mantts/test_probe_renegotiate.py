@@ -1,0 +1,135 @@
+"""Tests for active RTT probing and renegotiate-at-lower-QoS."""
+
+import pytest
+
+from repro.core.system import AdaptiveSystem
+from repro.mantts.acd import ACD
+from repro.mantts.qos import QualitativeQoS, QuantitativeQoS
+from repro.mantts.tsc import APP_PROFILES
+from repro.netsim.profiles import ethernet_10, linear_path, satellite
+
+
+def pair(profile, seed=0, admission_bps=1e9):
+    sysm = AdaptiveSystem(seed=seed)
+    sysm.attach_network(linear_path(sysm.sim, profile, ("A", "B"), rng=sysm.rng))
+    return sysm, sysm.node("A"), sysm.node("B", admission_bps=admission_bps)
+
+
+class TestProbe:
+    def test_probe_measures_path_rtt(self):
+        sysm, a, b = pair(ethernet_10())
+        rtts = []
+        a.mantts.measure_rtt("B", rtts.append)
+        sysm.run(until=1.0)
+        assert len(rtts) == 1
+        floor = sysm.network.path_propagation_delay("A", "B") * 2
+        assert floor < rtts[0] < 0.1
+
+    def test_probe_reflects_satellite_regime(self):
+        lan_rtt, sat_rtt = [], []
+        sysm, a, b = pair(ethernet_10())
+        a.mantts.measure_rtt("B", lan_rtt.append)
+        sysm.run(until=1.0)
+        sysm2, a2, b2 = pair(satellite())
+        a2.mantts.measure_rtt("B", sat_rtt.append)
+        sysm2.run(until=5.0)
+        assert sat_rtt[0] > 100 * lan_rtt[0]
+
+    def test_multiple_probes_each_answered(self):
+        sysm, a, b = pair(ethernet_10())
+        rtts = []
+        for _ in range(5):
+            a.mantts.measure_rtt("B", rtts.append)
+        sysm.run(until=2.0)
+        assert len(rtts) == 5
+
+    def test_probe_cold_peer_no_prior_traffic(self):
+        # the probe itself must be able to open the peer's passive session
+        sysm, a, b = pair(ethernet_10(), seed=3)
+        rtts = []
+        a.mantts.measure_rtt("B", rtts.append)
+        sysm.run(until=1.0)
+        assert rtts
+
+
+def video_acd():
+    p = APP_PROFILES["full-motion-video-compressed"]
+    return ACD(participants=("B",), quantitative=p.quantitative(),
+               qualitative=p.qualitative())
+
+
+class TestRenegotiation:
+    def test_retry_at_offer_succeeds(self):
+        sysm, a, b = pair(ethernet_10(), admission_bps=2e6)
+        b.mantts.register_service(7000, on_deliver=lambda d, m: None)
+        states = []
+        conn = a.mantts.open(
+            video_acd(), renegotiate=True,
+            on_connected=lambda c: states.append("up"),
+            on_failed=lambda r: states.append("fail"),
+        )
+        sysm.run(until=3.0)
+        assert states == ["up"]
+        granted = conn.cfg.rate_pps * 8 * conn.cfg.segment_size
+        assert granted <= 2.1e6
+        assert any("renegotiating down" in r for r in conn.scs.rationale)
+
+    def test_without_renegotiate_fails(self):
+        sysm, a, b = pair(ethernet_10(), admission_bps=2e6)
+        b.mantts.register_service(7000, on_deliver=lambda d, m: None)
+        outcomes = []
+        a.mantts.open(video_acd(), on_failed=outcomes.append)
+        sysm.run(until=3.0)
+        assert outcomes and "refused" in outcomes[0]
+
+    def test_retry_accepts_any_positive_offer(self):
+        # renegotiation takes whatever the responder can admit, however low
+        sysm, a, b = pair(ethernet_10(), admission_bps=1000.0)
+        b.mantts.register_service(7000, on_deliver=lambda d, m: None)
+        states = []
+        conn = a.mantts.open(video_acd(), renegotiate=True,
+                             on_connected=lambda c: states.append("up"))
+        sysm.run(until=5.0)
+        assert states == ["up"]
+        assert conn._renegotiated
+
+    def test_no_offer_means_no_retry(self):
+        # a refusal without a counter-offer (no such service) fails once
+        sysm, a, b = pair(ethernet_10())
+        outcomes = []
+        a.mantts.open(video_acd(), renegotiate=True, on_failed=outcomes.append)
+        sysm.run(until=5.0)
+        assert len(outcomes) == 1
+
+    def test_data_flows_at_renegotiated_rate(self):
+        sysm, a, b = pair(ethernet_10(), admission_bps=2e6)
+        got = []
+        b.mantts.register_service(7000, on_deliver=lambda d, m: got.append(d))
+        conn = a.mantts.open(video_acd(), renegotiate=True)
+        sysm.run(until=2.0)
+        for _ in range(5):
+            conn.send(b"v" * 1400)
+        sysm.run(until=5.0)
+        assert len(got) == 5
+
+
+class TestHighBandwidthNegotiatesExplicitly:
+    def test_video_unicast_negotiates(self):
+        sysm, a, b = pair(ethernet_10())
+        b.mantts.register_service(7000, on_deliver=lambda d, m: None)
+        conn = a.mantts.open(video_acd())
+        # explicit negotiation ⇒ session not created synchronously
+        assert conn.session is None
+        sysm.run(until=2.0)
+        assert conn.session is not None
+        assert len(b.mantts.resources) == 1  # reservation taken
+
+    def test_voice_stays_implicit(self):
+        sysm, a, b = pair(ethernet_10())
+        b.mantts.register_service(7000, on_deliver=lambda d, m: None)
+        p = APP_PROFILES["voice-conversation"]
+        acd = ACD(participants=("B",), quantitative=p.quantitative(),
+                  qualitative=p.qualitative())
+        conn = a.mantts.open(acd)
+        assert conn.session is not None  # implicit: immediate
+        assert conn.cfg.connection == "implicit"

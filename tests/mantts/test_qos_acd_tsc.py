@@ -1,0 +1,146 @@
+"""Tests for QoS types, the ACD (Table 2), and TSC selection (Table 1)."""
+
+import pytest
+
+from repro.mantts.acd import ACD, TMC, TSARule
+from repro.mantts.qos import QualitativeQoS, QuantitativeQoS, Sensitivity
+from repro.mantts.tsc import APP_PROFILES, TSC, THROUGHPUT_BPS, select_tsc
+
+
+class TestQuantitativeQoS:
+    def test_defaults_valid(self):
+        QuantitativeQoS()
+
+    def test_burst_factor(self):
+        q = QuantitativeQoS(avg_throughput_bps=1e6, peak_throughput_bps=5e6)
+        assert q.burst_factor == pytest.approx(5.0)
+
+    def test_peak_defaults_to_avg(self):
+        q = QuantitativeQoS(avg_throughput_bps=1e6)
+        assert q.peak_bps == 1e6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QuantitativeQoS(avg_throughput_bps=0)
+        with pytest.raises(ValueError):
+            QuantitativeQoS(loss_tolerance=1.5)
+        with pytest.raises(ValueError):
+            QuantitativeQoS(duration=0)
+
+
+class TestQualitativeQoS:
+    def test_connection_preference_validated(self):
+        with pytest.raises(ValueError):
+            QualitativeQoS(connection_preference="sometimes")
+        QualitativeQoS(connection_preference="implicit")
+
+
+class TestSensitivity:
+    def test_parse_aliases(self):
+        assert Sensitivity.parse("mod") == Sensitivity.MODERATE
+        assert Sensitivity.parse("very-high") == Sensitivity.VERY_HIGH
+        assert Sensitivity.parse("N/D") == Sensitivity.NONE
+
+    def test_ordering(self):
+        assert Sensitivity.LOW < Sensitivity.HIGH
+
+
+class TestACD:
+    def test_requires_participant(self):
+        with pytest.raises(ValueError):
+            ACD(participants=())
+
+    def test_multicast_detection(self):
+        assert ACD(participants=("B", "C")).is_multicast
+        assert not ACD(participants=("B",)).is_multicast
+        # the qualitative flag records capability, not a present demand
+        assert not ACD(
+            participants=("B",), qualitative=QualitativeQoS(multicast=True)
+        ).is_multicast
+
+    def test_tsa_rule_validation(self):
+        with pytest.raises(ValueError):
+            TSARule("congestion", "!=", 0.5, "adjust-scs")
+        with pytest.raises(ValueError):
+            TSARule("congestion", ">", 0.5, "explode")
+
+    def test_tsa_rule_holds(self):
+        r = TSARule("x", ">=", 1.0, "notify")
+        assert r.holds(1.0) and r.holds(2.0) and not r.holds(0.5)
+
+    def test_tmc_validation(self):
+        with pytest.raises(ValueError):
+            TMC(sampling_interval=0)
+        with pytest.raises(ValueError):
+            TMC(presentation="hologram")
+
+
+class TestTable1:
+    """Table 1 transcription checks — the paper's rows, verbatim."""
+
+    def test_all_nine_rows_present(self):
+        assert len(APP_PROFILES) == 9
+
+    def test_row_classes(self):
+        S = {  # app -> TSC, from Table 1's leftmost column
+            "voice-conversation": TSC.INTERACTIVE_ISOCHRONOUS,
+            "tele-conferencing": TSC.INTERACTIVE_ISOCHRONOUS,
+            "full-motion-video-compressed": TSC.DISTRIBUTIONAL_ISOCHRONOUS,
+            "full-motion-video-raw": TSC.DISTRIBUTIONAL_ISOCHRONOUS,
+            "manufacturing-control": TSC.REALTIME_NONISOCHRONOUS,
+            "file-transfer": TSC.NONREALTIME_NONISOCHRONOUS,
+            "telnet": TSC.NONREALTIME_NONISOCHRONOUS,
+            "oltp": TSC.NONREALTIME_NONISOCHRONOUS,
+            "remote-file-service": TSC.NONREALTIME_NONISOCHRONOUS,
+        }
+        for app, tsc in S.items():
+            assert APP_PROFILES[app].tsc is tsc
+
+    def test_voice_row_ratings(self):
+        v = APP_PROFILES["voice-conversation"]
+        assert v.loss_tolerance == Sensitivity.HIGH
+        assert v.delay_sensitivity == Sensitivity.HIGH
+        assert v.order_sensitivity == Sensitivity.LOW
+        assert not v.priority_delivery and not v.multicast
+
+    def test_raw_video_highest_throughput(self):
+        ranks = {a: p.avg_throughput for a, p in APP_PROFILES.items()}
+        assert max(ranks, key=ranks.get) == "full-motion-video-raw"
+
+    def test_file_transfer_zero_loss_tolerance(self):
+        assert APP_PROFILES["file-transfer"].loss_tolerance == Sensitivity.NONE
+
+    def test_profiles_render_numeric_qos(self):
+        for p in APP_PROFILES.values():
+            quant, qual = p.quantitative(), p.qualitative()
+            assert quant.avg_throughput_bps > 0
+            assert isinstance(qual.multicast, bool)
+
+    def test_isochronous_flags(self):
+        assert APP_PROFILES["voice-conversation"].qualitative().isochronous
+        assert not APP_PROFILES["file-transfer"].qualitative().isochronous
+
+
+class TestStage1Selection:
+    def _acd(self, profile_name, **overrides):
+        p = APP_PROFILES[profile_name]
+        return ACD(
+            participants=("B",),
+            quantitative=p.quantitative(),
+            qualitative=p.qualitative(),
+            **overrides,
+        )
+
+    @pytest.mark.parametrize("app", list(APP_PROFILES))
+    def test_every_table1_row_maps_to_its_class(self, app):
+        assert select_tsc(self._acd(app)) is APP_PROFILES[app].tsc
+
+    def test_explicit_tsc_short_circuits(self):
+        acd = self._acd("voice-conversation",
+                        explicit_tsc="non-real-time-non-isochronous")
+        assert select_tsc(acd) is TSC.NONREALTIME_NONISOCHRONOUS
+
+    def test_unknown_explicit_tsc_rejected(self):
+        acd = self._acd("voice-conversation", explicit_tsc="warp-speed")
+        with pytest.raises(ValueError):
+            select_tsc(acd)

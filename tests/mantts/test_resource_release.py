@@ -1,0 +1,58 @@
+"""Termination-phase resource release (§4.1.3): reservations are returned
+when the negotiated session closes, so capacity is reusable."""
+
+import pytest
+
+from repro.core.system import AdaptiveSystem
+from repro.mantts.acd import ACD
+from repro.mantts.tsc import APP_PROFILES
+from repro.netsim.profiles import ethernet_10, linear_path
+
+
+def video_acd():
+    p = APP_PROFILES["full-motion-video-compressed"]
+    return ACD(participants=("B",), quantitative=p.quantitative(),
+               qualitative=p.qualitative())
+
+
+def build(admission_bps):
+    sysm = AdaptiveSystem(seed=33)
+    sysm.attach_network(
+        linear_path(sysm.sim, ethernet_10(), ("A", "B"), rng=sysm.rng)
+    )
+    a = sysm.node("A")
+    b = sysm.node("B", admission_bps=admission_bps)
+    b.mantts.register_service(7000, on_deliver=lambda d, m: None)
+    return sysm, a, b
+
+
+class TestResourceRelease:
+    def test_close_releases_responder_reservation(self):
+        sysm, a, b = build(admission_bps=12e6)
+        conn = a.mantts.open(video_acd())
+        sysm.run(until=1.0)
+        assert len(b.mantts.resources) == 1
+        conn.send(b"x" * 1000)
+        sysm.run(until=2.0)
+        conn.close()
+        sysm.run(until=6.0)
+        assert len(b.mantts.resources) == 0
+
+    def test_capacity_reusable_after_close(self):
+        # admission fits exactly one video stream at a time
+        sysm, a, b = build(admission_bps=11e6)
+        first = a.mantts.open(video_acd())
+        sysm.run(until=1.0)
+        assert first.session is not None
+        # a second stream is refused while the first holds the reservation
+        refused = []
+        a.mantts.open(video_acd(), on_failed=refused.append)
+        sysm.run(until=4.0)
+        assert refused
+        # ... but succeeds once the first closes
+        first.close()
+        sysm.run(until=8.0)
+        states = []
+        a.mantts.open(video_acd(), on_connected=lambda c: states.append("up"))
+        sysm.run(until=12.0)
+        assert states == ["up"]

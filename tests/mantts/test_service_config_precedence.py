@@ -1,0 +1,100 @@
+"""Responder-side Stage II precedence: negotiated > piggybacked > default."""
+
+import pytest
+
+from repro.core.system import AdaptiveSystem
+from repro.netsim.frame import Frame
+from repro.netsim.profiles import ethernet_10, linear_path
+from repro.tko.config import SessionConfig
+from repro.tko.message import TKOMessage
+from repro.tko.pdu import PDU, PduType
+
+
+def build():
+    sysm = AdaptiveSystem(seed=8)
+    sysm.attach_network(
+        linear_path(sysm.sim, ethernet_10(), ("A", "B"), rng=sysm.rng)
+    )
+    return sysm, sysm.node("A"), sysm.node("B")
+
+
+def data_pdu(cfg_dict=None, src_port=40000):
+    pdu = PDU(PduType.DATA, 1, src_port=src_port, dst_port=7000,
+              message=TKOMessage(b"hello"))
+    if cfg_dict is not None:
+        pdu.options["cfg"] = cfg_dict
+    return pdu
+
+
+class TestServiceConfigPrecedence:
+    def test_negotiated_wins(self):
+        sysm, a, b = build()
+        b.mantts.register_service(7000, on_deliver=lambda d, m: None)
+        negotiated = SessionConfig(recovery="sr", ack="selective")
+        b.mantts._negotiated[("A", 7000)] = negotiated
+        carried = SessionConfig(connection="implicit").to_dict()
+        cfg = b.mantts._service_config(7000, data_pdu(carried), Frame("A", "B", 100))
+        assert cfg.recovery == "sr"
+
+    def test_piggybacked_when_no_negotiation(self):
+        sysm, a, b = build()
+        b.mantts.register_service(7000, on_deliver=lambda d, m: None)
+        carried = SessionConfig(
+            connection="implicit", detection="crc32"
+        ).to_dict()
+        cfg = b.mantts._service_config(7000, data_pdu(carried), Frame("A", "B", 100))
+        assert cfg.detection == "crc32"
+
+    def test_default_when_nothing_carried(self):
+        sysm, a, b = build()
+        default = SessionConfig(connection="implicit", detection="crc32")
+        b.mantts.register_service(7000, on_deliver=lambda d, m: None,
+                                  default_config=default)
+        cfg = b.mantts._service_config(7000, data_pdu(), Frame("A", "B", 100))
+        assert cfg is default
+
+    def test_garbage_piggyback_falls_back(self):
+        sysm, a, b = build()
+        b.mantts.register_service(7000, on_deliver=lambda d, m: None)
+        pdu = data_pdu()
+        pdu.options["cfg"] = {"not": "a config"}
+        cfg = b.mantts._service_config(7000, pdu, Frame("A", "B", 100))
+        assert cfg.connection == "implicit"  # the hard fallback
+
+    def test_multicast_config_becomes_unicast_receiver(self):
+        sysm, a, b = build()
+        b.mantts.register_service(7000, on_deliver=lambda d, m: None)
+        carried = SessionConfig(
+            connection="implicit", delivery="multicast",
+            transmission="rate", rate_pps=100.0, ack="none",
+            recovery="none", sequencing="none",
+        ).to_dict()
+        cfg = b.mantts._service_config(7000, data_pdu(carried), Frame("A", "B", 100))
+        assert cfg.delivery == "unicast"
+
+    def test_reconfig_for_unknown_session_ignored(self):
+        sysm, a, b = build()
+        b.mantts._on_reconfig({
+            "from": "A", "data_port": 12345, "service_port": 7000,
+            "config": SessionConfig().to_dict(),
+        })  # no session registered: silently ignored
+
+    def test_reconfig_with_garbage_config_ignored(self):
+        sysm, a, b = build()
+        b.mantts.register_service(7000, on_deliver=lambda d, m: None)
+        conn = a.mantts.open(
+            __import__("repro.mantts.acd", fromlist=["ACD"]).ACD(
+                participants=("B",)
+            )
+        )
+        sysm.run(until=1.0)
+        conn.send(b"x")
+        sysm.run(until=2.0)
+        key = next(iter(b.mantts._peer_sessions))
+        session = b.mantts._peer_sessions[key]
+        before = session.cfg
+        b.mantts._on_reconfig({
+            "from": key[0], "data_port": key[1], "service_port": key[2],
+            "config": {"bogus": True},
+        })
+        assert session.cfg == before

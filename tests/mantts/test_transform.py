@@ -1,0 +1,153 @@
+"""Stage II tests: TSC × network state → SCS derivation rules."""
+
+import pytest
+
+from repro.mantts.acd import ACD
+from repro.mantts.monitor import NetworkState
+from repro.mantts.qos import QualitativeQoS, QuantitativeQoS
+from repro.mantts.transform import specify_scs
+from repro.mantts.tsc import APP_PROFILES
+
+
+def net_state(
+    rtt=0.005, loss=0.0, congestion=0.0, bps=10e6, mtu=1500, ber=1e-9
+) -> NetworkState:
+    return NetworkState(
+        src="A", dst="B", reachable=True, rtt=rtt, base_rtt=rtt,
+        bottleneck_bps=bps, mtu=mtu, ber=ber, congestion=congestion,
+        loss_rate=loss, hops=3,
+    )
+
+
+def acd_for(app, **kw):
+    p = APP_PROFILES[app]
+    return ACD(participants=kw.pop("participants", ("B",)),
+               quantitative=p.quantitative(), qualitative=p.qualitative(), **kw)
+
+
+class TestReliabilityRules:
+    def test_reliable_clean_path_gets_gbn(self):
+        scs = specify_scs(acd_for("file-transfer"), net_state())
+        assert scs.config.recovery == "gbn"
+        assert scs.config.ack == "cumulative"
+
+    def test_reliable_lossy_path_gets_sr(self):
+        scs = specify_scs(acd_for("file-transfer"), net_state(loss=0.05))
+        assert scs.config.recovery == "sr"
+        assert scs.config.ack == "selective"
+
+    def test_voice_on_lan_gets_no_retransmission(self):
+        scs = specify_scs(acd_for("voice-conversation"), net_state())
+        assert scs.config.recovery in ("none", "fec-xor")
+        assert scs.config.ack == "none"
+
+    def test_isochronous_long_rtt_gets_fec(self):
+        scs = specify_scs(acd_for("voice-conversation"), net_state(rtt=0.6))
+        assert scs.config.recovery.startswith("fec")
+
+    def test_isochronous_heavy_loss_gets_rs(self):
+        scs = specify_scs(
+            acd_for("full-motion-video-compressed"), net_state(rtt=0.6, loss=0.08)
+        )
+        assert scs.config.recovery == "fec-rs"
+        assert scs.config.fec_r >= 2
+
+
+class TestConnectionRules:
+    def test_transactional_goes_implicit(self):
+        acd = ACD(
+            participants=("B",),
+            quantitative=QuantitativeQoS(duration=30),
+            qualitative=QualitativeQoS(transactional=True),
+        )
+        assert specify_scs(acd, net_state()).config.connection == "implicit"
+
+    def test_short_session_goes_implicit(self):
+        acd = ACD(participants=("B",), quantitative=QuantitativeQoS(duration=1.0))
+        assert specify_scs(acd, net_state()).config.connection == "implicit"
+
+    def test_long_reliable_goes_3way(self):
+        scs = specify_scs(acd_for("file-transfer"), net_state())
+        assert scs.config.connection == "explicit-3way"
+
+    def test_app_preference_wins(self):
+        acd = ACD(
+            participants=("B",),
+            quantitative=QuantitativeQoS(duration=600),
+            qualitative=QualitativeQoS(connection_preference="implicit"),
+        )
+        assert specify_scs(acd, net_state()).config.connection == "implicit"
+
+    def test_multicast_forces_implicit(self):
+        scs = specify_scs(
+            acd_for("tele-conferencing", participants=("B", "C")), net_state()
+        )
+        assert scs.config.delivery == "multicast"
+        assert scs.config.connection == "implicit"
+
+
+class TestTransmissionRules:
+    def test_isochronous_is_rate_paced(self):
+        scs = specify_scs(acd_for("voice-conversation"), net_state())
+        assert scs.config.transmission in ("rate", "window-rate")
+        assert scs.config.rate_pps is not None
+
+    def test_bulk_gets_window_sized_to_bdp(self):
+        near = specify_scs(acd_for("file-transfer"), net_state(rtt=0.002)).config.window
+        far = specify_scs(acd_for("file-transfer"), net_state(rtt=0.2, bps=100e6)).config.window
+        assert far > near
+
+    def test_congestion_adds_rate_control(self):
+        scs = specify_scs(acd_for("file-transfer"), net_state(congestion=0.6))
+        assert scs.config.transmission == "window-rate"
+
+    def test_oltp_small_window(self):
+        scs = specify_scs(acd_for("oltp"), net_state())
+        assert scs.config.window <= 4
+
+
+class TestOtherSlots:
+    def test_sequencing_from_order_sensitivity(self):
+        assert specify_scs(acd_for("voice-conversation"), net_state()).config.sequencing == "none"
+        assert specify_scs(acd_for("file-transfer"), net_state()).config.sequencing == "ordered-dedup"
+
+    def test_jitter_playout_for_isochronous(self):
+        scs = specify_scs(acd_for("voice-conversation"), net_state())
+        assert scs.config.jitter == "playout"
+        assert scs.config.playout_delay > 0
+
+    def test_no_playout_for_bulk(self):
+        assert specify_scs(acd_for("file-transfer"), net_state()).config.jitter == "none"
+
+    def test_priority_carried_through(self):
+        assert specify_scs(acd_for("telnet"), net_state()).config.priority is True
+        assert specify_scs(acd_for("file-transfer"), net_state()).config.priority is False
+
+    def test_segment_respects_mtu(self):
+        scs = specify_scs(acd_for("file-transfer"), net_state(mtu=576))
+        assert scs.config.segment_size <= 576 - 32
+
+    def test_small_messages_not_padded(self):
+        acd = ACD(participants=("B",),
+                  quantitative=QuantitativeQoS(message_size=200))
+        assert specify_scs(acd, net_state()).config.segment_size == 200
+
+    def test_isochronous_uses_fixed_buffers(self):
+        assert specify_scs(acd_for("voice-conversation"), net_state()).config.buffer == "fixed"
+        assert specify_scs(acd_for("file-transfer"), net_state()).config.buffer == "variable"
+
+    def test_every_derived_config_is_valid(self):
+        # SessionConfig.__post_init__ validates; derivations must never trip it
+        for app in APP_PROFILES:
+            for state in (
+                net_state(),
+                net_state(rtt=0.6),
+                net_state(loss=0.1, congestion=0.8),
+                net_state(bps=622e6, mtu=9180),
+            ):
+                scs = specify_scs(acd_for(app), state)
+                assert scs.config is not None
+
+    def test_rationale_recorded(self):
+        scs = specify_scs(acd_for("voice-conversation"), net_state())
+        assert scs.rationale

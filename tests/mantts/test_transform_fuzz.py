@@ -1,0 +1,93 @@
+"""Property-based fuzzing over Stage I/II: any ACD × any network state
+must classify to a TSC and derive a constructor-valid SessionConfig."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mantts.acd import ACD
+from repro.mantts.monitor import NetworkState
+from repro.mantts.qos import QualitativeQoS, QuantitativeQoS
+from repro.mantts.transform import specify_scs
+from repro.mantts.tsc import TSC, select_tsc
+
+
+@st.composite
+def quantitative(draw):
+    avg = draw(st.floats(min_value=1e3, max_value=1e9))
+    return QuantitativeQoS(
+        avg_throughput_bps=avg,
+        peak_throughput_bps=avg * draw(st.floats(min_value=1.0, max_value=10.0)),
+        max_latency=draw(st.sampled_from((None, 0.05, 0.15, 0.5))),
+        max_jitter=draw(st.sampled_from((None, 0.01, 0.02, 0.05))),
+        loss_tolerance=draw(st.floats(min_value=0.0, max_value=0.2)),
+        duration=draw(st.floats(min_value=0.1, max_value=36_000.0)),
+        message_size=draw(st.integers(min_value=1, max_value=65_536)),
+    )
+
+
+@st.composite
+def qualitative(draw):
+    return QualitativeQoS(
+        ordered=draw(st.booleans()),
+        duplicate_sensitive=draw(st.booleans()),
+        isochronous=draw(st.booleans()),
+        real_time=draw(st.booleans()),
+        priority=draw(st.booleans()),
+        multicast=draw(st.booleans()),
+        connection_preference=draw(st.sampled_from((None, "implicit", "explicit"))),
+        transactional=draw(st.booleans()),
+    )
+
+
+@st.composite
+def network_states(draw):
+    reachable = draw(st.booleans())
+    rtt = draw(st.floats(min_value=1e-4, max_value=2.0))
+    return NetworkState(
+        src="A",
+        dst="B",
+        reachable=reachable,
+        rtt=rtt if reachable else float("inf"),
+        base_rtt=rtt if reachable else float("inf"),
+        bottleneck_bps=draw(st.floats(min_value=9.6e3, max_value=622e6)),
+        mtu=draw(st.sampled_from((576, 1500, 4464, 4500, 9180))),
+        ber=draw(st.floats(min_value=0.0, max_value=1e-4)),
+        congestion=draw(st.floats(min_value=0.0, max_value=1.0)),
+        loss_rate=draw(st.floats(min_value=0.0, max_value=0.5)),
+        hops=draw(st.integers(min_value=1, max_value=12)),
+    )
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    quant=quantitative(),
+    qual=qualitative(),
+    state=network_states(),
+    n_participants=st.integers(min_value=1, max_value=4),
+)
+def test_stage1_and_stage2_total(quant, qual, state, n_participants):
+    acd = ACD(
+        participants=tuple(f"P{i}" for i in range(n_participants)),
+        quantitative=quant,
+        qualitative=qual,
+    )
+    tsc = select_tsc(acd)
+    assert isinstance(tsc, TSC)
+    scs = specify_scs(acd, state)  # raises if any derived config is invalid
+    cfg = scs.config
+    # structural invariants the engine depends on:
+    assert cfg.delivery == ("multicast" if n_participants > 1 else "unicast")
+    if cfg.transmission in ("sliding-window", "window-rate", "stop-and-wait"):
+        assert cfg.ack != "none"
+    if cfg.recovery == "sr":
+        assert cfg.ack == "selective"
+    if cfg.delivery == "multicast":
+        assert cfg.connection == "implicit"
+    if cfg.transmission in ("rate", "window-rate"):
+        assert cfg.rate_pps and cfg.rate_pps > 0
+    assert cfg.segment_size is None or cfg.segment_size >= 64
+    # the blueprint also survives the wire (negotiation serialization)
+    from repro.tko.config import SessionConfig
+
+    assert SessionConfig.from_dict(cfg.to_dict()) == cfg

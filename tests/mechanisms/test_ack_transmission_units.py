@@ -1,0 +1,133 @@
+"""Behavioural unit tests for acknowledgment and transmission mechanisms,
+exercised through minimal live sessions."""
+
+import pytest
+
+from repro.tko.config import SessionConfig
+from tests.conftest import TwoHosts
+
+
+def rx_of(w):
+    return w.rx_sessions[0]
+
+
+class TestDelayedAck:
+    def test_fewer_acks_than_cumulative(self):
+        counts = {}
+        for ack in ("cumulative", "delayed"):
+            w = TwoHosts()
+            s = w.transfer(SessionConfig(ack=ack), [b"x" * 400] * 20, until=5.0)
+            counts[ack] = rx_of(w).stats.acks_sent
+            assert len(w.delivered) == 20
+        assert counts["delayed"] < counts["cumulative"]
+
+    def test_lone_pdu_still_acked_after_delay(self):
+        w = TwoHosts()
+        s = w.transfer(SessionConfig(ack="delayed"), [b"solo"], until=5.0)
+        assert rx_of(w).stats.acks_sent >= 1
+        assert s.state.outstanding_count() == 0
+
+    def test_ack_delay_bounds_holding_time(self):
+        # a single PDU's ACK is emitted within ~ack_delay of arrival
+        w = TwoHosts()
+        cfg = SessionConfig(ack="delayed", ack_delay=0.05)
+        w.listen()
+        s = w.open(cfg)
+        s.send(b"z")
+        w.sim.run(until=1.0)
+        # RTT sample = path + ack delay; must be under path + 2*ack_delay
+        assert s.rtt.srtt is not None
+        assert s.rtt.srtt < 0.05 * 2 + 0.05
+
+
+class TestSelectiveAckContent:
+    def test_sack_reports_buffered_gaps(self):
+        from repro.netsim.profiles import ethernet_10
+
+        # random single-frame losses create out-of-order buffering at the
+        # SR receiver, which the SACK vector must report
+        w = TwoHosts(profile=ethernet_10().scaled(ber=4e-6), seed=9)
+        cfg = SessionConfig(ack="selective", recovery="sr")
+        w.listen(cfg)
+        s = w.open(cfg)
+        sacks = []
+        orig = s._handle_ack
+
+        def spy(pdu, from_host):
+            if pdu.sack:
+                sacks.append(pdu.sack)
+            orig(pdu, from_host)
+
+        s._handle_ack = spy
+        for _ in range(40):
+            s.send(b"d" * 1000)
+        w.sim.run(until=20.0)
+        assert len(w.delivered) == 40
+        assert sacks, "loss never produced a SACK"
+        # every SACKed sequence was above the cumulative point at the time
+        assert all(min(v) >= 0 for v in sacks)
+
+
+class TestStopAndWaitTiming:
+    def test_throughput_is_one_pdu_per_rtt(self):
+        w = TwoHosts()
+        cfg = SessionConfig(transmission="stop-and-wait", segment_size=1000)
+        w.listen()
+        s = w.open(cfg)
+        for _ in range(10):
+            s.send(b"k" * 1000)
+        w.sim.run(until=5.0)
+        assert len(w.delivered) == 10
+        # total time ≈ 10 × RTT; with RTT ~4 ms that is well under 1 s but
+        # far above the back-to-back serialization time
+        times = [m["sent_at"] for _, m in w.delivered]
+        span = max(times) - min(times)
+        ser = 10 * 1056 * 8 / 10e6
+        assert span > 3 * ser
+
+
+class TestWindowRate:
+    def test_obeys_both_constraints(self):
+        w = TwoHosts()
+        cfg = SessionConfig(transmission="window-rate", window=4, rate_pps=100.0)
+        w.listen()
+        s = w.open(cfg)
+        for _ in range(20):
+            s.send(b"r" * 200)
+        max_out = 0
+
+        def probe():
+            nonlocal max_out
+            max_out = max(max_out, s.state.outstanding_count())
+            return True
+
+        w.sim.call_each(0.001, probe)
+        w.sim.run(until=5.0)
+        assert len(w.delivered) == 20
+        assert max_out <= 4
+        times = [m["sent_at"] for _, m in w.delivered]
+        assert max(times) - min(times) >= 19 / 100 * 0.95  # paced at ≤100 pps
+
+    def test_rate_retune_via_set_rate(self):
+        w = TwoHosts()
+        cfg = SessionConfig(transmission="window-rate", window=8, rate_pps=50.0)
+        w.listen()
+        s = w.open(cfg)
+        s.context.transmission.set_rate(500.0)
+        assert s.context.transmission.rate_pps == 500.0
+
+
+class TestBidirectionalSession:
+    def test_both_directions_on_one_session(self):
+        w = TwoHosts()
+        w.listen()
+        s = w.open(SessionConfig(connection="implicit"))
+        replies = []
+        s.on_deliver = lambda d, m: replies.append(d)
+        s.send(b"ping")
+        w.sim.run(until=1.0)
+        assert len(w.delivered) == 1
+        rx = rx_of(w)
+        rx.send(b"pong")
+        w.sim.run(until=2.0)
+        assert replies == [b"pong"]

@@ -1,0 +1,126 @@
+"""Property and unit tests for GF(256) arithmetic and the erasure code."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mechanisms import gf256
+
+
+class TestFieldAxioms:
+    def test_mul_identity(self):
+        for a in range(256):
+            assert gf256.gf_mul(a, 1) == a
+
+    def test_mul_zero(self):
+        for a in range(256):
+            assert gf256.gf_mul(a, 0) == 0
+
+    def test_mul_commutative(self):
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            a, b = int(rng.integers(256)), int(rng.integers(256))
+            assert gf256.gf_mul(a, b) == gf256.gf_mul(b, a)
+
+    def test_inverse(self):
+        for a in range(1, 256):
+            assert gf256.gf_mul(a, gf256.gf_inv(a)) == 1
+
+    def test_inv_zero_rejected(self):
+        with pytest.raises(ZeroDivisionError):
+            gf256.gf_inv(0)
+
+    def test_mul_associative_sample(self):
+        rng = np.random.default_rng(1)
+        for _ in range(100):
+            a, b, c = (int(x) for x in rng.integers(0, 256, 3))
+            assert gf256.gf_mul(gf256.gf_mul(a, b), c) == gf256.gf_mul(
+                a, gf256.gf_mul(b, c)
+            )
+
+
+class TestCauchy:
+    def test_entries_nonzero(self):
+        c = gf256.cauchy_matrix(4, 8)
+        assert (c != 0).all()
+
+    def test_too_many_shards_rejected(self):
+        with pytest.raises(ValueError):
+            gf256.cauchy_matrix(200, 100)
+
+
+class TestSolve:
+    def test_identity_system(self):
+        m = np.eye(3, dtype=np.uint8)
+        rhs = np.arange(9, dtype=np.uint8).reshape(3, 3)
+        assert (gf256.gf_solve(m, rhs) == rhs).all()
+
+    def test_singular_rejected(self):
+        m = np.zeros((2, 2), dtype=np.uint8)
+        with pytest.raises(np.linalg.LinAlgError):
+            gf256.gf_solve(m, np.zeros((2, 1), dtype=np.uint8))
+
+
+class TestXor:
+    def test_recover_middle_shard(self):
+        shards = [b"aaaa", b"bbbbbb", b"cc"]
+        parity = gf256.xor_encode(shards)
+        rec = gf256.xor_recover([shards[0], shards[2]], parity, 6)
+        assert rec == shards[1]
+
+    def test_empty_group(self):
+        assert gf256.xor_encode([b""]) == b""
+
+
+class TestRsApi:
+    def test_encode_validates(self):
+        with pytest.raises(ValueError):
+            gf256.rs_encode([], 1)
+        with pytest.raises(ValueError):
+            gf256.rs_encode([b"x"], 0)
+
+    def test_decode_insufficient_shards(self):
+        shards = [b"abc", b"def", b"ghi"]
+        parity = gf256.rs_encode(shards, 1)
+        with pytest.raises(ValueError):
+            gf256.rs_decode(3, 1, 3, {0: shards[0]}, {0: parity[0]})
+
+    def test_all_data_shortcut(self):
+        shards = [b"ab", b"c"]
+        out = gf256.rs_decode(2, 1, 2, {0: b"ab", 1: b"c"}, {})
+        assert out[0] == b"ab" and out[1][:1] == b"c"
+
+
+# ----------------------------------------------------------------------
+@settings(max_examples=40, deadline=None)
+@given(
+    shards=st.lists(st.binary(min_size=1, max_size=64), min_size=1, max_size=8),
+    r=st.integers(min_value=1, max_value=4),
+    data=st.data(),
+)
+def test_any_k_of_n_recovers(shards, r, data):
+    """The defining erasure-code property: ANY k of k+r shards suffice."""
+    k = len(shards)
+    length = max(len(s) for s in shards)
+    parity = gf256.rs_encode(shards, r)
+    keep = data.draw(
+        st.lists(
+            st.sampled_from(range(k + r)), min_size=k, max_size=k, unique=True
+        )
+    )
+    have_data = {i: shards[i] for i in keep if i < k}
+    have_parity = {i - k: parity[i - k] for i in keep if i >= k}
+    out = gf256.rs_decode(k, r, length, have_data, have_parity)
+    for i in range(k):
+        assert out[i][: len(shards[i])] == shards[i]
+
+
+@settings(max_examples=40, deadline=None)
+@given(shards=st.lists(st.binary(min_size=1, max_size=64), min_size=2, max_size=8))
+def test_xor_recovers_any_single_loss(shards):
+    parity = gf256.xor_encode(shards)
+    for missing in range(len(shards)):
+        present = [s for i, s in enumerate(shards) if i != missing]
+        rec = gf256.xor_recover(present, parity, len(shards[missing]))
+        assert rec == shards[missing]

@@ -1,0 +1,41 @@
+"""Unit tests for the network frame."""
+
+import pytest
+
+from repro.netsim.frame import Frame, PRIO_CONTROL, PRIO_NORMAL
+
+
+class TestFrame:
+    def test_basic_fields(self):
+        f = Frame("A", "B", 100, payload="p")
+        assert (f.src, f.dst, f.size, f.payload) == ("A", "B", 100, "p")
+        assert f.priority == PRIO_NORMAL
+        assert not f.corrupted
+        assert f.hops == 0
+
+    def test_ids_unique(self):
+        assert Frame("A", "B", 1).id != Frame("A", "B", 1).id
+
+    def test_size_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Frame("A", "B", 0)
+
+    def test_clone_for_shares_payload(self):
+        payload = object()
+        f = Frame("A", "g", 500, payload=payload, multicast_dsts=["B", "C"])
+        f.corrupted = True
+        f.hops = 2
+        g = f.clone_for(["C"])
+        assert g.payload is payload
+        assert g.multicast_dsts == ["C"]
+        assert g.corrupted and g.hops == 2
+        assert g.id != f.id
+
+    def test_multicast_dsts_copied(self):
+        members = ["B", "C"]
+        f = Frame("A", "g", 10, multicast_dsts=members)
+        members.append("D")
+        assert f.multicast_dsts == ["B", "C"]
+
+    def test_control_priority_sorts_first(self):
+        assert PRIO_CONTROL < PRIO_NORMAL

@@ -1,0 +1,189 @@
+"""Unit/integration tests for nodes, routing, multicast, failover."""
+
+import pytest
+
+from repro.netsim.frame import Frame
+from repro.netsim.network import Network
+from repro.netsim.profiles import dual_path, ethernet_10, linear_path, satellite, star
+from repro.sim.kernel import Simulator
+
+
+def simple_net(sim):
+    net = Network(sim)
+    for n in ("A", "s1", "s2", "B"):
+        net.add_node(n)
+    net.add_link("A", "s1", 10e6, 1e-4)
+    net.add_link("s1", "s2", 10e6, 1e-4)
+    net.add_link("s2", "B", 10e6, 1e-4)
+    return net
+
+
+class TestTopology:
+    def test_duplicate_node_rejected(self, sim):
+        net = Network(sim)
+        net.add_node("A")
+        with pytest.raises(ValueError):
+            net.add_node("A")
+
+    def test_link_needs_existing_nodes(self, sim):
+        net = Network(sim)
+        net.add_node("A")
+        with pytest.raises(KeyError):
+            net.add_link("A", "B", 1e6, 0.001)
+
+    def test_duplicate_link_rejected(self, sim):
+        net = simple_net(sim)
+        with pytest.raises(ValueError):
+            net.add_link("A", "s1", 1e6, 0.001)
+
+    def test_bidirectional_creates_both(self, sim):
+        net = simple_net(sim)
+        assert ("A", "s1") in net.links and ("s1", "A") in net.links
+
+    def test_attach_host_creates_node_if_needed(self, sim):
+        net = Network(sim)
+        net.add_node("X")
+        node = net.attach_host("H", lambda f: None)
+        assert node.name == "H"
+
+    def test_double_attach_rejected(self, sim):
+        net = simple_net(sim)
+        net.attach_host("A", lambda f: None)
+        with pytest.raises(ValueError):
+            net.attach_host("A", lambda f: None)
+
+
+class TestRoutingAndDelivery:
+    def test_route(self, sim):
+        net = simple_net(sim)
+        assert net.route("A", "B") == ["A", "s1", "s2", "B"]
+
+    def test_unreachable_route_none(self, sim):
+        net = simple_net(sim)
+        net.add_node("iso")
+        assert net.route("A", "iso") is None
+
+    def test_unicast_delivery(self, sim):
+        net = simple_net(sim)
+        got = []
+        net.attach_host("B", got.append)
+        net.send(Frame("A", "B", 500))
+        sim.run()
+        assert len(got) == 1
+        assert got[0].hops == 3
+        assert got[0].trace == ["A", "s1", "s2", "B"]
+
+    def test_unknown_source_raises(self, sim):
+        net = simple_net(sim)
+        with pytest.raises(KeyError):
+            net.send(Frame("nobody", "B", 100))
+
+    def test_no_route_counts_drop(self, sim):
+        net = simple_net(sim)
+        net.add_node("iso")
+        net.send(Frame("A", "iso", 100))
+        sim.run()
+        assert net.nodes["A"].stats.dropped_no_route == 1
+
+    def test_path_mtu_is_min(self, sim):
+        net = Network(sim)
+        for n in ("A", "m", "B"):
+            net.add_node(n)
+        net.add_link("A", "m", 10e6, 1e-4, mtu=4500)
+        net.add_link("m", "B", 10e6, 1e-4, mtu=1500)
+        assert net.path_mtu("A", "B") == 1500
+
+    def test_path_bottleneck(self, sim):
+        net = Network(sim)
+        for n in ("A", "m", "B"):
+            net.add_node(n)
+        net.add_link("A", "m", 100e6, 1e-4)
+        net.add_link("m", "B", 1.5e6, 1e-4)
+        assert net.path_bottleneck_bps("A", "B") == 1.5e6
+
+    def test_nominal_rtt_symmetricish(self, sim):
+        net = simple_net(sim)
+        rtt = net.nominal_rtt("A", "B")
+        assert rtt == pytest.approx(2 * (3 * 1e-4 + 3 * 512 * 8 / 10e6))
+
+    def test_path_ber_compound(self, sim):
+        net = Network(sim)
+        for n in ("A", "m", "B"):
+            net.add_node(n)
+        net.add_link("A", "m", 1e6, 0.0, ber=1e-6)
+        net.add_link("m", "B", 1e6, 0.0, ber=1e-6)
+        assert net.path_ber("A", "B") == pytest.approx(2e-6, rel=1e-3)
+
+
+class TestFailover:
+    def test_fail_link_reroutes(self, sim):
+        net = dual_path(sim, ethernet_10(), satellite())
+        assert net.route("A", "B") == ["A", "p1", "p2", "B"]
+        net.fail_link("p1", "p2")
+        assert net.route("A", "B") == ["A", "q1", "q2", "B"]
+        rtt = net.nominal_rtt("A", "B")
+        assert rtt > 1.0  # satellite regime
+
+    def test_restore_link_reverts(self, sim):
+        net = dual_path(sim, ethernet_10(), satellite())
+        net.fail_link("p1", "p2")
+        net.restore_link("p1", "p2")
+        assert net.route("A", "B") == ["A", "p1", "p2", "B"]
+
+    def test_traffic_flows_after_failover(self, sim):
+        net = dual_path(sim, ethernet_10(), satellite())
+        got = []
+        net.attach_host("B", got.append)
+        net.fail_link("p1", "p2")
+        net.send(Frame("A", "B", 500))
+        sim.run()
+        assert len(got) == 1
+        assert "q1" in got[0].trace
+
+
+class TestMulticast:
+    def test_join_leave(self, sim):
+        net = star(sim, ethernet_10(), ["A", "B", "C"])
+        net.join_group("g", "B")
+        net.join_group("g", "C")
+        assert net.group_members("g") == {"B", "C"}
+        net.leave_group("g", "C")
+        assert net.group_members("g") == {"B"}
+        net.leave_group("g", "B")
+        assert net.group_members("g") == set()
+
+    def test_join_unknown_host_rejected(self, sim):
+        net = star(sim, ethernet_10(), ["A"])
+        with pytest.raises(KeyError):
+            net.join_group("g", "ghost")
+
+    def test_group_send_reaches_all_members(self, sim):
+        net = star(sim, ethernet_10(), ["A", "B", "C", "D"])
+        rx = {h: [] for h in "BCD"}
+        for h in "BCD":
+            net.attach_host(h, rx[h].append)
+            net.join_group("g", h)
+        net.send(Frame("A", "g", 400))
+        sim.run()
+        assert all(len(v) == 1 for v in rx.values())
+
+    def test_single_copy_on_shared_links(self, sim):
+        # A--hub with 3 members: the A->hub link carries ONE frame
+        net = star(sim, ethernet_10(), ["A", "B", "C", "D"])
+        for h in "BCD":
+            net.attach_host(h, lambda f: None)
+            net.join_group("g", h)
+        net.send(Frame("A", "g", 400))
+        sim.run()
+        assert net.links[("A", "hub")].stats.delivered == 1
+        assert net.links[("hub", "B")].stats.delivered == 1
+
+    def test_nonmember_does_not_receive(self, sim):
+        net = star(sim, ethernet_10(), ["A", "B", "C"])
+        rx_c = []
+        net.attach_host("C", rx_c.append)
+        net.attach_host("B", lambda f: None)
+        net.join_group("g", "B")
+        net.send(Frame("A", "g", 400))
+        sim.run()
+        assert rx_c == []

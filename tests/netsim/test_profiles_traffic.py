@@ -1,0 +1,121 @@
+"""Tests for network profiles and background traffic sources."""
+
+import pytest
+
+from repro.netsim.profiles import (
+    PROFILES,
+    atm_622,
+    dual_path,
+    ethernet_10,
+    linear_path,
+    satellite,
+    star,
+    wan_internet,
+)
+from repro.netsim.traffic import BackgroundLoad, OnOffLoad, PoissonLoad
+from repro.sim.kernel import Simulator
+
+
+class TestProfiles:
+    def test_catalogue_complete(self):
+        assert set(PROFILES) == {
+            "ethernet-10",
+            "token-ring-16",
+            "fddi-100",
+            "atm-155",
+            "atm-622",
+            "wan-internet",
+            "satellite",
+        }
+
+    def test_paper_mtus(self):
+        assert PROFILES["ethernet-10"].mtu == 1500
+        assert PROFILES["fddi-100"].mtu == 4500
+
+    def test_fiber_cleaner_than_copper(self):
+        assert PROFILES["fddi-100"].ber < PROFILES["ethernet-10"].ber
+
+    def test_satellite_delay_regime(self):
+        assert satellite().delay >= 0.25
+
+    def test_scaled_override(self):
+        p = ethernet_10().scaled(ber=0.0, queue_limit=10)
+        assert p.ber == 0.0 and p.queue_limit == 10
+        assert p.bandwidth_bps == ethernet_10().bandwidth_bps
+
+    def test_linear_path_shape(self, sim):
+        net = linear_path(sim, ethernet_10(), ("X", "Y"), n_switches=3)
+        assert net.route("X", "Y") == ["X", "s1", "s2", "s3", "Y"]
+
+    def test_linear_path_two_hosts_only(self, sim):
+        with pytest.raises(ValueError):
+            linear_path(sim, ethernet_10(), ("X", "Y", "Z"))
+
+    def test_star_shape(self, sim):
+        net = star(sim, ethernet_10(), ["A", "B"])
+        assert net.route("A", "B") == ["A", "hub", "B"]
+
+    def test_dual_path_prefers_primary(self, sim):
+        net = dual_path(sim, ethernet_10(), satellite())
+        assert net.route("A", "B")[1] == "p1"
+
+
+class TestTraffic:
+    def _net(self, sim):
+        return linear_path(sim, wan_internet(), ("A", "B"), n_switches=2)
+
+    def test_cbr_rate(self, sim):
+        net = self._net(sim)
+        load = BackgroundLoad(net, "s1", "s2", rate_bps=800_000, size=1000)
+        load.start()
+        sim.run(until=1.0)
+        assert load.sent == pytest.approx(100, abs=2)
+
+    def test_cbr_rejects_bad_rate(self, sim):
+        net = self._net(sim)
+        with pytest.raises(ValueError):
+            BackgroundLoad(net, "s1", "s2", rate_bps=0)
+
+    def test_unknown_endpoint_rejected(self, sim):
+        net = self._net(sim)
+        with pytest.raises(KeyError):
+            BackgroundLoad(net, "nope", "s2", rate_bps=1e6)
+
+    def test_poisson_mean_rate(self, sim):
+        net = self._net(sim)
+        load = PoissonLoad(net, "s1", "s2", rate_pps=200, size=100)
+        load.start()
+        sim.run(until=5.0)
+        assert 800 < load.sent < 1200
+
+    def test_onoff_mean_rate_property(self, sim):
+        net = self._net(sim)
+        load = OnOffLoad(net, "s1", "s2", peak_bps=1e6, mean_on=0.4, mean_off=0.6)
+        assert load.mean_rate_bps == pytest.approx(0.4e6)
+
+    def test_stop_halts_generation(self, sim):
+        net = self._net(sim)
+        load = BackgroundLoad(net, "s1", "s2", rate_bps=1e6)
+        load.start()
+        sim.schedule(0.5, load.stop)
+        sim.run(until=2.0)
+        first = load.sent
+        sim.run(until=3.0)
+        assert load.sent == first
+
+    def test_double_start_rejected(self, sim):
+        net = self._net(sim)
+        load = BackgroundLoad(net, "s1", "s2", rate_bps=1e6)
+        load.start()
+        with pytest.raises(RuntimeError):
+            load.start()
+
+    def test_congestion_fills_queues(self, sim):
+        net = self._net(sim)
+        # offered 2x the 1.5 Mbps bottleneck
+        load = BackgroundLoad(net, "A", "B", rate_bps=3e6)
+        load.start()
+        sim.run(until=2.0)
+        drops = sum(l.stats.dropped_overflow for l in net.links.values())
+        assert drops > 0
+        assert net.path_queue_occupancy("A", "B") > 0.2

@@ -1,0 +1,207 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim.kernel import Event, EventQueue, SimulationError, Simulator
+
+
+class TestEventQueue:
+    def test_pop_orders_by_time(self):
+        q = EventQueue()
+        for i, t in enumerate([3.0, 1.0, 2.0]):
+            q.push(Event(t, 0, i, lambda: None, ()))
+        assert [q.pop().time for _ in range(3)] == [1.0, 2.0, 3.0]
+
+    def test_priority_breaks_time_ties(self):
+        q = EventQueue()
+        q.push(Event(1.0, 5, 1, lambda: None, ()))
+        q.push(Event(1.0, 0, 2, lambda: None, ()))
+        assert q.pop().priority == 0
+
+    def test_seq_breaks_full_ties_fifo(self):
+        q = EventQueue()
+        q.push(Event(1.0, 0, 10, lambda: None, ()))
+        q.push(Event(1.0, 0, 11, lambda: None, ()))
+        assert q.pop().seq == 10
+
+    def test_cancelled_events_are_skipped(self):
+        q = EventQueue()
+        e1 = Event(1.0, 0, 1, lambda: None, ())
+        e2 = Event(2.0, 0, 2, lambda: None, ())
+        q.push(e1)
+        q.push(e2)
+        e1.cancel()
+        q.note_cancel()
+        assert q.pop() is e2
+        assert q.pop() is None
+
+    def test_len_tracks_live_events(self):
+        q = EventQueue()
+        e = Event(1.0, 0, 1, lambda: None, ())
+        q.push(e)
+        assert len(q) == 1
+        e.cancel()
+        q.note_cancel()
+        assert len(q) == 0
+        assert not q
+
+    def test_peek_time_skips_cancelled(self):
+        q = EventQueue()
+        e1 = Event(1.0, 0, 1, lambda: None, ())
+        q.push(e1)
+        q.push(Event(2.0, 0, 2, lambda: None, ()))
+        e1.cancel()
+        q.note_cancel()
+        assert q.peek_time() == 2.0
+
+
+class TestSimulator:
+    def test_clock_starts_at_zero(self, sim):
+        assert sim.now == 0.0
+
+    def test_schedule_and_run(self, sim):
+        out = []
+        sim.schedule(1.0, out.append, "x")
+        sim.run()
+        assert out == ["x"]
+        assert sim.now == 1.0
+
+    def test_execution_order(self, sim):
+        out = []
+        sim.schedule(2.0, out.append, 2)
+        sim.schedule(1.0, out.append, 1)
+        sim.schedule(3.0, out.append, 3)
+        sim.run()
+        assert out == [1, 2, 3]
+
+    def test_same_time_fifo(self, sim):
+        out = []
+        for i in range(5):
+            sim.schedule(1.0, out.append, i)
+        sim.run()
+        assert out == [0, 1, 2, 3, 4]
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_schedule_at_past_rejected(self, sim):
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_run_until_advances_clock_exactly(self, sim):
+        sim.schedule(0.3, lambda: None)
+        sim.run(until=2.0)
+        assert sim.now == 2.0
+
+    def test_run_until_excludes_later_events(self, sim):
+        out = []
+        sim.schedule(1.0, out.append, "early")
+        sim.schedule(5.0, out.append, "late")
+        sim.run(until=2.0)
+        assert out == ["early"]
+        sim.run()
+        assert out == ["early", "late"]
+
+    def test_run_until_includes_boundary(self, sim):
+        out = []
+        sim.schedule(2.0, out.append, "edge")
+        sim.run(until=2.0)
+        assert out == ["edge"]
+
+    def test_cancel(self, sim):
+        out = []
+        ev = sim.schedule(1.0, out.append, "no")
+        sim.cancel(ev)
+        sim.run()
+        assert out == []
+        assert sim.pending() == 0
+
+    def test_cancel_idempotent(self, sim):
+        ev = sim.schedule(1.0, lambda: None)
+        sim.cancel(ev)
+        sim.cancel(ev)
+        assert sim.pending() == 0
+
+    def test_events_scheduled_during_run(self, sim):
+        out = []
+
+        def chain(n):
+            out.append(n)
+            if n < 3:
+                sim.schedule(1.0, chain, n + 1)
+
+        sim.schedule(1.0, chain, 0)
+        sim.run()
+        assert out == [0, 1, 2, 3]
+        assert sim.now == 4.0
+
+    def test_stop_inside_run(self, sim):
+        out = []
+        sim.schedule(1.0, lambda: (out.append(1), sim.stop()))
+        sim.schedule(2.0, out.append, 2)
+        sim.run()
+        assert out == [1]
+        sim.run()
+        assert out == [1, 2]
+
+    def test_max_events(self, sim):
+        out = []
+        for i in range(10):
+            sim.schedule(float(i + 1), out.append, i)
+        sim.run(max_events=4)
+        assert len(out) == 4
+
+    def test_not_reentrant(self, sim):
+        def nested():
+            with pytest.raises(SimulationError):
+                sim.run()
+
+        sim.schedule(1.0, nested)
+        sim.run()
+
+    def test_events_dispatched_counter(self, sim):
+        for i in range(7):
+            sim.schedule(0.1 * (i + 1), lambda: None)
+        sim.run()
+        assert sim.events_dispatched == 7
+
+    def test_call_each_stops_on_false(self, sim):
+        out = []
+
+        def tick():
+            out.append(sim.now)
+            return len(out) < 3
+
+        sim.call_each(1.0, tick)
+        sim.run()
+        assert out == [1.0, 2.0, 3.0]
+
+    def test_call_each_rejects_nonpositive_interval(self, sim):
+        with pytest.raises(SimulationError):
+            sim.call_each(0.0, lambda: None)
+
+    def test_priority_order_same_time(self, sim):
+        out = []
+        sim.schedule(1.0, out.append, "normal", priority=1)
+        sim.schedule(1.0, out.append, "urgent", priority=0)
+        sim.run()
+        assert out == ["urgent", "normal"]
+
+    def test_drain(self, sim):
+        evs = [sim.schedule(1.0, lambda: None) for _ in range(3)]
+        sim.drain(evs)
+        assert sim.pending() == 0
+
+    def test_determinism_across_instances(self):
+        def build():
+            s = Simulator()
+            out = []
+            for i in range(20):
+                s.schedule(((i * 7) % 5) * 0.1, out.append, i)
+            s.run()
+            return out
+
+        assert build() == build()

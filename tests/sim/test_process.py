@@ -1,0 +1,94 @@
+"""Unit tests for generator-based processes."""
+
+import pytest
+
+from repro.sim.process import Process
+
+
+class TestProcess:
+    def test_yields_are_delays(self, sim):
+        out = []
+
+        def body():
+            out.append(sim.now)
+            yield 1.0
+            out.append(sim.now)
+            yield 2.0
+            out.append(sim.now)
+
+        Process(sim, body)
+        sim.run()
+        assert out == [0.0, 1.0, 3.0]
+
+    def test_start_delay(self, sim):
+        out = []
+
+        def body():
+            out.append(sim.now)
+            yield 1.0
+
+        Process(sim, body, start_delay=0.5)
+        sim.run()
+        assert out == [0.5]
+
+    def test_finishes_on_return(self, sim):
+        def body():
+            yield 0.1
+
+        p = Process(sim, body)
+        sim.run()
+        assert p.finished
+        assert not p.alive
+
+    def test_kill_stops_future_resumes(self, sim):
+        out = []
+
+        def body():
+            while True:
+                out.append(sim.now)
+                yield 1.0
+
+        p = Process(sim, body)
+        sim.schedule(2.5, p.kill)
+        sim.run(until=10.0)
+        assert out == [0.0, 1.0, 2.0]
+        assert p.finished
+
+    def test_kill_twice_is_safe(self, sim):
+        def body():
+            yield 1.0
+
+        p = Process(sim, body)
+        p.kill()
+        p.kill()
+        assert p.finished
+
+    def test_invalid_yield_raises(self, sim):
+        def body():
+            yield -1.0
+
+        Process(sim, body)
+        with pytest.raises(ValueError):
+            sim.run()
+
+    def test_args_passed_to_body(self, sim):
+        out = []
+
+        def body(a, b):
+            out.append(a + b)
+            yield 0.1
+
+        Process(sim, body, 2, 3)
+        sim.run()
+        assert out == [5]
+
+    def test_zero_delay_resumes_same_time(self, sim):
+        out = []
+
+        def body():
+            yield 0.0
+            out.append(sim.now)
+
+        Process(sim, body)
+        sim.run()
+        assert out == [0.0]

@@ -1,0 +1,123 @@
+"""Unit tests for Timer / TimerWheel (the TKO_Event substrate)."""
+
+import pytest
+
+from repro.sim.timers import Timer, TimerWheel
+
+
+class TestTimer:
+    def test_one_shot_fires_once(self, sim):
+        out = []
+        t = Timer(sim, out.append, "x", interval=1.0)
+        t.schedule()
+        sim.run()
+        assert out == ["x"]
+        assert t.expirations == 1
+        assert not t.armed
+
+    def test_cancel_before_expiry(self, sim):
+        out = []
+        t = Timer(sim, out.append, 1, interval=1.0)
+        t.schedule()
+        t.cancel()
+        sim.run()
+        assert out == []
+
+    def test_cancel_idempotent(self, sim):
+        t = Timer(sim, lambda: None, interval=1.0)
+        t.cancel()
+        t.cancel()
+        assert not t.armed
+
+    def test_reschedule_restarts_countdown(self, sim):
+        fired_at = []
+        t = Timer(sim, lambda: fired_at.append(sim.now), interval=1.0)
+        t.schedule()
+        sim.schedule(0.5, t.schedule)  # restart at t=0.5
+        sim.run()
+        assert fired_at == [1.5]
+
+    def test_reschedule_with_new_interval(self, sim):
+        fired_at = []
+        t = Timer(sim, lambda: fired_at.append(sim.now), interval=1.0)
+        t.schedule(interval=0.25)
+        sim.run()
+        assert fired_at == [0.25]
+        assert t.interval == 0.25
+
+    def test_periodic_fires_repeatedly(self, sim):
+        out = []
+        t = Timer(sim, lambda: out.append(sim.now), interval=1.0, periodic=True)
+        t.schedule()
+        sim.run(until=3.5)
+        assert out == [1.0, 2.0, 3.0]
+        t.cancel()
+        sim.run()
+        assert len(out) == 3
+
+    def test_periodic_cancel_stops_rearm(self, sim):
+        out = []
+        t = Timer(sim, lambda: out.append(1), interval=1.0, periodic=True)
+        t.schedule()
+        sim.schedule(2.5, t.cancel)
+        sim.run(until=10.0)
+        assert len(out) == 2
+
+    def test_armed_property(self, sim):
+        t = Timer(sim, lambda: None, interval=1.0)
+        assert not t.armed
+        t.schedule()
+        assert t.armed
+        sim.run()
+        assert not t.armed
+
+    def test_callback_may_rearm(self, sim):
+        fired = []
+
+        def cb():
+            fired.append(sim.now)
+            if len(fired) < 3:
+                t.schedule()
+
+        t = Timer(sim, cb, interval=1.0)
+        t.schedule()
+        sim.run()
+        assert fired == [1.0, 2.0, 3.0]
+
+
+class TestTimerWheel:
+    def test_after_arms_one_shot(self, sim):
+        out = []
+        w = TimerWheel(sim)
+        w.after(0.5, out.append, "a")
+        sim.run()
+        assert out == ["a"]
+
+    def test_every_arms_periodic(self, sim):
+        out = []
+        w = TimerWheel(sim)
+        w.every(1.0, out.append, "t")
+        sim.run(until=2.5)
+        assert out == ["t", "t"]
+        w.cancel_all()
+
+    def test_timer_is_not_armed_initially(self, sim):
+        w = TimerWheel(sim)
+        t = w.timer(lambda: None, interval=1.0)
+        assert not t.armed
+
+    def test_cancel_all_disarms_everything(self, sim):
+        out = []
+        w = TimerWheel(sim)
+        w.after(1.0, out.append, 1)
+        w.every(0.5, out.append, 2)
+        w.cancel_all()
+        sim.run()
+        assert out == []
+
+    def test_len_counts_created_timers(self, sim):
+        w = TimerWheel(sim)
+        w.timer(lambda: None)
+        w.after(1.0, lambda: None)
+        assert len(w) == 2
+        w.cancel_all()

@@ -1,0 +1,31 @@
+"""Tests for the ``python -m repro`` command-line entry point."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "quickstart" in out
+        assert "test_table1_tsc.py" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "voice-conversation" in out
+        assert "interactive-isochronous" in out
+
+    def test_profiles(self, capsys):
+        assert main(["profiles"]) == 0
+        out = capsys.readouterr().out
+        assert "ethernet-10" in out and "satellite" in out
+
+    def test_unknown_example(self, capsys):
+        assert main(["example", "no-such-example"]) == 2
+
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 0
+        assert "ADAPTIVE" in capsys.readouterr().out

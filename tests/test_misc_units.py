@@ -1,0 +1,105 @@
+"""Miscellaneous unit coverage: SCS, presentation edges, node stats,
+frame traces, analyze options."""
+
+import pytest
+
+from repro.mantts.monitor import NetworkState
+from repro.mantts.scs import SCS
+from repro.mantts.tsc import TSC
+from repro.netsim.frame import Frame
+from repro.netsim.profiles import ethernet_10, star
+from repro.tko.config import SessionConfig
+from repro.unites.analyze import compare
+from repro.unites.present import render_csv, render_table
+
+
+class TestSCS:
+    def _scs(self):
+        return SCS(config=SessionConfig(), tsc=TSC.NONREALTIME_NONISOCHRONOUS)
+
+    def test_notes_accumulate(self):
+        scs = self._scs()
+        scs.note("first")
+        scs.note("second")
+        assert scs.rationale == ["first", "second"]
+
+    def test_describe_includes_tsc(self):
+        assert "non-real-time" in self._scs().describe()
+
+    def test_negotiable_parameters(self):
+        n = self._scs().negotiable()
+        assert set(n) == {"window", "rate_pps", "segment_size", "fec_k",
+                          "fec_r", "playout_delay"}
+
+
+class TestNetworkStateHelpers:
+    def test_bdp_floor_is_one(self):
+        s = NetworkState("A", "B", True, 0.0, 0.0, 0.0, 1500, 0.0, 0.0, 0.0, 1)
+        assert s.bandwidth_delay_pdus == 1
+
+
+class TestNodeStats:
+    def test_replication_counted_at_branch_points(self, sim):
+        net = star(sim, ethernet_10(), ["A", "B", "C", "D"])
+        for h in "BCD":
+            net.attach_host(h, lambda f: None)
+            net.join_group("g", h)
+        net.send(Frame("A", "g", 300))
+        sim.run()
+        hub = net.nodes["hub"]
+        assert hub.stats.forwarded == 3
+        assert hub.stats.replicated == 3  # three branches from the hub
+
+    def test_frame_trace_records_path(self, sim):
+        from repro.netsim.profiles import linear_path
+
+        net = linear_path(sim, ethernet_10(), ("A", "B"), n_switches=3)
+        got = []
+        net.attach_host("B", got.append)
+        net.send(Frame("A", "B", 100))
+        sim.run()
+        assert got[0].trace == ["A", "s1", "s2", "s3", "B"]
+
+
+class TestPresentEdges:
+    def test_zero_and_tiny_floats(self):
+        out = render_table([{"x": 0.0, "y": 1.2e-7}], ["x", "y"])
+        assert "0" in out and "1.200e-07" in out
+
+    def test_none_rendered_as_dash(self):
+        out = render_table([{"x": None}], ["x"])
+        assert "-" in out.splitlines()[-1]
+
+    def test_csv_empty(self):
+        assert render_csv([]) == ""
+
+
+class TestCompareOptions:
+    def test_custom_higher_is_better(self):
+        out = compare({"score": 1.0}, {"score": 2.0},
+                      higher_is_better=("score",))
+        assert out["score"]["better"] == 1
+
+    def test_tie_is_zero(self):
+        out = compare({"x": 5.0}, {"x": 5.0})
+        assert out["x"]["better"] == 0
+
+
+class TestFinOrdering:
+    def test_fin_does_not_overtake_data(self):
+        """Graceful close must deliver everything queued before it."""
+        from tests.conftest import TwoHosts
+
+        w = TwoHosts()
+        cfg = SessionConfig(
+            connection="implicit", transmission="rate", rate_pps=2000,
+            ack="none", recovery="none", sequencing="none",
+        )
+        w.listen(cfg)
+        s = w.open(cfg)
+        for i in range(20):
+            s.send(bytes([i]) * 800)
+        s.close()  # FIN is ordered behind the paced data
+        w.sim.run(until=5.0)
+        assert len(w.delivered) == 20
+        assert w.rx_sessions[0].closed

@@ -1,0 +1,138 @@
+"""Unit tests for TKOContext (segue) and the template cache."""
+
+import pytest
+
+from repro.mechanisms.retransmission import GoBackN, NoRecovery, SelectiveRepeat
+from repro.mechanisms.transmission import RateControl
+from repro.tko.config import SessionConfig
+from repro.tko.context import SLOTS, TKOContext
+from repro.tko.synthesizer import TKOSynthesizer
+from repro.tko.templates import (
+    SYNTH_COST_DYNAMIC,
+    SYNTH_COST_RECONFIGURABLE,
+    SYNTH_COST_STATIC,
+    TemplateCache,
+)
+
+
+def make_context(cfg=None):
+    return TKOSynthesizer().synthesize_context(cfg or SessionConfig())
+
+
+class TestContext:
+    def test_all_slots_present(self):
+        ctx = make_context()
+        for slot in SLOTS:
+            assert ctx.get(slot) is not None
+
+    def test_missing_slot_rejected(self):
+        ctx = make_context()
+        mechs = dict(ctx.items())
+        del mechs["recovery"]
+        with pytest.raises(ValueError):
+            TKOContext(mechs)
+
+    def test_unknown_slot_rejected(self):
+        ctx = make_context()
+        mechs = dict(ctx.items())
+        mechs["weird"] = mechs["recovery"]
+        with pytest.raises(ValueError):
+            TKOContext(mechs)
+
+    def test_attribute_access(self):
+        ctx = make_context()
+        assert ctx.recovery.name == "gbn"
+        assert ctx.transmission.name == "sliding-window"
+
+    def test_segue_replaces(self):
+        ctx = make_context()
+        old = ctx.segue("recovery", NoRecovery())
+        assert isinstance(old, GoBackN)
+        assert ctx.recovery.name == "none"
+        assert ctx.segue_count == 1
+
+    def test_segue_wrong_category_rejected(self):
+        ctx = make_context()
+        with pytest.raises(ValueError):
+            ctx.segue("recovery", RateControl(rate_pps=10))
+
+    def test_segue_unknown_slot_rejected(self):
+        ctx = make_context()
+        with pytest.raises(KeyError):
+            ctx.segue("nope", NoRecovery())
+
+    def test_describe_lists_mechanisms(self):
+        text = make_context().describe()
+        assert "recovery=gbn" in text
+
+
+class TestTemplateCache:
+    def test_miss_then_hit(self):
+        cache = TemplateCache()
+        cfg = SessionConfig()
+        assert cache.lookup(cfg) is None
+        assert cache.misses == 1
+        cache.store(cfg)
+        t = cache.lookup(cfg)
+        assert t is not None and t.hits == 1
+
+    def test_instantiation_cost_tiers(self):
+        cache = TemplateCache()
+        dyn = SessionConfig()
+        cost, hit = cache.instantiation_cost(dyn)
+        assert (cost, hit) == (SYNTH_COST_DYNAMIC, False)
+        cache.store(dyn)
+        cost, hit = cache.instantiation_cost(dyn)
+        assert (cost, hit) == (SYNTH_COST_RECONFIGURABLE, True)
+        static = SessionConfig(binding="static")
+        cache.store(static)
+        cost, hit = cache.instantiation_cost(static)
+        assert (cost, hit) == (SYNTH_COST_STATIC, True)
+
+    def test_static_templates_cost_code_space(self):
+        cache = TemplateCache()
+        cache.store(SessionConfig(binding="static"))
+        assert cache.total_code_bytes > 0
+        cache2 = TemplateCache()
+        cache2.store(SessionConfig())
+        assert cache2.total_code_bytes == 0
+
+    def test_eviction_at_capacity(self):
+        cache = TemplateCache(max_entries=2)
+        a = SessionConfig()
+        b = SessionConfig(recovery="sr", ack="selective")
+        c = SessionConfig(recovery="none", ack="none", transmission="rate", rate_pps=10)
+        cache.store(a)
+        cache.lookup(a)  # a has a hit, b will be the cold victim
+        cache.store(b)
+        cache.store(c)
+        assert len(cache) == 2
+        assert a in cache and c in cache and b not in cache
+
+    def test_store_idempotent(self):
+        cache = TemplateCache()
+        t1 = cache.store(SessionConfig())
+        t2 = cache.store(SessionConfig())
+        assert t1 is t2
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            TemplateCache(max_entries=0)
+
+
+class TestSynthesizer:
+    def test_builds_per_config(self):
+        cfg = SessionConfig(recovery="fec-rs", ack="none", transmission="rate",
+                            rate_pps=100, fec_k=5, fec_r=2)
+        ctx = TKOSynthesizer().synthesize_context(cfg)
+        assert ctx.recovery.name == "fec-rs"
+        assert ctx.recovery.k == 5 and ctx.recovery.r == 2
+
+    def test_multicast_needs_group(self):
+        cfg = SessionConfig(connection="implicit", delivery="multicast",
+                            transmission="rate", rate_pps=10, ack="none",
+                            recovery="none")
+        with pytest.raises(ValueError):
+            TKOSynthesizer().synthesize_context(cfg)
+        ctx = TKOSynthesizer().synthesize_context(cfg, group="g", members=["B"])
+        assert ctx.delivery.group == "g"

@@ -1,0 +1,47 @@
+"""Unit tests for TKOEvent (the paper's TKO_Event timer class)."""
+
+import pytest
+
+from repro.host.cpu import Cpu
+from repro.tko.event import TKOEvent
+
+
+class TestTKOEvent:
+    def test_schedule_expire_cancel_contract(self, sim):
+        fired = []
+        ev = TKOEvent(sim, fired.append, "x", interval=0.5)
+        ev.schedule()
+        assert ev.armed
+        sim.run()
+        assert fired == ["x"]
+        assert ev.expirations == 1
+
+    def test_periodic(self, sim):
+        fired = []
+        ev = TKOEvent(sim, lambda: fired.append(sim.now), interval=0.2, periodic=True)
+        ev.schedule()
+        sim.run(until=0.7)
+        assert len(fired) == 3
+        ev.cancel()
+
+    def test_schedule_charges_timer_op(self, sim):
+        cpu = Cpu(sim, mips=25)
+        ev = TKOEvent(sim, lambda: None, interval=1.0, cpu=cpu)
+        before = cpu.instructions_retired
+        ev.schedule()
+        assert cpu.instructions_retired == before + cpu.costs.timer_op
+
+    def test_cancel_charges_only_when_armed(self, sim):
+        cpu = Cpu(sim, mips=25)
+        ev = TKOEvent(sim, lambda: None, interval=1.0, cpu=cpu)
+        ev.cancel()                     # not armed: free
+        assert cpu.instructions_retired == 0
+        ev.schedule()
+        after_schedule = cpu.instructions_retired
+        ev.cancel()                     # armed: one timer op
+        assert cpu.instructions_retired == after_schedule + cpu.costs.timer_op
+
+    def test_without_cpu_no_accounting(self, sim):
+        ev = TKOEvent(sim, lambda: None, interval=1.0)
+        ev.schedule()
+        ev.cancel()  # no crash without a bound CPU

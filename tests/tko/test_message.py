@@ -1,0 +1,210 @@
+"""Unit + property tests for the zero-copy TKO_Message."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tko.message import CopyMeter, Header, TKOMessage
+
+
+class TestHeaders:
+    def test_push_pop_lifo(self):
+        m = TKOMessage(b"data")
+        m.push(Header("tp", 24))
+        m.push(Header("net", 20))
+        assert m.pop().name == "net"
+        assert m.pop().name == "tp"
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            TKOMessage(b"x").pop()
+
+    def test_lengths(self):
+        m = TKOMessage(b"12345")
+        m.push(Header("h", 10))
+        assert (m.data_length, m.header_length, m.length) == (5, 10, 15)
+
+    def test_peek(self):
+        m = TKOMessage(b"")
+        assert m.peek() is None
+        m.push(Header("h", 4))
+        assert m.peek().name == "h"
+
+    def test_negative_header_size_rejected(self):
+        with pytest.raises(ValueError):
+            Header("h", -1)
+
+    def test_push_pop_move_no_payload_bytes(self):
+        meter = CopyMeter()
+        m = TKOMessage(b"x" * 10_000, meter=meter)
+        for i in range(50):
+            m.push(Header(f"h{i}", 8))
+        for _ in range(50):
+            m.pop()
+        assert meter.bytes_copied == 0
+
+
+class TestSplitConcat:
+    def test_split_sizes(self):
+        m = TKOMessage(b"abcdefghij")
+        left, right = m.split(4)
+        assert left.materialize() == b"abcd"
+        assert right.materialize() == b"efghij"
+
+    def test_split_at_bounds(self):
+        m = TKOMessage(b"abc")
+        l, r = m.split(0)
+        assert l.data_length == 0 and r.data_length == 3
+        m2 = TKOMessage(b"abc")
+        l2, r2 = m2.split(3)
+        assert l2.data_length == 3 and r2.data_length == 0
+
+    def test_split_out_of_range(self):
+        with pytest.raises(ValueError):
+            TKOMessage(b"abc").split(4)
+
+    def test_split_is_zero_copy(self):
+        meter = CopyMeter()
+        m = TKOMessage(b"q" * 4096, meter=meter)
+        m.split(1000)
+        assert meter.bytes_copied == 0
+
+    def test_headers_stay_with_left(self):
+        m = TKOMessage(b"abcdef")
+        m.push(Header("h", 8))
+        left, right = m.split(3)
+        assert left.header_length == 8
+        assert right.header_length == 0
+
+    def test_concat_reassembles(self):
+        a = TKOMessage(b"hello ")
+        b = TKOMessage(b"world")
+        a.concat(b)
+        assert a.materialize() == b"hello world"
+
+    def test_take_detaches_prefix(self):
+        m = TKOMessage(b"0123456789")
+        first = m.take(3)
+        second = m.take(3)
+        assert first.materialize() == b"012"
+        assert second.materialize() == b"345"
+        assert m.data_length == 4
+
+    def test_split_of_multisegment(self):
+        m = TKOMessage(b"abcd")
+        m.concat(TKOMessage(b"efgh"))
+        left, right = m.split(6)
+        assert left.materialize() == b"abcdef"
+        assert right.materialize() == b"gh"
+
+
+class TestCopies:
+    def test_clone_shares_segments(self):
+        meter = CopyMeter()
+        m = TKOMessage(b"z" * 1000, meter=meter)
+        c = m.clone()
+        assert meter.bytes_copied == 0
+        assert c.materialize() == b"z" * 1000  # this one copies
+        assert meter.bytes_copied == 1000
+
+    def test_clone_header_stack_independent(self):
+        m = TKOMessage(b"d")
+        m.push(Header("h", 4))
+        c = m.clone()
+        c.pop()
+        assert m.header_length == 4
+
+    def test_copy_through_counts(self):
+        meter = CopyMeter()
+        m = TKOMessage(b"y" * 500, meter=meter)
+        m.copy_through()
+        assert meter.copies == 1
+        assert meter.bytes_copied == 500
+
+    def test_materialize_collapses_segments(self):
+        m = TKOMessage(b"ab")
+        m.concat(TKOMessage(b"cd"))
+        assert m.segment_count == 2
+        m.materialize()
+        assert m.segment_count == 1
+
+    def test_meter_reset(self):
+        meter = CopyMeter()
+        meter.record(10)
+        meter.reset()
+        assert meter.copies == 0 and meter.bytes_copied == 0
+
+
+class TestChecksum:
+    def test_known_value_stability(self):
+        assert TKOMessage(b"hello").checksum16() == TKOMessage(b"hello").checksum16()
+
+    def test_detects_single_bit_flip(self):
+        a = TKOMessage(b"hello world!").checksum16()
+        b = TKOMessage(b"hellp world!").checksum16()
+        assert a != b
+
+    def test_segmentation_invariant(self):
+        whole = TKOMessage(b"the quick brown fox")
+        parts = TKOMessage(b"the quick")
+        parts.concat(TKOMessage(b" brown fox"))
+        assert whole.checksum16() == parts.checksum16()
+
+    def test_empty_message(self):
+        assert TKOMessage(b"").checksum16() == 0xFFFF
+
+    def test_odd_length(self):
+        # odd-length final byte path
+        assert TKOMessage(b"abc").checksum16() == TKOMessage(b"abc").checksum16()
+
+
+# ----------------------------------------------------------------------
+# property tests
+# ----------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(data=st.binary(min_size=0, max_size=2000), at=st.integers(min_value=0, max_value=2000))
+def test_split_concat_roundtrip(data, at):
+    at = min(at, len(data))
+    m = TKOMessage(data)
+    left, right = m.split(at)
+    left.concat(right)
+    assert left.materialize() == data
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    chunks=st.lists(st.binary(min_size=1, max_size=200), min_size=1, max_size=10),
+    seg=st.integers(min_value=1, max_value=100),
+)
+def test_fragmentation_reassembly_roundtrip(chunks, seg):
+    """take() in seg-size pieces then concat reproduces the original."""
+    whole = b"".join(chunks)
+    m = TKOMessage((), meter=CopyMeter())
+    for c in chunks:
+        m.concat(TKOMessage(c))
+    frags = []
+    while m.data_length:
+        frags.append(m.take(min(seg, m.data_length)))
+    out = TKOMessage(b"")
+    for f in frags:
+        out.concat(f)
+    assert out.materialize() == whole
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.binary(min_size=1, max_size=500), flip=st.integers(min_value=0, max_value=4000))
+def test_checksum_catches_any_single_bit_flip(data, flip):
+    bit = flip % (len(data) * 8)
+    corrupted = bytearray(data)
+    corrupted[bit // 8] ^= 1 << (bit % 8)
+    assert TKOMessage(data).checksum16() != TKOMessage(bytes(corrupted)).checksum16()
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.binary(min_size=0, max_size=1000))
+def test_checksum_split_invariance(data):
+    m = TKOMessage(data)
+    if len(data) >= 2:
+        l, r = TKOMessage(data).split(len(data) // 2)
+        l.concat(r)
+        assert l.checksum16() == m.checksum16()

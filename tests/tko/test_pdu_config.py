@@ -1,0 +1,139 @@
+"""Unit tests for PDUs and session configurations."""
+
+import pytest
+
+from repro.tko.config import SessionConfig
+from repro.tko.message import TKOMessage
+from repro.tko.pdu import (
+    COMPACT_HEADER_SIZE,
+    LEGACY_HEADER_BASE,
+    LEGACY_OPTION_SIZE,
+    TRAILER_CHECKSUM_SIZE,
+    PDU,
+    PduType,
+)
+
+
+class TestPdu:
+    def test_compact_header_fixed_size(self):
+        p = PDU(PduType.DATA, 1, options={"a": 1, "b": 2})
+        assert p.header_size == COMPACT_HEADER_SIZE
+
+    def test_legacy_header_grows_with_options(self):
+        p = PDU(PduType.DATA, 1, compact=False, options={"a": 1, "b": 2})
+        assert p.header_size == LEGACY_HEADER_BASE + 2 * LEGACY_OPTION_SIZE
+
+    def test_trailer_checksum_adds_bytes(self):
+        p = PDU(PduType.DATA, 1)
+        base = p.header_size
+        p.checksum_placement = "trailer"
+        assert p.header_size == base + TRAILER_CHECKSUM_SIZE
+
+    def test_wire_size_includes_data(self):
+        p = PDU(PduType.DATA, 1, message=TKOMessage(b"x" * 100))
+        assert p.wire_size == p.header_size + 100
+
+    def test_aux_size_counted(self):
+        p = PDU(PduType.PARITY, 1)
+        base = p.header_size
+        p.aux_size = 32
+        assert p.header_size == base + 32
+
+    def test_control_classification(self):
+        assert PDU(PduType.SYN, 1).is_control
+        assert PDU(PduType.CONFIG, 1).is_control
+        assert not PDU(PduType.DATA, 1).is_control
+        assert not PDU(PduType.ACK, 1).is_control
+
+    def test_retransmit_clone_preserves_identity(self):
+        p = PDU(PduType.DATA, 7, src_port=1, dst_port=2, seq=42,
+                msg_id=5, frag_index=1, frag_count=3,
+                message=TKOMessage(b"payload"))
+        p.checksum_placement = "trailer"
+        c = p.retransmit_clone()
+        assert (c.seq, c.msg_id, c.frag_index, c.frag_count) == (42, 5, 1, 3)
+        assert (c.src_port, c.dst_port) == (1, 2)
+        assert c.id != p.id
+        assert c.message is not p.message
+        assert c.message.materialize() == b"payload"
+
+    def test_retransmit_clone_is_lazy(self):
+        from repro.tko.message import CopyMeter
+
+        meter = CopyMeter()
+        p = PDU(PduType.DATA, 1, message=TKOMessage(b"q" * 1000, meter=meter))
+        p.retransmit_clone()
+        assert meter.bytes_copied == 0
+
+    def test_as_header(self):
+        p = PDU(PduType.DATA, 3, seq=9)
+        h = p.as_header()
+        assert h.size == p.header_size
+        assert h.aligned is True
+
+
+class TestSessionConfig:
+    def test_defaults_valid(self):
+        SessionConfig()
+
+    def test_invalid_choice_rejected(self):
+        with pytest.raises(ValueError):
+            SessionConfig(recovery="magic")
+
+    def test_sr_requires_selective_acks(self):
+        with pytest.raises(ValueError):
+            SessionConfig(recovery="sr", ack="cumulative")
+        SessionConfig(recovery="sr", ack="selective")
+
+    def test_retransmission_requires_acks(self):
+        with pytest.raises(ValueError):
+            SessionConfig(recovery="gbn", ack="none", transmission="rate", rate_pps=10)
+
+    def test_window_requires_acks(self):
+        with pytest.raises(ValueError):
+            SessionConfig(transmission="sliding-window", ack="none",
+                          recovery="none")
+
+    def test_multicast_requires_implicit(self):
+        with pytest.raises(ValueError):
+            SessionConfig(delivery="multicast", connection="explicit-3way")
+        SessionConfig(delivery="multicast", connection="implicit")
+
+    def test_bad_numbers_rejected(self):
+        with pytest.raises(ValueError):
+            SessionConfig(window=0)
+        with pytest.raises(ValueError):
+            SessionConfig(rate_pps=0.0, transmission="rate")
+        with pytest.raises(ValueError):
+            SessionConfig(fec_k=0)
+        with pytest.raises(ValueError):
+            SessionConfig(segment_size=32)
+
+    def test_signature_ignores_tuning_knobs(self):
+        a = SessionConfig(window=8)
+        b = SessionConfig(window=64)
+        assert a.signature() == b.signature()
+
+    def test_signature_differs_on_mechanisms(self):
+        a = SessionConfig()
+        b = SessionConfig(recovery="sr", ack="selective")
+        assert a.signature() != b.signature()
+
+    def test_with_creates_modified_copy(self):
+        a = SessionConfig()
+        b = a.with_(window=99)
+        assert b.window == 99 and a.window != 99
+
+    def test_dict_roundtrip(self):
+        cfg = SessionConfig(recovery="fec-rs", ack="none", transmission="rate",
+                            rate_pps=120.0, fec_k=6, fec_r=2)
+        again = SessionConfig.from_dict(cfg.to_dict())
+        assert again == cfg
+
+    def test_from_dict_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            SessionConfig.from_dict({"bogus": 1})
+
+    def test_describe_mentions_mechanisms(self):
+        d = SessionConfig().describe()
+        assert "gbn" in d and "sliding-window" in d

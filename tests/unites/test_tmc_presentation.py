@@ -1,0 +1,52 @@
+"""Tests for TMC-driven presentation formats (Table 2's last parameter)."""
+
+import pytest
+
+from repro.core.system import AdaptiveSystem
+from repro.mantts.acd import ACD, TMC
+from repro.mantts.qos import QualitativeQoS, QuantitativeQoS
+from repro.netsim.profiles import ethernet_10, linear_path
+
+
+def run_with_presentation(fmt: str):
+    sysm = AdaptiveSystem(seed=21)
+    sysm.attach_network(
+        linear_path(sysm.sim, ethernet_10(), ("A", "B"), rng=sysm.rng)
+    )
+    a, b = sysm.node("A"), sysm.node("B")
+    b.mantts.register_service(7000, on_deliver=lambda d, m: None)
+    acd = ACD(
+        participants=("B",),
+        quantitative=QuantitativeQoS(duration=600),
+        qualitative=QualitativeQoS(),
+        tmc=TMC(metrics=("rtt", "acks_received"), sampling_interval=0.1,
+                presentation=fmt),
+    )
+    conn = a.mantts.open(acd)
+    sysm.run(until=0.5)
+    for _ in range(5):
+        conn.send(b"x" * 400)
+    sysm.run(until=2.0)
+    return sysm.unites.render_tmc(conn.ref)
+
+
+class TestTmcPresentation:
+    def test_table_format(self):
+        out = run_with_presentation("table")
+        assert "TMC report" in out
+        assert "rtt" in out and "acks_received" in out
+
+    def test_csv_format(self):
+        out = run_with_presentation("csv")
+        assert out.splitlines()[0] == "metric,samples,latest"
+        assert any(line.startswith("rtt,") for line in out.splitlines())
+
+    def test_series_format(self):
+        out = run_with_presentation("series")
+        assert "*" in out  # the ASCII plot
+        assert "rtt" in out
+
+    def test_unknown_connection(self, sim):
+        from repro.unites.collect import UNITES
+
+        assert "no samples" in UNITES(sim).render_tmc("ghost")

@@ -1,0 +1,134 @@
+"""Tests for the session tracer."""
+
+import pytest
+
+from repro.netsim.profiles import ethernet_10
+from repro.tko.config import SessionConfig
+from repro.unites.trace import EVENTS, SessionTracer, TraceEvent
+from tests.conftest import TwoHosts
+
+
+class TestSessionTracer:
+    def test_records_send_receive_deliver(self):
+        w = TwoHosts()
+        w.listen()
+        s = w.open(SessionConfig())
+        tracer = SessionTracer().attach(s)
+        for _ in range(3):
+            s.send(b"x" * 400)
+        w.sim.run(until=2.0)
+        assert tracer.counts["pdu-sent"] >= 3
+        assert tracer.counts["pdu-received"] >= 3   # ACKs arrive back
+        assert tracer.counts["connected"] == 1
+
+    def test_receiver_side_deliver_events(self):
+        w = TwoHosts()
+        w.listen()
+        s = w.open(SessionConfig())
+        s.send(b"hello")
+        w.sim.run(until=1.0)
+        rx_tracer = SessionTracer().attach(w.rx_sessions[0])
+        s.send(b"again")
+        w.sim.run(until=2.0)
+        delivers = rx_tracer.of_kind("deliver")
+        assert len(delivers) == 1
+        assert delivers[0].details["nbytes"] == 5
+
+    def test_retransmit_events_under_loss(self):
+        w = TwoHosts(profile=ethernet_10().scaled(ber=4e-6), seed=7)
+        w.listen()
+        s = w.open(SessionConfig())
+        tracer = SessionTracer().attach(s)
+        for _ in range(30):
+            s.send(b"d" * 1000)
+        w.sim.run(until=20.0)
+        assert tracer.of_kind("retransmit")
+        r = tracer.of_kind("retransmit")[0]
+        assert "seq" in r.details and r.details["retries"] >= 1
+
+    def test_segue_events(self):
+        from repro.mechanisms.acknowledgment import SelectiveAck
+        from repro.mechanisms.retransmission import SelectiveRepeat
+
+        w = TwoHosts()
+        w.listen()
+        s = w.open(SessionConfig())
+        tracer = SessionTracer().attach(s)
+        w.sim.run(until=0.5)
+        s.segue("recovery", SelectiveRepeat())
+        s.segue("ack", SelectiveAck())
+        segues = tracer.of_kind("segue")
+        assert [(e.details["slot"], e.details["mechanism"]) for e in segues] == [
+            ("recovery", "sr"),
+            ("ack", "selective"),
+        ]
+
+    def test_event_filter(self):
+        w = TwoHosts()
+        w.listen()
+        s = w.open(SessionConfig())
+        tracer = SessionTracer(events=["deliver"]).attach(s)
+        s.send(b"x")
+        w.sim.run(until=1.0)
+        assert "pdu-sent" not in tracer.counts
+
+    def test_unknown_filter_rejected(self):
+        with pytest.raises(ValueError):
+            SessionTracer(events=["teleportation"])
+
+    def test_ring_bounded(self):
+        w = TwoHosts()
+        w.listen()
+        s = w.open(SessionConfig())
+        tracer = SessionTracer(max_events=5).attach(s)
+        for _ in range(10):
+            s.send(b"x" * 100)
+        w.sim.run(until=2.0)
+        assert len(tracer) == 5
+        assert tracer.dropped > 0
+
+    def test_detach_stops_recording(self):
+        w = TwoHosts()
+        w.listen()
+        s = w.open(SessionConfig())
+        tracer = SessionTracer().attach(s)
+        s.send(b"x")
+        w.sim.run(until=1.0)
+        n = len(tracer)
+        tracer.detach(s)
+        s.send(b"y")
+        w.sim.run(until=2.0)
+        assert len(tracer) == n
+
+    def test_render_timeline(self):
+        w = TwoHosts()
+        w.listen()
+        s = w.open(SessionConfig())
+        tracer = SessionTracer().attach(s)
+        s.send(b"x")
+        w.sim.run(until=1.0)
+        out = tracer.render(last=3)
+        assert "== trace:" in out
+        assert "A:" in out
+
+    def test_between_window(self):
+        w = TwoHosts()
+        w.listen()
+        s = w.open(SessionConfig())
+        tracer = SessionTracer().attach(s)
+        s.send(b"x")
+        w.sim.run(until=1.0)
+        assert tracer.between(0.0, 1.0)
+        assert tracer.between(5.0, 6.0) == []
+
+    def test_abort_event(self):
+        w = TwoHosts()
+        w.listen()
+        s = w.open(SessionConfig(max_retries=2))
+        tracer = SessionTracer().attach(s)
+        s.send(b"x" * 500)
+        w.sim.run(until=0.001)
+        w.net.fail_link("A", "s1")
+        w.sim.run(until=60.0)
+        aborts = tracer.of_kind("abort")
+        assert aborts and "reason" in aborts[0].details
