@@ -13,7 +13,6 @@ static variant refuses segue (flexibility forfeited); the template cache
 reports the code-space price of each customized template.
 """
 
-import pytest
 
 from repro.core.scenario import PointToPointScenario
 from repro.mechanisms.retransmission import SelectiveRepeat

@@ -1,0 +1,98 @@
+"""UNITES-X overhead: disabled telemetry must be free (within 5%).
+
+The tentpole discipline is that every hot-path instrumentation site
+guards with a single ``if TELEMETRY.enabled:`` test.  This benchmark
+enforces the bound on the hottest path of all — the kernel dispatch loop
+— by timing the same E6-style bulk workload two ways:
+
+* **baseline** — ``Simulator.step`` monkeypatched to
+  ``Simulator._step_uninstrumented``, the pre-telemetry dispatch loop
+  kept verbatim for exactly this purpose;
+* **disabled** — the shipping ``step`` with telemetry off (the default).
+
+Runs are ABAB-interleaved and the minimum of N is compared (minimum, not
+mean: scheduling noise only ever adds time).  An enabled-telemetry run is
+also timed and reported, but not bounded — paying for what you turn on is
+the deal.
+"""
+
+import time
+
+from repro.core.scenario import PointToPointScenario
+from repro.netsim.profiles import fddi_100
+from repro.sim.kernel import Simulator
+from repro.tko.config import SessionConfig
+from repro.unites.obs.telemetry import TELEMETRY
+from repro.unites.present import render_table
+
+from benchmarks.conftest import record
+
+ROUNDS = 5
+MAX_DISABLED_OVERHEAD = 1.05
+
+
+def _workload(telemetry: bool) -> float:
+    """Wall seconds to run the E6 bulk transfer once; returns elapsed."""
+    scenario = PointToPointScenario(
+        config=SessionConfig(window=30, segment_size=None),
+        workload="bulk",
+        workload_kw={"total_bytes": 2_000_000, "chunk_bytes": 16_384},
+        profile=fddi_100().scaled(ber=0.0),
+        duration=8.0,
+        seed=29,
+        mips=25.0,
+    )
+    if telemetry:
+        scenario.system.enable_telemetry()
+    t0 = time.perf_counter()
+    scenario.run(8.0)
+    elapsed = time.perf_counter() - t0
+    events = scenario.system.sim.events_dispatched
+    if telemetry:
+        TELEMETRY.disable()
+        TELEMETRY.reset()
+    return elapsed, events
+
+
+def test_obs_overhead_disabled_is_free(benchmark, monkeypatch):
+    TELEMETRY.disable()
+    TELEMETRY.reset()
+
+    def measure():
+        baseline, disabled = [], []
+        events = 0
+        for _ in range(ROUNDS):
+            # A: true no-telemetry dispatch loop
+            monkeypatch.setattr(Simulator, "step", Simulator._step_uninstrumented)
+            t, events = _workload(telemetry=False)
+            baseline.append(t)
+            monkeypatch.undo()
+            # B: shipping loop, telemetry disabled
+            t, _ = _workload(telemetry=False)
+            disabled.append(t)
+        enabled, _ = _workload(telemetry=True)
+        return min(baseline), min(disabled), enabled, events
+
+    base, disabled, enabled, events = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    ratio = disabled / base
+    rows = [
+        {"variant": "no-telemetry baseline", "wall_s": base, "vs_baseline": 1.0},
+        {"variant": "telemetry disabled", "wall_s": disabled, "vs_baseline": ratio},
+        {"variant": "telemetry enabled", "wall_s": enabled,
+         "vs_baseline": enabled / base},
+    ]
+    record(
+        benchmark,
+        render_table(
+            rows, ["variant", "wall_s", "vs_baseline"],
+            title=f"UNITES-X overhead — E6 bulk workload, {events} events, "
+                  f"min of {ROUNDS} ABAB rounds",
+        ),
+        events=events,
+    )
+    assert ratio <= MAX_DISABLED_OVERHEAD, (
+        f"disabled telemetry costs {100 * (ratio - 1):.1f}% "
+        f"(bound: {100 * (MAX_DISABLED_OVERHEAD - 1):.0f}%)"
+    )

@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Trace timeline: the teleconference scenario under full UNITES-X telemetry.
+
+Runs the §2.1(B) conference (one speaker multicasting voice frames to a
+dynamic group) with the global telemetry handle enabled, then exports the
+collected spans as Chrome ``trace_event`` JSON.  Load the output in
+Perfetto (https://ui.perfetto.dev) or ``chrome://tracing`` to see, on one
+sim-time axis:
+
+* ``mantts``    — connection-setup / negotiation / admission / instantiate
+* ``tko``       — per-message ``session-send`` spans
+* ``mechanism`` — ``mechanism:<name>.<op>`` invocations on the data path
+* ``netsim``    — per-frame ``link-tx`` time-on-wire spans
+* ``kernel``    — per-handler dispatch profile (wall-clock widths)
+
+Run:  python examples/trace_timeline.py [out.json]
+"""
+
+import os
+import sys
+import tempfile
+
+from repro import ACD, APP_PROFILES, AdaptiveSystem
+from repro.apps.voice import VoiceSource
+from repro.netsim.profiles import fddi_100, star
+from repro.unites.obs.exporters import write_chrome_trace
+from repro.unites.obs.telemetry import TELEMETRY
+
+
+def main() -> None:
+    # only trust argv when it names a JSON file — the test harness runs
+    # examples with its own argv
+    if len(sys.argv) > 1 and sys.argv[1].endswith(".json"):
+        out_path = sys.argv[1]
+    else:
+        out_path = os.path.join(tempfile.gettempdir(), "adaptive_trace.json")
+
+    members = ["bob", "carol", "dave"]
+    system = AdaptiveSystem(seed=5)
+    system.attach_network(
+        star(system.sim, fddi_100(), ["alice", *members], rng=system.rng)
+    )
+    alice = system.node("alice")
+    system.enable_telemetry()
+
+    received = {m: 0 for m in members}
+    for m in members:
+        node = system.node(m)
+        node.mantts.register_service(
+            7000,
+            on_deliver=(lambda name: lambda d, meta: received.__setitem__(
+                name, received[name] + 1))(m),
+        )
+
+    profile = APP_PROFILES["tele-conferencing"]
+    acd = ACD(
+        participants=("bob", "carol"),
+        quantitative=profile.quantitative(),
+        qualitative=profile.qualitative(),
+        service_port=7000,
+    )
+    conn = alice.mantts.open(acd)
+    system.run(until=0.5)
+
+    speaker = VoiceSource(
+        system.sim, conn, rng=system.rng.stream("speaker"),
+        frame_bytes=480, frame_interval=0.02,
+    )
+    speaker.start(0.5)
+    system.run(until=2.0)
+    conn.add_member("dave")
+    system.run(until=3.0)
+    speaker.stop()
+    conn.close()
+    system.run(until=3.5)
+
+    print(TELEMETRY.summary())
+    cats = TELEMETRY.categories()
+    layers = {"kernel", "netsim", "mantts", "tko", "mechanism"}
+    present = layers & set(cats)
+    assert len(present) >= 4, f"expected spans from >=4 layers, got {sorted(cats)}"
+
+    n = write_chrome_trace(TELEMETRY, out_path)
+    print(f"wrote {n} trace events -> {out_path}")
+    print("open it at https://ui.perfetto.dev or chrome://tracing")
+
+
+if __name__ == "__main__":
+    try:
+        main()
+    finally:
+        # leave the process-global handle pristine for whoever runs next
+        # (the example-runner test executes every example in one process)
+        TELEMETRY.disable()
+        TELEMETRY.reset()

@@ -16,7 +16,7 @@ Run:  python examples/video_wan_adaptation.py
 
 from repro import ACD, AdaptiveSystem, QualitativeQoS, QuantitativeQoS
 from repro.apps.video import VbrVideoSource
-from repro.mantts.policies import buffer_pressure_notify, congestion_rate_backoff
+from repro.mantts.policies import congestion_rate_backoff
 from repro.mantts.acd import TSARule
 from repro.netsim.profiles import linear_path, wan_internet
 from repro.netsim.traffic import BackgroundLoad

@@ -11,7 +11,7 @@ the metric dictionary every benchmark table is built from.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, Optional
 
 from repro.apps.rpc import EchoResponder, RequestResponseClient
 from repro.apps.workloads import DeliveryTracker, make_source

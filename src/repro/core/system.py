@@ -86,6 +86,17 @@ class AdaptiveSystem:
         return node
 
     # ------------------------------------------------------------------
+    def enable_telemetry(self, max_records: Optional[int] = None):
+        """Turn on UNITES-X collection, clocked by this system's simulator.
+
+        Returns the global telemetry handle so callers can export from it
+        (``write_chrome_trace(system.enable_telemetry(), path)`` reads
+        naturally in experiment scripts).
+        """
+        from repro.unites.obs.telemetry import TELEMETRY
+
+        return TELEMETRY.enable(sim=self.sim, max_records=max_records)
+
     def run(self, until: Optional[float] = None) -> None:
         self.sim.run(until=until)
 

@@ -20,7 +20,7 @@ Component (TMC)              requests handed to UNITES
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Optional, Tuple
 
 from repro.mantts.qos import QualitativeQoS, QuantitativeQoS
 

@@ -42,6 +42,7 @@ from repro.tko.config import SessionConfig
 from repro.tko.protocol import TKOProtocol
 from repro.tko.session import TKOSession
 from repro.tko.synthesizer import TKOSynthesizer
+from repro.unites.obs.telemetry import NULL_SPAN, TELEMETRY as _TELEMETRY
 
 _conn_refs = itertools.count(1)
 
@@ -365,6 +366,11 @@ class AdaptiveConnection:
         #: messages accepted while negotiation is still in flight; flushed
         #: into the session the moment Stage III instantiates it
         self._pending_sends: List[bytes] = []
+        # Async telemetry spans; initialized to the no-op span so every
+        # exit path (failure before begin(), double-fail, ...) may end()
+        # them unconditionally.
+        self._setup_span = NULL_SPAN
+        self._nego_span = NULL_SPAN
 
     # ------------------------------------------------------------------
     @property
@@ -388,6 +394,9 @@ class AdaptiveConnection:
     def begin(self) -> None:
         acd = self.acd
         primary = acd.participants[0]
+        self._setup_span = _TELEMETRY.begin(
+            "connection-setup", "mantts", conn=self.ref, peer=primary
+        )
         self.monitor = NetworkMonitor(
             self.sim,
             self.host.network,
@@ -417,6 +426,11 @@ class AdaptiveConnection:
 
     def _negotiate_explicit(self, throughput_bps: Optional[float] = None) -> None:
         assert self.scs is not None
+        self._nego_span.end(outcome="superseded")  # no-op except on renegotiation
+        self._nego_span = _TELEMETRY.begin(
+            "negotiation", "mantts", parent=self._setup_span,
+            conn=self.ref, attempt="retry" if self._renegotiated else "first",
+        )
         acd = self.acd
         requested = throughput_bps or acd.quantitative.avg_throughput_bps
         outstanding = set(self.members)
@@ -452,6 +466,7 @@ class AdaptiveConnection:
                     return
                 if not outstanding:
                     self.sim.cancel(timeout)
+                    self._nego_span.end(outcome="accept", members=len(results))
                     self._complete_negotiation(results)
             return on_reply
 
@@ -511,18 +526,19 @@ class AdaptiveConnection:
         assert self.scs is not None
         self.scs.config = cfg
         acd = self.acd
-        self.session = self.mantts.protocol.create_session(
-            cfg,
-            self.group if self.group else acd.participants[0],
-            acd.service_port,
-            group=self.group,
-            members=self.members if self.group else None,
-            on_deliver=self._deliver,
-            on_connected=self._connected,
-            on_closed=self._closed,
-            on_open_failed=self._fail,
-        )
-        self.session.connect()
+        with _TELEMETRY.span("session-instantiate", "mantts", conn=self.ref):
+            self.session = self.mantts.protocol.create_session(
+                cfg,
+                self.group if self.group else acd.participants[0],
+                acd.service_port,
+                group=self.group,
+                members=self.members if self.group else None,
+                on_deliver=self._deliver,
+                on_connected=self._connected,
+                on_closed=self._closed,
+                on_open_failed=self._fail,
+            )
+            self.session.connect()
         for data in self._pending_sends:
             self.session.send(data)
         self._pending_sends.clear()
@@ -666,6 +682,7 @@ class AdaptiveConnection:
 
     def _connected(self) -> None:
         self._established = True
+        self._setup_span.end(outcome="connected")
         if self.on_connected is not None:
             self.on_connected(self)
 
@@ -680,6 +697,8 @@ class AdaptiveConnection:
         if self._failed:
             return
         self._failed = True
+        self._nego_span.end(outcome="fail")
+        self._setup_span.end(outcome="failed", reason=reason)
         if self.monitor is not None:
             self.monitor.stop()
         self.mantts.connections.pop(self.ref, None)

@@ -26,6 +26,7 @@ from typing import Optional, Tuple
 
 from repro.mantts.resources import ResourceManager
 from repro.tko.config import SessionConfig
+from repro.unites.obs.telemetry import TELEMETRY as _TELEMETRY
 
 #: well-known MANTTS signalling port on every ADAPTIVE host
 MANTTS_PORT = 500
@@ -81,6 +82,21 @@ def respond_to_open(
     ``accept`` or ``refuse``.  On accept a resource reservation has been
     taken under ``conn_ref``.
     """
+    with _TELEMETRY.span("admission", "mantts", conn=conn_ref) as sp:
+        verdict, final, reply = _respond_to_open(msg, resources, conn_ref)
+        sp.annotate(verdict=verdict)
+        if _TELEMETRY.enabled:
+            _TELEMETRY.metrics.counter(
+                "mantts_admissions_total", labels={"verdict": verdict},
+                help="admission decisions by the responder").inc()
+    return verdict, final, reply
+
+
+def _respond_to_open(
+    msg: dict,
+    resources: ResourceManager,
+    conn_ref: str,
+) -> Tuple[str, Optional[SessionConfig], dict]:
     proposal = SessionConfig.from_dict(msg["config"])
     requested_bps = float(msg.get("throughput_bps", 64000.0))
     seg = proposal.segment_size or 1024

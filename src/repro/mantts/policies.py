@@ -21,8 +21,8 @@ The built-in rule builders encode the paper's two worked examples:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple, Union
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, List, Optional, Tuple, Union
 
 from repro.mantts.acd import TSARule
 from repro.mantts.monitor import NetworkState

@@ -12,7 +12,7 @@ is provided for profile definitions; hard numeric bounds live in
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 

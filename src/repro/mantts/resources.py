@@ -11,7 +11,7 @@ the paper's negotiate-down-or-refuse outcome.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.host.nic import Host

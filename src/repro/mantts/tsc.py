@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict
 
 from repro.mantts.acd import ACD
 from repro.mantts.qos import QualitativeQoS, QuantitativeQoS, Sensitivity

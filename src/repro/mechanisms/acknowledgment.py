@@ -18,7 +18,6 @@ ACKs advertise the local free receive window on every emission.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.mechanisms.base import Acknowledgment
 from repro.tko.pdu import PDU, PduType

@@ -19,7 +19,9 @@ model the customization trade-off the paper takes from Synthesis/SELF.
 from __future__ import annotations
 
 import abc
-from typing import TYPE_CHECKING, Any, ClassVar, Iterable, List, Optional
+from typing import TYPE_CHECKING, ClassVar, Iterable, List, Optional
+
+from repro.unites.obs.telemetry import TELEMETRY as _TELEMETRY
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.tko.pdu import PDU
@@ -59,6 +61,23 @@ class Mechanism(abc.ABC):
         state (recovery queues, pacing debts, handshake progress) override
         this so a segue is loss-free.
         """
+
+    # ------------------------------------------------------------------
+    # ------------------------------------------------------------------
+    # UNITES-X hooks — callers guard with ``if TELEMETRY.enabled:`` on
+    # hot paths; both are no-ops while telemetry is disabled.
+    # ------------------------------------------------------------------
+    def count_invoke(self, op: str) -> None:
+        """Count one invocation of operation ``op`` on this mechanism."""
+        if _TELEMETRY.enabled:
+            _TELEMETRY.metrics.counter(
+                "mechanism_invocations_total",
+                labels={"mechanism": self.name, "category": self.category, "op": op},
+                help="per-mechanism operation invocations").inc()
+
+    def invoke_span(self, op: str):
+        """A ``mechanism:<name>.<op>`` span (NULL_SPAN when disabled)."""
+        return _TELEMETRY.span(f"mechanism:{self.name}.{op}", "mechanism")
 
     # ------------------------------------------------------------------
     def send_cost(self, pdu: "PDU") -> float:

@@ -16,7 +16,7 @@ property-based tests in ``tests/mechanisms/test_gf256.py`` hammer).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 import numpy as np
 

@@ -14,14 +14,14 @@ perturbs another's error pattern.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 
-import numpy as np
 
 from repro.netsim.frame import Frame
 from repro.sim.kernel import Simulator
 from repro.sim.rng import RngStreams
+from repro.unites.obs.telemetry import TELEMETRY as _TELEMETRY
 
 #: number of distinct priority classes a link serves (see frame.PRIO_*)
 N_PRIORITIES = 3
@@ -115,6 +115,7 @@ class Link:
         """
         if not self.up:
             self.stats.dropped_down += 1
+            self._count_drop("down")
             return False
         if frame.size > self.mtu:
             # A frame sized for a fatter path arriving after a route change:
@@ -123,16 +124,30 @@ class Link:
             # the transport sees it as loss (reliable sessions will
             # retransmit until their give-up threshold surfaces the fault).
             self.stats.dropped_mtu += 1
+            self._count_drop("mtu")
             return False
         if self.queue_len >= self.queue_limit:
             self.stats.dropped_overflow += 1
+            self._count_drop("overflow")
             return False
         prio = min(max(frame.priority, 0), N_PRIORITIES - 1)
         self._queues[prio].append(frame)
         self.stats.enqueued += 1
+        if _TELEMETRY.enabled:
+            _TELEMETRY.metrics.counter(
+                "link_frames_enqueued_total", labels={"link": self.name},
+                help="frames accepted into the link queue").inc()
         if not self._transmitting:
             self._start_next()
         return True
+
+    def _count_drop(self, reason: str) -> None:
+        if _TELEMETRY.enabled:
+            _TELEMETRY.metrics.counter(
+                "link_frames_dropped_total",
+                labels={"link": self.name, "reason": reason},
+                help="frames lost at the link, by cause").inc()
+            _TELEMETRY.instant("link-drop", "netsim", link=self.name, reason=reason)
 
     def _start_next(self) -> None:
         frame = None
@@ -155,15 +170,31 @@ class Link:
             if self._rng.random() < p_err:
                 frame.corrupted = True
                 self.stats.corrupted += 1
+                if _TELEMETRY.enabled:
+                    _TELEMETRY.metrics.counter(
+                        "link_frames_corrupted_total", labels={"link": self.name},
+                        help="frames hit by channel bit errors").inc()
         if self.up:
             self.sim.schedule(self.delay, self._arrive, frame)
         else:
             self.stats.dropped_down += 1
+            self._count_drop("down")
         self._start_next()
 
     def _arrive(self, frame: Frame) -> None:
         self.stats.delivered += 1
         self.stats.bytes_delivered += frame.size
+        if _TELEMETRY.enabled:
+            t = _TELEMETRY
+            t.metrics.counter(
+                "link_frames_delivered_total", labels={"link": self.name},
+                help="frames handed to the far endpoint").inc()
+            # The frame left the queue serialization_time before the
+            # propagation delay began: reconstruct its time on the wire.
+            start = self.sim.now - self.delay - self.serialization_time(frame.size)
+            t.complete("link-tx", "netsim", start, self.sim.now,
+                       link=self.name, bytes=frame.size,
+                       corrupted=frame.corrupted)
         if self.deliver is not None:
             self.deliver(frame)
 
@@ -172,7 +203,13 @@ class Link:
         """Take the link down; queued and in-flight frames are lost."""
         self.up = False
         for q in self._queues:
-            self.stats.dropped_down += len(q)
+            lost = len(q)
+            self.stats.dropped_down += lost
+            if lost and _TELEMETRY.enabled:
+                _TELEMETRY.metrics.counter(
+                    "link_frames_dropped_total",
+                    labels={"link": self.name, "reason": "down"},
+                    help="frames lost at the link, by cause").inc(lost)
             q.clear()
 
     def restore(self) -> None:

@@ -11,7 +11,7 @@ switching nodes", §4.1.1).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import networkx as nx
 
@@ -20,6 +20,7 @@ from repro.netsim.link import Link
 from repro.netsim.node import Node
 from repro.sim.kernel import Simulator
 from repro.sim.rng import RngStreams
+from repro.unites.obs.telemetry import TELEMETRY as _TELEMETRY
 
 #: nominal probe size used to weight routes (favours fast, short links)
 _ROUTE_PROBE_BYTES = 512
@@ -125,6 +126,7 @@ class Network:
             self.links[(u, v)].fail()
             if self.graph.has_edge(u, v):
                 self.graph.remove_edge(u, v)
+            _TELEMETRY.instant("link-fail", "netsim", link=f"{u}->{v}")
         self._route_cache.clear()
 
     def restore_link(self, a: str, b: str, bidirectional: bool = True) -> None:
@@ -135,6 +137,7 @@ class Network:
             link.restore()
             weight = link.delay + _ROUTE_PROBE_BYTES * 8.0 / link.bandwidth_bps
             self.graph.add_edge(u, v, weight=weight)
+            _TELEMETRY.instant("link-restore", "netsim", link=f"{u}->{v}")
         self._route_cache.clear()
 
     #: destination address meaning "every attached host except the sender"

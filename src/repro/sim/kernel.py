@@ -16,7 +16,10 @@ an arriving acknowledgment.
 from __future__ import annotations
 
 import heapq
+from time import perf_counter
 from typing import Any, Callable, Iterable, Optional
+
+from repro.unites.obs.telemetry import TELEMETRY as _TELEMETRY
 
 
 class SimulationError(RuntimeError):
@@ -73,13 +76,21 @@ class Event:
 
 
 class EventQueue:
-    """Binary-heap pending-event set with lazy deletion."""
+    """Binary-heap pending-event set with lazy deletion.
 
-    __slots__ = ("_heap", "_live")
+    ``popped_live`` / ``skipped_cancelled`` count how many heap pops
+    returned a live event vs. discarded a lazily-deleted one — their ratio
+    is the kernel's *lazy-deletion ratio*, a direct measure of timer churn
+    (retransmission timers that were cancelled by an arriving ACK).
+    """
+
+    __slots__ = ("_heap", "_live", "popped_live", "skipped_cancelled")
 
     def __init__(self) -> None:
         self._heap: list[Event] = []
         self._live = 0
+        self.popped_live = 0
+        self.skipped_cancelled = 0
 
     def push(self, event: Event) -> None:
         heapq.heappush(self._heap, event)
@@ -92,7 +103,9 @@ class EventQueue:
             ev = heapq.heappop(heap)
             if not ev.cancelled:
                 self._live -= 1
+                self.popped_live += 1
                 return ev
+            self.skipped_cancelled += 1
         return None
 
     def peek_time(self) -> Optional[float]:
@@ -100,7 +113,19 @@ class EventQueue:
         heap = self._heap
         while heap and heap[0].cancelled:
             heapq.heappop(heap)
+            self.skipped_cancelled += 1
         return heap[0].time if heap else None
+
+    @property
+    def heap_depth(self) -> int:
+        """Physical heap size, cancelled entries included."""
+        return len(self._heap)
+
+    @property
+    def lazy_deletion_ratio(self) -> float:
+        """Fraction of heap pops that discarded a cancelled event."""
+        total = self.popped_live + self.skipped_cancelled
+        return self.skipped_cancelled / total if total else 0.0
 
     def note_cancel(self) -> None:
         """Inform the queue that one of its events was cancelled."""
@@ -191,7 +216,31 @@ class Simulator:
     # execution
     # ------------------------------------------------------------------
     def step(self) -> bool:
-        """Dispatch the single earliest event.  Returns False when idle."""
+        """Dispatch the single earliest event.  Returns False when idle.
+
+        When the global telemetry handle is disabled (the default) the only
+        instrumentation cost is the single ``enabled`` test below — the
+        bound that ``benchmarks/test_obs_overhead.py`` enforces against the
+        uninstrumented baseline kept in :meth:`_step_uninstrumented`.
+        """
+        ev = self._queue.pop()
+        if ev is None:
+            return False
+        self._now = ev.time
+        self.events_dispatched += 1
+        if _TELEMETRY.enabled:
+            self._dispatch_instrumented(ev)
+        else:
+            ev.fn(*ev.args)
+        return True
+
+    def _step_uninstrumented(self) -> bool:
+        """The pre-telemetry dispatch loop, byte-for-byte.
+
+        Never called by the simulator itself; ``benchmarks/
+        test_obs_overhead.py`` swaps it in for :meth:`step` to obtain a true
+        no-telemetry baseline when asserting the disabled-overhead bound.
+        """
         ev = self._queue.pop()
         if ev is None:
             return False
@@ -199,6 +248,30 @@ class Simulator:
         self.events_dispatched += 1
         ev.fn(*ev.args)
         return True
+
+    def _dispatch_instrumented(self, ev: Event) -> None:
+        """Telemetry-enabled dispatch: per-handler wall profiling + spans."""
+        fn = ev.fn
+        name = getattr(fn, "__qualname__", None) or type(fn).__name__
+        w0 = perf_counter()
+        fn(*ev.args)
+        wall = perf_counter() - w0
+        t = _TELEMETRY
+        m = t.metrics
+        m.counter("kernel_events_dispatched_total",
+                  help="events the kernel has dispatched").inc()
+        m.histogram("kernel_handler_seconds", labels={"handler": name},
+                    help="wall-clock seconds per handler invocation").observe(wall)
+        q = self._queue
+        m.gauge("kernel_heap_depth",
+                help="physical heap size incl. cancelled events").set(float(q.heap_depth))
+        m.gauge("kernel_pending_events",
+                help="live (non-cancelled) scheduled events").set(float(len(q)))
+        m.gauge("kernel_lazy_deletion_ratio",
+                help="fraction of heap pops discarding a cancelled event"
+                ).set(q.lazy_deletion_ratio)
+        t.complete(f"kernel:{name}", "kernel", self._now, self._now,
+                   wall_us=wall * 1e6)
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
         """Run until the queue drains, ``until`` is reached, or ``max_events``.

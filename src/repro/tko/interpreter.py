@@ -24,7 +24,6 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.tko.context import TKOContext
     from repro.tko.pdu import PDU
     from repro.tko.session import TKOSession
 

@@ -23,7 +23,7 @@ from repro.host.nic import Host
 from repro.netsim.frame import Frame
 from repro.tko.config import SessionConfig
 from repro.tko.pdu import PDU, PduType
-from repro.tko.session import TKOSession, _noop
+from repro.tko.session import TKOSession
 from repro.tko.synthesizer import TKOSynthesizer
 
 _conn_ids = itertools.count(1)

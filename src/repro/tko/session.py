@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import itertools
 from collections import deque
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, Optional
 
 from repro.host.nic import Host
 from repro.netsim.frame import Frame, PRIO_CONTROL, PRIO_HIGH, PRIO_NORMAL
@@ -39,6 +39,7 @@ from repro.tko.state import (
     SenderState,
     SessionStats,
 )
+from repro.unites.obs.telemetry import TELEMETRY as _TELEMETRY
 
 _msg_counter = itertools.count(1)
 
@@ -118,6 +119,8 @@ class TKOSession:
         return self._closed
 
     def _notify(self, event: str, **details) -> None:
+        if not self.observers:
+            return
         for observer in self.observers:
             observer(event, self, **details)
 
@@ -146,25 +149,27 @@ class TKOSession:
         if self._closed or self._closing:
             raise RuntimeError("session is closed")
         msg_id = next(_msg_counter)
-        self.stats.msgs_sent += 1
-        msg = TKOMessage(data, meter=self.copy_meter)
-        seg = self.segment_size()
-        total = msg.data_length
-        frag_count = max(1, -(-total // seg))
-        piggyback = self.context.connection.piggyback_config()
-        for i in range(frag_count):
-            part = msg.take(min(seg, msg.data_length)) if total else TKOMessage(b"", meter=self.copy_meter)
-            pdu = self.make_pdu(PduType.DATA)
-            pdu.seq = self.state.next_seq()
-            pdu.msg_id = msg_id
-            pdu.frag_index = i
-            pdu.frag_count = frag_count
-            pdu.message = part
-            if piggyback is not None:
-                pdu.options["cfg"] = piggyback
-                piggyback = None
-            self._send_queue.append(pdu)
-        self.pump()
+        with _TELEMETRY.span("session-send", "tko", msg_id=msg_id,
+                             nbytes=len(data), conn=self.conn_id):
+            self.stats.msgs_sent += 1
+            msg = TKOMessage(data, meter=self.copy_meter)
+            seg = self.segment_size()
+            total = msg.data_length
+            frag_count = max(1, -(-total // seg))
+            piggyback = self.context.connection.piggyback_config()
+            for i in range(frag_count):
+                part = msg.take(min(seg, msg.data_length)) if total else TKOMessage(b"", meter=self.copy_meter)
+                pdu = self.make_pdu(PduType.DATA)
+                pdu.seq = self.state.next_seq()
+                pdu.msg_id = msg_id
+                pdu.frag_index = i
+                pdu.frag_count = frag_count
+                pdu.message = part
+                if piggyback is not None:
+                    pdu.options["cfg"] = piggyback
+                    piggyback = None
+                self._send_queue.append(pdu)
+            self.pump()
         return msg_id
 
     def close(self) -> None:
@@ -180,8 +185,7 @@ class TKOSession:
         if self._closed:
             return
         self.stats.aborted = reason
-        if self.observers:
-            self._notify("abort", reason=reason)
+        self._notify("abort", reason=reason)
         self._teardown()
         if self.on_open_failed is not None and self.stats.established_at is None:
             self.on_open_failed(reason)
@@ -204,8 +208,7 @@ class TKOSession:
             )
         self.context.segue(slot, replacement)
         self.stats.reconfigurations += 1
-        if self.observers:
-            self._notify("segue", slot=slot, mechanism=replacement.name)
+        self._notify("segue", slot=slot, mechanism=replacement.name)
         # reconfiguration is not free: charge the rebinding bookkeeping
         self.host.cpu.submit(2000.0, _noop)
         self.pump()
@@ -301,7 +304,14 @@ class TKOSession:
         pdu.timestamp = self.now
         if self._track_outstanding():
             self.state.track(SendEntry(pdu, first_sent=self.now, last_sent=self.now))
-        extras = list(self.context.recovery.on_send(pdu))
+        recovery = self.context.recovery
+        if _TELEMETRY.enabled:
+            recovery.count_invoke("encode")
+            with recovery.invoke_span("encode"):
+                extras = list(recovery.on_send(pdu))
+            self.context.transmission.count_invoke("on_send")
+        else:
+            extras = list(recovery.on_send(pdu))
         self.context.transmission.on_send(pdu)
         self._transmit(pdu, control=False)
         for extra in extras:
@@ -314,14 +324,15 @@ class TKOSession:
         entry.retries += 1
         entry.last_sent = self.now
         self.stats.retransmissions += 1
-        if self.observers:
-            self._notify("retransmit", seq=entry.pdu.seq, retries=entry.retries)
+        self._notify("retransmit", seq=entry.pdu.seq, retries=entry.retries)
         clone = entry.pdu.retransmit_clone()
         self._transmit(clone, control=False)
 
     def _transmit(self, pdu: PDU, control: bool) -> None:
         if self._closed:
             return
+        if _TELEMETRY.enabled:
+            self.context.detection.count_invoke("attach")
         self.context.detection.attach(pdu)
         if pdu.ptype is PduType.DATA:
             critical, deferred = self.cost_model.send_charge(pdu)
@@ -345,8 +356,7 @@ class TKOSession:
         )
         self.stats.pdus_sent += 1
         self.stats.wire_bytes_sent += frame.size
-        if self.observers:
-            self._notify("pdu-sent", pdu=pdu, size=frame.size)
+        self._notify("pdu-sent", pdu=pdu, size=frame.size)
         if self.protocol is not None:
             # descend the protocol graph (any installed layers) to the NIC
             self.protocol.egress(frame, extra_instructions=critical)
@@ -380,11 +390,11 @@ class TKOSession:
         if self._closed:
             return
         self.stats.pdus_received += 1
-        if self.observers:
-            self._notify("pdu-received", pdu=pdu, corrupted=frame.corrupted)
+        self._notify("pdu-received", pdu=pdu, corrupted=frame.corrupted)
+        if _TELEMETRY.enabled:
+            self.context.detection.count_invoke("verify")
         if not self.context.detection.verify(pdu, frame.corrupted):
-            if self.observers:
-                self._notify("pdu-rejected", pdu=pdu)
+            self._notify("pdu-rejected", pdu=pdu)
             return
         t = pdu.ptype
         if t is PduType.DATA:
@@ -423,6 +433,8 @@ class TKOSession:
             ctx.ack.on_gap(pdu)
             self._arm_gap_timer()
         if accepted:
+            if _TELEMETRY.enabled:
+                ctx.ack.count_invoke("on_data")
             ctx.ack.on_data(pdu)
         else:
             # discarded (GBN out-of-order / duplicate): release its buffer
@@ -450,6 +462,8 @@ class TKOSession:
             if f.message is not None:
                 combined.concat(f.message)
         first = frags[0]
+        if _TELEMETRY.enabled:
+            self.context.jitter.count_invoke("release_delay")
         delay = self.context.jitter.release_delay(first)
         if delay > 0:
             self.sim.schedule(delay, self._deliver_app, combined, first)
@@ -468,9 +482,8 @@ class TKOSession:
         self.stats.msgs_delivered += 1
         self.stats.data_bytes_delivered += len(data)
         self.stats.record_latency(latency)
-        if self.observers:
-            self._notify("deliver", msg_id=first.msg_id, nbytes=len(data),
-                         latency=latency)
+        self._notify("deliver", msg_id=first.msg_id, nbytes=len(data),
+                     latency=latency)
         if self.on_deliver is not None:
             self.on_deliver(
                 data,
@@ -488,6 +501,9 @@ class TKOSession:
     def _handle_ack(self, pdu: PDU, from_host: str) -> None:
         self.stats.acks_received += 1
         ctx = self.context
+        if _TELEMETRY.enabled:
+            ctx.transmission.count_invoke("on_ack")
+            ctx.recovery.count_invoke("on_ack")
         ctx.transmission.on_ack(pdu)
         if pdu.ack is not None:
             for seq in [s for s in self.state.outstanding if s < pdu.ack]:
@@ -538,8 +554,7 @@ class TKOSession:
     def notify_connected(self) -> None:
         if self.stats.established_at is None:
             self.stats.established_at = self.now
-            if self.observers:
-                self._notify("connected")
+            self._notify("connected")
             if self.on_connected is not None:
                 self.on_connected()
         self.pump()
@@ -553,8 +568,7 @@ class TKOSession:
 
     def notify_open_failed(self, reason: str) -> None:
         self.stats.aborted = reason
-        if self.observers:
-            self._notify("abort", reason=reason)
+        self._notify("abort", reason=reason)
         self._teardown()
         if self.on_open_failed is not None:
             self.on_open_failed(reason)

@@ -18,7 +18,7 @@ instantiation path.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from repro.tko.config import SessionConfig

@@ -19,6 +19,7 @@ from typing import TYPE_CHECKING, Dict, Iterable, List, Optional
 from repro.sim.kernel import Simulator
 from repro.sim.timers import Timer
 from repro.unites.metrics import METRICS, session_snapshot
+from repro.unites.obs.telemetry import TELEMETRY as _TELEMETRY
 from repro.unites.repository import MetricRepository
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -69,7 +70,10 @@ class SessionCollector:
 
     def _sample(self) -> None:
         self.samples_taken += 1
-        values = session_snapshot(self.session, self.metrics)
+        registry = _TELEMETRY.metrics if _TELEMETRY.enabled else None
+        values = session_snapshot(
+            self.session, self.metrics, registry=registry, entity=self.entity
+        )
         self.repository.record_many(self.sim.now, "session", self.entity, values)
 
 
@@ -171,6 +175,60 @@ class UNITES:
         timer.schedule(interval)
         return timer
 
+    def watch_network(self, network, interval: float = 0.5) -> Timer:
+        """Sample per-link counters into the repository's "link" scope.
+
+        Rows come from each link's :class:`~repro.netsim.link.LinkStats`,
+        so this works with telemetry enabled or disabled.
+        """
+        start_time = self.sim.now
+
+        def tick() -> None:
+            elapsed = max(1e-9, self.sim.now - start_time)
+            for link in network.links.values():
+                st = link.stats
+                self.repository.record_many(
+                    self.sim.now,
+                    "link",
+                    link.name,
+                    {
+                        "frames_enqueued": float(st.enqueued),
+                        "frames_delivered": float(st.delivered),
+                        "frames_dropped": float(
+                            st.dropped_overflow + st.dropped_down + st.dropped_mtu
+                        ),
+                        "frames_corrupted": float(st.corrupted),
+                        "queue_len": float(link.queue_len),
+                        "utilization": st.utilization(elapsed),
+                    },
+                )
+
+        timer = Timer(self.sim, tick, interval=interval, periodic=True)
+        timer.schedule(interval)
+        return timer
+
+    def watch_telemetry(self, interval: float = 0.5) -> Timer:
+        """Periodically route the UNITES-X registry into the repository.
+
+        The bridge that lets :meth:`report` and the experiment harness see
+        push-side telemetry (kernel gauges, link counters, mechanism
+        invocation counts) as ordinary repository samples.
+        """
+
+        def tick() -> None:
+            if _TELEMETRY.enabled:
+                _TELEMETRY.metrics.to_repository(self.repository, self.sim.now)
+
+        timer = Timer(self.sim, tick, interval=interval, periodic=True)
+        timer.schedule(interval)
+        return timer
+
+    def prometheus(self) -> str:
+        """The UNITES-X registry in Prometheus text exposition format."""
+        from repro.unites.obs.exporters import render_prometheus
+
+        return render_prometheus(_TELEMETRY.metrics)
+
     # ------------------------------------------------------------------
     def final_snapshot(self, session: "TKOSession", entity: str) -> Dict[str, Optional[float]]:
         """One complete snapshot, recorded and returned (end-of-run)."""
@@ -184,8 +242,9 @@ class UNITES:
 
     # ------------------------------------------------------------------
     def report(self) -> str:
-        """A full repository report at all three scopes (Figure 6's
-        "systemwide, per-host, or per-connection" presentation).
+        """A full repository report at every scope (Figure 6's
+        "systemwide, per-host, or per-connection" presentation, plus the
+        UNITES-X per-link scope).
 
         Rows show the latest value of every metric per entity; the system
         scope aggregates each metric's mean across entities.
@@ -194,7 +253,11 @@ class UNITES:
 
         repo = self.repository
         sections = []
-        for scope, title in (("session", "per-connection"), ("host", "per-host")):
+        for scope, title in (
+            ("session", "per-connection"),
+            ("host", "per-host"),
+            ("link", "per-link"),
+        ):
             entities = repo.entities(scope)
             if not entities:
                 continue

@@ -16,7 +16,7 @@ run the simulator, and snapshot.  Helpers in this module cover the common
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from repro.unites.analyze import compare

@@ -167,8 +167,19 @@ BLACKBOX = {n: m for n, m in METRICS.items() if m.kind == "blackbox"}
 WHITEBOX = {n: m for n, m in METRICS.items() if m.kind == "whitebox"}
 
 
-def session_snapshot(session: "TKOSession", metrics=None) -> Dict[str, Optional[float]]:
-    """Evaluate a set of metrics (default: all) against a session now."""
+def session_snapshot(
+    session: "TKOSession",
+    metrics=None,
+    registry=None,
+    entity: str = "",
+) -> Dict[str, Optional[float]]:
+    """Evaluate a set of metrics (default: all) against a session now.
+
+    When ``registry`` (a UNITES-X ``MetricRegistry``) is given, each
+    non-None value is mirrored into a ``unites_<name>`` gauge labelled
+    with ``entity`` — the pull-side catalogue showing up next to the
+    push-side telemetry in one Prometheus scrape.
+    """
     chosen = metrics if metrics is not None else METRICS.keys()
     out: Dict[str, Optional[float]] = {}
     for name in chosen:
@@ -176,4 +187,12 @@ def session_snapshot(session: "TKOSession", metrics=None) -> Dict[str, Optional[
         if spec is None:
             raise KeyError(f"unknown metric {name!r}")
         out[name] = spec.extract(session)
+    if registry is not None:
+        labels = {"session": entity} if entity else None
+        for name, value in out.items():
+            if value is not None:
+                registry.gauge(
+                    f"unites_{name}", labels=labels,
+                    help=METRICS[name].description,
+                ).set(value)
     return out

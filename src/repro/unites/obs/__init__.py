@@ -1,0 +1,50 @@
+"""UNITES-X — the full-system observability layer.
+
+The paper positions UNITES as "a controlled prototyping environment for
+monitoring, analyzing, and experimenting" (§4.3).  The base ``repro.unites``
+modules cover the *metric* half of that promise (session-scope snapshots in
+a repository); this subpackage adds the *systems* half:
+
+* :mod:`repro.unites.obs.telemetry` — hierarchical spans with sim-time and
+  wall-time stamps, carried through a zero-cost-when-disabled global
+  :data:`~repro.unites.obs.telemetry.TELEMETRY` handle that every layer
+  (sim kernel, netsim links, MANTTS negotiation, TKO sessions and
+  mechanisms) hooks into;
+* :mod:`repro.unites.obs.registry` — a typed metric registry (counters,
+  gauges, fixed-bucket histograms) that backs the session snapshots of
+  :mod:`repro.unites.metrics` and routes into the
+  :class:`~repro.unites.repository.MetricRepository`;
+* :mod:`repro.unites.obs.exporters` — JSONL event logs, Chrome
+  ``trace_event`` JSON (loadable in Perfetto / ``chrome://tracing``), and
+  Prometheus-style text dumps.
+
+These modules are deliberate *leaves*: they import nothing from the rest of
+``repro``, so the lowest substrate (``repro.sim.kernel``) can import the
+telemetry handle without cycles.
+"""
+
+from repro.unites.obs.registry import Counter, Gauge, Histogram, MetricRegistry
+from repro.unites.obs.telemetry import NULL_SPAN, TELEMETRY, Span, Telemetry
+from repro.unites.obs.exporters import (
+    render_prometheus,
+    to_chrome_trace,
+    to_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "NULL_SPAN",
+    "TELEMETRY",
+    "Span",
+    "Telemetry",
+    "render_prometheus",
+    "to_chrome_trace",
+    "to_jsonl",
+    "write_chrome_trace",
+    "write_jsonl",
+]

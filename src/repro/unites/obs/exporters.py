@@ -1,0 +1,197 @@
+"""Exporters: JSONL event log, Chrome ``trace_event`` JSON, Prometheus text.
+
+Three sinks for one collection pass:
+
+* :func:`to_jsonl` / :func:`write_jsonl` — one JSON object per line (spans,
+  instants, then metrics); the machine-greppable archive format;
+* :func:`to_chrome_trace` / :func:`write_chrome_trace` — the Trace Event
+  Format understood by Perfetto and ``chrome://tracing``; each span becomes
+  a complete (``"ph": "X"``) event on a per-category track, instants become
+  ``"i"`` events.  Timestamps are **sim time in microseconds**; spans that
+  are instantaneous in sim time (kernel handler dispatches) use their
+  wall-clock duration as ``dur`` so the profile is visible on the timeline
+  (the true wall cost is always in ``args.wall_us``);
+* :func:`render_prometheus` — the ``# HELP`` / ``# TYPE`` text exposition
+  format for a :class:`~repro.unites.obs.registry.MetricRegistry`,
+  including cumulative histogram buckets.
+
+This module is a leaf: stdlib only.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Dict, Iterator, List
+
+from repro.unites.obs.registry import Counter, Gauge, Histogram, MetricRegistry
+from repro.unites.obs.telemetry import Telemetry
+
+
+# ----------------------------------------------------------------------
+# JSONL
+# ----------------------------------------------------------------------
+def iter_records(telemetry: Telemetry) -> Iterator[Dict[str, Any]]:
+    """Every collected record as a plain dict (spans, instants, metrics)."""
+    for s in telemetry.spans:
+        rec: Dict[str, Any] = {
+            "type": "span",
+            "name": s.name,
+            "category": s.category,
+            "sim_start": s.sim_start,
+            "sim_end": s.sim_end,
+            "wall_us": round(s.wall_us, 3),
+            "depth": s.depth,
+        }
+        if s.parent:
+            rec["parent"] = s.parent
+        if s.args:
+            rec["args"] = s.args
+        yield rec
+    for i in telemetry.instants:
+        rec = {
+            "type": "instant",
+            "name": i["name"],
+            "category": i["category"],
+            "sim_time": i["sim_time"],
+        }
+        if i["args"]:
+            rec["args"] = i["args"]
+        yield rec
+    for name, value in telemetry.metrics.snapshot().items():
+        yield {"type": "metric", "name": name, "value": value}
+
+
+def to_jsonl(telemetry: Telemetry) -> str:
+    return "\n".join(json.dumps(r, default=str) for r in iter_records(telemetry))
+
+
+def write_jsonl(telemetry: Telemetry, path: str) -> int:
+    """Write the JSONL log; returns the number of records."""
+    n = 0
+    with open(path, "w") as fh:
+        for rec in iter_records(telemetry):
+            fh.write(json.dumps(rec, default=str))
+            fh.write("\n")
+            n += 1
+    return n
+
+
+# ----------------------------------------------------------------------
+# Chrome trace_event
+# ----------------------------------------------------------------------
+def to_chrome_trace(telemetry: Telemetry, pid: int = 1) -> Dict[str, Any]:
+    """The telemetry buffer as a Trace Event Format object."""
+    meta: List[Dict[str, Any]] = [
+        {"ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+         "args": {"name": "adaptive-sim"}},
+    ]
+    events: List[Dict[str, Any]] = []
+    tids: Dict[str, int] = {}
+
+    def tid_for(category: str) -> int:
+        tid = tids.get(category)
+        if tid is None:
+            tid = len(tids) + 1
+            tids[category] = tid
+            meta.append({
+                "ph": "M", "name": "thread_name", "pid": pid, "tid": tid,
+                "args": {"name": category or "uncategorized"},
+            })
+        return tid
+
+    for s in telemetry.spans:
+        sim_dur_us = s.sim_duration * 1e6
+        args = dict(s.args)
+        args["wall_us"] = round(s.wall_us, 3)
+        if s.parent:
+            args["parent"] = s.parent
+        events.append({
+            "ph": "X",
+            "name": s.name,
+            "cat": s.category or "span",
+            "ts": s.sim_start * 1e6,
+            "dur": sim_dur_us if sim_dur_us > 0 else round(s.wall_us, 3),
+            "pid": pid,
+            "tid": tid_for(s.category),
+            "args": args,
+        })
+    for i in telemetry.instants:
+        events.append({
+            "ph": "i",
+            "name": i["name"],
+            "cat": i["category"] or "instant",
+            "ts": i["sim_time"] * 1e6,
+            "s": "t",
+            "pid": pid,
+            "tid": tid_for(i["category"]),
+            "args": dict(i["args"]),
+        })
+    events.sort(key=lambda e: e["ts"])
+    return {
+        "traceEvents": meta + events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "spans": len(telemetry.spans),
+            "instants": len(telemetry.instants),
+            "dropped": telemetry.dropped,
+        },
+    }
+
+
+def write_chrome_trace(telemetry: Telemetry, path: str, pid: int = 1) -> int:
+    """Write a ``chrome://tracing`` / Perfetto-loadable JSON file.
+
+    Returns the number of trace events written (metadata included).
+    """
+    trace = to_chrome_trace(telemetry, pid=pid)
+    with open(path, "w") as fh:
+        json.dump(trace, fh, default=str)
+    return len(trace["traceEvents"])
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+def _prom_num(v: float) -> str:
+    if math.isinf(v):
+        return "+Inf" if v > 0 else "-Inf"
+    if v == int(v) and abs(v) < 1e15:
+        return str(int(v))
+    return repr(v)
+
+
+def render_prometheus(registry: MetricRegistry) -> str:
+    """The registry in Prometheus text format (HELP/TYPE per family)."""
+    lines: List[str] = []
+    seen_family: set = set()
+    for m in registry.collect():
+        if m.name not in seen_family:
+            seen_family.add(m.name)
+            if m.help:
+                lines.append(f"# HELP {m.name} {m.help}")
+            lines.append(f"# TYPE {m.name} {m.kind}")
+        if isinstance(m, (Counter, Gauge)):
+            lines.append(f"{m.flat_name} {_prom_num(m.value)}")
+        elif isinstance(m, Histogram):
+            cumulative = 0
+            base = dict(m.labels)
+            for bound, count in zip(m.bounds, m.bucket_counts):
+                cumulative += count
+                labels = dict(base)
+                labels["le"] = _prom_num(bound)
+                flat = format_labels(m.name + "_bucket", labels)
+                lines.append(f"{flat} {cumulative}")
+            labels = dict(base)
+            labels["le"] = "+Inf"
+            lines.append(f"{format_labels(m.name + '_bucket', labels)} {m.count}")
+            lines.append(f"{format_labels(m.name + '_sum', base)} {_prom_num(m.sum)}")
+            lines.append(f"{format_labels(m.name + '_count', base)} {m.count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def format_labels(name: str, labels: Dict[str, str]) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f'{k}="{v}"' for k, v in labels.items())
+    return f"{name}{{{inner}}}"

@@ -1,0 +1,279 @@
+"""The span/trace bus: hierarchical spans with sim-time and wall-time stamps.
+
+One process-global :data:`TELEMETRY` handle is shared by every layer.  It is
+**disabled by default** and costs a single attribute test on the hot paths
+that guard their instrumentation with ``if TELEMETRY.enabled:`` — the
+discipline every instrumented module (``sim.kernel``, ``netsim.link``,
+``tko.session``, ``mechanisms.base``) follows.  Cold paths (negotiation,
+link failure) may call :meth:`Telemetry.span` / :meth:`Telemetry.instant`
+unconditionally; both degrade to no-ops when disabled.
+
+Spans carry *both* clocks:
+
+* **sim time** (``sim_start`` / ``sim_end``) — where the span sits on the
+  experiment's virtual timeline;
+* **wall time** (``wall_us``) — how much real CPU the instrumented code
+  burned, which is what per-handler kernel profiling reports.
+
+Two span styles:
+
+* ``with telemetry.span("session-send", "tko"):`` — synchronous, stack
+  nested (children know their parent and depth);
+* ``span = telemetry.begin("negotiation", "mantts"); ...; span.end()`` —
+  asynchronous, for protocol phases that start and finish in different
+  callbacks (negotiation, connection setup).
+
+Completed spans and instants are held in bounded in-memory buffers and
+exported by :mod:`repro.unites.obs.exporters`.  This module is a leaf:
+stdlib only.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from typing import Any, Dict, List, Optional
+
+from repro.unites.obs.registry import MetricRegistry
+
+#: default bound on buffered spans + instants (drops are counted, not silent)
+MAX_RECORDS = 200_000
+
+
+class Span:
+    """One (possibly still open) traced operation."""
+
+    __slots__ = (
+        "name", "category", "sim_start", "sim_end",
+        "wall_start", "wall_us", "depth", "parent", "args",
+        "_telemetry", "_stacked", "_done",
+    )
+
+    def __init__(
+        self,
+        telemetry: "Telemetry",
+        name: str,
+        category: str,
+        parent: Optional[str],
+        depth: int,
+        stacked: bool,
+        args: Dict[str, Any],
+    ) -> None:
+        self._telemetry = telemetry
+        self.name = name
+        self.category = category
+        self.parent = parent
+        self.depth = depth
+        self.args = args
+        self.sim_start = telemetry.now
+        self.sim_end: Optional[float] = None
+        self.wall_start = _time.perf_counter()
+        self.wall_us = 0.0
+        self._stacked = stacked
+        self._done = False
+
+    # ------------------------------------------------------------------
+    def annotate(self, **args: Any) -> "Span":
+        """Attach extra key/values (chainable)."""
+        self.args.update(args)
+        return self
+
+    def end(self, **args: Any) -> None:
+        """Close the span (idempotent — safe from multiple exit paths)."""
+        if self._done:
+            return
+        self._done = True
+        if args:
+            self.args.update(args)
+        self.sim_end = self._telemetry.now
+        self.wall_us = (_time.perf_counter() - self.wall_start) * 1e6
+        self._telemetry._finish(self)
+
+    @property
+    def sim_duration(self) -> float:
+        return (self.sim_end - self.sim_start) if self.sim_end is not None else 0.0
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.args.setdefault("error", exc_type.__name__)
+        self.end()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "open" if not self._done else f"dur={self.sim_duration:.6f}s"
+        return f"<Span {self.category}:{self.name} t={self.sim_start:.6f} {state}>"
+
+
+class _NullSpan:
+    """Shared no-op span returned by every call while telemetry is disabled."""
+
+    __slots__ = ()
+    name = category = parent = ""
+    sim_start = sim_end = wall_us = 0.0
+    depth = 0
+    args: Dict[str, Any] = {}
+
+    def annotate(self, **args: Any) -> "_NullSpan":
+        return self
+
+    def end(self, **args: Any) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Telemetry:
+    """The global observability handle: span bus + metric registry.
+
+    ``enabled`` is a plain attribute so the disabled check compiles to one
+    ``LOAD_ATTR`` + jump — the entire cost telemetry imposes on a hot path
+    that guards correctly (see ``benchmarks/test_obs_overhead.py`` for the
+    enforced bound).
+    """
+
+    def __init__(self, max_records: int = MAX_RECORDS) -> None:
+        self.enabled = False
+        self.metrics = MetricRegistry()
+        self.spans: List[Span] = []
+        self.instants: List[Dict[str, Any]] = []
+        self.dropped = 0
+        self.max_records = max_records
+        self._stack: List[Span] = []
+        self._sim = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def enable(self, sim=None, max_records: Optional[int] = None) -> "Telemetry":
+        """Turn collection on; ``sim`` provides the virtual clock."""
+        if sim is not None:
+            self._sim = sim
+        if max_records is not None:
+            self.max_records = max_records
+        self.enabled = True
+        return self
+
+    def disable(self) -> "Telemetry":
+        """Stop collecting (already-buffered spans remain exportable)."""
+        self.enabled = False
+        return self
+
+    def reset(self) -> "Telemetry":
+        """Drop all buffered spans, instants, and metrics; detach the clock."""
+        self.spans.clear()
+        self.instants.clear()
+        self._stack.clear()
+        self.dropped = 0
+        self.metrics.reset()
+        self._sim = None
+        return self
+
+    @property
+    def now(self) -> float:
+        """Current sim time (0.0 before a clock is attached)."""
+        return self._sim.now if self._sim is not None else 0.0
+
+    # ------------------------------------------------------------------
+    # spans
+    # ------------------------------------------------------------------
+    def span(self, name: str, category: str = "", **args: Any):
+        """A stack-nested span for synchronous code (``with`` it)."""
+        if not self.enabled:
+            return NULL_SPAN
+        parent = self._stack[-1].name if self._stack else None
+        s = Span(self, name, category, parent, len(self._stack), stacked=True, args=args)
+        self._stack.append(s)
+        return s
+
+    def begin(self, name: str, category: str = "", parent=None, **args: Any):
+        """An async span: ends later, from any callback, via ``span.end()``."""
+        if not self.enabled:
+            return NULL_SPAN
+        if parent is not None and not isinstance(parent, str):
+            parent = parent.name or None  # Span or NULL_SPAN
+        return Span(self, name, category, parent, 0, stacked=False, args=args)
+
+    def complete(
+        self,
+        name: str,
+        category: str,
+        sim_start: float,
+        sim_end: float,
+        wall_us: float = 0.0,
+        **args: Any,
+    ) -> None:
+        """Record an already-finished span with explicit timestamps.
+
+        Used where the span's start was not observed as code (a frame's
+        time on the wire is known only when it arrives).
+        """
+        if not self.enabled:
+            return
+        s = Span(self, name, category, None, 0, stacked=False, args=args)
+        s.sim_start = sim_start
+        s.sim_end = sim_end
+        s.wall_us = wall_us
+        s._done = True
+        self._record(s)
+
+    def _finish(self, span: Span) -> None:
+        if span._stacked:
+            # tolerate out-of-order exits; drop this span and any above it
+            if span in self._stack:
+                del self._stack[self._stack.index(span):]
+        self._record(span)
+
+    def _record(self, span: Span) -> None:
+        if len(self.spans) >= self.max_records:
+            self.dropped += 1
+            return
+        self.spans.append(span)
+
+    # ------------------------------------------------------------------
+    # instants
+    # ------------------------------------------------------------------
+    def instant(self, name: str, category: str = "", **args: Any) -> None:
+        """A point event on the sim timeline (drops, failures, signals)."""
+        if not self.enabled:
+            return
+        if len(self.instants) >= self.max_records:
+            self.dropped += 1
+            return
+        self.instants.append(
+            {"name": name, "category": category, "sim_time": self.now, "args": args}
+        )
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def categories(self) -> Dict[str, int]:
+        """Completed span count per category (assertion-friendly)."""
+        out: Dict[str, int] = {}
+        for s in self.spans:
+            out[s.category] = out.get(s.category, 0) + 1
+        return out
+
+    def spans_named(self, name: str) -> List[Span]:
+        return [s for s in self.spans if s.name == name]
+
+    def summary(self) -> str:
+        """One paragraph of what was collected (for example scripts)."""
+        cats = self.categories()
+        parts = [f"{len(self.spans)} spans", f"{len(self.instants)} instants",
+                 f"{len(self.metrics)} metrics", f"{self.dropped} dropped"]
+        lines = ["telemetry: " + ", ".join(parts)]
+        for cat in sorted(cats):
+            lines.append(f"  {cat:<12} {cats[cat]:>7} spans")
+        return "\n".join(lines)
+
+
+#: the process-global handle every instrumented layer guards on
+TELEMETRY = Telemetry()

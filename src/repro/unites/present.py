@@ -7,7 +7,7 @@ prints as "the same rows/series the paper reports".
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 
 def _fmt(value, width: int = 0) -> str:
@@ -55,6 +55,21 @@ def render_csv(rows: Sequence[Dict[str, object]], columns: Optional[Sequence[str
     for r in rows:
         out.append(",".join(_fmt(r.get(c)) for c in cols))
     return "\n".join(out)
+
+
+def render_prometheus(registry=None) -> str:
+    """Prometheus text exposition of a UNITES-X registry.
+
+    Defaults to the global telemetry handle's registry — the Figure 6
+    display box's "SNMP/CMIP export", three decades on.
+    """
+    from repro.unites.obs.exporters import render_prometheus as _render
+
+    if registry is None:
+        from repro.unites.obs.telemetry import TELEMETRY
+
+        registry = TELEMETRY.metrics
+    return _render(registry)
 
 
 def render_series(

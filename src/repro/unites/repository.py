@@ -4,16 +4,17 @@
 database ... presented in either a systemwide, per-host, or per-connection
 manner."  Samples are (time, scope, entity, metric, value) rows held in
 memory with simple secondary indexing; queries return time series or
-aggregates at any of the three scopes.
+aggregates at any scope (a per-link scope extends the paper's three for
+the UNITES-X network instrumentation).
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
-SCOPES = ("session", "host", "system")
+SCOPES = ("session", "host", "link", "system")
 
 
 @dataclass(frozen=True)
@@ -21,8 +22,8 @@ class Sample:
     """One stored measurement."""
 
     time: float
-    scope: str          #: "session" | "host" | "system"
-    entity: str         #: connection ref / host name / ""
+    scope: str          #: "session" | "host" | "link" | "system"
+    entity: str         #: connection ref / host name / link name / ""
     metric: str
     value: float
 

@@ -6,7 +6,6 @@ from repro.baselines import tcp_like_config, tp4_like_config, udp_like_config
 from repro.baselines.tcp_like import TcpCongestionControl
 from repro.netsim.profiles import ethernet_10, wan_internet
 from repro.netsim.traffic import BackgroundLoad
-from repro.tko.config import SessionConfig
 from tests.conftest import TwoHosts
 
 

@@ -1,7 +1,6 @@
 """Full-system adaptation scenarios — the paper's two worked policies,
 executed end to end through MANTTS + TKO + UNITES."""
 
-import pytest
 
 from repro.core.system import AdaptiveSystem
 from repro.mantts.acd import ACD

@@ -12,7 +12,6 @@ constructor rejects, so these tests also pin that the validator and the
 engine agree about what is runnable.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

@@ -1,10 +1,8 @@
 """Failure-injection integration tests: flaps, partitions, pressure, garbage."""
 
-import pytest
 
 from repro.core.system import AdaptiveSystem
 from repro.mantts.acd import ACD
-from repro.mantts.negotiation import MANTTS_PORT
 from repro.mantts.qos import QualitativeQoS, QuantitativeQoS
 from repro.netsim.frame import Frame
 from repro.netsim.profiles import dual_path, ethernet_10, linear_path

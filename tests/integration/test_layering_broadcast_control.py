@@ -5,7 +5,6 @@ import pytest
 
 from repro.netsim.frame import Frame
 from repro.netsim.profiles import ethernet_10, fddi_100, star
-from repro.sim.kernel import Simulator
 from repro.tko.config import SessionConfig
 from repro.tko.protocol import PassthroughLayer
 from tests.conftest import TwoHosts

@@ -1,8 +1,7 @@
 """Path-MTU black hole after failover: the fault surfaces, never hangs."""
 
-import pytest
 
-from repro.netsim.profiles import NetworkProfile, ethernet_10
+from repro.netsim.profiles import NetworkProfile
 from repro.netsim.network import Network
 from repro.host.nic import Host
 from repro.sim.kernel import Simulator

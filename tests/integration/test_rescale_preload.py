@@ -1,6 +1,5 @@
 """Tests for the window-rescale policy and TSC template preloading."""
 
-import pytest
 
 from repro.core.system import AdaptiveSystem
 from repro.mantts.acd import ACD

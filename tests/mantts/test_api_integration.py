@@ -5,7 +5,7 @@ import pytest
 
 from repro.core.system import AdaptiveSystem
 from repro.mantts.acd import ACD, TSARule
-from repro.mantts.negotiation import MANTTS_PORT, decode, encode, respond_to_open
+from repro.mantts.negotiation import decode, encode
 from repro.mantts.qos import QualitativeQoS, QuantitativeQoS
 from repro.mantts.tsc import APP_PROFILES
 from repro.netsim.profiles import ethernet_10, linear_path, star, wan_internet

@@ -15,7 +15,6 @@ from repro.mantts.policies import (
 from repro.mantts.resources import ResourceManager
 from repro.netsim.profiles import dual_path, ethernet_10, linear_path, satellite, wan_internet
 from repro.netsim.traffic import BackgroundLoad
-from repro.sim.kernel import Simulator
 
 
 class TestNetworkMonitor:

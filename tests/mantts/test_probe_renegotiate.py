@@ -1,10 +1,8 @@
 """Tests for active RTT probing and renegotiate-at-lower-QoS."""
 
-import pytest
 
 from repro.core.system import AdaptiveSystem
 from repro.mantts.acd import ACD
-from repro.mantts.qos import QualitativeQoS, QuantitativeQoS
 from repro.mantts.tsc import APP_PROFILES
 from repro.netsim.profiles import ethernet_10, linear_path, satellite
 

@@ -4,7 +4,7 @@ import pytest
 
 from repro.mantts.acd import ACD, TMC, TSARule
 from repro.mantts.qos import QualitativeQoS, QuantitativeQoS, Sensitivity
-from repro.mantts.tsc import APP_PROFILES, TSC, THROUGHPUT_BPS, select_tsc
+from repro.mantts.tsc import APP_PROFILES, TSC, select_tsc
 
 
 class TestQuantitativeQoS:

@@ -1,7 +1,6 @@
 """Termination-phase resource release (§4.1.3): reservations are returned
 when the negotiated session closes, so capacity is reusable."""
 
-import pytest
 
 from repro.core.system import AdaptiveSystem
 from repro.mantts.acd import ACD

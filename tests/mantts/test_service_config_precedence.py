@@ -1,6 +1,5 @@
 """Responder-side Stage II precedence: negotiated > piggybacked > default."""
 
-import pytest
 
 from repro.core.system import AdaptiveSystem
 from repro.netsim.frame import Frame

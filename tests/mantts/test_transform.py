@@ -1,6 +1,5 @@
 """Stage II tests: TSC × network state → SCS derivation rules."""
 
-import pytest
 
 from repro.mantts.acd import ACD
 from repro.mantts.monitor import NetworkState

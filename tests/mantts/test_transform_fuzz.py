@@ -1,7 +1,6 @@
 """Property-based fuzzing over Stage I/II: any ACD × any network state
 must classify to a TSC and derive a constructor-valid SessionConfig."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

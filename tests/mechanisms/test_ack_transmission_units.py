@@ -1,7 +1,6 @@
 """Behavioural unit tests for acknowledgment and transmission mechanisms,
 exercised through minimal live sessions."""
 
-import pytest
 
 from repro.tko.config import SessionConfig
 from tests.conftest import TwoHosts

@@ -1,7 +1,6 @@
 """Unit tests for the FEC mechanisms' grouping/reconstruction machinery,
 exercised against live sessions with surgically dropped DATA frames."""
 
-import pytest
 
 from repro.tko.config import SessionConfig
 from repro.tko.pdu import PduType

@@ -6,7 +6,6 @@ handshake state machines recover via their retransmission timers —
 lost SYN, lost SYN-ACK, lost CONFIRM, duplicate SYN.
 """
 
-import pytest
 
 from repro.tko.config import SessionConfig
 from repro.tko.pdu import PduType

@@ -4,7 +4,7 @@ import pytest
 
 from repro.mechanisms.base import Mechanism
 from repro.mechanisms.buffer_mgmt import FixedBuffers, VariableBuffers
-from repro.mechanisms.delivery import MulticastDelivery, UnicastDelivery
+from repro.mechanisms.delivery import MulticastDelivery
 from repro.mechanisms.detection import Crc32, InternetChecksum, NoDetection
 from repro.mechanisms.registry import MECHANISM_REGISTRY, build_mechanism
 from repro.mechanisms.sequencing import Ordered, OrderedDedup, Unsequenced

@@ -4,8 +4,7 @@ import pytest
 
 from repro.netsim.frame import Frame
 from repro.netsim.network import Network
-from repro.netsim.profiles import dual_path, ethernet_10, linear_path, satellite, star
-from repro.sim.kernel import Simulator
+from repro.netsim.profiles import dual_path, ethernet_10, satellite, star
 
 
 def simple_net(sim):

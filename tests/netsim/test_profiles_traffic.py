@@ -4,7 +4,6 @@ import pytest
 
 from repro.netsim.profiles import (
     PROFILES,
-    atm_622,
     dual_path,
     ethernet_10,
     linear_path,
@@ -13,7 +12,6 @@ from repro.netsim.profiles import (
     wan_internet,
 )
 from repro.netsim.traffic import BackgroundLoad, OnOffLoad, PoissonLoad
-from repro.sim.kernel import Simulator
 
 
 class TestProfiles:

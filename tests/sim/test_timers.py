@@ -1,6 +1,5 @@
 """Unit tests for Timer / TimerWheel (the TKO_Event substrate)."""
 
-import pytest
 
 from repro.sim.timers import Timer, TimerWheel
 

@@ -1,6 +1,5 @@
 """Tests for the ``python -m repro`` command-line entry point."""
 
-import pytest
 
 from repro.__main__ import main
 

@@ -1,7 +1,6 @@
 """Miscellaneous unit coverage: SCS, presentation edges, node stats,
 frame traces, analyze options."""
 
-import pytest
 
 from repro.mantts.monitor import NetworkState
 from repro.mantts.scs import SCS

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.mechanisms.retransmission import GoBackN, NoRecovery, SelectiveRepeat
+from repro.mechanisms.retransmission import GoBackN, NoRecovery
 from repro.mechanisms.transmission import RateControl
 from repro.tko.config import SessionConfig
 from repro.tko.context import SLOTS, TKOContext

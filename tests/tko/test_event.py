@@ -1,6 +1,5 @@
 """Unit tests for TKOEvent (the paper's TKO_Event timer class)."""
 
-import pytest
 
 from repro.host.cpu import Cpu
 from repro.tko.event import TKOEvent

@@ -1,6 +1,5 @@
 """Unit tests for the TKO protocol object: demux, listeners, graph ops."""
 
-import pytest
 
 from repro.netsim.frame import Frame
 from repro.tko.config import SessionConfig

@@ -5,7 +5,6 @@ import pytest
 from repro.mechanisms.acknowledgment import SelectiveAck
 from repro.mechanisms.retransmission import SelectiveRepeat
 from repro.tko.config import SessionConfig
-from repro.tko.synthesizer import TKOSynthesizer
 from tests.conftest import TwoHosts
 
 

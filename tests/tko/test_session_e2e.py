@@ -7,8 +7,7 @@ flow control, implicit piggyback setup, and close semantics.
 
 import pytest
 
-from repro.netsim.profiles import ethernet_10, wan_internet
-from repro.netsim.traffic import BackgroundLoad
+from repro.netsim.profiles import ethernet_10
 from repro.tko.config import SessionConfig
 from tests.conftest import TwoHosts
 

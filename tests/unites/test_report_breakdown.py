@@ -4,7 +4,7 @@ import pytest
 
 from repro.tko.config import SessionConfig
 from repro.tko.message import TKOMessage
-from repro.tko.pdu import PDU, PduType
+from repro.tko.pdu import PduType
 from repro.unites.collect import UNITES
 from tests.conftest import TwoHosts
 

@@ -1,6 +1,5 @@
 """Tests for TMC-driven presentation formats (Table 2's last parameter)."""
 
-import pytest
 
 from repro.core.system import AdaptiveSystem
 from repro.mantts.acd import ACD, TMC

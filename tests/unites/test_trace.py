@@ -4,7 +4,7 @@ import pytest
 
 from repro.netsim.profiles import ethernet_10
 from repro.tko.config import SessionConfig
-from repro.unites.trace import EVENTS, SessionTracer, TraceEvent
+from repro.unites.trace import EVENTS, SessionTracer
 from tests.conftest import TwoHosts
 
 
@@ -132,3 +132,78 @@ class TestSessionTracer:
         w.sim.run(until=60.0)
         aborts = tracer.of_kind("abort")
         assert aborts and "reason" in aborts[0].details
+
+
+class _StubHost:
+    name = "A"
+
+
+class _StubSession:
+    """The minimal surface ``SessionTracer._observe`` reads."""
+
+    def __init__(self):
+        self.now = 0.0
+        self.conn_id = 1
+        self.host = _StubHost()
+        self.observers = []
+
+
+class TestTracerRingExact:
+    """Deterministic ring-bounding and filtering, no network required."""
+
+    def test_ring_keeps_exactly_last_n(self):
+        stub = _StubSession()
+        tracer = SessionTracer(max_events=4)
+        for i in range(10):
+            stub.now = float(i)
+            tracer._observe("deliver", stub, nbytes=i)
+        assert len(tracer) == 4
+        assert tracer.dropped == 6
+        # the retained window is the most recent four, in arrival order
+        assert [e.details["nbytes"] for e in tracer.events] == [6, 7, 8, 9]
+        assert tracer.counts["deliver"] == 10  # counts survive eviction
+
+    def test_single_slot_ring(self):
+        stub = _StubSession()
+        tracer = SessionTracer(max_events=1)
+        tracer._observe("pdu-sent", stub, seq=1)
+        tracer._observe("pdu-sent", stub, seq=2)
+        assert len(tracer) == 1
+        assert tracer.events[0].details["seq"] == 2
+        assert tracer.dropped == 1
+        with pytest.raises(ValueError):
+            SessionTracer(max_events=0)
+
+    def test_filter_drops_before_counting(self):
+        stub = _StubSession()
+        tracer = SessionTracer(max_events=8, events=["deliver", "abort"])
+        for event in ("pdu-sent", "deliver", "pdu-received", "abort", "deliver"):
+            tracer._observe(event, stub)
+        assert len(tracer) == 3
+        assert tracer.counts == {"deliver": 2, "abort": 1}
+        assert tracer.dropped == 0  # filtered events are not "drops"
+        assert {e.event for e in tracer.events} == {"deliver", "abort"}
+
+    def test_filter_accepts_every_known_event(self):
+        stub = _StubSession()
+        tracer = SessionTracer(events=list(EVENTS))
+        for event in EVENTS:
+            tracer._observe(event, stub)
+        assert sorted(tracer.counts) == sorted(EVENTS)
+
+    def test_render_reports_drop_count(self):
+        stub = _StubSession()
+        tracer = SessionTracer(max_events=2)
+        for i in range(5):
+            tracer._observe("deliver", stub, nbytes=i)
+        out = tracer.render()
+        assert "2 events (3 dropped)" in out
+
+    def test_shared_tracer_tags_sessions(self):
+        a, b = _StubSession(), _StubSession()
+        b.host = type("H", (), {"name": "B"})()
+        b.conn_id = 9
+        tracer = SessionTracer()
+        tracer._observe("connected", a)
+        tracer._observe("connected", b)
+        assert [e.session for e in tracer.events] == ["A:1", "B:9"]
