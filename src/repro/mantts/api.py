@@ -25,6 +25,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.host.nic import Host
 from repro.mantts.acd import ACD
+from repro.mantts.lifecycle import NEGOTIATION_TIMEOUT, ConnectionLifecycle
 from repro.mantts.monitor import NetworkMonitor, NetworkState
 from repro.mantts.negotiation import (
     MANTTS_PORT,
@@ -37,17 +38,15 @@ from repro.mantts.policies import PolicyEngine
 from repro.mantts.resources import ResourceManager
 from repro.mantts.scs import SCS
 from repro.mantts.transform import specify_scs
-from repro.mantts.tsc import TSC, select_tsc
+from repro.mantts.tsc import TSC
 from repro.tko.config import SessionConfig
 from repro.tko.protocol import TKOProtocol
 from repro.tko.session import TKOSession
 from repro.tko.synthesizer import TKOSynthesizer
-from repro.unites.obs.telemetry import NULL_SPAN, TELEMETRY as _TELEMETRY
+
+__all__ = ["MANTTS", "AdaptiveConnection", "NEGOTIATION_TIMEOUT"]
 
 _conn_refs = itertools.count(1)
-
-#: seconds an initiator waits for all negotiation replies before failing
-NEGOTIATION_TIMEOUT = 3.0
 
 
 class MANTTS:
@@ -350,7 +349,6 @@ class AdaptiveConnection:
         #: §4.1.1: on refusal, "allow the application to re-negotiate at a
         #: lower quality of service" — one retry at the responder's offer
         self.renegotiate = renegotiate
-        self._renegotiated = False
 
         self.tsc: Optional[TSC] = None
         self.scs: Optional[SCS] = None
@@ -361,16 +359,9 @@ class AdaptiveConnection:
         self.members: List[str] = []
         self.reconfig_log: List[Tuple[float, str]] = []
         self._replies: Dict[str, dict] = {}
-        self._failed = False
-        self._established = False
-        #: messages accepted while negotiation is still in flight; flushed
-        #: into the session the moment Stage III instantiates it
-        self._pending_sends: List[bytes] = []
-        # Async telemetry spans; initialized to the no-op span so every
-        # exit path (failure before begin(), double-fail, ...) may end()
-        # them unconditionally.
-        self._setup_span = NULL_SPAN
-        self._nego_span = NULL_SPAN
+        #: establishment-phase state machine (Figure 2/3); terminal flags
+        #: and in-flight buffering live there
+        self.lifecycle = ConnectionLifecycle(self)
 
     # ------------------------------------------------------------------
     @property
@@ -388,166 +379,29 @@ class AdaptiveConnection:
         assert self.scs is not None
         return self.scs.config
 
+    # lifecycle-state views (kept under the historical private names;
+    # tests and tools introspect these on the handle)
+    @property
+    def _renegotiated(self) -> bool:
+        return self.lifecycle.renegotiated
+
+    @property
+    def _established(self) -> bool:
+        return self.lifecycle.established
+
+    @property
+    def _failed(self) -> bool:
+        return self.lifecycle.failed
+
+    @property
+    def _pending_sends(self) -> List[bytes]:
+        return self.lifecycle.pending_sends
+
     # ------------------------------------------------------------------
-    # establishment (Figure 2 stages + Figure 3 negotiation)
+    # establishment (delegated to the lifecycle state machine)
     # ------------------------------------------------------------------
     def begin(self) -> None:
-        acd = self.acd
-        primary = acd.participants[0]
-        self._setup_span = _TELEMETRY.begin(
-            "connection-setup", "mantts", conn=self.ref, peer=primary
-        )
-        self.monitor = NetworkMonitor(
-            self.sim,
-            self.host.network,
-            self.host.name,
-            primary,
-            interval=self.mantts.monitor_interval,
-        )
-        state = self.monitor.snapshot()
-        if not state.reachable:
-            self._fail(f"no route to {primary}")
-            return
-        self.tsc = select_tsc(acd)                      # Stage I
-        self.scs = specify_scs(acd, state, tsc=self.tsc, binding=self.binding)  # Stage II
-        self.members = list(acd.participants)
-        if acd.is_multicast:
-            self.group = f"mc-{self.ref}"
-        self.policies.add_rules(acd.tsa)
-        if self.default_policies and not acd.tsa:
-            from repro.mantts.policies import default_policies_for
-
-            self.policies.add_rules(default_policies_for(self.tsc, self.scs.config))
-        if self.scs.config.connection == "implicit" and not acd.is_multicast:
-            # implicit negotiation: configuration rides the first DATA PDU
-            self._instantiate(self.scs.config)
-        else:
-            self._negotiate_explicit()
-
-    def _negotiate_explicit(self, throughput_bps: Optional[float] = None) -> None:
-        assert self.scs is not None
-        self._nego_span.end(outcome="superseded")  # no-op except on renegotiation
-        self._nego_span = _TELEMETRY.begin(
-            "negotiation", "mantts", parent=self._setup_span,
-            conn=self.ref, attempt="retry" if self._renegotiated else "first",
-        )
-        acd = self.acd
-        requested = throughput_bps or acd.quantitative.avg_throughput_bps
-        outstanding = set(self.members)
-        results: Dict[str, dict] = {}
-        timeout = self.sim.schedule(
-            NEGOTIATION_TIMEOUT, self._negotiation_timeout, outstanding
-        )
-
-        def reply_handler(member: str):
-            def on_reply(msg: dict) -> None:
-                if self._failed or self._established:
-                    return
-                results[member] = msg
-                outstanding.discard(member)
-                if msg["type"] == "open-refuse":
-                    self.sim.cancel(timeout)
-                    offer = float(msg.get("offer_bps", 0.0))
-                    if (
-                        self.renegotiate
-                        and not self._renegotiated
-                        and not self.group
-                        and offer > 0.0
-                    ):
-                        # retry once at whatever the responder can admit
-                        self._renegotiated = True
-                        self.scs.note(
-                            f"renegotiating down: {member} offered {offer:.0f} bps"
-                        )
-                        self._clamp_scs_to(offer)
-                        self._negotiate_explicit(throughput_bps=offer)
-                        return
-                    self._fail(f"{member} refused: {msg.get('reason', '?')}")
-                    return
-                if not outstanding:
-                    self.sim.cancel(timeout)
-                    self._nego_span.end(outcome="accept", members=len(results))
-                    self._complete_negotiation(results)
-            return on_reply
-
-        attempt = "retry" if self._renegotiated else "first"
-        for member in self.members:
-            ref = f"{self.ref}:{member}:{attempt}"
-            self.mantts._pending[ref] = reply_handler(member)
-            self.mantts._send_signalling(
-                member,
-                {
-                    "type": "open-request",
-                    "ref": ref,
-                    "from": self.host.name,
-                    "service_port": acd.service_port,
-                    "config": self.scs.config.to_dict(),
-                    "throughput_bps": requested,
-                    "min_throughput_bps": requested * (0.5 if self._renegotiated else 0.25),
-                    "group": self.group,
-                },
-            )
-
-    def _clamp_scs_to(self, bps: float) -> None:
-        """Scale the proposed configuration down to an offered bit rate."""
-        assert self.scs is not None
-        cfg = self.scs.config
-        overrides = {}
-        if cfg.rate_pps is not None:
-            seg = cfg.segment_size or 1024
-            overrides["rate_pps"] = max(1.0, bps / (8 * seg))
-        if overrides:
-            self.scs.config = cfg.with_(**overrides)
-
-    def _negotiation_timeout(self, outstanding: set) -> None:
-        if not self._established and not self._failed:
-            self._fail(f"negotiation timed out waiting for {sorted(outstanding)}")
-
-    def _complete_negotiation(self, results: Dict[str, dict]) -> None:
-        """Merge counters: the session runs at the *weakest* accepted QoS."""
-        assert self.scs is not None
-        final = self.scs.config
-        for msg in results.values():
-            counter = SessionConfig.from_dict(msg["config"])
-            merged = {}
-            if counter.window < final.window:
-                merged["window"] = counter.window
-            if counter.rate_pps is not None and (
-                final.rate_pps is None or counter.rate_pps < final.rate_pps
-            ):
-                merged["rate_pps"] = counter.rate_pps
-            if merged:
-                final = final.with_(**merged)
-                self.scs.note(f"countered by {msg.get('from', '?')}: {merged}")
-        self._instantiate(final)
-
-    def _instantiate(self, cfg: SessionConfig) -> None:
-        """Stage III: hand the SCS to the TKO synthesizer."""
-        assert self.scs is not None
-        self.scs.config = cfg
-        acd = self.acd
-        with _TELEMETRY.span("session-instantiate", "mantts", conn=self.ref):
-            self.session = self.mantts.protocol.create_session(
-                cfg,
-                self.group if self.group else acd.participants[0],
-                acd.service_port,
-                group=self.group,
-                members=self.members if self.group else None,
-                on_deliver=self._deliver,
-                on_connected=self._connected,
-                on_closed=self._closed,
-                on_open_failed=self._fail,
-            )
-            self.session.connect()
-        for data in self._pending_sends:
-            self.session.send(data)
-        self._pending_sends.clear()
-        if self.monitor is not None:
-            self.monitor.on_sample.append(self._on_network_sample)
-            self.monitor.start()
-        unites = self.mantts.unites
-        if unites is not None and acd.tmc is not None:
-            unites.instrument(self, acd.tmc)
+        self.lifecycle.begin()
 
     # ------------------------------------------------------------------
     # data path passthrough
@@ -680,27 +534,5 @@ class AdaptiveConnection:
         if self.on_deliver is not None:
             self.on_deliver(data, meta)
 
-    def _connected(self) -> None:
-        self._established = True
-        self._setup_span.end(outcome="connected")
-        if self.on_connected is not None:
-            self.on_connected(self)
-
-    def _closed(self) -> None:
-        if self.monitor is not None:
-            self.monitor.stop()
-        self.mantts.connections.pop(self.ref, None)
-        if self.on_closed is not None:
-            self.on_closed()
-
     def _fail(self, reason: str) -> None:
-        if self._failed:
-            return
-        self._failed = True
-        self._nego_span.end(outcome="fail")
-        self._setup_span.end(outcome="failed", reason=reason)
-        if self.monitor is not None:
-            self.monitor.stop()
-        self.mantts.connections.pop(self.ref, None)
-        if self.on_failed is not None:
-            self.on_failed(reason)
+        self.lifecycle.fail(reason)

@@ -1,0 +1,256 @@
+"""Connection-establishment state machine (Figure 2 stages + Figure 3).
+
+Extracted from :mod:`repro.mantts.api` so the ``AdaptiveConnection``
+handle keeps only the application surface (send/close/adapt/membership)
+while the one-shot establishment sequence — transformation stages,
+explicit negotiation with renegotiate-once, timeout, weakest-QoS merge,
+Stage III instantiation, and the terminal connected/closed/failed
+transitions — lives here as :class:`ConnectionLifecycle`.
+
+The split mirrors the paper's structure: §4.1.1's connection-management
+phases (establishment, data transfer, termination) are distinct services;
+the handle delegates the establishment phase to this object and the data
+transfer phase to the TKO session it produces.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.mantts.monitor import NetworkMonitor
+from repro.mantts.transform import specify_scs
+from repro.mantts.tsc import select_tsc
+from repro.tko.config import SessionConfig
+from repro.unites.obs.telemetry import NULL_SPAN, TELEMETRY as _TELEMETRY
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mantts.api import AdaptiveConnection
+
+#: seconds an initiator waits for all negotiation replies before failing
+NEGOTIATION_TIMEOUT = 3.0
+
+
+class ConnectionLifecycle:
+    """Drives one ``AdaptiveConnection`` from ACD to established (or failed).
+
+    Owns the establishment-phase state: the renegotiate-once latch, the
+    established/failed terminal flags, data buffered while negotiation is
+    in flight, and the telemetry spans covering setup and negotiation.
+    """
+
+    def __init__(self, conn: "AdaptiveConnection") -> None:
+        self.conn = conn
+        #: §4.1.1: on refusal, "allow the application to re-negotiate at a
+        #: lower quality of service" — one retry at the responder's offer
+        self.renegotiated = False
+        self.failed = False
+        self.established = False
+        #: messages accepted while negotiation is still in flight; flushed
+        #: into the session the moment Stage III instantiates it
+        self.pending_sends: List[bytes] = []
+        # Async telemetry spans; initialized to the no-op span so every
+        # exit path (failure before begin(), double-fail, ...) may end()
+        # them unconditionally.
+        self.setup_span = NULL_SPAN
+        self.nego_span = NULL_SPAN
+
+    @property
+    def sim(self):
+        return self.conn.host.sim
+
+    # ------------------------------------------------------------------
+    # establishment (Figure 2 stages + Figure 3 negotiation)
+    # ------------------------------------------------------------------
+    def begin(self) -> None:
+        c = self.conn
+        acd = c.acd
+        primary = acd.participants[0]
+        self.setup_span = _TELEMETRY.begin(
+            "connection-setup", "mantts", conn=c.ref, peer=primary
+        )
+        c.monitor = NetworkMonitor(
+            self.sim,
+            c.host.network,
+            c.host.name,
+            primary,
+            interval=c.mantts.monitor_interval,
+        )
+        state = c.monitor.snapshot()
+        if not state.reachable:
+            self.fail(f"no route to {primary}")
+            return
+        c.tsc = select_tsc(acd)                      # Stage I
+        c.scs = specify_scs(acd, state, tsc=c.tsc, binding=c.binding)  # Stage II
+        c.members = list(acd.participants)
+        if acd.is_multicast:
+            c.group = f"mc-{c.ref}"
+        c.policies.add_rules(acd.tsa)
+        if c.default_policies and not acd.tsa:
+            from repro.mantts.policies import default_policies_for
+
+            c.policies.add_rules(default_policies_for(c.tsc, c.scs.config))
+        if c.scs.config.connection == "implicit" and not acd.is_multicast:
+            # implicit negotiation: configuration rides the first DATA PDU
+            self.instantiate(c.scs.config)
+        else:
+            self.negotiate_explicit()
+
+    def negotiate_explicit(self, throughput_bps: Optional[float] = None) -> None:
+        c = self.conn
+        assert c.scs is not None
+        self.nego_span.end(outcome="superseded")  # no-op except on renegotiation
+        self.nego_span = _TELEMETRY.begin(
+            "negotiation", "mantts", parent=self.setup_span,
+            conn=c.ref, attempt="retry" if self.renegotiated else "first",
+        )
+        acd = c.acd
+        requested = throughput_bps or acd.quantitative.avg_throughput_bps
+        outstanding = set(c.members)
+        results: Dict[str, dict] = {}
+        timeout = self.sim.schedule(
+            NEGOTIATION_TIMEOUT, self._negotiation_timeout, outstanding
+        )
+
+        def reply_handler(member: str):
+            def on_reply(msg: dict) -> None:
+                if self.failed or self.established:
+                    return
+                results[member] = msg
+                outstanding.discard(member)
+                if msg["type"] == "open-refuse":
+                    self.sim.cancel(timeout)
+                    offer = float(msg.get("offer_bps", 0.0))
+                    if (
+                        c.renegotiate
+                        and not self.renegotiated
+                        and not c.group
+                        and offer > 0.0
+                    ):
+                        # retry once at whatever the responder can admit
+                        self.renegotiated = True
+                        c.scs.note(
+                            f"renegotiating down: {member} offered {offer:.0f} bps"
+                        )
+                        self._clamp_scs_to(offer)
+                        self.negotiate_explicit(throughput_bps=offer)
+                        return
+                    self.fail(f"{member} refused: {msg.get('reason', '?')}")
+                    return
+                if not outstanding:
+                    self.sim.cancel(timeout)
+                    self.nego_span.end(outcome="accept", members=len(results))
+                    self._complete_negotiation(results)
+            return on_reply
+
+        attempt = "retry" if self.renegotiated else "first"
+        for member in c.members:
+            ref = f"{c.ref}:{member}:{attempt}"
+            c.mantts._pending[ref] = reply_handler(member)
+            c.mantts._send_signalling(
+                member,
+                {
+                    "type": "open-request",
+                    "ref": ref,
+                    "from": c.host.name,
+                    "service_port": acd.service_port,
+                    "config": c.scs.config.to_dict(),
+                    "throughput_bps": requested,
+                    "min_throughput_bps": requested * (0.5 if self.renegotiated else 0.25),
+                    "group": c.group,
+                },
+            )
+
+    def _clamp_scs_to(self, bps: float) -> None:
+        """Scale the proposed configuration down to an offered bit rate."""
+        c = self.conn
+        assert c.scs is not None
+        cfg = c.scs.config
+        overrides = {}
+        if cfg.rate_pps is not None:
+            seg = cfg.segment_size or 1024
+            overrides["rate_pps"] = max(1.0, bps / (8 * seg))
+        if overrides:
+            c.scs.config = cfg.with_(**overrides)
+
+    def _negotiation_timeout(self, outstanding: set) -> None:
+        if not self.established and not self.failed:
+            self.fail(f"negotiation timed out waiting for {sorted(outstanding)}")
+
+    def _complete_negotiation(self, results: Dict[str, dict]) -> None:
+        """Merge counters: the session runs at the *weakest* accepted QoS."""
+        c = self.conn
+        assert c.scs is not None
+        final = c.scs.config
+        for msg in results.values():
+            counter = SessionConfig.from_dict(msg["config"])
+            merged = {}
+            if counter.window < final.window:
+                merged["window"] = counter.window
+            if counter.rate_pps is not None and (
+                final.rate_pps is None or counter.rate_pps < final.rate_pps
+            ):
+                merged["rate_pps"] = counter.rate_pps
+            if merged:
+                final = final.with_(**merged)
+                c.scs.note(f"countered by {msg.get('from', '?')}: {merged}")
+        self.instantiate(final)
+
+    def instantiate(self, cfg: SessionConfig) -> None:
+        """Stage III: hand the SCS to the TKO synthesizer."""
+        c = self.conn
+        assert c.scs is not None
+        c.scs.config = cfg
+        acd = c.acd
+        with _TELEMETRY.span("session-instantiate", "mantts", conn=c.ref):
+            c.session = c.mantts.protocol.create_session(
+                cfg,
+                c.group if c.group else acd.participants[0],
+                acd.service_port,
+                group=c.group,
+                members=c.members if c.group else None,
+                on_deliver=c._deliver,
+                on_connected=self.connected,
+                on_closed=self.closed,
+                on_open_failed=self.fail,
+            )
+            c.session.connect()
+        for data in self.pending_sends:
+            c.session.send(data)
+        self.pending_sends.clear()
+        if c.monitor is not None:
+            c.monitor.on_sample.append(c._on_network_sample)
+            c.monitor.start()
+        unites = c.mantts.unites
+        if unites is not None and acd.tmc is not None:
+            unites.instrument(c, acd.tmc)
+
+    # ------------------------------------------------------------------
+    # terminal transitions
+    # ------------------------------------------------------------------
+    def connected(self) -> None:
+        c = self.conn
+        self.established = True
+        self.setup_span.end(outcome="connected")
+        if c.on_connected is not None:
+            c.on_connected(c)
+
+    def closed(self) -> None:
+        c = self.conn
+        if c.monitor is not None:
+            c.monitor.stop()
+        c.mantts.connections.pop(c.ref, None)
+        if c.on_closed is not None:
+            c.on_closed()
+
+    def fail(self, reason: str) -> None:
+        if self.failed:
+            return
+        self.failed = True
+        c = self.conn
+        self.nego_span.end(outcome="fail")
+        self.setup_span.end(outcome="failed", reason=reason)
+        if c.monitor is not None:
+            c.monitor.stop()
+        c.mantts.connections.pop(c.ref, None)
+        if c.on_failed is not None:
+            c.on_failed(reason)

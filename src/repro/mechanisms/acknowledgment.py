@@ -53,6 +53,8 @@ class CumulativeAck(Acknowledgment):
         ack.window = s.advertised_window()
         s.stats.acks_sent += 1
         s.emit_pdu(ack)
+        if ack.pooled:
+            ack.release()  # creator ref; the wire holds its own
 
     def on_data(self, pdu: PDU) -> None:
         self._emit_ack()
@@ -130,6 +132,8 @@ class SelectiveAck(CumulativeAck):
         ack.sack = tuple(buffered) if buffered else None
         s.stats.acks_sent += 1
         s.emit_pdu(ack)
+        if ack.pooled:
+            ack.release()
 
     def recv_cost(self, pdu: PDU) -> float:
         extra = 10.0 * len(pdu.sack) if pdu.sack else 0.0

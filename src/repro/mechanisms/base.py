@@ -19,6 +19,7 @@ model the customization trade-off the paper takes from Synthesis/SELF.
 from __future__ import annotations
 
 import abc
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, ClassVar, Iterable, List, Optional
 
 from repro.unites.obs.telemetry import TELEMETRY as _TELEMETRY
@@ -26,6 +27,28 @@ from repro.unites.obs.telemetry import TELEMETRY as _TELEMETRY
 if TYPE_CHECKING:  # pragma: no cover
     from repro.tko.pdu import PDU
     from repro.tko.session import TKOSession
+
+
+@dataclass(frozen=True, slots=True)
+class StageSpec:
+    """The compiled form of one mechanism: its per-PDU cost contribution.
+
+    ``Mechanism.compile_stage`` produces one of these at synthesis (and
+    again for only the affected slot on segue).  The pipeline compiler
+    folds the fixed parts into closed-form charges so the data path never
+    calls ``send_cost``/``recv_cost`` per PDU — the Synthesis/SELF move of
+    §4.2.2: pay for flexibility at (re)configuration time, not per packet.
+    """
+
+    slot: str
+    name: str
+    send_fixed: float
+    send_per_byte: float
+    recv_fixed: float
+    recv_per_byte: float
+    dispatch_send: int
+    dispatch_recv: int
+    overlaps_tx: bool
 
 
 class Mechanism(abc.ABC):
@@ -41,6 +64,10 @@ class Mechanism(abc.ABC):
     #: dynamically-dispatched calls this mechanism makes per PDU
     DISPATCH_SEND: ClassVar[int] = 1
     DISPATCH_RECV: ClassVar[int] = 1
+    #: False when the mechanism keeps references to in-flight PDUs beyond
+    #: the sender's retransmission queue (e.g. FEC groups) — the session
+    #: then refuses to hand it free-listed PDUs that may be recycled.
+    POOL_SAFE: ClassVar[bool] = True
 
     def __init__(self) -> None:
         self.session: Optional["TKOSession"] = None
@@ -78,6 +105,27 @@ class Mechanism(abc.ABC):
     def invoke_span(self, op: str):
         """A ``mechanism:<name>.<op>`` span (NULL_SPAN when disabled)."""
         return _TELEMETRY.span(f"mechanism:{self.name}.{op}", "mechanism")
+
+    # ------------------------------------------------------------------
+    def compile_stage(self) -> StageSpec:
+        """Flatten this (bound, parameterised) mechanism into a StageSpec.
+
+        The default covers every mechanism whose costs are the class-level
+        constants; subclasses with size- or membership-dependent costs
+        (checksums, FEC, multicast delivery) override to expose their
+        per-byte coefficient or instance-dependent fixed part.
+        """
+        return StageSpec(
+            slot=self.category,
+            name=self.name,
+            send_fixed=self.SEND_COST,
+            send_per_byte=0.0,
+            recv_fixed=self.RECV_COST,
+            recv_per_byte=0.0,
+            dispatch_send=self.DISPATCH_SEND,
+            dispatch_recv=self.DISPATCH_RECV,
+            overlaps_tx=bool(getattr(self, "overlaps_tx", False)),
+        )
 
     # ------------------------------------------------------------------
     def send_cost(self, pdu: "PDU") -> float:

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Set
 
-from repro.mechanisms.base import Delivery
+from repro.mechanisms.base import Delivery, StageSpec
 from repro.tko.pdu import PDU
 
 
@@ -94,6 +94,8 @@ class MulticastDelivery(Delivery):
             self._join_seq.pop(m, None)
         self._members = new
         if self.session is not None:
+            # the member count feeds this stage's compiled send cost
+            self.session.repipeline("delivery")
             self.session.recheck_acks()
 
     def pending_complete(self, seq: int) -> bool:
@@ -104,6 +106,19 @@ class MulticastDelivery(Delivery):
     def send_cost(self, pdu: PDU) -> float:
         # ACK-state bookkeeping grows with the member count.
         return self.SEND_COST + 5.0 * len(self._members)
+
+    def compile_stage(self) -> StageSpec:
+        return StageSpec(
+            slot=self.category,
+            name=self.name,
+            send_fixed=self.SEND_COST + 5.0 * len(self._members),
+            send_per_byte=0.0,
+            recv_fixed=self.RECV_COST,
+            recv_per_byte=0.0,
+            dispatch_send=self.DISPATCH_SEND,
+            dispatch_recv=self.DISPATCH_RECV,
+            overlaps_tx=False,
+        )
 
     def adopt(self, old: Delivery) -> None:
         if isinstance(old, MulticastDelivery):

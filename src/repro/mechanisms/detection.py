@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import zlib
 
-from repro.mechanisms.base import ErrorDetection
+from repro.mechanisms.base import ErrorDetection, StageSpec
 from repro.tko.pdu import PDU
 
 #: miss probability of a 16-bit ones-complement checksum
@@ -69,6 +69,19 @@ class _ChecksumBase(ErrorDetection):
 
     def recv_cost(self, pdu: PDU) -> float:
         return self.RECV_COST + self.PER_BYTE * pdu.data_size
+
+    def compile_stage(self) -> StageSpec:
+        return StageSpec(
+            slot=self.category,
+            name=self.name,
+            send_fixed=self.SEND_COST,
+            send_per_byte=self.PER_BYTE,
+            recv_fixed=self.RECV_COST,
+            recv_per_byte=self.PER_BYTE,
+            dispatch_send=self.DISPATCH_SEND,
+            dispatch_recv=self.DISPATCH_RECV,
+            overlaps_tx=self.placement == "trailer",
+        )
 
     def _compute(self, pdu: PDU) -> int:
         raise NotImplementedError

@@ -24,7 +24,7 @@ from typing import Dict, Iterable, List, Optional
 import numpy as np
 
 from repro.mechanisms import gf256
-from repro.mechanisms.base import ErrorRecovery
+from repro.mechanisms.base import ErrorRecovery, StageSpec
 from repro.tko.message import TKOMessage
 from repro.tko.pdu import PDU, PduType
 
@@ -48,6 +48,9 @@ class _FecBase(ErrorRecovery):
     accept_out_of_order = True
     DISPATCH_SEND = 2
     DISPATCH_RECV = 2
+    #: the sender group holds PDU references until parity is emitted, so a
+    #: free-listed PDU could be recycled out from under the encoder
+    POOL_SAFE = False
 
     #: instructions per payload byte spent encoding/decoding
     PER_BYTE = 0.5
@@ -87,6 +90,19 @@ class _FecBase(ErrorRecovery):
 
     def recv_cost(self, pdu: PDU) -> float:
         return self.RECV_COST + self.PER_BYTE * pdu.data_size
+
+    def compile_stage(self) -> StageSpec:
+        return StageSpec(
+            slot=self.category,
+            name=self.name,
+            send_fixed=self.SEND_COST,
+            send_per_byte=self.PER_BYTE,
+            recv_fixed=self.RECV_COST,
+            recv_per_byte=self.PER_BYTE,
+            dispatch_send=self.DISPATCH_SEND,
+            dispatch_recv=self.DISPATCH_RECV,
+            overlaps_tx=False,
+        )
 
     # ------------------------------------------------------------------
     # sender

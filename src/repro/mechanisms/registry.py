@@ -108,3 +108,28 @@ def build_mechanism(
             raise ValueError("multicast delivery requires a group address")
         return cls(group=group, members=members or [])  # type: ignore[call-arg]
     return cls()
+
+
+def mechanism_plan(slot: str, cfg) -> tuple:
+    """(class, ctor_kwargs) for ``slot`` — the cacheable synthesis recipe.
+
+    Unlike :func:`build_mechanism` this carries only kwargs derivable from
+    the config *signature*: numeric parameters (pacing rate, FEC k/r,
+    playout depth) are excluded from the signature, so two sessions sharing
+    a template may differ on them — those mechanisms default their ctor
+    args to ``None`` and resolve the live value from ``session.cfg`` at
+    bind time.  Multicast delivery (group-addressed, member-stateful) is
+    never cacheable.
+    """
+    table = MECHANISM_REGISTRY.get(slot)
+    if table is None:
+        raise KeyError(f"unknown mechanism slot {slot!r}")
+    choice = getattr(cfg, slot)
+    cls = table.get(choice)
+    if cls is None:
+        raise KeyError(f"no {slot} mechanism named {choice!r}")
+    if slot == "delivery" and cls is MulticastDelivery:
+        raise ValueError("multicast delivery cannot be planned for caching")
+    if slot == "detection" and cls is not NoDetection:
+        return cls, {"placement": cfg.checksum_placement}
+    return cls, {}

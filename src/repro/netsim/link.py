@@ -116,6 +116,7 @@ class Link:
         if not self.up:
             self.stats.dropped_down += 1
             self._count_drop("down")
+            self._drop_payload(frame)
             return False
         if frame.size > self.mtu:
             # A frame sized for a fatter path arriving after a route change:
@@ -125,10 +126,12 @@ class Link:
             # retransmit until their give-up threshold surfaces the fault).
             self.stats.dropped_mtu += 1
             self._count_drop("mtu")
+            self._drop_payload(frame)
             return False
         if self.queue_len >= self.queue_limit:
             self.stats.dropped_overflow += 1
             self._count_drop("overflow")
+            self._drop_payload(frame)
             return False
         prio = min(max(frame.priority, 0), N_PRIORITIES - 1)
         self._queues[prio].append(frame)
@@ -140,6 +143,18 @@ class Link:
         if not self._transmitting:
             self._start_next()
         return True
+
+    @staticmethod
+    def _drop_payload(frame: Frame) -> None:
+        """A dropped frame surrenders its payload's wire reference.
+
+        Duck-typed so netsim stays transport-agnostic: pooled transport
+        PDUs expose ``release()`` and go back to their free list promptly;
+        anything else (background-traffic tuples, plain PDUs) is inert.
+        """
+        rel = getattr(frame.payload, "release", None)
+        if rel is not None:
+            rel()
 
     def _count_drop(self, reason: str) -> None:
         if _TELEMETRY.enabled:
@@ -179,6 +194,7 @@ class Link:
         else:
             self.stats.dropped_down += 1
             self._count_drop("down")
+            self._drop_payload(frame)
         self._start_next()
 
     def _arrive(self, frame: Frame) -> None:
@@ -210,6 +226,8 @@ class Link:
                     "link_frames_dropped_total",
                     labels={"link": self.name, "reason": "down"},
                     help="frames lost at the link, by cause").inc(lost)
+            for frame in q:
+                self._drop_payload(frame)
             q.clear()
 
     def restore(self) -> None:

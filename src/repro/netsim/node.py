@@ -75,6 +75,10 @@ class Node:
         nxt = self.network.next_hop(self.name, frame.dst)
         if nxt is None:
             self.stats.dropped_no_route += 1
+            # the frame dies here; surrender its payload's wire reference
+            rel = getattr(frame.payload, "release", None)
+            if rel is not None:
+                rel()
             return
         link = self.network.link(self.name, nxt)
         self.stats.forwarded += 1

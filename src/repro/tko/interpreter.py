@@ -36,16 +36,20 @@ CODE_BYTES_PER_MECHANISM = 1800
 #: network-layer encapsulation below the transport PDU, bytes
 NETWORK_HEADER_BYTES = 24
 
+#: context slots whose mechanisms touch every outgoing DATA PDU — this is
+#: also the compiled pipeline's send-stage order
+SEND_SLOTS = ("connection", "transmission", "detection", "recovery",
+              "sequencing", "delivery", "buffer")
+#: slots touching every incoming DATA PDU (receive-stage order)
+RECV_SLOTS = ("connection", "detection", "recovery", "sequencing",
+              "delivery", "jitter", "buffer")
+
 
 class CostModel:
     """Computes the per-PDU instruction charge for one session."""
 
-    #: context slots whose mechanisms touch every outgoing DATA PDU
-    SEND_SLOTS = ("connection", "transmission", "detection", "recovery",
-                  "sequencing", "delivery", "buffer")
-    #: slots touching every incoming DATA PDU
-    RECV_SLOTS = ("connection", "detection", "recovery", "sequencing",
-                  "delivery", "jitter", "buffer")
+    SEND_SLOTS = SEND_SLOTS
+    RECV_SLOTS = RECV_SLOTS
 
     def __init__(self, session: "TKOSession") -> None:
         self.session = session

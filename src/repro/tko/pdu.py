@@ -90,6 +90,8 @@ class PDU:
         "checksum",
         "checksum_placement",
         "aux_size",
+        "pooled",
+        "_refs",
     )
 
     def __init__(
@@ -130,6 +132,9 @@ class PDU:
         self.checksum_placement: Optional[str] = None
         #: extra on-wire header bytes (e.g. FEC group metadata on PARITY)
         self.aux_size = 0
+        #: free-list bookkeeping; both fields are inert on unpooled PDUs
+        self.pooled = False
+        self._refs = 1
 
     # ------------------------------------------------------------------
     @property
@@ -157,6 +162,20 @@ class PDU:
     @property
     def is_control(self) -> bool:
         return self.ptype in CONTROL_TYPES
+
+    # ------------------------------------------------------------------
+    # free-list reference counting — no-ops unless this PDU came from the
+    # pool, so shared code paths can call them unconditionally
+    # ------------------------------------------------------------------
+    def retain(self) -> None:
+        if self.pooled:
+            self._refs += 1
+
+    def release(self) -> None:
+        if self.pooled:
+            self._refs -= 1
+            if self._refs <= 0:
+                PDU_POOL.recycle(self)
 
     # ------------------------------------------------------------------
     def as_header(self) -> Header:
@@ -199,3 +218,72 @@ class PDU:
             f"<PDU#{self.id} {self.ptype.value} conn={self.conn_id} seq={self.seq}"
             f" ack={self.ack} {self.wire_size}B>"
         )
+
+
+class PduPool:
+    """A small free list of PDU shells (the §4.2.2 "lightweight" move:
+    stop paying allocator + field-init cost on every DATA/ACK send).
+
+    Recycled PDUs get a *fresh* id on re-acquisition, so id-keyed maps
+    (receive buffers) can never confuse two incarnations of one shell.
+    A premature ``release`` is the only hazard; leaks merely fall back to
+    the garbage collector.
+    """
+
+    def __init__(self, max_free: int = 256) -> None:
+        self._free: list = []
+        self.max_free = max_free
+        self.acquired = 0
+        self.reused = 0
+
+    def acquire(
+        self,
+        ptype: PduType,
+        conn_id: int,
+        src_port: int = 0,
+        dst_port: int = 0,
+        compact: bool = True,
+    ) -> PDU:
+        self.acquired += 1
+        if self._free:
+            self.reused += 1
+            pdu = self._free.pop()
+            pdu.id = next(_pdu_ids)
+            pdu.ptype = ptype
+            pdu.conn_id = conn_id
+            pdu.src_port = src_port
+            pdu.dst_port = dst_port
+            pdu.seq = 0
+            pdu.ack = None
+            pdu.sack = None
+            pdu.msg_id = 0
+            pdu.frag_index = 0
+            pdu.frag_count = 1
+            pdu.window = 0
+            pdu.timestamp = 0.0
+            pdu.options = {}
+            pdu.message = None
+            pdu.compact = compact
+            pdu.checksum = None
+            pdu.checksum_placement = None
+            pdu.aux_size = 0
+        else:
+            pdu = PDU(ptype, conn_id, src_port=src_port, dst_port=dst_port, compact=compact)
+        pdu.pooled = True
+        pdu._refs = 1
+        return pdu
+
+    def recycle(self, pdu: PDU) -> None:
+        # un-flag first: any stray release() on a stale reference is inert
+        pdu.pooled = False
+        pdu.message = None
+        pdu.options = {}
+        if len(self._free) < self.max_free:
+            self._free.append(pdu)
+
+    def __len__(self) -> int:
+        return len(self._free)
+
+
+#: process-wide pool; sessions opt in per-PDU via ``TKOSession.make_pdu``
+PDU_POOL = PduPool()

@@ -1,0 +1,208 @@
+"""Compiling a mechanism stack into a flat, costed pipeline (§4.2.2).
+
+The paper frames Stage III in the Synthesis/SELF tradition: the
+synthesizer emits "an executable session object representation", not a
+pile of objects consulted per packet.  ``CompiledPipeline`` is that
+representation — the nine bound mechanisms flattened into
+
+* an ordered tuple of :class:`~repro.mechanisms.base.StageSpec` per path
+  (``SEND_SLOTS`` / ``RECV_SLOTS`` order), and
+* **closed-form per-PDU charges**: for each path a fixed base, a per-byte
+  coefficient, and a dispatch-indirection term, so the executor computes
+  ``base + per_byte * n + dispatch`` instead of walking the slot table
+  calling ``send_cost``/``recv_cost`` through dynamic dispatch.
+
+The arithmetic is bit-identical to :class:`repro.tko.interpreter.CostModel`
+by construction: every mechanism fixed/per-byte cost is an exact multiple
+of 0.5 (their sum is exact in any order) and the single inexact operand —
+``dispatches * virtual_dispatch * binding_factor`` — is added last, exactly
+as the reference accumulates it.  Compiling therefore changes *wall* time
+only, never simulated time.
+
+Recompilation is cheap and scoped: ``segue`` re-invokes ``compile_stage``
+for only the swapped slot and re-derives the scalars; a full recompile
+happens only on ``update_config``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Dict, Optional
+
+from repro.netsim.frame import PRIO_HIGH, PRIO_NORMAL
+from repro.tko.interpreter import BINDING_FACTOR, RECV_SLOTS, SEND_SLOTS
+from repro.unites.obs.telemetry import TELEMETRY as _TELEMETRY
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mechanisms.base import StageSpec
+    from repro.tko.session import TKOSession
+
+#: transmission mechanisms whose window accounting needs the sender state
+#: machine to track outstanding PDUs even when recovery never retransmits
+_WINDOWED_TRANSMISSION = ("stop-and-wait", "sliding-window", "window-rate", "tcp-aimd")
+
+
+class CompiledPipeline:
+    """Immutable product of compiling one session's mechanism stack."""
+
+    __slots__ = (
+        "specs",
+        "binding_factor",
+        "send_base",
+        "send_per_byte",
+        "send_dispatch",
+        "send_def_fixed",
+        "send_def_per_byte",
+        "recv_base_aligned",
+        "recv_base_unaligned",
+        "recv_per_byte",
+        "recv_dispatch",
+        "recv_def_fixed",
+        "recv_def_per_byte",
+        "control_aligned",
+        "control_unaligned",
+        "data_priority",
+        "track_outstanding",
+    )
+
+    def __init__(self, session: "TKOSession", specs: Dict[str, "StageSpec"]) -> None:
+        self.specs = dict(specs)
+        cfg = session.cfg
+        costs = session.host.cpu.costs
+        factor = BINDING_FACTOR[cfg.binding]
+        self.binding_factor = factor
+
+        send_base = float(costs.layer_fixed)
+        send_pb = 0.0
+        send_disp = 0
+        send_def_fixed = 0.0
+        send_def_pb = 0.0
+        for slot in SEND_SLOTS:
+            spec = specs[slot]
+            if slot == "detection" and spec.overlaps_tx:
+                send_def_fixed += spec.send_fixed
+                send_def_pb += spec.send_per_byte
+            else:
+                send_base += spec.send_fixed
+                send_pb += spec.send_per_byte
+            send_disp += spec.dispatch_send
+        self.send_base = send_base
+        self.send_per_byte = send_pb
+        # identical expression shape to the interpreter so float rounding
+        # matches bit-for-bit (left-assoc, factor multiplied last)
+        self.send_dispatch = send_disp * costs.virtual_dispatch * factor
+        self.send_def_fixed = send_def_fixed
+        self.send_def_per_byte = send_def_pb
+
+        recv_fixed = 0.0
+        recv_pb = 0.0
+        recv_disp = 0
+        recv_def_fixed = 0.0
+        recv_def_pb = 0.0
+        for slot in RECV_SLOTS:
+            spec = specs[slot]
+            if slot == "detection" and spec.overlaps_tx:
+                recv_def_fixed += spec.recv_fixed
+                recv_def_pb += spec.recv_per_byte
+            else:
+                recv_fixed += spec.recv_fixed
+                recv_pb += spec.recv_per_byte
+            recv_disp += spec.dispatch_recv
+        self.recv_base_aligned = (
+            float(costs.layer_fixed + costs.header_parse_aligned) + recv_fixed
+        )
+        self.recv_base_unaligned = (
+            float(costs.layer_fixed + costs.header_parse_unaligned) + recv_fixed
+        )
+        self.recv_per_byte = recv_pb
+        self.recv_dispatch = recv_disp * costs.virtual_dispatch * factor
+        self.recv_def_fixed = recv_def_fixed
+        self.recv_def_per_byte = recv_def_pb
+
+        self.control_aligned = float(costs.layer_fixed + costs.header_parse_aligned)
+        self.control_unaligned = float(costs.layer_fixed + costs.header_parse_unaligned)
+
+        self.data_priority = PRIO_HIGH if cfg.priority else PRIO_NORMAL
+        self.track_outstanding = (
+            session.context.recovery.retransmits
+            or cfg.transmission in _WINDOWED_TRANSMISSION
+        )
+
+    # ------------------------------------------------------------------
+    # closed-form charges (the per-PDU fast path)
+    # ------------------------------------------------------------------
+    def send_charge(self, nbytes: int):
+        return (
+            self.send_base + self.send_per_byte * nbytes + self.send_dispatch,
+            self.send_def_fixed + self.send_def_per_byte * nbytes,
+        )
+
+    def recv_charge(self, nbytes: int, compact: bool):
+        base = self.recv_base_aligned if compact else self.recv_base_unaligned
+        return (
+            base + self.recv_per_byte * nbytes + self.recv_dispatch,
+            self.recv_def_fixed + self.recv_def_per_byte * nbytes,
+        )
+
+    def control_charge(self, compact: bool) -> float:
+        return self.control_aligned if compact else self.control_unaligned
+
+    def respec(self, session: "TKOSession", slot: str) -> "CompiledPipeline":
+        """Recompile with only ``slot``'s stage re-derived (segue path)."""
+        specs = dict(self.specs)
+        specs[slot] = session.context.get(slot).compile_stage()
+        return CompiledPipeline(session, specs)
+
+
+def compile_stages(session: "TKOSession") -> Dict[str, "StageSpec"]:
+    """Run every bound mechanism's compile hook (all nine slots)."""
+    from repro.tko.context import SLOTS
+
+    ctx = session.context
+    return {slot: ctx.get(slot).compile_stage() for slot in SLOTS}
+
+
+def compile_pipeline(
+    session: "TKOSession",
+    specs: Optional[Dict[str, "StageSpec"]] = None,
+    reason: str = "synthesize",
+) -> CompiledPipeline:
+    """Compile ``session``'s mechanism stack, with UNITES accounting.
+
+    ``specs`` may come from a cached template (a pipeline-cache *hit*); the
+    scalars are still re-derived per session because they fold in binding
+    style and per-host CPU cost tables.  All telemetry (span, compile
+    counter, cache hit/miss counter, wall-time histogram) sits behind the
+    ``TELEMETRY.enabled`` guard so the disabled-telemetry overhead bound
+    holds.
+    """
+    if not _TELEMETRY.enabled:
+        if specs is None:
+            specs = compile_stages(session)
+        return CompiledPipeline(session, specs)
+
+    cached = specs is not None
+    t0 = time.perf_counter()
+    with _TELEMETRY.span(
+        "pipeline:compile", "tko", conn=session.conn_id, reason=reason, cached=cached
+    ):
+        if specs is None:
+            specs = compile_stages(session)
+        pipe = CompiledPipeline(session, specs)
+    m = _TELEMETRY.metrics
+    m.counter(
+        "pipeline_compiles_total",
+        labels={"reason": reason},
+        help="compiled-pipeline builds by trigger",
+    ).inc()
+    if reason == "synthesize":
+        m.counter(
+            "pipeline_cache_total",
+            labels={"result": "hit" if cached else "miss"},
+            help="compiled-pipeline template cache hits/misses",
+        ).inc()
+    m.histogram(
+        "pipeline_compile_seconds",
+        help="wall time to compile one session pipeline",
+    ).observe(time.perf_counter() - t0)
+    return pipe

@@ -8,6 +8,13 @@ retransmit, whether to buffer out of order, how to acknowledge, whether to
 handshake) lives in the pluggable mechanisms, which is exactly what makes
 run-time reconfiguration (:meth:`segue`) possible.
 
+The per-PDU data path itself lives in :mod:`repro.tko.executor`: a session
+holds the association state (send queue, windows, RTT, stats, lifecycle)
+and delegates send/receive processing to its executor — either the
+retained interpreted reference path or the compiled flat pipeline
+(:mod:`repro.tko.pipeline`).  This module keeps everything that is *state
+machine*, not *hot path*.
+
 Send path:   app message → fragmentation → sequence assignment →
              transmission control gate → recovery bookkeeping (+FEC parity)
              → checksum attach → CPU charge → frame → network.
@@ -18,19 +25,18 @@ Receive path: frame → CPU charge → detection verify → type dispatch →
 
 from __future__ import annotations
 
-import itertools
 from collections import deque
 from typing import Any, Callable, Dict, Optional
 
 from repro.host.nic import Host
-from repro.netsim.frame import Frame, PRIO_CONTROL, PRIO_HIGH, PRIO_NORMAL
+from repro.netsim.frame import Frame
 from repro.sim.kernel import Simulator
 from repro.sim.timers import TimerWheel
 from repro.tko.config import SessionConfig
 from repro.tko.context import TKOContext
+from repro.tko.executor import build_executor
 from repro.tko.interpreter import NETWORK_HEADER_BYTES, CostModel
-from repro.tko.message import TKOMessage
-from repro.tko.pdu import PDU, PduType
+from repro.tko.pdu import PDU, PDU_POOL, PduType
 from repro.tko.state import (
     Reassembler,
     ReceiveWindow,
@@ -39,9 +45,7 @@ from repro.tko.state import (
     SenderState,
     SessionStats,
 )
-from repro.unites.obs.telemetry import TELEMETRY as _TELEMETRY
-
-_msg_counter = itertools.count(1)
+from repro.tko.util import noop
 
 #: conservative transport-header allowance when deriving segment size
 _HEADER_ALLOWANCE = 32
@@ -64,6 +68,7 @@ class TKOSession:
         on_closed: Optional[Callable[[], None]] = None,
         on_open_failed: Optional[Callable[[str], None]] = None,
         protocol: Optional[Any] = None,
+        pipeline_specs: Optional[dict] = None,
     ) -> None:
         self.host = host
         self.sim: Simulator = host.sim
@@ -98,10 +103,18 @@ class TKOSession:
         self._closing = False
         self._closed = False
         self._pdu_buffers: Dict[int, Any] = {}
-        self._gap_timer = self.timers.timer(self._gap_timeout, interval=cfg.gap_timeout)
+        self._pooling = False
 
+        self.executor = build_executor(self)
+        self._gap_timer = self.timers.timer(
+            self.executor.gap_timeout, interval=cfg.gap_timeout
+        )
+        #: retained run-time charge oracle; the compiled pipeline must stay
+        #: bit-identical to it (reports, tests, and examples read it)
         self.cost_model = CostModel(self)
         context.bind(self)
+        self.executor.prime(pipeline_specs)
+        self._refresh_pooling()
 
     # ------------------------------------------------------------------
     # properties
@@ -132,7 +145,7 @@ class TKOSession:
         return max(0, min(self.cfg.window - buffered, pool_share))
 
     # ------------------------------------------------------------------
-    # application API
+    # application API (hot paths delegate to the executor)
     # ------------------------------------------------------------------
     def connect(self) -> None:
         """Begin establishment; the connected callback fires on success."""
@@ -146,31 +159,30 @@ class TKOSession:
         the transmission-control pump releases fragments as window/pacing
         allow.
         """
-        if self._closed or self._closing:
-            raise RuntimeError("session is closed")
-        msg_id = next(_msg_counter)
-        with _TELEMETRY.span("session-send", "tko", msg_id=msg_id,
-                             nbytes=len(data), conn=self.conn_id):
-            self.stats.msgs_sent += 1
-            msg = TKOMessage(data, meter=self.copy_meter)
-            seg = self.segment_size()
-            total = msg.data_length
-            frag_count = max(1, -(-total // seg))
-            piggyback = self.context.connection.piggyback_config()
-            for i in range(frag_count):
-                part = msg.take(min(seg, msg.data_length)) if total else TKOMessage(b"", meter=self.copy_meter)
-                pdu = self.make_pdu(PduType.DATA)
-                pdu.seq = self.state.next_seq()
-                pdu.msg_id = msg_id
-                pdu.frag_index = i
-                pdu.frag_count = frag_count
-                pdu.message = part
-                if piggyback is not None:
-                    pdu.options["cfg"] = piggyback
-                    piggyback = None
-                self._send_queue.append(pdu)
-            self.pump()
-        return msg_id
+        return self.executor.send(data)
+
+    def pump(self) -> None:
+        """Release queued DATA PDUs as transmission control allows."""
+        self.executor.pump()
+
+    def handle_frame(self, pdu: PDU, frame: Frame) -> None:
+        """Entry from the protocol demultiplexer (charges CPU, then runs)."""
+        self.executor.handle_frame(pdu, frame)
+
+    def retransmit_entry(self, entry: SendEntry) -> None:
+        """Re-emit one unacknowledged PDU (recovery mechanisms call this)."""
+        self.executor.retransmit_entry(entry)
+
+    def _handle_ack(self, pdu: PDU, from_host: str) -> None:
+        # kept as a real method (not a prebound alias) so tests and tools
+        # can shadow it on the instance; the executor routes through here
+        self.executor.handle_ack(pdu, from_host)
+
+    def _finalize_ack(self, seq: int) -> None:
+        self.executor.finalize_ack(seq)
+
+    def _transmit(self, pdu: PDU, control: bool) -> None:
+        self.executor.transmit(pdu, control)
 
     def close(self) -> None:
         """Graceful close: drain queued and unacknowledged data, flush any
@@ -199,7 +211,9 @@ class TKOSession:
         """Swap one mechanism at run time (Figure 5's segue operation).
 
         Static templates are "guaranteed not to change" (§4.2.2): their
-        inline-expanded code cannot be rebound, so segue is refused.
+        inline-expanded code cannot be rebound, so segue is refused.  Only
+        the swapped slot's stage is recompiled; ``adopt()`` inside
+        ``context.segue`` has already transferred the mechanism state.
         """
         if self.cfg.binding == "static":
             raise RuntimeError(
@@ -207,16 +221,25 @@ class TKOSession:
                 "a reconfigurable or dynamic binding"
             )
         self.context.segue(slot, replacement)
+        self.executor.refresh_slot(slot)
+        self._refresh_pooling()
         self.stats.reconfigurations += 1
         self._notify("segue", slot=slot, mechanism=replacement.name)
         # reconfiguration is not free: charge the rebinding bookkeeping
-        self.host.cpu.submit(2000.0, _noop)
+        self.host.cpu.submit(2000.0, noop)
         self.pump()
 
     def update_config(self, cfg: SessionConfig) -> None:
         """Install a revised parameter set (same mechanisms, new numbers)."""
         self.cfg = cfg
         self.cost_model = CostModel(self)
+        self.executor.on_update_config()
+        self._refresh_pooling()
+
+    def repipeline(self, slot: str) -> None:
+        """One mechanism's compiled cost changed in place (e.g. multicast
+        membership altered the delivery stage); re-derive that stage."""
+        self.executor.refresh_slot(slot, reason="repipeline")
 
     def recheck_acks(self) -> None:
         """Re-evaluate outstanding completion (multicast members left)."""
@@ -229,10 +252,38 @@ class TKOSession:
                 self._finalize_ack(seq)
         self.pump()
 
+    def _refresh_pooling(self) -> None:
+        """Decide whether DATA/ACK shells may come from the free list.
+
+        Pooling needs every reference-holder accounted for; multicast
+        delivery (one shell on several wires with per-member completion)
+        and FEC senders (groups park shells until parity is emitted) are
+        not worth the bookkeeping, so those configurations opt out.
+        """
+        eligible = (
+            self.executor.pools_pdus
+            and self.context.delivery.name == "unicast"
+            and getattr(self.context.recovery, "POOL_SAFE", True)
+        )
+        if self._pooling and not eligible:
+            # queued shells were acquired under the old rules: demote them
+            # to plain PDUs so nothing ever recycles them
+            for pdu in self._send_queue:
+                pdu.pooled = False
+        self._pooling = eligible
+
     # ------------------------------------------------------------------
     # PDU construction & emission
     # ------------------------------------------------------------------
     def make_pdu(self, ptype: PduType) -> PDU:
+        if self._pooling and (ptype is PduType.DATA or ptype is PduType.ACK):
+            return PDU_POOL.acquire(
+                ptype,
+                self.conn_id,
+                src_port=self.local_port,
+                dst_port=self.remote_port,
+                compact=self.cfg.compact_headers,
+            )
         return PDU(
             ptype,
             self.conn_id,
@@ -264,289 +315,11 @@ class TKOSession:
 
     def emit_control(self, pdu: PDU) -> None:
         """Transmit on the out-of-band control path (Figure 3)."""
-        self._transmit(pdu, control=True)
+        self.executor.transmit(pdu, True)
 
     def emit_pdu(self, pdu: PDU) -> None:
         """Transmit a non-tracked PDU (ACKs, probes) on the data path."""
-        self._transmit(pdu, control=False)
-
-    def pump(self) -> None:
-        """Release queued DATA PDUs as transmission control allows."""
-        if self._closed or not self.context.connection.connected:
-            return
-        tx = self.context.transmission
-        while self._send_queue and tx.can_send():
-            gap = tx.send_gap()
-            if gap > 0:
-                self._schedule_pump(gap)
-                return
-            pdu = self._send_queue.popleft()
-            self._send_data(pdu)
-        self._maybe_finish_close()
-
-    def _schedule_pump(self, delay: float) -> None:
-        if self._pump_event is not None and not self._pump_event.cancelled:
-            return
-        self._pump_event = self.sim.schedule(delay, self._pump_fire)
-
-    def _pump_fire(self) -> None:
-        self._pump_event = None
-        self.pump()
-
-    def _track_outstanding(self) -> bool:
-        return (
-            self.context.recovery.retransmits
-            or self.cfg.transmission
-            in ("stop-and-wait", "sliding-window", "window-rate", "tcp-aimd")
-        )
-
-    def _send_data(self, pdu: PDU) -> None:
-        pdu.timestamp = self.now
-        if self._track_outstanding():
-            self.state.track(SendEntry(pdu, first_sent=self.now, last_sent=self.now))
-        recovery = self.context.recovery
-        if _TELEMETRY.enabled:
-            recovery.count_invoke("encode")
-            with recovery.invoke_span("encode"):
-                extras = list(recovery.on_send(pdu))
-            self.context.transmission.count_invoke("on_send")
-        else:
-            extras = list(recovery.on_send(pdu))
-        self.context.transmission.on_send(pdu)
-        self._transmit(pdu, control=False)
-        for extra in extras:
-            self._transmit(extra, control=False)
-
-    def retransmit_entry(self, entry: SendEntry) -> None:
-        """Re-emit one unacknowledged PDU (recovery mechanisms call this)."""
-        if self._closed:
-            return
-        entry.retries += 1
-        entry.last_sent = self.now
-        self.stats.retransmissions += 1
-        self._notify("retransmit", seq=entry.pdu.seq, retries=entry.retries)
-        clone = entry.pdu.retransmit_clone()
-        self._transmit(clone, control=False)
-
-    def _transmit(self, pdu: PDU, control: bool) -> None:
-        if self._closed:
-            return
-        if _TELEMETRY.enabled:
-            self.context.detection.count_invoke("attach")
-        self.context.detection.attach(pdu)
-        if pdu.ptype is PduType.DATA:
-            critical, deferred = self.cost_model.send_charge(pdu)
-            dst = self.context.delivery.frame_dst()
-            priority = PRIO_HIGH if self.cfg.priority else PRIO_NORMAL
-            self.stats.data_bytes_sent += pdu.data_size
-        else:
-            critical = self.cost_model.control_charge(pdu)
-            deferred = 0.0
-            dst = self.remote_host
-            priority = PRIO_CONTROL if (control or pdu.is_control) else (
-                PRIO_HIGH if self.cfg.priority else PRIO_NORMAL
-            )
-        frame = Frame(
-            src=self.host.name,
-            dst=dst,
-            size=pdu.wire_size + NETWORK_HEADER_BYTES,
-            payload=pdu,
-            priority=priority,
-            created_at=self.now,
-        )
-        self.stats.pdus_sent += 1
-        self.stats.wire_bytes_sent += frame.size
-        self._notify("pdu-sent", pdu=pdu, size=frame.size)
-        if self.protocol is not None:
-            # descend the protocol graph (any installed layers) to the NIC
-            self.protocol.egress(frame, extra_instructions=critical)
-        else:
-            self.host.transmit(frame, extra_instructions=critical)
-        if deferred > 0.0:
-            # trailer checksum: computed during serialization — CPU burns
-            # the cycles but the frame does not wait for them
-            self.host.cpu.submit(deferred, _noop)
-
-    # ------------------------------------------------------------------
-    # receive path
-    # ------------------------------------------------------------------
-    def handle_frame(self, pdu: PDU, frame: Frame) -> None:
-        """Entry from the protocol demultiplexer (charges CPU, then runs)."""
-        if self._closed:
-            return
-        deferred = 0.0
-        if pdu.ptype in (PduType.DATA, PduType.PARITY):
-            cost, deferred = self.cost_model.recv_charge(pdu)
-        else:
-            cost = self.cost_model.control_charge(pdu)
-        self.host.cpu.submit(cost, self._process, pdu, frame)
-        if deferred > 0.0:
-            # trailer checksum verified incrementally during reception: the
-            # CPU burns the cycles, but the PDU's upward path (submitted
-            # first) does not wait for them
-            self.host.cpu.submit(deferred, _noop)
-
-    def _process(self, pdu: PDU, frame: Frame) -> None:
-        if self._closed:
-            return
-        self.stats.pdus_received += 1
-        self._notify("pdu-received", pdu=pdu, corrupted=frame.corrupted)
-        if _TELEMETRY.enabled:
-            self.context.detection.count_invoke("verify")
-        if not self.context.detection.verify(pdu, frame.corrupted):
-            self._notify("pdu-rejected", pdu=pdu)
-            return
-        t = pdu.ptype
-        if t is PduType.DATA:
-            self._handle_data(pdu)
-        elif t is PduType.ACK:
-            self._handle_ack(pdu, frame.src)
-        elif t is PduType.PARITY:
-            for rebuilt in self.context.recovery.on_receive_repair(pdu):
-                self._handle_data(rebuilt)
-        elif t is PduType.PROBE:
-            reply = self.make_pdu(PduType.PROBE_REPLY)
-            reply.timestamp = pdu.timestamp
-            self.emit_control(reply)
-        elif t in (PduType.CONFIG, PduType.CONFIG_ACK, PduType.PROBE_REPLY):
-            if self.on_signalling is not None:
-                self.on_signalling(pdu)
-        else:
-            self.context.connection.handle_control(pdu)
-
-    def _handle_data(self, pdu: PDU) -> None:
-        ctx = self.context
-        buf = self.host.buffers.alloc(max(1, pdu.wire_size))
-        if buf is None:
-            self.stats.buffer_drops += 1
-            return
-        self._pdu_buffers[pdu.id] = buf
-        ctx.recovery.note_data_received(pdu)
-        seqm = ctx.sequencing
-        deliverable, accepted, gap = self.recv_window.accept(
-            pdu,
-            accept_ooo=ctx.recovery.accept_out_of_order,
-            ordered=seqm.ordered,
-            dedup=seqm.dedup,
-        )
-        if gap:
-            ctx.ack.on_gap(pdu)
-            self._arm_gap_timer()
-        if accepted:
-            if _TELEMETRY.enabled:
-                ctx.ack.count_invoke("on_data")
-            ctx.ack.on_data(pdu)
-        else:
-            # discarded (GBN out-of-order / duplicate): release its buffer
-            self._release_buffer(pdu)
-        for out in deliverable:
-            self._deliver_pdu(out)
-        # a data arrival can complete an FEC group whose parity came first
-        repair = getattr(ctx.recovery, "repair_opportunity", None)
-        if repair is not None:
-            for rebuilt in repair(pdu):
-                self._handle_data(rebuilt)
-
-    def _release_buffer(self, pdu: PDU) -> None:
-        buf = self._pdu_buffers.pop(pdu.id, None)
-        if buf is not None:
-            self.host.buffers.free(buf)
-
-    def _deliver_pdu(self, pdu: PDU) -> None:
-        frags = self.reassembler.add(pdu)
-        self._release_buffer(pdu)
-        if frags is None:
-            return
-        combined = TKOMessage((), meter=self.copy_meter)
-        for f in frags:
-            if f.message is not None:
-                combined.concat(f.message)
-        first = frags[0]
-        if _TELEMETRY.enabled:
-            self.context.jitter.count_invoke("release_delay")
-        delay = self.context.jitter.release_delay(first)
-        if delay > 0:
-            self.sim.schedule(delay, self._deliver_app, combined, first)
-        else:
-            self._deliver_app(combined, first)
-
-    def _deliver_app(self, message: TKOMessage, first: PDU) -> None:
-        if self._closed:
-            return
-        data = message.materialize()  # the one app-boundary copy
-        self.host.cpu.submit(
-            self.host.cpu.costs.per_byte_copy * len(data) + self.host.cpu.costs.context_switch,
-            _noop,
-        )
-        latency = self.now - first.timestamp if first.timestamp else 0.0
-        self.stats.msgs_delivered += 1
-        self.stats.data_bytes_delivered += len(data)
-        self.stats.record_latency(latency)
-        self._notify("deliver", msg_id=first.msg_id, nbytes=len(data),
-                     latency=latency)
-        if self.on_deliver is not None:
-            self.on_deliver(
-                data,
-                {
-                    "msg_id": first.msg_id,
-                    "sent_at": first.timestamp,
-                    "latency": latency,
-                    "reconstructed": bool(first.options.get("fec_reconstructed")),
-                },
-            )
-
-    # ------------------------------------------------------------------
-    # acknowledgment accounting (sender side)
-    # ------------------------------------------------------------------
-    def _handle_ack(self, pdu: PDU, from_host: str) -> None:
-        self.stats.acks_received += 1
-        ctx = self.context
-        if _TELEMETRY.enabled:
-            ctx.transmission.count_invoke("on_ack")
-            ctx.recovery.count_invoke("on_ack")
-        ctx.transmission.on_ack(pdu)
-        if pdu.ack is not None:
-            for seq in [s for s in self.state.outstanding if s < pdu.ack]:
-                if ctx.delivery.ack_complete(seq, from_host):
-                    self._finalize_ack(seq)
-        if pdu.sack:
-            destinations = set(ctx.delivery.destinations())
-            for seq in pdu.sack:
-                entry = self.state.outstanding.get(seq)
-                if entry is not None:
-                    entry.sacked_by.add(from_host)
-                    entry.sacked = entry.sacked_by >= destinations
-        ctx.recovery.on_ack(pdu, from_host)
-        self.pump()
-
-    def _finalize_ack(self, seq: int) -> None:
-        entry = self.state.release(seq)
-        if entry is None:
-            return
-        if entry.retries == 0:  # Karn's rule: clean samples only
-            self.rtt.update(self.now - entry.first_sent)
-        else:
-            self.rtt.note_progress()
-        self._maybe_finish_close()
-
-    # ------------------------------------------------------------------
-    # gap skipping (ordered delivery without retransmission)
-    # ------------------------------------------------------------------
-    def _arm_gap_timer(self) -> None:
-        ctx = self.context
-        if ctx.recovery.retransmits or not ctx.sequencing.ordered:
-            return
-        if not self._gap_timer.armed:
-            self._gap_timer.schedule(self.cfg.gap_timeout)
-
-    def _gap_timeout(self) -> None:
-        released = self.recv_window.skip_gap()
-        if released:
-            self.stats.gap_skips += 1
-        for pdu in released:
-            self._deliver_pdu(pdu)
-        if self.recv_window.buffer:
-            self._gap_timer.schedule(self.cfg.gap_timeout)
+        self.executor.transmit(pdu, False)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -597,7 +370,3 @@ class TKOSession:
         self._pdu_buffers.clear()
         if self.protocol is not None:
             self.protocol.session_closed(self)
-
-
-def _noop() -> None:
-    """Target for CPU charges that have no functional follow-up."""

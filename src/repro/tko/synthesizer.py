@@ -23,11 +23,12 @@ from __future__ import annotations
 from typing import Callable, List, Optional
 
 from repro.host.nic import Host
-from repro.mechanisms.registry import build_mechanism
+from repro.mechanisms.registry import build_mechanism, mechanism_plan
 from repro.tko.config import SessionConfig
 from repro.tko.context import SLOTS, TKOContext
-from repro.tko.session import TKOSession, _noop
-from repro.tko.templates import TemplateCache
+from repro.tko.session import TKOSession
+from repro.tko.templates import Template, TemplateCache
+from repro.tko.util import noop as _noop
 
 
 class TKOSynthesizer:
@@ -76,7 +77,17 @@ class TKOSynthesizer:
         host.cpu.submit(cost, _noop)
         if not hit:
             self.templates.store(cfg)
-        context = self.synthesize_context(cfg, group=group, members=members)
+        # group sessions carry per-connection member state; never cache them
+        cacheable = group is None and cfg.delivery != "multicast"
+        template = self.templates.peek(cfg) if cacheable else None
+        if template is not None and template.plan is not None:
+            # compile-on-hit: *fresh* mechanism instances from the cached
+            # recipe — sharing live mechanisms across sessions would let a
+            # later segue mutate the cached table under everyone
+            mechanisms = {slot: cls(**kwargs) for slot, cls, kwargs in template.plan}
+            context = TKOContext(mechanisms)
+        else:
+            context = self.synthesize_context(cfg, group=group, members=members)
         session = TKOSession(
             host,
             cfg,
@@ -85,12 +96,27 @@ class TKOSynthesizer:
             local_port,
             remote_host,
             remote_port,
+            pipeline_specs=template.specs if template is not None else None,
             **callbacks,
         )
         self.sessions_synthesized += 1
+        if template is not None:
+            self._warm_template(template, cfg, session)
         for instrument in self.instruments:
             instrument(session)
         return session
+
+    @staticmethod
+    def _warm_template(template: Template, cfg: SessionConfig, session: TKOSession) -> None:
+        """Attach the build recipe and compiled stage table after first use."""
+        if template.plan is None:
+            template.plan = tuple(
+                (slot, *mechanism_plan(slot, cfg)) for slot in SLOTS
+            )
+        if template.specs is None:
+            pipe = getattr(session.executor, "pipeline", None)
+            if pipe is not None:
+                template.specs = dict(pipe.specs)
 
     # ------------------------------------------------------------------
     # run-time reconfiguration

@@ -32,13 +32,25 @@ SYNTH_COST_STATIC = 1500.0
 
 @dataclass
 class Template:
-    """One cached pre-assembled configuration."""
+    """One cached pre-assembled configuration.
+
+    Beyond the signature, a warmed template carries the *synthesis
+    recipe*: ``plan`` is a tuple of ``(slot, mechanism_class, ctor_kwargs)``
+    from which fresh mechanism instances are built on every hit (sessions
+    must never share live mechanism state — a segue on one session would
+    otherwise mutate the cached table under every later session), and
+    ``specs`` is the compiled per-stage cost table
+    (:class:`~repro.mechanisms.base.StageSpec` per slot), reused verbatim
+    because stage specs are immutable value objects.
+    """
 
     signature: Tuple
     kind: str                      #: "static" | "reconfigurable"
     code_bytes: int = 0            #: customized code footprint (static only)
     hits: int = 0
     created_for: Optional[str] = None  #: e.g. the TSC name that seeded it
+    plan: Optional[tuple] = None   #: ((slot, cls, kwargs), ...) build recipe
+    specs: Optional[dict] = None   #: slot → StageSpec, compiled once
 
 
 class TemplateCache:
@@ -60,6 +72,15 @@ class TemplateCache:
             return None
         t.hits += 1
         return t
+
+    def peek(self, cfg: SessionConfig) -> Optional[Template]:
+        """Return the matching template without touching hit/miss counts.
+
+        The synthesizer uses this after :meth:`instantiation_cost` has
+        already decided the charge, so the Figure 2 accounting is not
+        double-counted.
+        """
+        return self._cache.get(cfg.signature())
 
     def store(self, cfg: SessionConfig, created_for: Optional[str] = None) -> Template:
         """Install (or refresh) the template for ``cfg``.

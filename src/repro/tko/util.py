@@ -1,0 +1,18 @@
+"""Small shared helpers for the TKO layer.
+
+Kept deliberately tiny and dependency-free: these are utilities that
+several TKO modules (and the synthesizer) need without reaching into each
+other's private namespaces.
+"""
+
+from __future__ import annotations
+
+
+def noop() -> None:
+    """Target for CPU charges that have no functional follow-up.
+
+    The interpreter models many activities (deferred trailer checksums,
+    reconfiguration bookkeeping, instantiation work) whose *cost* matters
+    but whose completion triggers nothing; they are submitted to the host
+    CPU with this callback.
+    """
