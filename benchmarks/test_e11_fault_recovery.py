@@ -1,0 +1,123 @@
+"""E11 — fault recovery: the run-time adaptation loop closes the §4.1.2
+failover scenario end to end.
+
+"Routes change from a terrestrial link to a satellite link" mid-stream: a
+bulk reliable session runs over the fast terrestrial path of a dual-path
+topology when the fault injector cuts it permanently.  Routing fails over
+to the 1.6 s-RTT satellite backup.  Both variants start from the same
+clean-path optimum (selective repeat, terrestrial-sized window), so the
+comparison isolates the run-time loop itself: the static session keeps
+its sub-millisecond-derived window and RTO and starves — its timer,
+still seeded from terrestrial samples and denied fresh ones by Karn's
+rule, fires long before any satellite ACK can land.  The adaptive
+controller detects the path change on the next monitor sample and
+re-derives window (bandwidth-delay product, capped at the bottleneck
+queue) and RTO, and re-seeds the live estimator.
+
+Shape asserted:
+
+* recovery is bounded: the adaptive session delivers again within the
+  monitor period + negotiation timeout after the cut;
+* reliability survives the chaos: deliveries are in order with zero
+  losses and zero duplicates on both variants;
+* adaptation pays: the adaptive session's post-cut goodput beats the
+  static session's by ≥ 25 %.
+"""
+
+from repro.core.system import AdaptiveSystem
+from repro.mantts.acd import ACD
+from repro.mantts.lifecycle import NEGOTIATION_TIMEOUT
+from repro.mantts.qos import QualitativeQoS, QuantitativeQoS
+from repro.netsim.faults import FaultInjector, FaultSchedule
+from repro.netsim.profiles import dual_path, ethernet_10, satellite
+from repro.unites.present import render_table
+
+from benchmarks.conftest import record
+
+CUT_AT = 1.5
+END_AT = 25.0
+N_MSGS = 3000
+MSG = 600
+MONITOR_INTERVAL = 0.1
+
+
+def run_variant(adaptive: bool, seed: int = 21) -> dict:
+    sysm = AdaptiveSystem(seed=seed)
+    sysm.attach_network(
+        dual_path(sysm.sim, ethernet_10(), satellite(), rng=sysm.rng)
+    )
+    a, b = sysm.node("A"), sysm.node("B")
+    deliveries = []
+    b.mantts.register_service(
+        7000, on_deliver=lambda d, m: deliveries.append((sysm.now, bytes(d)))
+    )
+    acd = ACD(
+        participants=("B",),
+        quantitative=QuantitativeQoS(avg_throughput_bps=400e3, duration=600),
+        qualitative=QualitativeQoS(),
+    )
+    conn = a.mantts.open(acd, adaptation=adaptive)
+    sysm.run(until=1.0)
+    assert conn._established
+    # both variants start from the same clean-path optimum: selective
+    # repeat with a window sized for the sub-millisecond terrestrial RTT
+    conn.apply_overrides(
+        {"recovery": "sr", "ack": "selective"}, reason="starting point"
+    )
+    msgs = [b"e%04d" % i + b"v" * (MSG - 5) for i in range(N_MSGS)]
+    for m in msgs:
+        conn.send(m)
+    FaultInjector(
+        sysm.sim, sysm.network, FaultSchedule().link_flap(CUT_AT, "p1", "p2")
+    ).arm()
+    sysm.run(until=END_AT)
+
+    got = [d for _, d in deliveries]
+    # the reliability contract under chaos: the delivered stream is
+    # exactly a prefix of the sent stream — in order, nothing lost in the
+    # middle, nothing duplicated
+    assert got == msgs[: len(got)], "loss/duplication/reorder detected"
+    post = [(t, d) for t, d in deliveries if t > CUT_AT]
+    recovery = (post[0][0] - CUT_AT) if post else float("inf")
+    goodput = sum(len(d) for _, d in post) * 8.0 / (END_AT - CUT_AT)
+    out = {
+        "delivered": float(len(got)),
+        "recovery_s": recovery,
+        "post_cut_goodput_bps": goodput,
+        "window_after": float(conn.cfg.window),
+    }
+    if adaptive:
+        out["failovers"] = float(
+            sum(1 for _, act, _ in conn.adaptation.events if act == "failover")
+        )
+    return out
+
+
+def test_e11_fault_recovery(benchmark):
+    def run():
+        return {
+            "static": run_variant(False),
+            "adaptive": run_variant(True),
+        }
+
+    r = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [{"variant": k, **v} for k, v in r.items()]
+    record(
+        benchmark,
+        render_table(
+            rows,
+            ["variant", "delivered", "recovery_s",
+             "post_cut_goodput_bps", "window_after"],
+            title="E11 — permanent primary-path cut at t=1.5s: recovery and goodput",
+        ),
+    )
+    ad, st = r["adaptive"], r["static"]
+    # the controller actually saw the route change
+    assert ad["failovers"] >= 1
+    # recovery is bounded by the detection + (re)negotiation budget
+    assert ad["recovery_s"] <= MONITOR_INTERVAL + NEGOTIATION_TIMEOUT + 1.0
+    # the re-derived window tracks the satellite BDP; the static one
+    # stays sized for the terrestrial path
+    assert ad["window_after"] > st["window_after"]
+    # the headline claim: adaptation buys >= 25 % goodput after the cut
+    assert ad["post_cut_goodput_bps"] >= 1.25 * st["post_cut_goodput_bps"]

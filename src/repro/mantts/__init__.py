@@ -23,6 +23,7 @@ from repro.mantts.policies import (
     congestion_switch_gbn_to_sr,
     rtt_switch_to_fec,
 )
+from repro.mantts.adaptation import AdaptationController
 from repro.mantts.resources import ResourceManager
 from repro.mantts.api import MANTTS, AdaptiveConnection
 
@@ -47,6 +48,7 @@ __all__ = [
     "congestion_switch_gbn_to_sr",
     "rtt_switch_to_fec",
     "congestion_rate_backoff",
+    "AdaptationController",
     "ResourceManager",
     "MANTTS",
     "AdaptiveConnection",

@@ -241,7 +241,21 @@ class MANTTS:
                 {"type": "open-refuse", "ref": ref, "reason": f"no service on {port}"},
             )
             return
+        # Mid-stream renegotiation replaces the connection's existing
+        # reservation rather than stacking a second one: release it before
+        # admission, and reinstate it untouched if the new QoS is refused.
+        prior_ref = prior_res = None
+        if msg.get("reneg"):
+            prior_ref = self._reservation_refs.pop((initiator, port), None)
+            if prior_ref is not None:
+                prior_res = self.resources.reservation(prior_ref)
+                self.resources.release(prior_ref)
         verdict, final, payload = respond_to_open(msg, self.resources, conn_ref=ref)
+        if verdict != "accept" and prior_res is not None:
+            self.resources.admit(
+                prior_ref, prior_res.throughput_bps, prior_res.buffer_bytes
+            )
+            self._reservation_refs[(initiator, port)] = prior_ref
         if verdict == "accept":
             assert final is not None
             self._negotiated[(initiator, port)] = final
@@ -290,6 +304,9 @@ class MANTTS:
         binding: str = "dynamic",
         default_policies: bool = False,
         renegotiate: bool = False,
+        adaptation=False,
+        on_degraded=None,
+        on_restored=None,
     ) -> "AdaptiveConnection":
         """Initiate an adaptive connection described by ``acd``.
 
@@ -301,6 +318,13 @@ class MANTTS:
         TSC "embodies" (congestion-driven recovery switching and rate
         clamping, RTT-driven FEC for media) — see
         :func:`repro.mantts.policies.default_policies_for`.
+
+        ``adaptation=True`` (or a dict of
+        :class:`~repro.mantts.adaptation.AdaptationController` keyword
+        overrides) attaches the run-time adaptation controller: failover
+        re-derivation, the escalation ladder, graceful degradation with
+        ``on_degraded`` / ``on_restored`` callbacks, and bounded-retry
+        teardown when the destination stays unreachable.
         """
         conn = AdaptiveConnection(
             self,
@@ -316,6 +340,13 @@ class MANTTS:
         )
         self.connections[conn.ref] = conn
         conn.begin()
+        if adaptation and not conn._failed:
+            from repro.mantts.adaptation import AdaptationController
+
+            opts = dict(adaptation) if isinstance(adaptation, dict) else {}
+            conn.adaptation = AdaptationController(
+                conn, on_degraded=on_degraded, on_restored=on_restored, **opts
+            )
         return conn
 
 
@@ -354,6 +385,8 @@ class AdaptiveConnection:
         self.scs: Optional[SCS] = None
         self.session: Optional[TKOSession] = None
         self.monitor: Optional[NetworkMonitor] = None
+        #: run-time adaptation controller (attached by ``MANTTS.open``)
+        self.adaptation = None
         self.policies = PolicyEngine(self)
         self.group: Optional[str] = None
         self.members: List[str] = []

@@ -45,6 +45,9 @@ class ConnectionLifecycle:
         self.renegotiated = False
         self.failed = False
         self.established = False
+        #: a mid-stream renegotiation is in flight (pause/drain/resume)
+        self.reneg_active = False
+        self._reneg_attempts = 0
         #: messages accepted while negotiation is still in flight; flushed
         #: into the session the moment Stage III instantiates it
         self.pending_sends: List[bytes] = []
@@ -225,9 +228,131 @@ class ConnectionLifecycle:
             unites.instrument(c, acd.tmc)
 
     # ------------------------------------------------------------------
+    # mid-stream renegotiation (§4.1.2 "reconfigure ... in response to
+    # changing network characteristics", run against a *live* session)
+    # ------------------------------------------------------------------
+    def renegotiate_midstream(
+        self,
+        new_cfg: SessionConfig,
+        throughput_bps: Optional[float] = None,
+        on_done: Optional[callable] = None,
+    ) -> bool:
+        """Pause → drain → re-negotiate → apply both ends → resume.
+
+        The TKO session's pump is gated and the wire drained (every
+        outstanding PDU acknowledged) before the configuration swap, so no
+        PDU can be lost or double-delivered across the reconfiguration.
+        On refusal or timeout the old configuration stays in force and the
+        session resumes untouched.  ``on_done(ok)`` reports the outcome;
+        the return value says whether the attempt started at all.
+        """
+        c = self.conn
+        done = on_done if on_done is not None else (lambda ok: None)
+        session = c.session
+        if (
+            not self.established
+            or self.failed
+            or self.reneg_active
+            or c.group  # multicast renegotiation is out of scope
+            or session is None
+            or session.closed
+        ):
+            done(False)
+            return False
+        self.reneg_active = True
+        self._reneg_attempts += 1
+        peer = session.remote_host
+        span = _TELEMETRY.begin(
+            "renegotiation", "mantts", conn=c.ref,
+            attempt=self._reneg_attempts, peer=peer,
+        )
+        finished = False
+
+        def finish(ok: bool, outcome: str) -> None:
+            nonlocal finished
+            if finished:
+                return
+            finished = True
+            self.reneg_active = False
+            span.end(outcome=outcome)
+            if not session.closed:
+                session.resume()
+            done(ok)
+
+        session.pause()
+        drain_guard = self.sim.schedule(
+            NEGOTIATION_TIMEOUT, lambda: finish(False, "drain-timeout")
+        )
+
+        def proceed() -> None:
+            if finished:
+                return
+            self.sim.cancel(drain_guard)
+            if session.closed or self.failed:
+                finish(False, "session-gone")
+                return
+            ref = f"{c.ref}:{peer}:reneg{self._reneg_attempts}"
+            requested = throughput_bps or c.acd.quantitative.avg_throughput_bps
+
+            def on_timeout() -> None:
+                c.mantts._pending.pop(ref, None)  # drop a late reply
+                finish(False, "timeout")
+
+            timeout = self.sim.schedule(NEGOTIATION_TIMEOUT, on_timeout)
+
+            def on_reply(msg: dict) -> None:
+                if finished:
+                    return
+                self.sim.cancel(timeout)
+                if msg.get("type") != "open-accept":
+                    finish(False, "refused")
+                    return
+                final = new_cfg
+                if isinstance(msg.get("config"), dict):
+                    counter = SessionConfig.from_dict(msg["config"])
+                    merged = {}
+                    if counter.window < final.window:
+                        merged["window"] = counter.window
+                    if counter.rate_pps is not None and (
+                        final.rate_pps is None or counter.rate_pps < final.rate_pps
+                    ):
+                        merged["rate_pps"] = counter.rate_pps
+                    if merged:
+                        final = final.with_(**merged)
+                c.mantts.synthesizer.reconfigure(session, final)
+                if c.scs is not None:
+                    c.scs.config = final
+                c.reconfig_log.append((c.now, "renegotiated"))
+                c._signal_reconfig(final)
+                finish(True, "accept")
+
+            c.mantts._pending[ref] = on_reply
+            c.mantts._send_signalling(
+                peer,
+                {
+                    "type": "open-request",
+                    "ref": ref,
+                    "reneg": True,
+                    "from": c.host.name,
+                    "service_port": c.acd.service_port,
+                    "config": new_cfg.to_dict(),
+                    "throughput_bps": requested,
+                    "min_throughput_bps": 0.0,
+                    "group": None,
+                },
+            )
+
+        session.drain(proceed)
+        return True
+
+    # ------------------------------------------------------------------
     # terminal transitions
     # ------------------------------------------------------------------
     def connected(self) -> None:
+        if self.failed or self.established:
+            # a late success signal cannot resurrect a timed-out/failed
+            # establishment, and a duplicate must not re-fire the callback
+            return
         c = self.conn
         self.established = True
         self.setup_span.end(outcome="connected")
@@ -235,6 +360,10 @@ class ConnectionLifecycle:
             c.on_connected(c)
 
     def closed(self) -> None:
+        if self.failed:
+            # fail() already tore down and reported; closing the dead
+            # session afterwards must not also fire on_closed
+            return
         c = self.conn
         if c.monitor is not None:
             c.monitor.stop()

@@ -18,7 +18,7 @@ state to MANTTS entities.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
 
 from repro.netsim.network import Network
 from repro.sim.kernel import Simulator
@@ -40,6 +40,13 @@ class NetworkState:
     congestion: float          #: mean queue fill fraction along path [0,1]
     loss_rate: float           #: EWMA of per-link overflow drop fraction
     hops: int
+    #: the node sequence currently routing this path — a change here *is*
+    #: the §4.1.2 failover signal ("routes change from a terrestrial link
+    #: to a satellite link"); empty when unreachable
+    path: Tuple[str, ...] = ()
+    #: smallest per-link queue capacity along the path, in PDUs — the
+    #: burst the route can absorb without drop-tail loss (0 = unknown)
+    queue_limit: int = 0
 
     @property
     def bandwidth_delay_pdus(self) -> int:
@@ -132,4 +139,6 @@ class NetworkMonitor:
             congestion=self._congestion,
             loss_rate=max(0.0, self._loss),
             hops=len(links),
+            path=tuple(net.route(self.src, self.dst) or ()),
+            queue_limit=min(l.queue_limit for l in links),
         )

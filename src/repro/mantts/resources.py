@@ -91,6 +91,10 @@ class ResourceManager:
         """Termination-phase resource release (idempotent)."""
         self._reservations.pop(conn_ref, None)
 
+    def reservation(self, conn_ref: str) -> Optional[Reservation]:
+        """The live reservation under ``conn_ref``, if any."""
+        return self._reservations.get(conn_ref)
+
     def update(self, conn_ref: str, throughput_bps: float) -> None:
         """Adjust a live reservation after renegotiation."""
         r = self._reservations.get(conn_ref)

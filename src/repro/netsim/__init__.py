@@ -8,6 +8,7 @@ unit, finite switch queues (and therefore congestion loss), route changes,
 and genuine multicast replication inside the network.
 """
 
+from repro.netsim.faults import Fault, FaultInjector, FaultSchedule
 from repro.netsim.frame import Frame
 from repro.netsim.link import Link, LinkStats
 from repro.netsim.node import Node
@@ -26,6 +27,9 @@ from repro.netsim.profiles import (
 from repro.netsim.traffic import BackgroundLoad, OnOffLoad, PoissonLoad
 
 __all__ = [
+    "Fault",
+    "FaultInjector",
+    "FaultSchedule",
     "Frame",
     "Link",
     "LinkStats",

@@ -1,0 +1,323 @@
+"""Deterministic, seed-driven fault injection against the sim kernel.
+
+The paper's architecture is judged by how it behaves when the network
+misbehaves: routes change "from a terrestrial link to a satellite link"
+(§4.1.2), error characteristics shift between media (§2.1(B)), and queue
+overflow at intermediate nodes is the congestion signal (§3(C)).  This
+module makes those events *first-class, reproducible experiment inputs*:
+
+* a :class:`Fault` is one declarative event (what, where, when, how long);
+* a :class:`FaultSchedule` is an ordered list of faults, built explicitly
+  or drawn from a seeded RNG (:meth:`FaultSchedule.random`) so chaos runs
+  are exactly repeatable — identical seed + schedule ⇒ identical traces;
+* a :class:`FaultInjector` arms a schedule on a simulator and executes it
+  against a :class:`~repro.netsim.network.Network`, recording an ordered
+  ``trace`` of (time, phase, kind, target) tuples and emitting UNITES
+  ``fault:inject`` / ``fault:clear`` instants plus per-fault spans so
+  timelines show exactly when chaos happened.
+
+Reversible faults restore the *original* characteristic captured at
+injection time (not a schedule-time copy), so overlapping schedules on
+different links compose; overlapping faults on the *same* link and kind
+are rejected up front rather than silently last-writer-wins.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.netsim.network import Network
+from repro.sim.kernel import Simulator
+from repro.unites.obs.telemetry import TELEMETRY as _TELEMETRY
+
+# the fault vocabulary ------------------------------------------------------
+LINK_FLAP = "link-flap"          # link down for ``duration``, then back up
+NODE_CRASH = "node-crash"        # every up link at the node goes down
+PARTITION = "partition"          # cut all links between target set and rest
+BANDWIDTH = "bandwidth"          # multiply channel rate by ``param`` (< 1)
+BER_STORM = "ber-storm"          # set bit-error rate to ``param``
+QUEUE_SQUEEZE = "queue-squeeze"  # clamp queue capacity to ``param`` frames
+
+KINDS = frozenset(
+    {LINK_FLAP, NODE_CRASH, PARTITION, BANDWIDTH, BER_STORM, QUEUE_SQUEEZE}
+)
+
+#: kinds targeting a directed/bidirected link pair ``(a, b)``
+_LINK_KINDS = frozenset({LINK_FLAP, BANDWIDTH, BER_STORM, QUEUE_SQUEEZE})
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One declarative fault event.
+
+    ``target`` is a tuple: ``(a, b)`` for link-scoped kinds, ``(node,)``
+    for node crashes, and the sorted member tuple of one side of the cut
+    for partitions.  ``duration`` may be ``math.inf`` for a permanent
+    fault (never cleared).  ``param`` carries the kind-specific knob.
+    """
+
+    kind: str
+    at: float
+    duration: float
+    target: Tuple[str, ...]
+    param: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.at < 0:
+            raise ValueError("fault time cannot be negative")
+        if not self.duration > 0:
+            raise ValueError("fault duration must be positive (inf = permanent)")
+        if self.kind in _LINK_KINDS and len(self.target) != 2:
+            raise ValueError(f"{self.kind} targets a link pair (a, b)")
+        if self.kind == NODE_CRASH and len(self.target) != 1:
+            raise ValueError("node-crash targets a single node")
+        if self.kind == BANDWIDTH and not (self.param and 0 < self.param):
+            raise ValueError("bandwidth fault needs a positive rate factor")
+        if self.kind == BER_STORM and not (self.param is not None and 0 <= self.param < 1):
+            raise ValueError("ber-storm needs a BER in [0, 1)")
+        if self.kind == QUEUE_SQUEEZE and not (self.param and self.param >= 1):
+            raise ValueError("queue-squeeze needs a capacity >= 1")
+
+    @property
+    def clears_at(self) -> float:
+        return self.at + self.duration
+
+    def describe(self) -> str:
+        tgt = "|".join(self.target)
+        return f"{self.kind}@{tgt}"
+
+
+class FaultSchedule:
+    """An ordered, validated list of faults.
+
+    Construction order does not matter; faults execute in ``(at, insertion)``
+    order.  Overlapping same-kind faults on the same target are rejected so
+    restoration is always well-defined.
+    """
+
+    def __init__(self, faults: Iterable[Fault] = ()) -> None:
+        self.faults: List[Fault] = sorted(
+            faults, key=lambda f: f.at
+        )
+        self._check_overlaps()
+
+    def _check_overlaps(self) -> None:
+        open_until: Dict[Tuple[str, Tuple[str, ...]], float] = {}
+        for f in self.faults:
+            key = (f.kind, f.target)
+            if key in open_until and f.at < open_until[key]:
+                raise ValueError(
+                    f"overlapping {f.kind} faults on {f.target} "
+                    f"(restore order would be ambiguous)"
+                )
+            open_until[key] = f.clears_at
+
+    # ------------------------------------------------------------------
+    # fluent builders
+    # ------------------------------------------------------------------
+    def add(self, fault: Fault) -> "FaultSchedule":
+        self.faults.append(fault)
+        self.faults.sort(key=lambda f: f.at)
+        self._check_overlaps()
+        return self
+
+    def link_flap(self, at: float, a: str, b: str, duration: float = math.inf) -> "FaultSchedule":
+        return self.add(Fault(LINK_FLAP, at, duration, (a, b)))
+
+    def node_crash(self, at: float, node: str, duration: float = math.inf) -> "FaultSchedule":
+        return self.add(Fault(NODE_CRASH, at, duration, (node,)))
+
+    def partition(self, at: float, group: Iterable[str], duration: float = math.inf) -> "FaultSchedule":
+        return self.add(Fault(PARTITION, at, duration, tuple(sorted(group))))
+
+    def bandwidth_collapse(
+        self, at: float, a: str, b: str, factor: float, duration: float = math.inf
+    ) -> "FaultSchedule":
+        return self.add(Fault(BANDWIDTH, at, duration, (a, b), factor))
+
+    def ber_storm(
+        self, at: float, a: str, b: str, ber: float, duration: float = math.inf
+    ) -> "FaultSchedule":
+        return self.add(Fault(BER_STORM, at, duration, (a, b), ber))
+
+    def queue_squeeze(
+        self, at: float, a: str, b: str, limit: int, duration: float = math.inf
+    ) -> "FaultSchedule":
+        return self.add(Fault(QUEUE_SQUEEZE, at, duration, (a, b), limit))
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        links: Sequence[Tuple[str, str]],
+        horizon: float,
+        n_faults: int = 6,
+        kinds: Optional[Sequence[str]] = None,
+        min_duration: float = 0.05,
+        max_duration: float = 0.5,
+    ) -> "FaultSchedule":
+        """Draw a reproducible schedule from its own seeded RNG.
+
+        The RNG is private to the schedule (``random.Random(seed)``), so
+        generating one never perturbs the simulation's named streams —
+        the same seed yields the same schedule on every machine and run.
+        Only link-scoped reversible kinds are drawn by default; crashes
+        and partitions are destructive enough that tests opt in.
+        """
+        rng = random.Random(seed)
+        pool = list(kinds) if kinds else [LINK_FLAP, BANDWIDTH, BER_STORM, QUEUE_SQUEEZE]
+        ordered_links = sorted(set(tuple(sorted(lk)) for lk in links))
+        if not ordered_links:
+            raise ValueError("need at least one link to schedule faults on")
+        faults: List[Fault] = []
+        attempts = 0
+        while len(faults) < n_faults and attempts < n_faults * 20:
+            attempts += 1
+            kind = rng.choice(pool)
+            a, b = rng.choice(ordered_links)
+            at = round(rng.uniform(0.0, horizon), 6)
+            duration = round(rng.uniform(min_duration, max_duration), 6)
+            param: Optional[float] = None
+            if kind == BANDWIDTH:
+                param = round(rng.uniform(0.05, 0.5), 6)
+            elif kind == BER_STORM:
+                param = round(10.0 ** rng.uniform(-5.0, -3.5), 10)
+            elif kind == QUEUE_SQUEEZE:
+                param = rng.randint(1, 4)
+            candidate = Fault(kind, at, duration, (a, b), param)
+            try:
+                cls(faults + [candidate])
+            except ValueError:
+                continue  # overlapped an earlier draw; redraw
+            faults.append(candidate)
+        return cls(faults)
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def __iter__(self):
+        return iter(self.faults)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<FaultSchedule {len(self.faults)} faults>"
+
+
+@dataclass
+class _ActiveFault:
+    """Inject-time restoration state for one executing fault."""
+
+    fault: Fault
+    sim_start: float
+    restore_pairs: List[Tuple[str, str]] = field(default_factory=list)
+    saved: Dict[Tuple[str, str], float] = field(default_factory=dict)
+
+
+class FaultInjector:
+    """Executes a :class:`FaultSchedule` against a network.
+
+    ``trace`` is the determinism contract: an ordered list of
+    ``(sim_time, phase, kind, target, param)`` tuples, one per inject and
+    clear, suitable for exact equality assertions across runs.
+    """
+
+    def __init__(self, sim: Simulator, network: Network, schedule: FaultSchedule) -> None:
+        self.sim = sim
+        self.network = network
+        self.schedule = schedule
+        self.trace: List[Tuple[float, str, str, Tuple[str, ...], Optional[float]]] = []
+        self.injected = 0
+        self.cleared = 0
+        self._armed = False
+
+    # ------------------------------------------------------------------
+    def arm(self) -> "FaultInjector":
+        """Schedule every fault relative to the current sim time."""
+        if self._armed:
+            raise RuntimeError("injector already armed")
+        self._armed = True
+        for fault in self.schedule:
+            if fault.at < self.sim.now:
+                raise ValueError(f"fault at t={fault.at} is already in the past")
+            self.sim.schedule(fault.at - self.sim.now, self._inject, fault)
+        return self
+
+    # ------------------------------------------------------------------
+    def _pairs(self, a: str, b: str) -> List[Tuple[str, str]]:
+        return [(u, v) for (u, v) in ((a, b), (b, a)) if (u, v) in self.network.links]
+
+    def _inject(self, fault: Fault) -> None:
+        active = _ActiveFault(fault, self.sim.now)
+        net = self.network
+        if fault.kind == LINK_FLAP:
+            active.restore_pairs = [
+                p for p in self._pairs(*fault.target) if net.links[p].up
+            ]
+            for u, v in active.restore_pairs:
+                net.fail_link(u, v, bidirectional=False)
+        elif fault.kind == NODE_CRASH:
+            active.restore_pairs = net.crash_node(fault.target[0])
+        elif fault.kind == PARTITION:
+            active.restore_pairs = net.partition(set(fault.target))
+        elif fault.kind == BANDWIDTH:
+            for u, v in self._pairs(*fault.target):
+                active.saved[(u, v)] = net.links[(u, v)].bandwidth_bps
+                net.set_link_bandwidth(
+                    u, v, net.links[(u, v)].bandwidth_bps * float(fault.param),
+                    bidirectional=False,
+                )
+        elif fault.kind == BER_STORM:
+            for u, v in self._pairs(*fault.target):
+                active.saved[(u, v)] = net.links[(u, v)].ber
+                net.set_link_ber(u, v, float(fault.param), bidirectional=False)
+        elif fault.kind == QUEUE_SQUEEZE:
+            for u, v in self._pairs(*fault.target):
+                active.saved[(u, v)] = net.links[(u, v)].queue_limit
+                net.set_link_queue_limit(u, v, int(fault.param), bidirectional=False)
+        self.injected += 1
+        self.trace.append((self.sim.now, "inject", fault.kind, fault.target, fault.param))
+        _TELEMETRY.instant(
+            "fault:inject", "faults",
+            kind=fault.kind, target="|".join(fault.target), param=fault.param,
+        )
+        if _TELEMETRY.enabled:
+            _TELEMETRY.metrics.counter(
+                "faults_injected_total", labels={"kind": fault.kind},
+                help="fault events executed by the injector").inc()
+        if math.isfinite(fault.duration):
+            self.sim.schedule(fault.duration, self._clear, active)
+
+    def _clear(self, active: _ActiveFault) -> None:
+        fault = active.fault
+        net = self.network
+        if fault.kind in (LINK_FLAP, NODE_CRASH, PARTITION):
+            for u, v in active.restore_pairs:
+                net.restore_link(u, v, bidirectional=False)
+        elif fault.kind == BANDWIDTH:
+            for (u, v), bps in active.saved.items():
+                net.set_link_bandwidth(u, v, bps, bidirectional=False)
+        elif fault.kind == BER_STORM:
+            for (u, v), ber in active.saved.items():
+                net.set_link_ber(u, v, ber, bidirectional=False)
+        elif fault.kind == QUEUE_SQUEEZE:
+            for (u, v), limit in active.saved.items():
+                net.set_link_queue_limit(u, v, int(limit), bidirectional=False)
+        self.cleared += 1
+        self.trace.append((self.sim.now, "clear", fault.kind, fault.target, fault.param))
+        _TELEMETRY.instant(
+            "fault:clear", "faults",
+            kind=fault.kind, target="|".join(fault.target), param=fault.param,
+        )
+        if _TELEMETRY.enabled:
+            _TELEMETRY.metrics.counter(
+                "faults_cleared_total", labels={"kind": fault.kind},
+                help="fault events restored by the injector").inc()
+            _TELEMETRY.complete(
+                "fault", "faults", active.sim_start, self.sim.now,
+                kind=fault.kind, target="|".join(fault.target), param=fault.param,
+            )

@@ -215,8 +215,50 @@ class Link:
             self.deliver(frame)
 
     # ------------------------------------------------------------------
+    # run-time characteristic changes (the fault injector's hooks)
+    # ------------------------------------------------------------------
+    def set_bandwidth(self, bandwidth_bps: float) -> None:
+        """Change the channel rate (bandwidth collapse / recovery).
+
+        Only affects frames serialized from now on; the frame currently on
+        the wire keeps the rate it started with.
+        """
+        if bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        self.bandwidth_bps = float(bandwidth_bps)
+
+    def set_ber(self, ber: float) -> None:
+        """Change the channel bit-error rate (BER storm / recovery)."""
+        if not (0.0 <= ber < 1.0):
+            raise ValueError("BER must be in [0, 1)")
+        self.ber = float(ber)
+
+    def set_queue_limit(self, queue_limit: int) -> None:
+        """Shrink or grow the output queue.
+
+        Shrinking below the current occupancy drops the excess from the
+        *back* of the lowest-priority queues first (drop-tail semantics),
+        counting them as overflow losses and surrendering their pooled
+        payload references like every other drop site.
+        """
+        if queue_limit < 1:
+            raise ValueError("queue limit must be >= 1")
+        self.queue_limit = int(queue_limit)
+        for q in reversed(self._queues):
+            while self.queue_len > self.queue_limit and q:
+                frame = q.pop()
+                self.stats.dropped_overflow += 1
+                self._count_drop("overflow")
+                self._drop_payload(frame)
+
     def fail(self) -> None:
-        """Take the link down; queued and in-flight frames are lost."""
+        """Take the link down; queued and in-flight frames are lost.
+
+        The drain is a first-class drop site: every queued frame is counted
+        as ``dropped_down`` *and* surrenders its payload's wire reference,
+        so pooled transport PDU shells go back to ``PDU_POOL`` instead of
+        leaking with the cleared deque.
+        """
         self.up = False
         for q in self._queues:
             lost = len(q)

@@ -140,6 +140,69 @@ class Network:
             _TELEMETRY.instant("link-restore", "netsim", link=f"{u}->{v}")
         self._route_cache.clear()
 
+    # ------------------------------------------------------------------
+    # run-time characteristic changes (fault-injection hooks)
+    # ------------------------------------------------------------------
+    def _pairs(self, a: str, b: str, bidirectional: bool) -> List[Tuple[str, str]]:
+        return [(a, b), (b, a)] if bidirectional else [(a, b)]
+
+    def set_link_bandwidth(
+        self, a: str, b: str, bandwidth_bps: float, bidirectional: bool = True
+    ) -> None:
+        """Change channel rate(s) and re-weight routing accordingly."""
+        for u, v in self._pairs(a, b, bidirectional):
+            link = self.links[(u, v)]
+            link.set_bandwidth(bandwidth_bps)
+            if self.graph.has_edge(u, v):
+                weight = link.delay + _ROUTE_PROBE_BYTES * 8.0 / link.bandwidth_bps
+                self.graph[u][v]["weight"] = weight
+        self._route_cache.clear()
+
+    def set_link_ber(self, a: str, b: str, ber: float, bidirectional: bool = True) -> None:
+        """Change bit-error rate(s); routing weights are latency-based, so
+        no route recomputation is needed (the monitor sees it via path_ber)."""
+        for u, v in self._pairs(a, b, bidirectional):
+            self.links[(u, v)].set_ber(ber)
+
+    def set_link_queue_limit(
+        self, a: str, b: str, queue_limit: int, bidirectional: bool = True
+    ) -> None:
+        """Change queue capacity(-ies); excess occupants are dropped."""
+        for u, v in self._pairs(a, b, bidirectional):
+            self.links[(u, v)].set_queue_limit(queue_limit)
+
+    def incident_links(self, name: str) -> List[Tuple[str, str]]:
+        """Directed link endpoint pairs touching ``name`` (either direction)."""
+        return sorted((u, v) for (u, v) in self.links if u == name or v == name)
+
+    def crash_node(self, name: str) -> List[Tuple[str, str]]:
+        """Take every *currently up* link touching ``name`` down.
+
+        Returns the directed pairs that were failed, so the caller can
+        restore exactly those on recovery (links that were already down for
+        another reason are left for their own owner to restore).
+        """
+        if name not in self.nodes:
+            raise KeyError(f"unknown node {name!r}")
+        failed = [(u, v) for (u, v) in self.incident_links(name) if self.links[(u, v)].up]
+        for u, v in failed:
+            self.fail_link(u, v, bidirectional=False)
+        return failed
+
+    def partition(self, group: set[str] | frozenset[str]) -> List[Tuple[str, str]]:
+        """Fail every up link crossing between ``group`` and its complement.
+
+        Returns the directed pairs failed (for exact restoration).
+        """
+        cut = [
+            (u, v)
+            for (u, v) in sorted(self.links)
+            if ((u in group) != (v in group)) and self.links[(u, v)].up
+        ]
+        for u, v in cut:
+            self.fail_link(u, v, bidirectional=False)
+        return cut
+
     #: destination address meaning "every attached host except the sender"
     #: (the paper's broadcast service, e.g. distributed name resolution)
     BROADCAST = "*"

@@ -124,6 +124,8 @@ class _ExecutorBase:
         pdu = entry.pdu
         if pdu.pooled:
             pdu.release()  # the retransmission queue's (creator) reference
+        if s._drain_waiters:
+            s._check_drained()
         s._maybe_finish_close()
 
     def gap_timeout(self) -> None:
@@ -208,7 +210,7 @@ class ReferenceExecutor(_ExecutorBase):
 
     def pump(self) -> None:
         s = self.s
-        if s._closed or not s.context.connection.connected:
+        if s._closed or s._paused or not s.context.connection.connected:
             return
         tx = s.context.transmission
         while s._send_queue and tx.can_send():
@@ -531,7 +533,7 @@ class CompiledExecutor(_ExecutorBase):
 
     def pump(self) -> None:
         s = self.s
-        if s._closed or not self._conn.connected:
+        if s._closed or s._paused or not self._conn.connected:
             return
         queue = s._send_queue
         if queue:

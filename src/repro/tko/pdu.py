@@ -235,6 +235,9 @@ class PduPool:
         self.max_free = max_free
         self.acquired = 0
         self.reused = 0
+        #: shells whose last reference was dropped (leak check: a quiesced
+        #: world must satisfy ``recycled == acquired - live holders``)
+        self.recycled = 0
 
     def acquire(
         self,
@@ -274,6 +277,7 @@ class PduPool:
         return pdu
 
     def recycle(self, pdu: PDU) -> None:
+        self.recycled += 1
         # un-flag first: any stray release() on a stale reference is inert
         pdu.pooled = False
         pdu.message = None

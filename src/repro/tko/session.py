@@ -102,6 +102,8 @@ class TKOSession:
         self._pump_event = None
         self._closing = False
         self._closed = False
+        self._paused = False
+        self._drain_waiters: list = []
         self._pdu_buffers: Dict[int, Any] = {}
         self._pooling = False
 
@@ -183,6 +185,50 @@ class TKOSession:
 
     def _transmit(self, pdu: PDU, control: bool) -> None:
         self.executor.transmit(pdu, control)
+
+    # ------------------------------------------------------------------
+    # quiesce (mid-stream renegotiation support)
+    # ------------------------------------------------------------------
+    def pause(self) -> None:
+        """Gate the transmission pump: no *new* DATA PDUs leave the queue.
+
+        Recovery keeps retransmitting already-outstanding PDUs (so a
+        :meth:`drain` can complete across loss) and ACK processing runs
+        normally; only first transmissions are held.  Queued messages are
+        neither lost nor reordered — they flow the moment :meth:`resume`
+        reopens the gate.
+        """
+        if self._paused:
+            return
+        self._paused = True
+        self._notify("pause")
+
+    def resume(self) -> None:
+        """Reopen the transmission pump and release anything queued."""
+        if not self._paused:
+            return
+        self._paused = False
+        self._notify("resume")
+        if not self._closed:
+            self.pump()
+
+    def drain(self, callback: Callable[[], None]) -> None:
+        """Invoke ``callback`` once no PDU is outstanding (unACKed).
+
+        With the pump paused this quiesces the wire: everything sent has
+        been acknowledged and everything else is still queued locally, so
+        a configuration swap cannot lose or double-deliver a PDU.
+        """
+        if not self.state.outstanding:
+            callback()
+            return
+        self._drain_waiters.append(callback)
+
+    def _check_drained(self) -> None:
+        if self._drain_waiters and not self.state.outstanding:
+            waiters, self._drain_waiters = self._drain_waiters, []
+            for cb in waiters:
+                cb()
 
     def close(self) -> None:
         """Graceful close: drain queued and unacknowledged data, flush any
@@ -360,6 +406,9 @@ class TKOSession:
     def _teardown(self) -> None:
         self._closed = True
         self.stats.closed_at = self.now
+        # a drain can no longer complete; its initiator learns the outcome
+        # from the session's close/abort callbacks instead
+        self._drain_waiters.clear()
         self.timers.cancel_all()
         if self._pump_event is not None:
             self.sim.cancel(self._pump_event)

@@ -104,6 +104,20 @@ class RttEstimator:
         """Double the effective timeout after a retransmission timeout."""
         self._backoff = min(self._backoff * 2.0, 64.0)
 
+    def reseed(self, rto_initial: float) -> None:
+        """Discard the estimate and start over from ``rto_initial``.
+
+        Used on route failover: the old path's smoothed RTT is meaningless
+        on the new one (terrestrial→satellite is a 1000× jump), and keeping
+        it makes every in-flight PDU look lost until backoff catches up —
+        or worse, burns the give-up budget before the first new-path ACK.
+        """
+        self.srtt = None
+        self.rttvar = 0.0
+        self._rto = rto_initial
+        self._backoff = 1.0
+        self.samples = 0
+
     def note_progress(self) -> None:
         """Clear the backoff multiplier: new data was acknowledged.
 

@@ -1,0 +1,290 @@
+"""AdaptationController: hysteresis, the five-level ladder, failover
+re-derivation, graceful degradation callbacks, bounded-retry teardown,
+and zero-loss mid-stream renegotiation (pause → drain → swap → resume)."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.system import AdaptiveSystem
+from repro.mantts.acd import ACD
+from repro.mantts.adaptation import AdaptationController, LEVELS
+from repro.mantts.monitor import NetworkState
+from repro.mantts.qos import QualitativeQoS, QuantitativeQoS
+from repro.netsim.faults import FaultInjector, FaultSchedule
+from repro.netsim.profiles import (
+    dual_path,
+    ethernet_10,
+    linear_path,
+    satellite,
+    wan_internet,
+)
+from repro.netsim.traffic import BackgroundLoad
+
+
+def elastic_acd():
+    return ACD(
+        participants=("B",),
+        quantitative=QuantitativeQoS(avg_throughput_bps=400e3, duration=600),
+        qualitative=QualitativeQoS(),
+    )
+
+
+def linear_world(seed=1, profile=None, adaptation=False, **open_kwargs):
+    sysm = AdaptiveSystem(seed=seed)
+    sysm.attach_network(
+        linear_path(sysm.sim, profile or ethernet_10(), ("A", "B"), rng=sysm.rng)
+    )
+    a, b = sysm.node("A"), sysm.node("B")
+    got = []
+    b.mantts.register_service(7000, on_deliver=lambda d, m: got.append(d))
+    conn = a.mantts.open(elastic_acd(), adaptation=adaptation, **open_kwargs)
+    sysm.run(until=1.0)
+    assert conn._established
+    return sysm, a, b, conn, got
+
+
+def healthy_state(**over):
+    base = NetworkState(
+        src="A", dst="B", reachable=True, rtt=0.003, base_rtt=0.003,
+        bottleneck_bps=10e6, mtu=1500, ber=1e-9, congestion=0.05,
+        loss_rate=0.0, hops=3, path=("A", "s1", "s2", "B"),
+    )
+    return dataclasses.replace(base, **over) if over else base
+
+
+UNREACHABLE = NetworkState(
+    "A", "B", False, float("inf"), float("inf"), 0.0, 0, 1.0, 1.0, 1.0, 0
+)
+
+
+class TestHysteresis:
+    """Escalation/de-escalation requires *consecutive* samples (§3(C))."""
+
+    def _controller(self, **opts):
+        sysm, a, b, conn, got = linear_world(seed=1)
+        ad = AdaptationController(conn, **opts)
+        ad.on_sample(healthy_state())  # first sample seeds the baseline
+        return sysm, conn, ad
+
+    def test_thresholds_validated(self):
+        sysm, a, b, conn, got = linear_world(seed=1)
+        with pytest.raises(ValueError):
+            AdaptationController(conn, degrade_after=0)
+
+    def test_single_bad_sample_does_not_escalate(self):
+        sysm, conn, ad = self._controller(degrade_after=3)
+        ad.on_sample(healthy_state(congestion=0.9))
+        ad.on_sample(healthy_state(congestion=0.9))
+        assert ad.level == 0 and ad.events == []
+
+    def test_consecutive_bad_samples_escalate_to_retune(self):
+        sysm, conn, ad = self._controller(degrade_after=3)
+        for _ in range(3):
+            ad.on_sample(healthy_state(congestion=0.9))
+        assert ad.level == 1 and ad.level_name == "retuned"
+        assert [a for _, a, _ in ad.events] == ["retune"]
+
+    def test_healthy_sample_resets_the_degraded_run(self):
+        sysm, conn, ad = self._controller(degrade_after=3)
+        for cong in (0.9, 0.9, 0.05, 0.9, 0.9):
+            ad.on_sample(healthy_state(congestion=cong))
+        assert ad.level == 0
+
+    def test_deescalation_needs_sustained_health(self):
+        sysm, conn, ad = self._controller(degrade_after=2, restore_after=4)
+        for _ in range(2):
+            ad.on_sample(healthy_state(loss_rate=0.2))
+        assert ad.level == 1
+        for _ in range(3):
+            ad.on_sample(healthy_state())
+        assert ad.level == 1  # not yet: needs 4 consecutive healthy
+        ad.on_sample(healthy_state())
+        assert ad.level == 0
+        assert ad.events[-1][1] == "restore"
+
+    def test_detection_covers_every_symptom(self):
+        sysm, conn, ad = self._controller()
+        base = healthy_state()
+        assert not ad._is_degraded(base)
+        assert ad._is_degraded(healthy_state(congestion=0.7))
+        assert ad._is_degraded(healthy_state(loss_rate=0.1))
+        assert ad._is_degraded(healthy_state(ber=1e-4))
+        assert ad._is_degraded(healthy_state(rtt=0.02))
+        assert ad._is_degraded(healthy_state(bottleneck_bps=1e6))
+
+
+class TestFailoverRederivation:
+    def test_path_change_rederives_window_and_rto_immediately(self):
+        sysm, a, b, conn, got = linear_world(seed=2)
+        ad = AdaptationController(conn)
+        ad.on_sample(healthy_state())
+        # the route flips to a satellite-like path: long RTT, thin pipe
+        sat = healthy_state(
+            rtt=0.25, base_rtt=0.25, bottleneck_bps=2e6,
+            path=("A", "q1", "q2", "B"),
+        )
+        ad.on_sample(sat)
+        assert [action for _, action, _ in ad.events] == ["failover"]
+        assert ad.events[0][2] == "A->q1->q2->B"
+        assert conn.reconfig_log and conn.reconfig_log[-1][1] == "failover"
+        assert conn.cfg.rto_initial == pytest.approx(
+            max(conn.cfg.rto_min, min(4.0, 2.0 * 0.25))
+        )
+        # the new route is the new normal: a healthy sample on the new
+        # path must not count as degraded against the old baseline
+        ad.on_sample(sat)
+        assert ad.level == 0 and len(ad.events) == 1
+
+    def test_failover_end_to_end_under_fault_injection(self):
+        """Primary path flaps mid-transfer; the controller re-derives for
+        the backup route, then again when the primary returns — and every
+        message still arrives exactly once."""
+        sysm = AdaptiveSystem(seed=11)
+        sysm.attach_network(
+            dual_path(sysm.sim, ethernet_10(), satellite(), rng=sysm.rng)
+        )
+        a, b = sysm.node("A"), sysm.node("B")
+        got = []
+        b.mantts.register_service(7000, on_deliver=lambda d, m: got.append(bytes(d)))
+        conn = a.mantts.open(elastic_acd(), adaptation=True)
+        sysm.run(until=1.0)
+        assert conn._established
+        msgs = [b"m%03d" % i + b"x" * 500 for i in range(100)]
+        for m in msgs:
+            conn.send(m)
+        FaultInjector(
+            sysm.sim, sysm.network,
+            FaultSchedule().link_flap(2.0, "p1", "p2", duration=6.0),
+        ).arm()
+        sysm.run(until=30.0)
+        assert got == msgs  # in order, zero lost, zero duplicated
+        failovers = [d for _, action, d in conn.adaptation.events if action == "failover"]
+        assert any("q1" in d for d in failovers)  # onto the backup path
+        assert any("p1" in d for d in failovers)  # back after the clear
+        assert conn.adaptation.level == 0
+
+
+class TestLadderEndToEnd:
+    def test_congestion_walks_the_ladder_and_restores(self):
+        sysm = AdaptiveSystem(seed=13)
+        sysm.attach_network(
+            linear_path(sysm.sim, wan_internet(), ("A", "B"), rng=sysm.rng)
+        )
+        a, b = sysm.node("A"), sysm.node("B")
+        b.mantts.register_service(7000, on_deliver=lambda d, m: None)
+        degraded, restored = [], []
+        conn = a.mantts.open(
+            elastic_acd(),
+            adaptation={"degrade_after": 2, "restore_after": 4},
+            on_degraded=lambda c, s: degraded.append(s),
+            on_restored=lambda c, s: restored.append(s),
+        )
+        sysm.run(until=1.0)
+        assert conn._established
+        load = BackgroundLoad(sysm.network, "s1", "s2", rate_bps=2.4e6)
+        load.start(1.0)
+        sysm.run(until=12.0)
+        actions = [action for _, action, _ in conn.adaptation.events]
+        # the ladder fires strictly in order: retune, then mechanism swap,
+        # then renegotiation, then graceful degradation
+        assert actions.index("retune") < actions.index("segue")
+        assert actions.index("segue") < actions.index("renegotiate")
+        assert "degrade" in actions
+        assert conn.cfg.recovery == "sr"  # the segue stuck
+        assert degraded and conn.adaptation._degraded_flagged
+        # congestion subsides: sustained health walks back to normal
+        load.stop()
+        sysm.run(until=30.0)
+        assert conn.adaptation.level == 0
+        assert restored and not conn.adaptation._degraded_flagged
+
+
+class TestUnreachableTeardown:
+    def test_bounded_retries_with_backoff_then_teardown(self):
+        sysm, a, b, conn, got = linear_world(seed=4)
+        ad = AdaptationController(conn, unreachable_after=2, max_teardown_retries=2)
+        # giveup points: sample 2 (retry 1), then +2*2 => sample 6
+        # (retry 2), then +2*4 => sample 14 (teardown)
+        for _ in range(14):
+            ad.on_sample(UNREACHABLE)
+        actions = [action for _, action, _ in ad.events]
+        assert actions == ["retry", "retry", "teardown"]
+        assert conn.session.closed
+        # post-teardown samples are inert
+        ad.on_sample(UNREACHABLE)
+        assert actions == [action for _, action, _ in ad.events]
+
+    def test_reachable_sample_resets_the_giveup_ladder(self):
+        sysm, a, b, conn, got = linear_world(seed=5)
+        ad = AdaptationController(conn, unreachable_after=3)
+        ad.on_sample(healthy_state())
+        ad.on_sample(UNREACHABLE)
+        ad.on_sample(UNREACHABLE)
+        ad.on_sample(healthy_state())  # back: run and backoff reset
+        assert ad.teardown_retries == 0 and ad._giveup_at == 3
+        ad.on_sample(UNREACHABLE)
+        ad.on_sample(UNREACHABLE)
+        assert ad.events == []  # two of three — no retry yet
+
+
+class TestMidstreamRenegotiation:
+    def test_renegotiation_swaps_both_ends_with_zero_loss(self):
+        sysm, a, b, conn, got = linear_world(seed=12)
+        msgs = [b"r%03d" % i + b"y" * 500 for i in range(100)]
+        for m in msgs:
+            conn.send(m)
+        outcomes = []
+        new_cfg = conn.cfg.with_(window=5, recovery="sr", ack="selective")
+        sysm.sim.schedule(
+            0.05,
+            conn.lifecycle.renegotiate_midstream,
+            new_cfg,
+            None,
+            outcomes.append,
+        )
+        sysm.run(until=15.0)
+        assert outcomes == [True]
+        # initiator side swapped
+        assert conn.cfg.window == 5 and conn.cfg.recovery == "sr"
+        assert conn.cfg.ack == "selective"
+        # responder side swapped too (signalled reconfig)
+        rx = next(iter(b.mantts._peer_sessions.values()))
+        assert rx.cfg.window == 5 and rx.cfg.recovery == "sr"
+        # the responder's reservation was replaced, not stacked
+        assert b.mantts._reservation_refs[("A", 7000)].endswith(":reneg1")
+        assert len(b.mantts.resources) == 1
+        # the drain guarantee: in order, zero lost, zero duplicated
+        assert got == [bytes(m) for m in msgs]
+        assert conn.reconfig_log[-1][1] == "renegotiated"
+        assert not conn.session._paused
+
+    def test_renegotiation_timeout_keeps_old_config_and_resumes(self):
+        sysm, a, b, conn, got = linear_world(seed=6)
+        before = conn.cfg
+        sysm.network.fail_link("s1", "s2")  # peer unreachable, nothing in flight
+        outcomes = []
+        started = conn.lifecycle.renegotiate_midstream(
+            before.with_(window=4), on_done=outcomes.append
+        )
+        assert started
+        sysm.run(until=10.0)
+        assert outcomes == [False]
+        assert conn.cfg == before  # old configuration stays in force
+        assert not conn.session._paused
+        assert not conn.lifecycle.reneg_active
+
+    def test_guards_refuse_bad_states(self):
+        sysm, a, b, conn, got = linear_world(seed=7)
+        outcomes = []
+        # a second attempt while one is active must be refused
+        assert conn.lifecycle.renegotiate_midstream(conn.cfg.with_(window=4))
+        assert not conn.lifecycle.renegotiate_midstream(
+            conn.cfg.with_(window=3), on_done=outcomes.append
+        )
+        assert outcomes == [False]
+        sysm.run(until=8.0)
+        # after the session closes, renegotiation is refused outright
+        conn.close()
+        sysm.run(until=12.0)
+        assert not conn.lifecycle.renegotiate_midstream(conn.cfg.with_(window=2))

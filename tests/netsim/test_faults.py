@@ -1,0 +1,318 @@
+"""Fault injection: schedule validation, determinism, exact restoration,
+and the drop-site contract that every lost frame surrenders its payload's
+wire reference (pooled PDU shells must go back to the free list)."""
+
+import math
+
+import pytest
+
+from repro.netsim.faults import (
+    BANDWIDTH,
+    BER_STORM,
+    LINK_FLAP,
+    NODE_CRASH,
+    PARTITION,
+    QUEUE_SQUEEZE,
+    Fault,
+    FaultInjector,
+    FaultSchedule,
+)
+from repro.netsim.frame import Frame
+from repro.netsim.link import Link
+from repro.netsim.network import Network
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RngStreams
+from repro.tko.config import SessionConfig
+from repro.tko.pdu import PDU_POOL
+from tests.conftest import TwoHosts
+
+
+def chain_net(sim):
+    net = Network(sim)
+    for n in ("A", "s1", "s2", "B"):
+        net.add_node(n)
+    net.add_link("A", "s1", 10e6, 1e-4)
+    net.add_link("s1", "s2", 10e6, 1e-4)
+    net.add_link("s2", "B", 10e6, 1e-4)
+    return net
+
+
+CHAIN_LINKS = [("A", "s1"), ("s1", "s2"), ("s2", "B")]
+
+
+class TestScheduleValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Fault("gamma-ray", 0.0, 1.0, ("a", "b"))
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            Fault(LINK_FLAP, -0.1, 1.0, ("a", "b"))
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(ValueError):
+            Fault(LINK_FLAP, 0.0, 0.0, ("a", "b"))
+
+    def test_link_kind_needs_pair(self):
+        with pytest.raises(ValueError):
+            Fault(BER_STORM, 0.0, 1.0, ("a",), 1e-4)
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            Fault(BANDWIDTH, 0.0, 1.0, ("a", "b"), 0.0)
+        with pytest.raises(ValueError):
+            Fault(BER_STORM, 0.0, 1.0, ("a", "b"), 1.5)
+        with pytest.raises(ValueError):
+            Fault(QUEUE_SQUEEZE, 0.0, 1.0, ("a", "b"), 0)
+
+    def test_overlap_same_kind_same_target_rejected(self):
+        with pytest.raises(ValueError, match="overlapping"):
+            FaultSchedule().link_flap(1.0, "a", "b", duration=2.0).link_flap(
+                2.0, "a", "b", duration=1.0
+            )
+
+    def test_overlap_permanent_fault_rejected(self):
+        sched = FaultSchedule().link_flap(1.0, "a", "b")  # permanent
+        with pytest.raises(ValueError, match="overlapping"):
+            sched.link_flap(100.0, "a", "b", duration=0.1)
+
+    def test_different_kind_or_target_may_overlap(self):
+        sched = (
+            FaultSchedule()
+            .link_flap(1.0, "a", "b", duration=2.0)
+            .ber_storm(1.5, "a", "b", 1e-4, duration=2.0)
+            .link_flap(1.5, "b", "c", duration=2.0)
+        )
+        assert len(sched) == 3
+
+    def test_back_to_back_same_target_ok(self):
+        sched = FaultSchedule().link_flap(1.0, "a", "b", duration=1.0).link_flap(
+            2.0, "a", "b", duration=1.0
+        )
+        assert len(sched) == 2
+
+
+class TestRandomSchedule:
+    def test_same_seed_same_schedule(self):
+        a = FaultSchedule.random(42, CHAIN_LINKS, horizon=5.0)
+        b = FaultSchedule.random(42, CHAIN_LINKS, horizon=5.0)
+        assert a.faults == b.faults
+        assert len(a) == 6
+
+    def test_different_seeds_differ(self):
+        a = FaultSchedule.random(1, CHAIN_LINKS, horizon=5.0)
+        b = FaultSchedule.random(2, CHAIN_LINKS, horizon=5.0)
+        assert a.faults != b.faults
+
+    def test_link_direction_normalized(self):
+        sched = FaultSchedule.random(7, [("s1", "A"), ("A", "s1")], horizon=2.0)
+        assert all(f.target == ("A", "s1") for f in sched)
+
+    def test_default_pool_is_reversible_kinds_only(self):
+        sched = FaultSchedule.random(3, CHAIN_LINKS, horizon=5.0, n_faults=20)
+        assert all(f.kind not in (NODE_CRASH, PARTITION) for f in sched)
+
+    def test_no_links_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSchedule.random(0, [], horizon=1.0)
+
+
+class TestInjectorDeterminism:
+    def _trace(self, seed):
+        sim = Simulator()
+        net = chain_net(sim)
+        sched = FaultSchedule.random(seed, CHAIN_LINKS, horizon=3.0)
+        inj = FaultInjector(sim, net, sched).arm()
+        sim.run(until=5.0)
+        return inj.trace
+
+    def test_identical_seed_identical_trace(self):
+        # The acceptance contract: identical seed + schedule => identical
+        # event traces across two independently built worlds.
+        assert self._trace(11) == self._trace(11)
+
+    def test_trace_records_inject_and_clear_in_order(self):
+        trace = self._trace(11)
+        times = [t for t, *_ in trace]
+        assert times == sorted(times)
+        assert sum(1 for _, phase, *_ in trace if phase == "inject") == 6
+        assert sum(1 for _, phase, *_ in trace if phase == "clear") == 6
+
+    def test_arm_twice_rejected(self):
+        sim = Simulator()
+        net = chain_net(sim)
+        inj = FaultInjector(sim, net, FaultSchedule().link_flap(1.0, "A", "s1"))
+        inj.arm()
+        with pytest.raises(RuntimeError):
+            inj.arm()
+
+    def test_fault_in_past_rejected(self):
+        sim = Simulator()
+        net = chain_net(sim)
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        inj = FaultInjector(sim, net, FaultSchedule().link_flap(1.0, "A", "s1"))
+        with pytest.raises(ValueError):
+            inj.arm()
+
+
+class TestInjectAndRestore:
+    def _world(self):
+        sim = Simulator()
+        return sim, chain_net(sim)
+
+    def test_link_flap_round_trip(self):
+        sim, net = self._world()
+        FaultInjector(
+            sim, net, FaultSchedule().link_flap(1.0, "s1", "s2", duration=1.0)
+        ).arm()
+        sim.run(until=1.5)
+        assert not net.links[("s1", "s2")].up and not net.links[("s2", "s1")].up
+        assert net.route("A", "B") is None
+        sim.run(until=3.0)
+        assert net.links[("s1", "s2")].up and net.links[("s2", "s1")].up
+        assert net.route("A", "B") == ["A", "s1", "s2", "B"]
+
+    def test_link_flap_restores_exactly_what_it_failed(self):
+        # One direction was already down before the flap: clearing the flap
+        # must not resurrect it.
+        sim, net = self._world()
+        net.fail_link("s1", "s2", bidirectional=False)
+        FaultInjector(
+            sim, net, FaultSchedule().link_flap(1.0, "s1", "s2", duration=1.0)
+        ).arm()
+        sim.run(until=3.0)
+        assert not net.links[("s1", "s2")].up  # pre-existing failure persists
+        assert net.links[("s2", "s1")].up
+
+    def test_bandwidth_collapse_restores_original_rate(self):
+        sim, net = self._world()
+        before = net.links[("A", "s1")].bandwidth_bps
+        FaultInjector(
+            sim, net,
+            FaultSchedule().bandwidth_collapse(1.0, "A", "s1", 0.1, duration=1.0),
+        ).arm()
+        sim.run(until=1.5)
+        assert net.links[("A", "s1")].bandwidth_bps == pytest.approx(before * 0.1)
+        assert net.links[("s1", "A")].bandwidth_bps == pytest.approx(before * 0.1)
+        sim.run(until=3.0)
+        assert net.links[("A", "s1")].bandwidth_bps == before
+        assert net.links[("s1", "A")].bandwidth_bps == before
+
+    def test_ber_storm_restores_original_ber(self):
+        sim, net = self._world()
+        before = net.links[("A", "s1")].ber
+        FaultInjector(
+            sim, net, FaultSchedule().ber_storm(1.0, "A", "s1", 1e-3, duration=1.0)
+        ).arm()
+        sim.run(until=1.5)
+        assert net.links[("A", "s1")].ber == 1e-3
+        sim.run(until=3.0)
+        assert net.links[("A", "s1")].ber == before
+
+    def test_queue_squeeze_restores_original_limit(self):
+        sim, net = self._world()
+        before = net.links[("A", "s1")].queue_limit
+        FaultInjector(
+            sim, net, FaultSchedule().queue_squeeze(1.0, "A", "s1", 2, duration=1.0)
+        ).arm()
+        sim.run(until=1.5)
+        assert net.links[("A", "s1")].queue_limit == 2
+        sim.run(until=3.0)
+        assert net.links[("A", "s1")].queue_limit == before
+
+    def test_node_crash_fails_and_restores_incident_links(self):
+        sim, net = self._world()
+        FaultInjector(
+            sim, net, FaultSchedule().node_crash(1.0, "s1", duration=1.0)
+        ).arm()
+        sim.run(until=1.5)
+        for pair in (("A", "s1"), ("s1", "A"), ("s1", "s2"), ("s2", "s1")):
+            assert not net.links[pair].up
+        assert net.links[("s2", "B")].up  # untouched
+        sim.run(until=3.0)
+        assert all(link.up for link in net.links.values())
+
+    def test_partition_cuts_only_crossing_links(self):
+        sim, net = self._world()
+        FaultInjector(
+            sim, net, FaultSchedule().partition(1.0, {"A", "s1"}, duration=1.0)
+        ).arm()
+        sim.run(until=1.5)
+        assert not net.links[("s1", "s2")].up and not net.links[("s2", "s1")].up
+        assert net.links[("A", "s1")].up  # inside the group
+        assert net.links[("s2", "B")].up  # inside the complement
+        sim.run(until=3.0)
+        assert all(link.up for link in net.links.values())
+
+    def test_permanent_fault_never_clears(self):
+        sim, net = self._world()
+        inj = FaultInjector(
+            sim, net, FaultSchedule().link_flap(1.0, "s1", "s2")
+        ).arm()
+        sim.run(until=50.0)
+        assert inj.injected == 1 and inj.cleared == 0
+        assert not net.links[("s1", "s2")].up
+
+
+class _CountingPayload:
+    """Duck-typed stand-in for a pooled PDU: counts release() calls."""
+
+    def __init__(self):
+        self.released = 0
+
+    def release(self):
+        self.released += 1
+
+
+def _loaded_link(sim, n_frames):
+    rng = RngStreams(0)
+    link = Link(sim, rng, "t", bandwidth_bps=1e6, delay=0.001, deliver=lambda f: None)
+    payloads = [_CountingPayload() for _ in range(n_frames)]
+    for p in payloads:
+        assert link.send(Frame("a", "b", 1000, payload=p))
+    return link, payloads
+
+
+class TestDropSitesReleasePayloads:
+    def test_fail_drains_queue_and_releases_every_payload(self, sim):
+        link, payloads = _loaded_link(sim, 5)
+        link.fail()  # frame 0 is on the wire; 1-4 are drained from the queue
+        sim.run()
+        assert [p.released for p in payloads] == [1] * 5
+        assert link.stats.dropped_down == 5
+
+    def test_send_on_down_link_releases(self, sim):
+        link, _ = _loaded_link(sim, 1)
+        link.fail()
+        p = _CountingPayload()
+        assert not link.send(Frame("a", "b", 100, payload=p))
+        assert p.released == 1
+
+    def test_queue_squeeze_trim_releases_dropped_tail(self, sim):
+        link, payloads = _loaded_link(sim, 6)  # 1 transmitting + 5 queued
+        link.set_queue_limit(2)
+        assert link.stats.dropped_overflow == 3
+        # drop-tail: the *last* queued payloads are surrendered
+        assert [p.released for p in payloads] == [0, 0, 0, 1, 1, 1]
+
+    def test_pooled_shells_balance_across_mid_stream_flap(self):
+        """End-to-end leak check: a transfer that rides through a link flap
+        must return every pooled shell it acquired once the world quiesces
+        (``recycled == acquired`` delta-wise, no live holders left)."""
+        acq0, rec0 = PDU_POOL.acquired, PDU_POOL.recycled
+        w = TwoHosts(seed=5)
+        w.listen()
+        s = w.open(SessionConfig())
+        for _ in range(20):
+            s.send(b"x" * 600)
+        w.sim.schedule(0.02, w.net.fail_link, "s1", "s2")
+        w.sim.schedule(0.40, w.net.restore_link, "s1", "s2")
+        w.sim.run(until=20.0)
+        assert len(w.delivered) == 20
+        s.close()
+        for rx in w.rx_sessions:
+            rx.close()
+        w.sim.run(until=40.0)
+        assert PDU_POOL.acquired - acq0 > 20  # retransmissions happened
+        assert PDU_POOL.recycled - rec0 == PDU_POOL.acquired - acq0
