@@ -1,0 +1,195 @@
+"""Perf trajectory recorder — emits ``BENCH_kernel.json``.
+
+Two measurements, one snapshot file, so every future PR has a baseline:
+
+* **kernel**: events/sec on an ACK-clocked timer-churn workload (the
+  retransmission pattern that dominates transport simulations: ~80% of
+  timers are cancelled by an ACK before firing), measured on the fast
+  kernel and on ``Simulator(legacy=True)`` — the pre-fast-path heap-only
+  kernel kept verbatim as the baseline.  Both runs must dispatch the
+  same events and reach the same virtual time (the bit-identity check
+  rides along for free).
+* **sweep**: wall-clock for the demo scenario grid run serially and
+  sharded across workers with :class:`repro.sweep.SweepRunner`.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/record_bench.py            # record
+    PYTHONPATH=src python benchmarks/record_bench.py --check    # CI gate
+
+``--check`` exits non-zero unless the fast kernel beats legacy by >= 30%
+events/sec on the cancel-heavy workload (the Issue-4 acceptance bar) and
+the serial/parallel sweep results are bit-identical.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+from time import perf_counter
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.sim.kernel import Simulator  # noqa: E402
+from repro.sim.timers import Timer  # noqa: E402
+from repro.sweep import ScenarioSpec, SweepRunner  # noqa: E402
+from repro.sweep.demo import VARIANTS, adaptive_vs_static_cell  # noqa: E402
+
+MIN_KERNEL_SPEEDUP = 1.30
+
+RTO = 0.05          # retransmission timeout per flow
+ACK_DELAY = 0.01    # ACK arrival (cancels the timer) — 4/5 of sends
+LOSS_EVERY = 5      # every 5th send loses its ACK: the timer fires
+FLOWS = 512
+
+
+class _ChurnFlow:
+    """One ACK-clocked flow: send → arm RTO → ACK cancels (or timer fires)."""
+
+    __slots__ = ("sim", "timer", "sent", "fired", "acked")
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self.timer = Timer(sim, self._on_timeout, interval=RTO)
+        self.sent = 0
+        self.fired = 0
+        self.acked = 0
+
+    def send(self) -> None:
+        self.sent += 1
+        self.timer.schedule(RTO)
+        if self.sent % LOSS_EVERY != 0:
+            self.sim.schedule_transient(ACK_DELAY, self._on_ack)
+
+    def _on_ack(self) -> None:
+        self.acked += 1
+        self.timer.cancel()
+        self.send()
+
+    def _on_timeout(self) -> None:
+        self.fired += 1
+        self.send()
+
+
+def run_timer_churn(legacy: bool, n_events: int) -> dict:
+    """Drive FLOWS concurrent churn flows for ``n_events`` dispatches."""
+    sim = Simulator(legacy=legacy)
+    flows = [_ChurnFlow(sim) for _ in range(FLOWS)]
+    for f in flows:
+        f.send()
+    w0 = perf_counter()
+    sim.run(max_events=n_events)
+    wall = perf_counter() - w0
+    armed = sum(f.sent for f in flows)
+    fired = sum(f.fired for f in flows)
+    return {
+        "wall_s": wall,
+        "events": sim.events_dispatched,
+        "events_per_sec": sim.events_dispatched / wall,
+        "virtual_time": sim.now,
+        "timers_armed": armed,
+        "timers_fired": fired,
+        # timers not fired were cancelled (by an ACK or a re-arm)
+        "cancel_fraction": 1.0 - fired / armed,
+    }
+
+
+def bench_kernel(n_events: int, repeats: int = 5) -> dict:
+    """Fast vs legacy events/sec, best-of-N, with an identity cross-check.
+
+    Runs are ABAB-interleaved so slow drift in machine load hits both
+    kernels alike instead of biasing whichever block ran second.
+    """
+    fast_runs, legacy_runs = [], []
+    for _ in range(repeats):
+        fast_runs.append(run_timer_churn(legacy=False, n_events=n_events))
+        legacy_runs.append(run_timer_churn(legacy=True, n_events=n_events))
+    fast = max(fast_runs, key=lambda r: r["events_per_sec"])
+    legacy = max(legacy_runs, key=lambda r: r["events_per_sec"])
+    for key in ("events", "virtual_time", "timers_armed", "timers_fired"):
+        if fast[key] != legacy[key]:
+            raise AssertionError(
+                f"fast/legacy kernels diverged on {key}: "
+                f"{fast[key]!r} != {legacy[key]!r}"
+            )
+    return {
+        "workload": (f"{FLOWS} ACK-clocked flows, RTO={RTO}s, "
+                     f"ACK={ACK_DELAY}s, 1-in-{LOSS_EVERY} ACK loss"),
+        "events": fast["events"],
+        "cancel_fraction": round(fast["cancel_fraction"], 4),
+        "fast_events_per_sec": round(fast["events_per_sec"], 1),
+        "legacy_events_per_sec": round(legacy["events_per_sec"], 1),
+        "speedup": round(fast["events_per_sec"] / legacy["events_per_sec"], 3),
+        "repeats": repeats,
+    }
+
+
+SWEEP_SPEC = ScenarioSpec(
+    name="bench-sweep",
+    cell=adaptive_vs_static_cell,
+    grid={"variant": list(VARIANTS), "ber": [0.0, 4e-6, 1.2e-5]},
+    fixed={"duration": 4.0},
+    base_seed=11,
+)
+
+
+def bench_sweep() -> dict:
+    """Serial vs parallel wall-clock on the demo grid (and bit-identity)."""
+    serial = SweepRunner(SWEEP_SPEC, workers=1).run()
+    parallel = SweepRunner(SWEEP_SPEC, workers=None).run()
+    identical = parallel.metrics_only() == serial.metrics_only()
+    return {
+        "cells": len(serial),
+        "workers": parallel.workers,
+        "serial_wall_s": round(serial.wall_s, 3),
+        "parallel_wall_s": round(parallel.wall_s, 3),
+        "speedup": round(serial.wall_s / parallel.wall_s, 3)
+        if parallel.wall_s else 1.0,
+        "bit_identical": identical,
+    }
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--events", type=int, default=200_000,
+                    help="kernel micro-bench dispatch budget")
+    ap.add_argument("--repeats", type=int, default=5,
+                    help="best-of-N repeats per kernel variant")
+    ap.add_argument("--out", default=str(Path(__file__).resolve().parent.parent
+                                         / "BENCH_kernel.json"))
+    ap.add_argument("--check", action="store_true",
+                    help="exit non-zero unless the perf gates hold")
+    args = ap.parse_args(argv)
+
+    kernel = bench_kernel(args.events, args.repeats)
+    sweep = bench_sweep()
+    snapshot = {
+        "python": ".".join(map(str, sys.version_info[:3])),
+        "cpu_count": os.cpu_count(),
+        "kernel": kernel,
+        "sweep": sweep,
+    }
+    Path(args.out).write_text(json.dumps(snapshot, indent=2) + "\n")
+    print(json.dumps(snapshot, indent=2))
+
+    if args.check:
+        ok = True
+        if kernel["speedup"] < MIN_KERNEL_SPEEDUP:
+            print(f"FAIL: kernel speedup {kernel['speedup']}x < "
+                  f"{MIN_KERNEL_SPEEDUP}x gate", file=sys.stderr)
+            ok = False
+        if not sweep["bit_identical"]:
+            print("FAIL: parallel sweep diverged from serial", file=sys.stderr)
+            ok = False
+        if not ok:
+            return 1
+        print(f"OK: kernel {kernel['speedup']}x (gate {MIN_KERNEL_SPEEDUP}x), "
+              f"sweep bit-identical at {sweep['workers']} workers")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -5,10 +5,10 @@ guards with a single ``if TELEMETRY.enabled:`` test.  This benchmark
 enforces the bound on the hottest path of all — the kernel dispatch loop
 — by timing the same E6-style bulk workload two ways:
 
-* **baseline** — ``Simulator.step`` monkeypatched to
-  ``Simulator._step_uninstrumented``, the pre-telemetry dispatch loop
-  kept verbatim for exactly this purpose;
-* **disabled** — the shipping ``step`` with telemetry off (the default).
+* **baseline** — ``Simulator.run`` monkeypatched to
+  ``Simulator._run_uninstrumented``, the inlined dispatch loop minus the
+  per-event telemetry test, kept for exactly this purpose;
+* **disabled** — the shipping ``run`` with telemetry off (the default).
 
 Runs are ABAB-interleaved and the minimum of N is compared (minimum, not
 mean: scheduling noise only ever adds time).  An enabled-telemetry run is
@@ -63,7 +63,7 @@ def test_obs_overhead_disabled_is_free(benchmark, monkeypatch):
         events = 0
         for _ in range(ROUNDS):
             # A: true no-telemetry dispatch loop
-            monkeypatch.setattr(Simulator, "step", Simulator._step_uninstrumented)
+            monkeypatch.setattr(Simulator, "run", Simulator._run_uninstrumented)
             t, events = _workload(telemetry=False)
             baseline.append(t)
             monkeypatch.undo()

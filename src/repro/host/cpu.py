@@ -91,7 +91,7 @@ class Cpu:
         self._busy_until[core] = finish
         self.busy_time += duration
         self.instructions_retired += instructions
-        self.sim.schedule_at(finish, fn, *args)
+        self.sim.schedule_transient_at(finish, fn, *args)
         return finish
 
     def utilization(self, elapsed: float) -> float:

@@ -176,7 +176,7 @@ class Link:
         self._transmitting = True
         ser = self.serialization_time(frame.size)
         self.stats.busy_time += ser
-        self.sim.schedule(ser, self._tx_done, frame)
+        self.sim.schedule_transient(ser, self._tx_done, frame)
 
     def _tx_done(self, frame: Frame) -> None:
         # Channel errors are imposed while the frame is on the wire.
@@ -190,7 +190,7 @@ class Link:
                         "link_frames_corrupted_total", labels={"link": self.name},
                         help="frames hit by channel bit errors").inc()
         if self.up:
-            self.sim.schedule(self.delay, self._arrive, frame)
+            self.sim.schedule_transient(self.delay, self._arrive, frame)
         else:
             self.stats.dropped_down += 1
             self._count_drop("down")

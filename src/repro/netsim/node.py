@@ -54,7 +54,7 @@ class Node:
         """Entry point for frames arriving from an adjacent link."""
         frame.hops += 1
         frame.trace.append(self.name)
-        self.network.sim.schedule(self.switch_latency, self._forward, frame)
+        self.network.sim.schedule_transient(self.switch_latency, self._forward, frame)
 
     def inject(self, frame: Frame) -> None:
         """Entry point for frames originated by the attached host."""

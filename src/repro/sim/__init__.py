@@ -9,7 +9,13 @@ an event on a single global virtual clock, which gives the controlled,
 repeatable experimentation environment that UNITES (paper §4.3) requires.
 """
 
-from repro.sim.kernel import Event, EventQueue, Simulator
+from repro.sim.kernel import (
+    Event,
+    EventQueue,
+    HierarchicalTimerWheel,
+    RepeatingEvent,
+    Simulator,
+)
 from repro.sim.process import Process
 from repro.sim.rng import RngStreams
 from repro.sim.timers import Timer, TimerWheel
@@ -17,6 +23,8 @@ from repro.sim.timers import Timer, TimerWheel
 __all__ = [
     "Event",
     "EventQueue",
+    "HierarchicalTimerWheel",
+    "RepeatingEvent",
     "Simulator",
     "Process",
     "RngStreams",

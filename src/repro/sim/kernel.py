@@ -1,21 +1,41 @@
 """Core discrete-event simulation kernel.
 
-The kernel is intentionally small and allocation-light: a binary heap of
-``Event`` records ordered by ``(time, priority, seq)``.  The ``seq`` field
-guarantees a deterministic total order for simultaneous events, which is what
-makes every experiment in :mod:`benchmarks` exactly repeatable — the property
-the paper's UNITES subsystem calls *controlled, empirical experimentation*
-(§4.3).
+The kernel is allocation-light and cancellation-tolerant.  Pending events
+live in two structures ordered by ``(time, priority, seq)``:
 
-Cancellation is O(1): a cancelled event stays in the heap but is skipped when
-popped (lazy deletion), the standard technique for simulators with heavy
-timer churn such as retransmission timers that are almost always cancelled by
-an arriving acknowledgment.
+* a **binary heap** — the general store for events that usually fire
+  (frame arrivals, CPU completions, workload wake-ups);
+* a **hierarchical timer wheel** in front of the heap — the home of the
+  cancel-heavy timer class (retransmission, delayed-ACK, keepalive,
+  monitor timers routed through :meth:`Simulator.schedule_timer`).  A
+  wheel-parked timer that is cancelled dies in O(1) *without ever
+  touching the heap*: no ``heappush``, no lazy-deletion pop later.  Only
+  timers that survive long enough to become imminent are flushed into
+  the heap, which restores the exact ``(time, priority, seq)`` total
+  order — every seeded experiment reproduces bit-identically with the
+  wheel on or off (``legacy=True`` disables the whole fast path and is
+  the baseline that ``benchmarks/record_bench.py`` measures against).
+
+The ``seq`` field guarantees a deterministic total order for simultaneous
+events, which is what makes every experiment in :mod:`benchmarks` exactly
+repeatable — the property the paper's UNITES subsystem calls *controlled,
+empirical experimentation* (§4.3).
+
+Heap-resident events still cancel lazily (marked, skipped when popped),
+but the queue now **compacts** the heap in place when cancelled entries
+come to dominate it, so pathological churn cannot grow the heap without
+bound.  A free-list recycles the ``Event`` records of the pooled
+scheduling APIs (``schedule_timer`` / ``schedule_transient``) so the
+steady-state schedule/cancel cycle stops allocating.
+
+See ``docs/performance.md`` for the design rationale, the compaction
+policy, and the determinism argument.
 """
 
 from __future__ import annotations
 
 import heapq
+from heapq import heappop as _heappop, heappush as _heappush
 from time import perf_counter
 from typing import Any, Callable, Iterable, Optional
 
@@ -40,9 +60,16 @@ class Event:
         makes simultaneous-event ordering deterministic.
     fn / args:
         Callback invoked as ``fn(*args)`` when the event fires.
+    pooled:
+        Kernel-internal: the record returns to the free-list once retired.
+        Pooled handles must not be used after their event fires.
+    wheeled:
+        Kernel-internal: the event is currently parked in the timer wheel
+        (cleared when it is flushed into the heap).
     """
 
-    __slots__ = ("time", "priority", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "priority", "seq", "fn", "args", "cancelled",
+                 "pooled", "wheeled")
 
     def __init__(
         self,
@@ -58,6 +85,8 @@ class Event:
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self.pooled = False
+        self.wheeled = False
 
     def cancel(self) -> None:
         """Mark the event so the kernel skips it (idempotent, O(1))."""
@@ -75,47 +104,357 @@ class Event:
         return f"<Event t={self.time:.9f} prio={self.priority} seq={self.seq} {state}>"
 
 
+#: finest wheel granularity — 1/1024 s is binary-exact, so bucket starts
+#: and the flush horizon stay drift-free under float arithmetic
+WHEEL_GRANULARITY = 1.0 / 1024.0
+#: buckets a level spans before an event escalates to the next level
+WHEEL_SPAN = 64
+#: level granularities: ~1 ms, 62.5 ms, 4 s (sparse dict buckets make the
+#: top level's horizon effectively unbounded)
+WHEEL_LEVELS = 3
+
+#: heap compaction: rebuild in place once at least this many cancelled
+#: entries sit in the heap AND they are at least half of its depth
+COMPACT_MIN_CANCELLED = 512
+
+#: free-list bound: recycled Event records kept for reuse
+FREELIST_MAX = 4096
+
+
+class HierarchicalTimerWheel:
+    """Sparse hierarchical timer wheel for the cancel-heavy timer class.
+
+    Buckets are ``dict[int, list[Event]]`` keyed by ``floor(time / g)`` per
+    level (granularity ``g`` multiplies by :data:`WHEEL_SPAN` each level),
+    with a per-level heap of occupied bucket indices, so the wheel is O(1)
+    to insert and O(1) to cancel regardless of horizon.
+
+    ``flushed_until`` is the g0-aligned horizon below which every surviving
+    event has already been flushed into the binary heap.  The invariant —
+    *every wheel-parked event's time is ≥ ``flushed_until``* — is what lets
+    the queue pop the heap top without looking at the wheel whenever that
+    top is strictly inside the horizon, and it is why wheel routing cannot
+    perturb the ``(time, priority, seq)`` total order: events always fire
+    from the heap, and they are flushed into it strictly before any event
+    at their time can be popped.
+    """
+
+    __slots__ = ("granularities", "_buckets", "_occupied", "flushed_until",
+                 "min_start", "live", "cancelled_killed", "flushed", "inserted")
+
+    def __init__(self) -> None:
+        self.granularities = tuple(
+            WHEEL_GRANULARITY * (WHEEL_SPAN ** lvl) for lvl in range(WHEEL_LEVELS)
+        )
+        self._buckets = tuple({} for _ in range(WHEEL_LEVELS))
+        self._occupied = tuple([] for _ in range(WHEEL_LEVELS))
+        self.flushed_until = 0.0
+        #: cached earliest occupied-bucket start (inf when empty): a pop
+        #: can take the heap top without touching the wheel whenever
+        #: ``top.time < min_start`` — O(1) instead of a per-pop level scan
+        self.min_start = float("inf")
+        #: live (non-cancelled) events currently parked in the wheel
+        self.live = 0
+        #: timers that died in O(1) while parked (never touched the heap)
+        self.cancelled_killed = 0
+        #: live events flushed from wheel to heap (survived to imminence)
+        self.flushed = 0
+        #: total accepted insertions
+        self.inserted = 0
+
+    # ------------------------------------------------------------------
+    def insert(self, ev: Event) -> bool:
+        """Park ``ev``; False means the caller must heap it instead.
+
+        Rejection happens only when the event lands inside (or in a bucket
+        spanning) the already-flushed horizon — those few go straight to
+        the heap to preserve the flush invariant.
+        """
+        t = ev.time
+        fu = self.flushed_until
+        if t < fu:
+            return False
+        delta = t - fu
+        lvl = WHEEL_LEVELS - 1
+        for i, g in enumerate(self.granularities):
+            if delta < g * WHEEL_SPAN:
+                lvl = i
+                break
+        g = self.granularities[lvl]
+        idx = int(t / g)
+        if idx * g < fu:
+            # bucket straddles the flushed horizon — heap it
+            return False
+        buckets = self._buckets[lvl]
+        bucket = buckets.get(idx)
+        if bucket is None:
+            buckets[idx] = bucket = [ev]
+            _heappush(self._occupied[lvl], idx)
+            start = idx * g
+            if start < self.min_start:
+                self.min_start = start
+        else:
+            bucket.append(ev)
+        ev.wheeled = True
+        self.live += 1
+        self.inserted += 1
+        return True
+
+    def note_cancel(self, ev: Event) -> None:
+        """A parked event was cancelled: it is dead, O(1), no heap contact.
+
+        The record stays in its bucket (recycled when the bucket drains) —
+        removing it here would cost a bucket scan, and recycling it early
+        would let a reused record be flushed twice.
+        """
+        ev.wheeled = False
+        self.live -= 1
+        self.cancelled_killed += 1
+
+    def min_occupied_start(self) -> Optional[float]:
+        """Earliest occupied bucket's start time across levels, or None.
+
+        Recomputes (and recaches) ``min_start`` — callers on the hot path
+        read the cached attribute instead.
+        """
+        best = None
+        for lvl, g in enumerate(self.granularities):
+            occ = self._occupied[lvl]
+            buckets = self._buckets[lvl]
+            while occ and occ[0] not in buckets:
+                _heappop(occ)  # stale index from a drained bucket
+            if occ:
+                s = occ[0] * g
+                if best is None or s < best:
+                    best = s
+        self.min_start = best if best is not None else float("inf")
+        return best
+
+    def advance(self, target: float, queue: "EventQueue") -> None:
+        """Flush every bucket that can hold events at or before ``target``.
+
+        Surviving events either re-park in a finer bucket (cascade) or get
+        pushed into ``queue``'s heap; cancelled events are discarded (and
+        recycled when pooled) without ever touching the heap.  On return
+        ``flushed_until`` is the next g0 boundary strictly past ``target``.
+        """
+        g0 = self.granularities[0]
+        new_fu = g0 * (int(target / g0) + 1)
+        if new_fu <= self.flushed_until:
+            return
+        self.flushed_until = new_fu
+        heap = queue._heap
+        for lvl in range(WHEEL_LEVELS - 1, -1, -1):
+            g = self.granularities[lvl]
+            occ = self._occupied[lvl]
+            buckets = self._buckets[lvl]
+            while occ and occ[0] * g < new_fu:
+                idx = _heappop(occ)
+                bucket = buckets.pop(idx, None)
+                if bucket is None:
+                    continue  # stale index: bucket drained earlier
+                for ev in bucket:
+                    if ev.cancelled:
+                        if ev.wheeled:
+                            # cancelled via Event.cancel() directly, the
+                            # queue was never notified — settle the books
+                            ev.wheeled = False
+                            self.live -= 1
+                            self.cancelled_killed += 1
+                        queue._retire(ev)
+                        continue
+                    self.live -= 1
+                    ev.wheeled = False
+                    if ev.time >= new_fu and self.insert(ev):
+                        continue  # cascaded into a finer bucket
+                    self.flushed += 1
+                    _heappush(heap, ev)
+        self.min_occupied_start()  # recache min_start after the drain
+
+
 class EventQueue:
-    """Binary-heap pending-event set with lazy deletion.
+    """Pending-event set: binary heap + hierarchical timer wheel.
 
     ``popped_live`` / ``skipped_cancelled`` count how many heap pops
     returned a live event vs. discarded a lazily-deleted one — their ratio
     is the kernel's *lazy-deletion ratio*, a direct measure of timer churn
-    (retransmission timers that were cancelled by an arriving ACK).
+    that escaped the wheel.  With retransmission-class timers routed
+    through :meth:`push_timer` the ratio collapses, because cancelled
+    timers die in the wheel (``wheel.cancelled_killed``) instead of being
+    popped.  Heap-resident cancellations are compacted away in place when
+    they cross :data:`COMPACT_MIN_CANCELLED` and half the heap depth.
     """
 
-    __slots__ = ("_heap", "_live", "popped_live", "skipped_cancelled")
+    __slots__ = ("_heap", "_live", "_heap_cancelled", "popped_live",
+                 "skipped_cancelled", "compactions", "compacted_events",
+                 "wheel", "_free", "_compact_enabled")
 
-    def __init__(self) -> None:
+    def __init__(self, compact: bool = True) -> None:
         self._heap: list[Event] = []
         self._live = 0
+        self._heap_cancelled = 0
         self.popped_live = 0
         self.skipped_cancelled = 0
+        self.compactions = 0
+        self.compacted_events = 0
+        self.wheel = HierarchicalTimerWheel()
+        self._free: list[Event] = []
+        self._compact_enabled = compact
 
+    # ------------------------------------------------------------------
+    # intake
+    # ------------------------------------------------------------------
     def push(self, event: Event) -> None:
         heapq.heappush(self._heap, event)
         self._live += 1
 
+    def push_timer(self, event: Event) -> None:
+        """Route a cancel-heavy timer event through the wheel."""
+        if self.wheel.insert(event):
+            self._live += 1
+        else:
+            self.push(event)
+
+    # ------------------------------------------------------------------
+    # free-list
+    # ------------------------------------------------------------------
+    def _retire(self, ev: Event) -> None:
+        """Return a retired pooled record to the free-list (refs dropped)."""
+        if ev.pooled:
+            ev.fn = None
+            ev.args = ()
+            free = self._free
+            if len(free) < FREELIST_MAX:
+                free.append(ev)
+
+    def alloc(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        fn: Callable[..., Any],
+        args: tuple,
+        pooled: bool,
+    ) -> Event:
+        """Build (or recycle) an Event record."""
+        if pooled and self._free:
+            ev = self._free.pop()
+            ev.time = time
+            ev.priority = priority
+            ev.seq = seq
+            ev.fn = fn
+            ev.args = args
+            ev.cancelled = False
+            ev.wheeled = False
+            return ev
+        ev = Event(time, priority, seq, fn, args)
+        ev.pooled = pooled
+        return ev
+
+    # ------------------------------------------------------------------
+    # cancellation bookkeeping
+    # ------------------------------------------------------------------
+    def note_cancel(self) -> None:
+        """Inform the queue that one of its heap events was cancelled."""
+        self._live -= 1
+        self._heap_cancelled += 1
+
+    def note_cancel_event(self, ev: Event) -> None:
+        """Cancellation with the event in hand: wheel kills are O(1)."""
+        self._live -= 1
+        if ev.wheeled:
+            self.wheel.note_cancel(ev)
+        else:
+            self._heap_cancelled += 1
+            if (
+                self._compact_enabled
+                and self._heap_cancelled >= COMPACT_MIN_CANCELLED
+                and self._heap_cancelled * 2 >= len(self._heap)
+            ):
+                self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap in place, shedding cancelled entries.
+
+        In-place (``heap[:] = ...``) so aliases held by the inlined run
+        loop stay valid.
+        """
+        heap = self._heap
+        removed = 0
+        live: list[Event] = []
+        for ev in heap:
+            if ev.cancelled:
+                removed += 1
+                self._retire(ev)
+            else:
+                live.append(ev)
+        heap[:] = live
+        heapq.heapify(heap)
+        self._heap_cancelled = 0
+        self.compactions += 1
+        self.compacted_events += removed
+
+    # ------------------------------------------------------------------
+    # extraction
+    # ------------------------------------------------------------------
+    def _front(self) -> Optional[Event]:
+        """Expose the global earliest live event at ``_heap[0]``.
+
+        Skips cancelled heap tops and flushes the wheel just far enough to
+        guarantee no parked timer could precede the heap top.  Returns the
+        event (still heap-resident) or None when nothing is pending.
+        """
+        heap = self._heap
+        wheel = self.wheel
+        while True:
+            while heap:
+                ev = heap[0]
+                if ev.cancelled:
+                    _heappop(heap)
+                    self.skipped_cancelled += 1
+                    if self._heap_cancelled > 0:
+                        self._heap_cancelled -= 1
+                    self._retire(ev)
+                else:
+                    break
+            if not wheel.live:
+                return heap[0] if heap else None
+            if heap:
+                top = heap[0]
+                if top.time < wheel.flushed_until:
+                    return top
+                # flush only as far as the earliest contender requires;
+                # min_start is the cached earliest occupied-bucket start
+                start = wheel.min_start
+                if top.time < start:
+                    return top
+                wheel.advance(start if start < top.time else top.time, self)
+            else:
+                start = wheel.min_start
+                if start == float("inf"):
+                    # cache says empty but live > 0 would contradict it;
+                    # recompute defensively before concluding
+                    if wheel.min_occupied_start() is None:
+                        return None
+                    start = wheel.min_start
+                wheel.advance(start, self)
+
     def pop(self) -> Optional[Event]:
         """Pop the earliest non-cancelled event, or None if empty."""
-        heap = self._heap
-        while heap:
-            ev = heapq.heappop(heap)
-            if not ev.cancelled:
-                self._live -= 1
-                self.popped_live += 1
-                return ev
-            self.skipped_cancelled += 1
-        return None
+        ev = self._front()
+        if ev is None:
+            return None
+        _heappop(self._heap)
+        self._live -= 1
+        self.popped_live += 1
+        return ev
 
     def peek_time(self) -> Optional[float]:
         """Virtual time of the next live event, or None."""
-        heap = self._heap
-        while heap and heap[0].cancelled:
-            heapq.heappop(heap)
-            self.skipped_cancelled += 1
-        return heap[0].time if heap else None
+        ev = self._front()
+        return ev.time if ev is not None else None
 
+    # ------------------------------------------------------------------
     @property
     def heap_depth(self) -> int:
         """Physical heap size, cancelled entries included."""
@@ -127,15 +466,56 @@ class EventQueue:
         total = self.popped_live + self.skipped_cancelled
         return self.skipped_cancelled / total if total else 0.0
 
-    def note_cancel(self) -> None:
-        """Inform the queue that one of its events was cancelled."""
-        self._live -= 1
-
     def __len__(self) -> int:
         return self._live
 
     def __bool__(self) -> bool:
         return self._live > 0
+
+
+class RepeatingEvent:
+    """Cancellable handle for :meth:`Simulator.call_each`.
+
+    Each tick reschedules internally, so a raw :class:`Event` handle would
+    go stale after the first interval (cancelling it then leaked the live
+    tick).  This handle always tracks the *current* pending event, so
+    :meth:`cancel` — directly or via :meth:`Simulator.cancel` — stops the
+    chain no matter how many ticks have fired.
+    """
+
+    __slots__ = ("sim", "interval", "fn", "args", "cancelled", "_event")
+
+    def __init__(self, sim: "Simulator", interval: float,
+                 fn: Callable[..., Any], args: tuple) -> None:
+        self.sim = sim
+        self.interval = interval
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+        self._event: Optional[Event] = sim.schedule_timer(interval, self._tick)
+
+    def _tick(self) -> None:
+        self._event = None
+        if self.cancelled:
+            return
+        if self.fn(*self.args) is False:
+            self.cancelled = True
+            return
+        self._event = self.sim.schedule_timer(self.interval, self._tick)
+
+    def cancel(self) -> None:
+        """Stop the chain: the live pending tick is cancelled (idempotent)."""
+        if self.cancelled:
+            return
+        self.cancelled = True
+        if self._event is not None:
+            self.sim.cancel(self._event)
+            self._event = None
+
+    @property
+    def armed(self) -> bool:
+        """True while a future tick is scheduled."""
+        return not self.cancelled and self._event is not None
 
 
 class Simulator:
@@ -144,6 +524,12 @@ class Simulator:
     A simulator instance is the root object of every experiment: networks,
     hosts, protocol sessions and workloads all hold a reference to one
     ``Simulator`` and schedule their behaviour through it.
+
+    ``legacy=True`` reverts to the pre-fast-path kernel — heap-only (no
+    timer wheel), no Event pooling, no heap compaction, ``step()``-driven
+    dispatch — and exists so ``benchmarks/record_bench.py`` can measure
+    the fast path against the exact baseline, and so equivalence tests can
+    assert that both kernels produce bit-identical event orderings.
 
     Examples
     --------
@@ -158,8 +544,9 @@ class Simulator:
     1.5
     """
 
-    def __init__(self) -> None:
-        self._queue = EventQueue()
+    def __init__(self, legacy: bool = False) -> None:
+        self._legacy = legacy
+        self._queue = EventQueue(compact=not legacy)
         self._now = 0.0
         self._seq = 0
         self._running = False
@@ -206,11 +593,87 @@ class Simulator:
         self._queue.push(ev)
         return ev
 
-    def cancel(self, event: Event) -> None:
-        """Cancel a previously scheduled event (idempotent)."""
-        if not event.cancelled:
+    def schedule_timer(
+        self,
+        delay: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> Event:
+        """Schedule a *cancel-heavy* timer expiry ``delay`` seconds out.
+
+        Routed through the hierarchical timer wheel: if the timer is
+        cancelled before becoming imminent it dies in O(1) without heap
+        contact, and its pooled record is recycled.  The returned handle
+        is valid until the event fires or is cancelled — callers (the
+        :class:`~repro.sim.timers.Timer` machinery) must drop it then.
+        Firing order is bit-identical to :meth:`schedule`.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        self._seq += 1
+        q = self._queue
+        if self._legacy:
+            ev = Event(self._now + delay, priority, self._seq, fn, args)
+            q.push(ev)
+            return ev
+        ev = q.alloc(self._now + delay, priority, self._seq, fn, args, pooled=True)
+        q.push_timer(ev)
+        return ev
+
+    def schedule_transient(
+        self,
+        delay: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> Event:
+        """Schedule a fire-and-forget event whose record is recycled.
+
+        For hot-path events that almost always fire (frame serialization,
+        propagation arrivals, CPU completions): heap-routed like
+        :meth:`schedule`, but the Event comes from — and returns to — the
+        kernel free-list.  The handle may be cancelled while pending but
+        must not be retained after the event fires.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_transient_at(self._now + delay, fn, *args,
+                                          priority=priority)
+
+    def schedule_transient_at(
+        self,
+        time: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> Event:
+        """Absolute-time variant of :meth:`schedule_transient`."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule into the past (t={time} < now={self._now})"
+            )
+        self._seq += 1
+        q = self._queue
+        if self._legacy:
+            ev = Event(time, priority, self._seq, fn, args)
+        else:
+            ev = q.alloc(time, priority, self._seq, fn, args, pooled=True)
+        q.push(ev)
+        return ev
+
+    def cancel(self, event) -> None:
+        """Cancel a previously scheduled event (idempotent).
+
+        Accepts plain :class:`Event` handles and the :class:`RepeatingEvent`
+        handles returned by :meth:`call_each`.
+        """
+        if isinstance(event, RepeatingEvent):
             event.cancel()
-            self._queue.note_cancel()
+            return
+        if not event.cancelled:
+            event.cancelled = True
+            self._queue.note_cancel_event(event)
 
     # ------------------------------------------------------------------
     # execution
@@ -221,7 +684,7 @@ class Simulator:
         When the global telemetry handle is disabled (the default) the only
         instrumentation cost is the single ``enabled`` test below — the
         bound that ``benchmarks/test_obs_overhead.py`` enforces against the
-        uninstrumented baseline kept in :meth:`_step_uninstrumented`.
+        uninstrumented dispatch loop kept in :meth:`_run_uninstrumented`.
         """
         ev = self._queue.pop()
         if ev is None:
@@ -232,14 +695,16 @@ class Simulator:
             self._dispatch_instrumented(ev)
         else:
             ev.fn(*ev.args)
+        self._queue._retire(ev)
         return True
 
     def _step_uninstrumented(self) -> bool:
-        """The pre-telemetry dispatch loop, byte-for-byte.
+        """The pre-telemetry single-step dispatch, byte-for-byte.
 
-        Never called by the simulator itself; ``benchmarks/
-        test_obs_overhead.py`` swaps it in for :meth:`step` to obtain a true
-        no-telemetry baseline when asserting the disabled-overhead bound.
+        Never called by the simulator itself; kept as the no-telemetry
+        reference for the disabled-overhead bound (see
+        :meth:`_run_uninstrumented` for the loop-level counterpart that
+        ``benchmarks/test_obs_overhead.py`` swaps in).
         """
         ev = self._queue.pop()
         if ev is None:
@@ -247,6 +712,7 @@ class Simulator:
         self._now = ev.time
         self.events_dispatched += 1
         ev.fn(*ev.args)
+        self._queue._retire(ev)
         return True
 
     def _dispatch_instrumented(self, ev: Event) -> None:
@@ -270,6 +736,12 @@ class Simulator:
         m.gauge("kernel_lazy_deletion_ratio",
                 help="fraction of heap pops discarding a cancelled event"
                 ).set(q.lazy_deletion_ratio)
+        m.gauge("kernel_wheel_pending",
+                help="live timers parked in the hierarchical wheel"
+                ).set(float(q.wheel.live))
+        m.gauge("kernel_wheel_cancelled_total",
+                help="timers killed O(1) in the wheel, no heap contact"
+                ).set(float(q.wheel.cancelled_killed))
         t.complete(f"kernel:{name}", "kernel", self._now, self._now,
                    wall_us=wall * 1e6)
 
@@ -279,9 +751,136 @@ class Simulator:
         When ``until`` is given the clock is advanced to exactly ``until``
         even if the last event fires earlier, so back-to-back ``run`` calls
         compose naturally in phased experiments.
+
+        The dispatch loop is inlined: no per-event :meth:`step` call, the
+        queue internals are hoisted into locals, and dispatch counters are
+        batched (flushed exactly on loop exit and whenever the slower
+        telemetry path runs).  Ordering is identical to repeated
+        :meth:`step` calls.
         """
         if self._running:
             raise SimulationError("simulator is not re-entrant")
+        if self._legacy:
+            return self._run_legacy(until, max_events)
+        self._running = True
+        self._stopped = False
+        q = self._queue
+        front = q._front
+        heap = q._heap
+        free = q._free
+        wheel = q.wheel
+        tele = _TELEMETRY
+        budget = -1 if max_events is None else max_events
+        n = 0          # total dispatched this run
+        counted = 0    # prefix already committed to the dispatch counters
+        try:
+            while not self._stopped and n != budget:
+                # fast path: a live heap top that provably precedes every
+                # parked timer can be taken without consulting the wheel
+                ev = heap[0] if heap else None
+                if ev is None or ev.cancelled or (
+                        wheel.live
+                        and ev.time >= wheel.flushed_until
+                        and ev.time >= wheel.min_start):
+                    ev = front()
+                    if ev is None:
+                        break
+                t = ev.time
+                if until is not None and t > until:
+                    break
+                if tele.enabled:
+                    # slow, exact branch: flush batched counters first so
+                    # instrumentation gauges read true values
+                    fast = n - counted
+                    if fast:
+                        self.events_dispatched += fast
+                        q.popped_live += fast
+                    counted = n + 1
+                    _heappop(heap)
+                    q._live -= 1
+                    q.popped_live += 1
+                    self._now = t
+                    self.events_dispatched += 1
+                    self._dispatch_instrumented(ev)
+                else:
+                    _heappop(heap)
+                    q._live -= 1
+                    self._now = t
+                    ev.fn(*ev.args)
+                n += 1
+                if ev.pooled:
+                    ev.fn = None
+                    ev.args = ()
+                    if len(free) < FREELIST_MAX:
+                        free.append(ev)
+            if until is not None and not self._stopped and self._now < until:
+                self._now = until
+        finally:
+            fast = n - counted
+            if fast:
+                self.events_dispatched += fast
+                q.popped_live += fast
+            self._running = False
+
+    def _run_uninstrumented(
+        self, until: Optional[float] = None, max_events: Optional[int] = None
+    ) -> None:
+        """The inlined run loop minus the per-event telemetry test.
+
+        Never called by the simulator itself; ``benchmarks/
+        test_obs_overhead.py`` swaps it in for :meth:`run` to obtain a true
+        no-telemetry baseline when asserting the disabled-overhead bound.
+        """
+        if self._running:
+            raise SimulationError("simulator is not re-entrant")
+        self._running = True
+        self._stopped = False
+        q = self._queue
+        front = q._front
+        heap = q._heap
+        free = q._free
+        wheel = q.wheel
+        budget = -1 if max_events is None else max_events
+        n = 0
+        try:
+            while not self._stopped and n != budget:
+                ev = heap[0] if heap else None
+                if ev is None or ev.cancelled or (
+                        wheel.live
+                        and ev.time >= wheel.flushed_until
+                        and ev.time >= wheel.min_start):
+                    ev = front()
+                    if ev is None:
+                        break
+                t = ev.time
+                if until is not None and t > until:
+                    break
+                _heappop(heap)
+                q._live -= 1
+                self._now = t
+                ev.fn(*ev.args)
+                n += 1
+                if ev.pooled:
+                    ev.fn = None
+                    ev.args = ()
+                    if len(free) < FREELIST_MAX:
+                        free.append(ev)
+            if until is not None and not self._stopped and self._now < until:
+                self._now = until
+        finally:
+            self.events_dispatched += n
+            q.popped_live += n
+            self._running = False
+
+    def _run_legacy(
+        self, until: Optional[float] = None, max_events: Optional[int] = None
+    ) -> None:
+        """The pre-fast-path run loop (peek + per-event ``step()``).
+
+        The measured baseline for ``benchmarks/record_bench.py``; together
+        with ``legacy=True`` construction this reproduces the heap-only
+        kernel byte-for-byte.
+        """
         self._running = True
         self._stopped = False
         dispatched = 0
@@ -310,17 +909,18 @@ class Simulator:
     # ------------------------------------------------------------------
     # convenience
     # ------------------------------------------------------------------
-    def call_each(self, interval: float, fn: Callable[..., Any], *args: Any) -> "Event":
-        """Schedule ``fn`` every ``interval`` seconds until it returns False."""
+    def call_each(
+        self, interval: float, fn: Callable[..., Any], *args: Any
+    ) -> RepeatingEvent:
+        """Schedule ``fn`` every ``interval`` seconds until it returns False.
+
+        Returns a :class:`RepeatingEvent` whose :meth:`~RepeatingEvent.cancel`
+        always stops the chain — unlike a raw Event handle, it tracks the
+        live tick across internal reschedules.
+        """
         if interval <= 0:
             raise SimulationError("interval must be positive")
-
-        def tick() -> None:
-            if fn(*args) is False:
-                return
-            self.schedule(interval, tick)
-
-        return self.schedule(interval, tick)
+        return RepeatingEvent(self, interval, fn, args)
 
     def drain(self, events: Iterable[Event]) -> None:
         """Cancel a collection of events (helper for teardown paths)."""

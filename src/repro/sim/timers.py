@@ -6,6 +6,12 @@ cancelled, and is triggered asynchronously by the kernel.  ``TimerWheel``
 groups many timers under one owner so a dying session can cancel its whole
 timer population in one call — the common teardown path for protocol
 machinery (retransmission, delayed-ACK, keepalive timers).
+
+``TimerWheel`` here is an *ownership registry*, not a scheduling structure;
+the kernel's :class:`repro.sim.kernel.HierarchicalTimerWheel` is the
+time-ordered container that ``Timer`` expiries route through (via
+``Simulator.schedule_timer``) so cancel-heavy timers die in O(1) — see
+``docs/performance.md``.
 """
 
 from __future__ import annotations
@@ -65,7 +71,7 @@ class Timer:
         if interval is not None:
             self.interval = interval
         self.cancel()
-        self._event = self.sim.schedule(self.interval, self._expire)
+        self._event = self.sim.schedule_timer(self.interval, self._expire)
 
     def cancel(self) -> None:
         """Disarm without firing (``TKO_Event::cancel``); idempotent."""
@@ -78,7 +84,7 @@ class Timer:
         self._event = None
         self.expirations += 1
         if self.periodic:
-            self._event = self.sim.schedule(self.interval, self._expire)
+            self._event = self.sim.schedule_timer(self.interval, self._expire)
         self.fn(*self.args)
 
 

@@ -1,0 +1,25 @@
+"""Scenario-sweep campaigns.
+
+The paper's UNITES story (§4.3) is *controlled, empirical experimentation*;
+this package scales it from "run one experiment" to "run an experiment
+campaign": a declarative :class:`ScenarioSpec` names a cell function and a
+parameter grid, and :class:`SweepRunner` executes the grid serially or
+sharded across ``multiprocessing`` workers — with per-cell seeds derived
+deterministically from the spec so a parallel run is bit-identical to a
+serial one.  Results stream into the UNITES
+:class:`~repro.unites.repository.MetricRepository` under the ``"sweep"``
+scope.  See ``docs/performance.md`` for the determinism contract.
+"""
+
+from repro.sweep.runner import CellResult, SweepResult, SweepRunner, run_sweep
+from repro.sweep.spec import ScenarioSpec, SweepCell, derive_cell_seed
+
+__all__ = [
+    "CellResult",
+    "ScenarioSpec",
+    "SweepCell",
+    "SweepResult",
+    "SweepRunner",
+    "derive_cell_seed",
+    "run_sweep",
+]

@@ -1,0 +1,230 @@
+"""Parallel scenario-sweep execution.
+
+``SweepRunner`` turns a :class:`~repro.sweep.spec.ScenarioSpec` into
+results, either serially in-process or sharded across ``multiprocessing``
+workers.  The determinism contract (see ``docs/performance.md``):
+
+* every cell runs in its own fresh :class:`~repro.sim.Simulator`, seeded
+  from the spec alone (:func:`~repro.sweep.spec.derive_cell_seed`);
+* workers return ``(index, metrics)`` and the runner assembles results in
+  cell-index order, so **a parallel run is bit-identical to a serial run**
+  of the same spec — worker count, scheduling order, and chunking cannot
+  leak into the results;
+* repository streaming happens in cell-index order too (the completed
+  prefix is flushed as results arrive), so the UNITES
+  :class:`~repro.unites.repository.MetricRepository` ends up with an
+  identical row sequence either way.
+
+Cell functions must be importable module-level callables (pickled by
+reference for the worker processes) and must not depend on global mutable
+state — each worker imports the module fresh.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.sweep.spec import ScenarioSpec, SweepCell
+from repro.unites.obs.telemetry import TELEMETRY as _TELEMETRY
+from repro.unites.repository import MetricRepository
+
+
+def _execute_cell(payload: Tuple[Any, int, Dict[str, Any]]) -> Tuple[int, Dict[str, Any], float]:
+    """Worker entry point: run one cell, return (index, metrics, wall_s)."""
+    fn, index, kwargs = payload
+    w0 = perf_counter()
+    metrics = dict(fn(**kwargs))
+    return index, metrics, perf_counter() - w0
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """One completed grid point."""
+
+    cell: SweepCell
+    metrics: Dict[str, Any]
+    #: wall-clock seconds the cell took *inside its worker* — diagnostic
+    #: only, never part of the bit-identity contract
+    wall_s: float
+
+    @property
+    def params(self) -> Dict[str, Any]:
+        return self.cell.params
+
+
+@dataclass
+class SweepResult:
+    """All cells of one campaign, in cell-index order."""
+
+    spec_name: str
+    cells: List[CellResult]
+    workers: int
+    wall_s: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def __iter__(self):
+        return iter(self.cells)
+
+    # ------------------------------------------------------------------
+    def metrics_only(self) -> List[Dict[str, Any]]:
+        """Just the per-cell metric dicts (the bit-identity payload)."""
+        return [c.metrics for c in self.cells]
+
+    def values(self, metric: str) -> List[Any]:
+        """One metric across all cells, in grid order."""
+        return [c.metrics.get(metric) for c in self.cells]
+
+    def find(self, **params: Any) -> Optional[CellResult]:
+        """The first cell whose parameters include all of ``params``."""
+        for c in self.cells:
+            if all(c.cell.params.get(k) == v for k, v in params.items()):
+                return c
+        return None
+
+    def rows(self) -> List[Dict[str, Any]]:
+        """Flat ``{**params, **metrics}`` dicts, ready for a table."""
+        return [{**c.cell.params, **c.metrics} for c in self.cells]
+
+
+@dataclass
+class SweepRunner:
+    """Executes a :class:`ScenarioSpec`, serially or across processes.
+
+    Parameters
+    ----------
+    spec:
+        The grid to run.
+    workers:
+        Process count.  ``1`` runs serially in-process (no pool at all);
+        ``None`` uses ``os.cpu_count()`` capped by the cell count.
+    repository:
+        Optional UNITES repository; every cell's numeric metrics are
+        recorded under the ``"sweep"`` scope with the cell's label as
+        entity and its grid index as the sample time, streamed in index
+        order as results arrive.
+    """
+
+    spec: ScenarioSpec
+    workers: Optional[int] = 1
+    repository: Optional[MetricRepository] = field(default=None, repr=False)
+
+    # ------------------------------------------------------------------
+    def _resolved_workers(self, n_cells: int) -> int:
+        w = self.workers
+        if w is None:
+            w = os.cpu_count() or 1
+        return max(1, min(w, n_cells))
+
+    def run(self) -> SweepResult:
+        """Run the whole grid; results arrive in cell-index order."""
+        spec = self.spec
+        cells = spec.cells()
+        workers = self._resolved_workers(len(cells))
+        t0 = perf_counter()
+        if _TELEMETRY.enabled:
+            _TELEMETRY.instant(
+                f"sweep:{spec.name}:start", "sweep",
+                cells=len(cells), workers=workers,
+            )
+        slots: List[Optional[Tuple[Dict[str, Any], float]]] = [None] * len(cells)
+        if workers <= 1:
+            for cell in cells:
+                index, metrics, wall = _execute_cell(self._payload(cell))
+                slots[index] = (metrics, wall)
+                self._stream(cells, slots, upto=index + 1, start=index)
+        else:
+            self._run_pool(cells, slots, workers)
+        results = [
+            CellResult(cell=cell, metrics=slots[cell.index][0],
+                       wall_s=slots[cell.index][1])
+            for cell in cells
+        ]
+        out = SweepResult(
+            spec_name=spec.name,
+            cells=results,
+            workers=workers,
+            wall_s=perf_counter() - t0,
+        )
+        if _TELEMETRY.enabled:
+            _TELEMETRY.complete(
+                f"sweep:{spec.name}", "sweep", 0.0, 0.0,
+                wall_us=out.wall_s * 1e6, cells=len(cells), workers=workers,
+            )
+        return out
+
+    # ------------------------------------------------------------------
+    def _payload(self, cell: SweepCell) -> Tuple[Any, int, Dict[str, Any]]:
+        kwargs = dict(self.spec.fixed)
+        kwargs.update(cell.params)
+        if self.spec.seed_param is not None:
+            kwargs[self.spec.seed_param] = cell.seed
+        return (self.spec.cell, cell.index, kwargs)
+
+    def _run_pool(
+        self,
+        cells: List[SweepCell],
+        slots: List[Optional[Tuple[Dict[str, Any], float]]],
+        workers: int,
+    ) -> None:
+        """Shard cells across a process pool; stream the completed prefix."""
+        ctx = multiprocessing.get_context()
+        payloads = [self._payload(c) for c in cells]
+        streamed = 0
+        with ctx.Pool(processes=workers) as pool:
+            for index, metrics, wall in pool.imap_unordered(
+                _execute_cell, payloads, chunksize=1
+            ):
+                slots[index] = (metrics, wall)
+                # flush the contiguous completed prefix in index order so
+                # repository rows are identical to a serial run
+                start = streamed
+                while streamed < len(slots) and slots[streamed] is not None:
+                    streamed += 1
+                if streamed > start:
+                    self._stream(cells, slots, upto=streamed, start=start)
+
+    def _stream(
+        self,
+        cells: List[SweepCell],
+        slots: List[Optional[Tuple[Dict[str, Any], float]]],
+        upto: int,
+        start: int,
+    ) -> None:
+        """Record cells ``[start, upto)`` into the repository / span bus."""
+        repo = self.repository
+        tele_on = _TELEMETRY.enabled
+        if repo is None and not tele_on:
+            return
+        for cell in cells[start:upto]:
+            metrics, wall = slots[cell.index]
+            if repo is not None:
+                numeric = {
+                    k: float(v)
+                    for k, v in metrics.items()
+                    if isinstance(v, (int, float)) and not isinstance(v, bool)
+                }
+                repo.record_many(
+                    float(cell.index), "sweep",
+                    f"{self.spec.name}[{cell.label}]", numeric,
+                )
+            if tele_on:
+                _TELEMETRY.complete(
+                    f"sweep:{self.spec.name}:{cell.label}", "sweep",
+                    0.0, 0.0, wall_us=wall * 1e6, index=cell.index,
+                    seed=cell.seed,
+                )
+
+
+def run_sweep(
+    spec: ScenarioSpec,
+    workers: Optional[int] = 1,
+    repository: Optional[MetricRepository] = None,
+) -> SweepResult:
+    """One-shot convenience wrapper around :class:`SweepRunner`."""
+    return SweepRunner(spec, workers=workers, repository=repository).run()

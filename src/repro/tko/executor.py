@@ -89,7 +89,7 @@ class _ExecutorBase:
         s = self.s
         if s._pump_event is not None and not s._pump_event.cancelled:
             return
-        s._pump_event = s.sim.schedule(delay, self._pump_fire)
+        s._pump_event = s.sim.schedule_transient(delay, self._pump_fire)
 
     def _pump_fire(self) -> None:
         self.s._pump_event = None

@@ -5,7 +5,8 @@ database ... presented in either a systemwide, per-host, or per-connection
 manner."  Samples are (time, scope, entity, metric, value) rows held in
 memory with simple secondary indexing; queries return time series or
 aggregates at any scope (a per-link scope extends the paper's three for
-the UNITES-X network instrumentation).
+the UNITES-X network instrumentation, and a per-sweep-cell scope holds the
+results that :mod:`repro.sweep` campaigns stream back).
 """
 
 from __future__ import annotations
@@ -14,7 +15,7 @@ from collections import defaultdict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-SCOPES = ("session", "host", "link", "system")
+SCOPES = ("session", "host", "link", "system", "sweep")
 
 
 @dataclass(frozen=True)
@@ -22,8 +23,8 @@ class Sample:
     """One stored measurement."""
 
     time: float
-    scope: str          #: "session" | "host" | "link" | "system"
-    entity: str         #: connection ref / host name / link name / ""
+    scope: str          #: "session" | "host" | "link" | "system" | "sweep"
+    entity: str         #: connection ref / host name / link name / sweep cell / ""
     metric: str
     value: float
 

@@ -2,7 +2,14 @@
 
 import pytest
 
-from repro.sim.kernel import Event, EventQueue, SimulationError, Simulator
+from repro.sim.kernel import (
+    COMPACT_MIN_CANCELLED,
+    Event,
+    EventQueue,
+    RepeatingEvent,
+    SimulationError,
+    Simulator,
+)
 
 
 class TestEventQueue:
@@ -205,3 +212,121 @@ class TestSimulator:
             return out
 
         assert build() == build()
+
+
+class TestFastPath:
+    """The wheel/pool/compaction fast path vs. the legacy heap-only kernel."""
+
+    @staticmethod
+    def _mixed_workload(sim):
+        """Timers + transients + plain events with heavy cancellation."""
+        trace = []
+
+        def tag(label):
+            trace.append((sim.now, label))
+
+        for i in range(40):
+            delay = 0.01 + (i * 37 % 23) * 0.07
+            h = sim.schedule_timer(delay, tag, f"timer{i}")
+            sim.schedule(delay + 0.001, tag, f"plain{i}")
+            sim.schedule_transient(delay + 0.002, tag, f"transient{i}")
+            # cancel most timers at staggered times, always pre-expiry
+            # (a pooled handle is only valid until it fires)
+            if i % 4:
+                sim.schedule(delay * (i % 3 + 1) / 4.0, sim.cancel, h)
+        sim.run()
+        return trace
+
+    def test_firing_order_identical_to_legacy(self):
+        fast = self._mixed_workload(Simulator())
+        legacy = self._mixed_workload(Simulator(legacy=True))
+        assert fast == legacy
+
+    def test_schedule_timer_routes_through_wheel(self, sim):
+        out = []
+        sim.schedule_timer(1.0, out.append, "t")
+        assert sim._queue.wheel.inserted == 1
+        assert sim._queue.heap_depth == 0  # parked, not heaped
+        sim.run()
+        assert out == ["t"]
+        assert sim._queue.wheel.flushed == 1
+
+    def test_wheel_cancel_is_heapless(self, sim):
+        ev = sim.schedule_timer(1.0, lambda: None)
+        sim.cancel(ev)
+        assert sim._queue.wheel.cancelled_killed == 1
+        assert sim._queue.heap_depth == 0
+        sim.run()
+        assert sim.events_dispatched == 0
+        assert sim.now == 0.0
+
+    def test_free_list_recycles_fired_timer_records(self, sim):
+        ev1 = sim.schedule_timer(0.5, lambda: None)
+        sim.run()
+        ev2 = sim.schedule_timer(0.5, lambda: None)
+        assert ev2 is ev1  # same record, re-armed from the free list
+        sim.run()
+        assert sim.events_dispatched == 2
+
+    def test_plain_schedule_is_never_pooled(self, sim):
+        ev1 = sim.schedule(0.5, lambda: None)
+        sim.run()
+        ev2 = sim.schedule(0.5, lambda: None)
+        assert ev2 is not ev1
+        assert not ev1.pooled
+
+    def test_heap_compaction_purges_cancelled_backlog(self, sim):
+        n = COMPACT_MIN_CANCELLED * 2
+        handles = [sim.schedule(1.0 + i * 0.001, lambda: None)
+                   for i in range(n)]
+        for h in handles[: n // 2 + 1]:
+            sim.cancel(h)
+        q = sim._queue
+        assert q.compactions >= 1
+        assert q.heap_depth < n  # cancelled records physically removed
+        sim.run()
+        assert sim.events_dispatched == n - (n // 2 + 1)
+
+    def test_legacy_mode_never_compacts_or_pools(self):
+        sim = Simulator(legacy=True)
+        n = COMPACT_MIN_CANCELLED * 2
+        handles = [sim.schedule_timer(1.0 + i * 0.001, lambda: None)
+                   for i in range(n)]
+        for h in handles:
+            sim.cancel(h)
+        q = sim._queue
+        assert q.compactions == 0
+        assert q.wheel.inserted == 0
+        assert q.heap_depth == n  # lazy deletion only, like the old kernel
+        sim.run()
+        assert sim.events_dispatched == 0
+
+    def test_repeating_event_fires_and_cancels(self, sim):
+        out = []
+        rep = sim.call_each(1.0, lambda: out.append(sim.now))
+        assert isinstance(rep, RepeatingEvent)
+        sim.run(until=3.5)
+        assert out == [1.0, 2.0, 3.0]
+        assert rep.armed
+        rep.cancel()
+        rep.cancel()  # idempotent
+        assert not rep.armed
+        sim.run()
+        assert out == [1.0, 2.0, 3.0]
+
+    def test_repeating_event_cancel_via_simulator(self, sim):
+        out = []
+        rep = sim.call_each(1.0, lambda: out.append(sim.now))
+        sim.schedule(2.5, sim.cancel, rep)  # duck-typed cancel
+        sim.run(until=10.0)
+        assert out == [1.0, 2.0]
+
+    def test_event_queue_push_timer_falls_back_to_heap(self):
+        # an event inside the flushed horizon cannot park in the wheel
+        q = EventQueue()
+        q.wheel.flushed_until = 10.0
+        ev = Event(5.0, 0, 1, lambda: None, ())
+        q.push_timer(ev)
+        assert not ev.wheeled
+        assert q.heap_depth == 1
+        assert q.pop() is ev

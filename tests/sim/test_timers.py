@@ -1,6 +1,8 @@
 """Unit tests for Timer / TimerWheel (the TKO_Event substrate)."""
 
 
+import pytest
+
 from repro.sim.timers import Timer, TimerWheel
 
 
@@ -82,6 +84,100 @@ class TestTimer:
         t.schedule()
         sim.run()
         assert fired == [1.0, 2.0, 3.0]
+
+
+class TestTimerEdgeCases:
+    """Expiry/restart corners at the kernel wheel ↔ heap boundary."""
+
+    def test_zero_delay_restart_from_callback(self, sim):
+        # expiring and instantly re-arming with interval=0 fires again at
+        # the same virtual time, strictly after the current callback
+        fired = []
+
+        def cb():
+            fired.append(sim.now)
+            if len(fired) < 3:
+                t.schedule(interval=0.0)
+
+        t = Timer(sim, cb, interval=1.0)
+        t.schedule()
+        sim.run()
+        assert fired == [1.0, 1.0, 1.0]
+        assert t.expirations == 3
+        assert not t.armed
+
+    def test_zero_delay_initial_schedule(self, sim):
+        fired = []
+        t = Timer(sim, lambda: fired.append(sim.now), interval=0.0)
+        t.schedule()
+        sim.run()
+        assert fired == [0.0]
+
+    def test_cancel_then_restart_same_instant(self, sim):
+        # cancel+schedule back-to-back restarts the countdown; the old
+        # expiry must never fire even though its record may still be
+        # parked in the kernel wheel
+        fired = []
+        t = Timer(sim, lambda: fired.append(sim.now), interval=1.0)
+        t.schedule()
+
+        def churn():
+            t.cancel()
+            t.schedule()
+
+        sim.schedule(0.5, churn)
+        sim.run()
+        assert fired == [1.5]
+        assert t.expirations == 1
+
+    def test_rapid_cancel_restart_only_last_expiry_fires(self, sim):
+        # a retransmission-style churn loop: restart every 0.1s, let the
+        # last arm survive — exactly one expiry
+        fired = []
+        t = Timer(sim, lambda: fired.append(sim.now), interval=1.0)
+        t.schedule()
+        for i in range(1, 9):
+            sim.schedule(0.1 * i, t.schedule)  # each restarts the countdown
+        sim.run()
+        assert fired == [pytest.approx(1.8)]
+        assert t.expirations == 1
+
+    def test_wheel_and_heap_events_interleave_in_schedule_order(self, sim):
+        # a timer expiry (wheel-routed) and a plain event (heap-routed) at
+        # the same virtual time keep FIFO order: seq decides, not routing
+        out = []
+        t = Timer(sim, out.append, "timer", interval=1.0)
+        t.schedule()
+        sim.schedule(1.0, out.append, "plain")
+        t2 = Timer(sim, out.append, "timer2", interval=1.0)
+        t2.schedule()
+        sim.run()
+        assert out == ["timer", "plain", "timer2"]
+
+    def test_timer_beyond_top_wheel_level_fires_in_order(self, sim):
+        # an interval past the coarsest wheel level's span still parks and
+        # fires in global order with near-term events
+        from repro.sim.kernel import WHEEL_GRANULARITY, WHEEL_LEVELS, WHEEL_SPAN
+
+        far = WHEEL_GRANULARITY * WHEEL_SPAN ** WHEEL_LEVELS * 3  # ~768s
+        out = []
+        t = Timer(sim, lambda: out.append(("far", sim.now)), interval=far)
+        t.schedule()
+        sim.schedule(1.0, lambda: out.append(("near", sim.now)))
+        sim.run()
+        assert out == [("near", 1.0), ("far", far)]
+
+    def test_cancel_at_expiry_boundary_suppresses_fire(self, sim):
+        # cancelling at the exact expiry time but earlier in the dispatch
+        # order must suppress the expiry (the wheel may have flushed it to
+        # the heap already — lazy deletion still catches it)
+        fired = []
+        t = Timer(sim, lambda: fired.append(sim.now), interval=1.0)
+        t.schedule()
+        sim.schedule(1.0, t.cancel, priority=-1)  # runs before the expiry
+        sim.run()
+        assert fired == []
+        assert not t.armed
 
 
 class TestTimerWheel:
