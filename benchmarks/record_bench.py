@@ -1,6 +1,6 @@
-"""Perf trajectory recorder — emits ``BENCH_kernel.json``.
+"""Perf trajectory recorder — emits ``BENCH_kernel.json`` + ``BENCH_scale.json``.
 
-Two measurements, one snapshot file, so every future PR has a baseline:
+Three measurements, two snapshot files, so every future PR has a baseline:
 
 * **kernel**: events/sec on an ACK-clocked timer-churn workload (the
   retransmission pattern that dominates transport simulations: ~80% of
@@ -11,15 +11,25 @@ Two measurements, one snapshot file, so every future PR has a baseline:
   rides along for free).
 * **sweep**: wall-clock for the demo scenario grid run serially and
   sharded across workers with :class:`repro.sweep.SweepRunner`.
+* **scale** (→ ``BENCH_scale.json``): the C10K-style connection-churn
+  workload from :mod:`repro.core.churn` — 1,000+ concurrent mixed-TSC
+  connections on one host pair, run under the coalesced
+  ``ConnectionManager`` and under ``legacy`` per-connection plumbing.
+  Records the wall-clock ratio plus three determinism cross-checks:
+  same-seed repeat runs, coalesced-vs-legacy at N=10, and
+  coalesced-vs-legacy at full N must all report bit-identical metrics.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/record_bench.py            # record
+    PYTHONPATH=src python benchmarks/record_bench.py            # record all
     PYTHONPATH=src python benchmarks/record_bench.py --check    # CI gate
+    PYTHONPATH=src python benchmarks/record_bench.py --only scale
 
 ``--check`` exits non-zero unless the fast kernel beats legacy by >= 30%
-events/sec on the cancel-heavy workload (the Issue-4 acceptance bar) and
-the serial/parallel sweep results are bit-identical.
+events/sec on the cancel-heavy workload (the Issue-4 acceptance bar), the
+serial/parallel sweep results are bit-identical, and — for the scale
+section — the churn runs are bit-identical with a coalesced/legacy
+wall-clock ratio <= 0.7 at N=1000 (the Issue-5 acceptance bar).
 """
 
 from __future__ import annotations
@@ -39,6 +49,9 @@ from repro.sweep import ScenarioSpec, SweepRunner  # noqa: E402
 from repro.sweep.demo import VARIANTS, adaptive_vs_static_cell  # noqa: E402
 
 MIN_KERNEL_SPEEDUP = 1.30
+MAX_SCALE_RATIO = 0.70
+SCALE_N = 1000
+SCALE_SEED = 7
 
 RTO = 0.05          # retransmission timeout per flow
 ACK_DELAY = 0.01    # ACK arrival (cancels the timer) — 4/5 of sends
@@ -152,42 +165,132 @@ def bench_sweep() -> dict:
     }
 
 
+def bench_scale(n: int = SCALE_N, seed: int = SCALE_SEED, repeats: int = 2) -> dict:
+    """Coalesced vs legacy connection churn: wall-clock + identity gates.
+
+    Wall-clock runs are ABAB-interleaved (best-of-N per mode) like the
+    kernel bench; the three identity checks compare only deterministic
+    metrics (:func:`repro.core.churn.identity_fields`), never timings.
+    """
+    from repro.core.churn import identity_fields, run_churn
+
+    # determinism gates first, on a cheap population
+    small_a = run_churn(10, mode="coalesced", seed=seed)
+    small_b = run_churn(10, mode="coalesced", seed=seed)
+    small_legacy = run_churn(10, mode="legacy", seed=seed)
+    repeat_identical = identity_fields(small_a) == identity_fields(small_b)
+    small_mode_identical = identity_fields(small_a) == identity_fields(small_legacy)
+
+    coalesced_runs, legacy_runs = [], []
+    full_identical = True
+    baseline = None
+    for _ in range(repeats):
+        for mode, runs in (("coalesced", coalesced_runs), ("legacy", legacy_runs)):
+            w0 = perf_counter()
+            metrics = run_churn(n, mode=mode, seed=seed)
+            runs.append((perf_counter() - w0, metrics))
+            ident = identity_fields(metrics)
+            if baseline is None:
+                baseline = ident
+            elif ident != baseline:
+                full_identical = False
+    coalesced_wall, coalesced = min(coalesced_runs, key=lambda r: r[0])
+    legacy_wall, _ = min(legacy_runs, key=lambda r: r[0])
+    ratio = coalesced_wall / legacy_wall if legacy_wall else 1.0
+    return {
+        "workload": (f"{n} mixed-TSC connections (voice/video/bulk/telnet), "
+                     f"staggered waves, 1-in-3 reopened, seed {seed}"),
+        "n_connections": n,
+        "established": coalesced["established"],
+        "failed": coalesced["failed"],
+        "reopened": coalesced["reopened"],
+        "peak_concurrent": coalesced["peak_concurrent"],
+        "messages_delivered": coalesced["delivered"],
+        "delivery_digest": coalesced["delivery_digest"],
+        "events_dispatched": coalesced["events_dispatched"],
+        "scs_cache_hits": coalesced["scs_cache_hits"],
+        "coalesced_wall_s": round(coalesced_wall, 3),
+        "legacy_wall_s": round(legacy_wall, 3),
+        "wall_ratio": round(ratio, 3),
+        "repeat_identical": repeat_identical,
+        "mode_identical_n10": small_mode_identical,
+        "mode_identical_full": full_identical,
+        "repeats": repeats,
+    }
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--events", type=int, default=200_000,
                     help="kernel micro-bench dispatch budget")
     ap.add_argument("--repeats", type=int, default=5,
                     help="best-of-N repeats per kernel variant")
-    ap.add_argument("--out", default=str(Path(__file__).resolve().parent.parent
-                                         / "BENCH_kernel.json"))
+    repo = Path(__file__).resolve().parent.parent
+    ap.add_argument("--out", default=str(repo / "BENCH_kernel.json"))
+    ap.add_argument("--scale-out", default=str(repo / "BENCH_scale.json"))
+    ap.add_argument("--scale-n", type=int, default=SCALE_N,
+                    help="churn population for the scale section")
+    ap.add_argument("--only", nargs="+", choices=("kernel", "sweep", "scale"),
+                    default=("kernel", "sweep", "scale"),
+                    help="which benchmark sections to run")
     ap.add_argument("--check", action="store_true",
                     help="exit non-zero unless the perf gates hold")
     args = ap.parse_args(argv)
 
-    kernel = bench_kernel(args.events, args.repeats)
-    sweep = bench_sweep()
-    snapshot = {
+    env = {
         "python": ".".join(map(str, sys.version_info[:3])),
         "cpu_count": os.cpu_count(),
-        "kernel": kernel,
-        "sweep": sweep,
     }
-    Path(args.out).write_text(json.dumps(snapshot, indent=2) + "\n")
-    print(json.dumps(snapshot, indent=2))
+    ok, summary = True, []
+
+    if "kernel" in args.only or "sweep" in args.only:
+        snapshot = dict(env)
+        if "kernel" in args.only:
+            kernel = snapshot["kernel"] = bench_kernel(args.events, args.repeats)
+            if args.check and kernel["speedup"] < MIN_KERNEL_SPEEDUP:
+                print(f"FAIL: kernel speedup {kernel['speedup']}x < "
+                      f"{MIN_KERNEL_SPEEDUP}x gate", file=sys.stderr)
+                ok = False
+            summary.append(f"kernel {kernel['speedup']}x "
+                           f"(gate {MIN_KERNEL_SPEEDUP}x)")
+        if "sweep" in args.only:
+            sweep = snapshot["sweep"] = bench_sweep()
+            if args.check and not sweep["bit_identical"]:
+                print("FAIL: parallel sweep diverged from serial",
+                      file=sys.stderr)
+                ok = False
+            summary.append(f"sweep bit-identical at {sweep['workers']} workers")
+        Path(args.out).write_text(json.dumps(snapshot, indent=2) + "\n")
+        print(json.dumps(snapshot, indent=2))
+
+    if "scale" in args.only:
+        scale = dict(env)
+        scale["scale"] = section = bench_scale(args.scale_n)
+        Path(args.scale_out).write_text(json.dumps(scale, indent=2) + "\n")
+        print(json.dumps(scale, indent=2))
+        if args.check:
+            if section["wall_ratio"] > MAX_SCALE_RATIO:
+                print(f"FAIL: scale wall ratio {section['wall_ratio']} > "
+                      f"{MAX_SCALE_RATIO} gate", file=sys.stderr)
+                ok = False
+            for gate in ("repeat_identical", "mode_identical_n10",
+                         "mode_identical_full"):
+                if not section[gate]:
+                    print(f"FAIL: scale determinism gate {gate} failed",
+                          file=sys.stderr)
+                    ok = False
+            if section["peak_concurrent"] < min(1000, args.scale_n):
+                print(f"FAIL: peak concurrency {section['peak_concurrent']} "
+                      f"below target", file=sys.stderr)
+                ok = False
+        summary.append(f"scale ratio {section['wall_ratio']} "
+                       f"(gate {MAX_SCALE_RATIO}), peak "
+                       f"{section['peak_concurrent']} concurrent")
 
     if args.check:
-        ok = True
-        if kernel["speedup"] < MIN_KERNEL_SPEEDUP:
-            print(f"FAIL: kernel speedup {kernel['speedup']}x < "
-                  f"{MIN_KERNEL_SPEEDUP}x gate", file=sys.stderr)
-            ok = False
-        if not sweep["bit_identical"]:
-            print("FAIL: parallel sweep diverged from serial", file=sys.stderr)
-            ok = False
         if not ok:
             return 1
-        print(f"OK: kernel {kernel['speedup']}x (gate {MIN_KERNEL_SPEEDUP}x), "
-              f"sweep bit-identical at {sweep['workers']} workers")
+        print("OK: " + ", ".join(summary))
     return 0
 
 

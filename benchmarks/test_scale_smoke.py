@@ -1,0 +1,38 @@
+"""Scale smoke: 1,000 concurrent connections stay fast and deterministic.
+
+The connection-scale refactor's acceptance bar (EXPERIMENTS.md row
+"scale", recorded in ``BENCH_scale.json``): one host pair must churn
+through a 1,000-strong mixed-TSC population under a loose wall-clock
+bound, every connection must establish, and the run must be bit-identical
+across repeats and across manager modes.  The sharper coalesced-vs-legacy
+wall ratio gate (<= 0.7) lives in ``record_bench.py --check``; here the
+bound is generous so CI hardware variance cannot flake the suite.
+"""
+
+from time import perf_counter
+
+from repro.core.churn import identity_fields, run_churn
+
+WALL_BOUND_S = 60.0
+
+
+def test_1k_churn_under_wall_bound():
+    w0 = perf_counter()
+    metrics = run_churn(1000, mode="coalesced", seed=7)
+    wall = perf_counter() - w0
+    assert wall < WALL_BOUND_S, f"1k churn took {wall:.1f}s"
+    assert metrics["failed"] == 0
+    assert metrics["peak_concurrent"] >= 1000
+    assert metrics["established"] >= 1000
+    assert metrics["delivered"] > 0
+    print(f"\n1k churn: {wall:.2f}s wall, "
+          f"{metrics['established']} established, "
+          f"peak {metrics['peak_concurrent']} concurrent")
+
+
+def test_repeat_and_mode_identity_n10():
+    a = run_churn(10, mode="coalesced", seed=7)
+    b = run_churn(10, mode="coalesced", seed=7)
+    legacy = run_churn(10, mode="legacy", seed=7)
+    assert identity_fields(a) == identity_fields(b)
+    assert identity_fields(a) == identity_fields(legacy)

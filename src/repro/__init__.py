@@ -22,7 +22,9 @@ Quick start (see ``examples/quickstart.py`` for the narrated version)::
 """
 
 from repro.core.system import AdaptiveNode, AdaptiveSystem
+from repro.core.churn import ChurnScenario, run_churn
 from repro.core.scenario import PointToPointScenario, run_point_to_point
+from repro.host.connmgr import ConnectionManager
 from repro.mantts.acd import ACD, TMC, TSARule
 from repro.mantts.api import MANTTS, AdaptiveConnection
 from repro.mantts.qos import QualitativeQoS, QuantitativeQoS
@@ -38,6 +40,9 @@ __all__ = [
     "AdaptiveNode",
     "PointToPointScenario",
     "run_point_to_point",
+    "ChurnScenario",
+    "run_churn",
+    "ConnectionManager",
     "ACD",
     "TMC",
     "TSARule",

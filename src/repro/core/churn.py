@@ -1,0 +1,286 @@
+"""Connection-scale churn scenario: thousands of sessions on one host pair.
+
+The C10K-style workload behind the scale benchmark (EXPERIMENTS.md row
+"scale"): one initiator host opens a large mixed-TSC population of
+adaptive connections against one responder — voice conversations
+(implicit establishment), compressed video (explicit 2-way), bulk file
+transfers (explicit 3-way) and telnet (implicit, transactional) — in
+staggered waves, holds them concurrently open for class-specific
+lifetimes, sends a few class-sized messages each, closes them, and
+deterministically reopens a third of the population once (churn).
+
+Everything is derived from the system seed and connection index, so one
+seed produces a bit-identical run: the receiver-side delivery digest,
+establishment/close counts, and peak concurrency are compared across
+repeated runs *and* across manager modes (``legacy`` vs ``coalesced``)
+— the coalesced ConnectionManager must not perturb the data path, only
+the wall-clock spent simulating it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.system import AdaptiveSystem
+from repro.mantts.acd import ACD
+from repro.mantts.qos import QualitativeQoS, QuantitativeQoS
+from repro.netsim.profiles import ethernet_10, linear_path
+
+SERVICE_PORT = 7000
+
+
+@dataclass(frozen=True)
+class ConnClass:
+    """One traffic class of the churn population."""
+
+    name: str
+    acd_kw: dict
+    lifetime: float        #: seconds between establishment and close
+    message_bytes: int     #: padded payload size per message
+    messages: int          #: messages sent per connection
+    tsc: str               #: class-pool name (TSC value) for admission shares
+
+
+#: The mixed population: two implicit classes (voice, telnet) and two
+#: explicit ones (video 2-way, bulk 3-way) so both establishment styles
+#: and the signalling path are exercised at scale.  Per-connection rates
+#: are kept tiny relative to the 10 Mb/s path: the benchmark measures
+#: connection-management overhead, not link saturation.
+CLASSES: List[ConnClass] = [
+    ConnClass(
+        "voice",
+        dict(
+            quantitative=QuantitativeQoS(
+                avg_throughput_bps=64_000, duration=600, loss_tolerance=0.05,
+                message_size=160,
+            ),
+            qualitative=QualitativeQoS(isochronous=True, ordered=False,
+                                       duplicate_sensitive=False),
+            explicit_tsc="interactive-isochronous",
+        ),
+        4.0, 160, 2, "interactive-isochronous",
+    ),
+    ConnClass(
+        "video",
+        dict(
+            quantitative=QuantitativeQoS(
+                avg_throughput_bps=1_500_000, duration=600, loss_tolerance=0.02,
+                message_size=1200,
+            ),
+            qualitative=QualitativeQoS(isochronous=True),
+            explicit_tsc="distributional-isochronous",
+        ),
+        5.0, 1200, 2, "distributional-isochronous",
+    ),
+    ConnClass(
+        "bulk",
+        dict(
+            quantitative=QuantitativeQoS(
+                avg_throughput_bps=400_000, duration=600, message_size=1400,
+            ),
+            qualitative=QualitativeQoS(),
+            explicit_tsc="non-real-time-non-isochronous",
+        ),
+        6.0, 1400, 3, "non-real-time-non-isochronous",
+    ),
+    ConnClass(
+        "telnet",
+        dict(
+            quantitative=QuantitativeQoS(
+                avg_throughput_bps=9_600, duration=600, message_size=64,
+            ),
+            qualitative=QualitativeQoS(transactional=True),
+            explicit_tsc="non-real-time-non-isochronous",
+        ),
+        4.5, 64, 2, "non-real-time-non-isochronous",
+    ),
+]
+
+#: identical class-pool shares on both hosts: isochronous classes are
+#: guaranteed capacity no matter how many bulk opens arrive
+CLASS_SHARES: Dict[str, float] = {
+    "interactive-isochronous": 0.2,
+    "distributional-isochronous": 0.4,
+    "non-real-time-non-isochronous": 0.4,
+}
+
+
+class ChurnScenario:
+    """Deterministic open/send/close churn of ``n_connections`` sessions."""
+
+    def __init__(
+        self,
+        n_connections: int = 1000,
+        mode: str = "coalesced",
+        seed: int = 7,
+        wave_size: int = 50,
+        wave_interval: float = 0.02,
+        reopen_every: int = 3,
+        rx_batching: bool = False,
+    ) -> None:
+        if n_connections <= 0:
+            raise ValueError("n_connections must be positive")
+        self.n_connections = n_connections
+        self.mode = mode
+        self.reopen_every = reopen_every
+
+        self.system = AdaptiveSystem(seed=seed)
+        # One switch on a fast LAN: explicit negotiations to a single peer
+        # all share one signalling session, so the path must turn requests
+        # around well inside NEGOTIATION_TIMEOUT even when hundreds queue.
+        self.network = linear_path(
+            self.system.sim, ethernet_10(), ("A", "B"), n_switches=1,
+            rng=self.system.rng,
+        )
+        self.system.attach_network(self.network)
+        # Generous budgets: admission must always succeed — the benchmark
+        # studies connection-management scaling, not admission pressure.
+        self.a = self.system.node(
+            "A", mips=400.0, buffer_capacity=1 << 26, admission_bps=10e9,
+            manager_mode=mode,
+        )
+        self.b = self.system.node(
+            "B", mips=400.0, buffer_capacity=1 << 26, admission_bps=10e9,
+            manager_mode=mode,
+        )
+        for node in (self.a, self.b):
+            node.mantts.resources.configure_classes(CLASS_SHARES)
+        if rx_batching:
+            self.a.mantts.manager.enable_rx_batching()
+            self.b.mantts.manager.enable_rx_batching()
+
+        self._delivery = hashlib.sha256()
+        self.delivered = 0
+        self.established = 0
+        self.failed = 0
+        self.closed = 0
+        self.reopened = 0
+        self.live = 0
+        self.peak_concurrent = 0
+        self._failures: List[str] = []
+
+        self.b.mantts.register_service(SERVICE_PORT, on_deliver=self._on_deliver)
+
+        sim = self.system.sim
+        for start in range(0, n_connections, wave_size):
+            wave = list(range(start, min(start + wave_size, n_connections)))
+            delay = (start // wave_size) * wave_interval
+            sim.schedule(delay, lambda w=wave: self._open_wave(w))
+
+    # ------------------------------------------------------------------
+    def _on_deliver(self, data: bytes, meta: dict) -> None:
+        self.delivered += 1
+        self._delivery.update(data)
+        self._delivery.update(b"|")
+
+    def _open_wave(self, indices: List[int]) -> None:
+        for i in indices:
+            self._open_one(i, reopen=(self.reopen_every > 0
+                                      and i % self.reopen_every == 0))
+
+    def _open_one(self, index: int, reopen: bool) -> None:
+        cls = CLASSES[index % len(CLASSES)]
+        acd = ACD(participants=("B",), service_port=SERVICE_PORT, **cls.acd_kw)
+        state = {"index": index, "cls": cls, "reopen": reopen}
+        conn = self.a.mantts.open(
+            acd,
+            on_connected=lambda c, s=state: self._on_connected(c, s),
+            on_failed=lambda reason, s=state: self._on_failed(reason, s),
+        )
+        state["conn"] = conn
+
+    def _on_connected(self, conn, state: dict) -> None:
+        self.established += 1
+        self.live += 1
+        if self.live > self.peak_concurrent:
+            self.peak_concurrent = self.live
+        sim = self.system.sim
+        cls: ConnClass = state["cls"]
+        index: int = state["index"]
+        # class-sized messages, spread across the first part of the
+        # lifetime; payload identifies (class, connection, message) so the
+        # receiver-order digest is meaningful
+        gap = cls.lifetime / (cls.messages + 2)
+        for m in range(cls.messages):
+            tag = f"{cls.name}:{index}:{m}:".encode()
+            payload = tag + b"x" * max(0, cls.message_bytes - len(tag))
+            sim.schedule((m + 1) * gap, lambda c=conn, p=payload: self._send(c, p))
+        sim.schedule(cls.lifetime, lambda s=state: self._close(s))
+
+    @staticmethod
+    def _send(conn, payload: bytes) -> None:
+        if not conn._failed and (conn.session is None or not conn.session.closed):
+            conn.send(payload)
+
+    def _close(self, state: dict) -> None:
+        conn = state["conn"]
+        if conn._failed:
+            return
+        conn.close()
+        self.closed += 1
+        self.live -= 1
+        if state["reopen"]:
+            state["reopen"] = False
+            self.reopened += 1
+            # deterministic churn: same class, fresh connection, shortly
+            # after the close completes
+            self.system.sim.schedule(
+                0.05, lambda i=state["index"]: self._open_one(i, reopen=False)
+            )
+
+    def _on_failed(self, reason: str, state: dict) -> None:
+        self.failed += 1
+        self._failures.append(f"{state['cls'].name}:{state['index']}: {reason}")
+
+    # ------------------------------------------------------------------
+    def run(self, until: float = 20.0) -> "ChurnScenario":
+        self.system.run(until=until)
+        return self
+
+    def collect(self) -> Dict[str, object]:
+        """Deterministic run metrics (no wall-clock — callers time run())."""
+        mgr = self.a.mantts.manager
+        snap = mgr.snapshot()
+        return {
+            "mode": self.mode,
+            "n_connections": self.n_connections,
+            "established": self.established,
+            "failed": self.failed,
+            "closed": self.closed,
+            "reopened": self.reopened,
+            "delivered": self.delivered,
+            "peak_concurrent": self.peak_concurrent,
+            "delivery_digest": self._delivery.hexdigest(),
+            "final_time": round(self.system.sim.now, 9),
+            "events_dispatched": self.system.sim.events_dispatched,
+            "timer_group_coalesced": snap["timer_group_coalesced"],
+            "probe_cache_hits": snap["probe_cache_hits"],
+            "scs_cache_hits": snap["scs_cache_hits"],
+            "rx_coalesced_frames": self.a.host.rx_coalesced_frames
+            + self.b.host.rx_coalesced_frames,
+        }
+
+
+def run_churn(
+    n_connections: int = 1000,
+    mode: str = "coalesced",
+    seed: int = 7,
+    duration: float = 20.0,
+    **kw,
+) -> Dict[str, object]:
+    """Build, run, and collect one churn scenario (the benchmark entry)."""
+    scenario = ChurnScenario(n_connections=n_connections, mode=mode, seed=seed, **kw)
+    return scenario.run(until=duration).collect()
+
+
+def identity_fields(metrics: Dict[str, object]) -> Dict[str, object]:
+    """The subset of churn metrics that must be bit-identical for one seed
+    across repeated runs and across manager modes (cache/coalescing
+    counters legitimately differ between modes and are excluded)."""
+    keys = (
+        "n_connections", "established", "failed", "closed", "reopened",
+        "delivered", "peak_concurrent", "delivery_digest", "final_time",
+    )
+    return {k: metrics[k] for k in keys}

@@ -58,8 +58,16 @@ class AdaptiveSystem:
         buffer_capacity: int = 1 << 20,
         admission_bps: float = 1e9,
         cores: int = 1,
+        manager_mode: str = "coalesced",
     ) -> AdaptiveNode:
-        """Assemble Host + TKO + MANTTS on network node ``name``."""
+        """Assemble Host + TKO + MANTTS on network node ``name``.
+
+        ``manager_mode`` selects the per-host connection-management
+        strategy: ``"coalesced"`` (lazy monitors, shared probes, timer
+        groups — the scale path) or ``"legacy"`` (one free-running
+        monitor and private timers per connection — the historical
+        behaviour, kept as the equivalence baseline).
+        """
         if self.network is None:
             raise RuntimeError("attach_network() before creating nodes")
         if name in self.nodes:
@@ -79,11 +87,42 @@ class AdaptiveSystem:
             host,
             protocol=protocol,
             resources=ResourceManager(host, admission_bps=admission_bps),
+            manager_mode=manager_mode,
         )
         mantts.unites = self.unites
         node = AdaptiveNode(host=host, protocol=protocol, mantts=mantts)
         self.nodes[name] = node
         return node
+
+    def teardown_node(self, name: str) -> None:
+        """Tear one host down: close its connections, abort its sessions,
+        release its ports and reservations, and detach it from the network.
+
+        The switching node stays in the topology (transit traffic keeps
+        flowing through it); only the host on top goes away.  Idempotent
+        in effect: tearing down an unknown name raises, tearing down a
+        node twice is an error via the same check.
+        """
+        node = self.nodes.pop(name, None)
+        if node is None:
+            raise KeyError(f"unknown node {name!r}")
+        mantts = node.mantts
+        # application handles first: close() runs the full termination
+        # phase (monitor stop, member-update signalling, session close)
+        for conn in list(mantts.connections.values()):
+            if not conn._failed:
+                conn.close()
+        # responder-side sessions and anything still open on the protocol
+        for session in list(mantts.protocol.sessions.values()):
+            if not session.closed:
+                session.abort(f"teardown of node {name}")
+        # unclaimed responder reservations (initiator never showed up)
+        for key, queue in list(mantts._unclaimed.items()):
+            for ref in list(queue):
+                mantts._cancel_res_guard(ref)
+                mantts._release_unclaimed(key, ref)
+        mantts.protocol.unlisten_all()
+        self.network.detach_host(name)
 
     # ------------------------------------------------------------------
     def enable_telemetry(self, max_records: Optional[int] = None):

@@ -93,6 +93,9 @@ class AdaptationController:
         self._reneg_pending = False
         if conn.monitor is not None:
             conn.monitor.on_sample.append(self.on_sample)
+        manager = getattr(conn.mantts, "manager", None)
+        if manager is not None:
+            manager.register_controller(self)
 
     # ------------------------------------------------------------------
     @property
@@ -256,6 +259,9 @@ class AdaptationController:
         """
         if self._degraded_flagged:
             self._degraded_flagged = False
+            manager = getattr(self.conn.mantts, "manager", None)
+            if manager is not None:
+                manager.note_degraded(self.conn, False)
             if self.on_restored is not None:
                 self.on_restored(self.conn, state)
         prior = LEVELS[self.level]
@@ -345,6 +351,9 @@ class AdaptationController:
             c.apply_overrides(overrides, reason="adapt-degrade")
         if not self._degraded_flagged:
             self._degraded_flagged = True
+            manager = getattr(c.mantts, "manager", None)
+            if manager is not None:
+                manager.note_degraded(c, True)
             if self.on_degraded is not None:
                 self.on_degraded(c, state)
         self._record("degrade", str(sorted(overrides)) if overrides else "flag-only")

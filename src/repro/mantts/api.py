@@ -23,6 +23,7 @@ from __future__ import annotations
 import itertools
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.host.connmgr import ConnectionManager
 from repro.host.nic import Host
 from repro.mantts.acd import ACD
 from repro.mantts.lifecycle import NEGOTIATION_TIMEOUT, ConnectionLifecycle
@@ -46,7 +47,10 @@ from repro.tko.synthesizer import TKOSynthesizer
 
 __all__ = ["MANTTS", "AdaptiveConnection", "NEGOTIATION_TIMEOUT"]
 
-_conn_refs = itertools.count(1)
+#: a responder holds an accepted-but-unclaimed reservation at most this
+#: long before the guard rolls it back (covers initiators that vanish
+#: without sending ``open-abort``)
+RESERVATION_GUARD = 2 * NEGOTIATION_TIMEOUT
 
 
 class MANTTS:
@@ -59,6 +63,8 @@ class MANTTS:
         synthesizer: Optional[TKOSynthesizer] = None,
         resources: Optional[ResourceManager] = None,
         monitor_interval: float = 0.1,
+        manager: Optional[ConnectionManager] = None,
+        manager_mode: str = "coalesced",
     ) -> None:
         self.host = host
         self.protocol = protocol if protocol is not None else TKOProtocol(
@@ -69,8 +75,18 @@ class MANTTS:
             host, admission_bps=1e9
         )
         self.monitor_interval = monitor_interval
+        #: the per-host connection-scale layer: connection table, shared
+        #: probe/SCS caches, coalesced timer groups, population gauges
+        self.manager = manager if manager is not None else ConnectionManager(
+            host, mode=manager_mode
+        )
+        self.manager.bind(self)
         #: optional UNITES facade; when set, TMC requests are honoured
         self.unites = None
+        #: connection refs are per-entity, so one host's churn never
+        #: changes another run's (or host's) ref strings — refs travel in
+        #: signalling messages and must be reproducible in isolation
+        self._ref_counter = itertools.count(1)
 
         self._sig_sessions: Dict[str, TKOSession] = {}
         self._pending: Dict[str, Callable[[dict], None]] = {}
@@ -78,8 +94,17 @@ class MANTTS:
         self._services: Dict[int, dict] = {}
         #: (peer_host, service_port) -> negotiated config awaiting arrival
         self._negotiated: Dict[Tuple[str, int], SessionConfig] = {}
-        #: (peer_host, service_port) -> reservation ref to release on close
+        #: (peer_host, service_port) -> most recent accepted reservation ref
+        #: (introspection view; the FIFO below is the accounting truth)
         self._reservation_refs: Dict[Tuple[str, int], str] = {}
+        #: (peer_host, service_port) -> accepted refs no data session has
+        #: claimed yet, oldest first
+        self._unclaimed: Dict[Tuple[str, int], List[str]] = {}
+        #: (remote_host, remote_port, local_port) -> the reservation a live
+        #: responder session claimed (released when that session closes)
+        self._session_res: Dict[Tuple[str, int, int], str] = {}
+        #: ref -> backstop timer rolling an unclaimed reservation back
+        self._res_guards: Dict[str, object] = {}
         #: (remote_host, remote_port, local_port) -> live responder session
         self._peer_sessions: Dict[Tuple[str, int, int], TKOSession] = {}
         self.connections: Dict[str, "AdaptiveConnection"] = {}
@@ -192,15 +217,26 @@ class MANTTS:
         service = self._services[port]
         key = (session.remote_host, session.remote_port, session.local_port)
         self._peer_sessions[key] = session
-        # §4.1.3: the termination phase releases the resources the
-        # negotiation reserved — chained onto the session's close callback
+        # The arriving data session claims the oldest reservation its
+        # negotiation took (FIFO per (peer, port): concurrent opens from
+        # one peer each claim their own ledger entry), and §4.1.3's
+        # termination phase releases exactly that entry on close.
         res_key = (session.remote_host, port)
+        queue = self._unclaimed.get(res_key)
+        if queue:
+            ref = queue.pop(0)
+            if not queue:
+                del self._unclaimed[res_key]
+            self._cancel_res_guard(ref)
+            self._session_res[key] = ref
         original_on_closed = session.on_closed
 
         def release_then(original=original_on_closed):
-            ref = self._reservation_refs.pop(res_key, None)
+            ref = self._session_res.pop(key, None)
             if ref is not None:
                 self.resources.release(ref)
+            if self._reservation_refs.get(res_key) == ref:
+                self._reservation_refs.pop(res_key, None)
             self._peer_sessions.pop(key, None)
             if original is not None:
                 original()
@@ -222,6 +258,8 @@ class MANTTS:
         mtype = msg.get("type")
         if mtype == "open-request":
             self._on_open_request(msg)
+        elif mtype == "open-abort":
+            self._on_open_abort(msg)
         elif mtype in ("open-accept", "open-refuse"):
             handler = self._pending.pop(msg.get("ref", ""), None)
             if handler is not None:
@@ -241,25 +279,40 @@ class MANTTS:
                 {"type": "open-refuse", "ref": ref, "reason": f"no service on {port}"},
             )
             return
-        # Mid-stream renegotiation replaces the connection's existing
+        # Mid-stream renegotiation replaces the session's existing
         # reservation rather than stacking a second one: release it before
         # admission, and reinstate it untouched if the new QoS is refused.
         prior_ref = prior_res = None
+        session_key = None
         if msg.get("reneg"):
-            prior_ref = self._reservation_refs.pop((initiator, port), None)
+            data_port = msg.get("data_port")
+            if data_port is not None:
+                session_key = (initiator, data_port, port)
+                prior_ref = self._session_res.pop(session_key, None)
+            if prior_ref is None:  # legacy initiator: fall back to the view
+                prior_ref = self._reservation_refs.pop((initiator, port), None)
             if prior_ref is not None:
                 prior_res = self.resources.reservation(prior_ref)
                 self.resources.release(prior_ref)
         verdict, final, payload = respond_to_open(msg, self.resources, conn_ref=ref)
+        self.manager.note_admission(verdict)
         if verdict != "accept" and prior_res is not None:
             self.resources.admit(
-                prior_ref, prior_res.throughput_bps, prior_res.buffer_bytes
+                prior_ref, prior_res.throughput_bps, prior_res.buffer_bytes,
+                tsc=prior_res.tsc,
             )
             self._reservation_refs[(initiator, port)] = prior_ref
+            if session_key is not None:
+                self._session_res[session_key] = prior_ref
         if verdict == "accept":
             assert final is not None
             self._negotiated[(initiator, port)] = final
             self._reservation_refs[(initiator, port)] = ref
+            if msg.get("reneg"):
+                if session_key is not None:
+                    self._session_res[session_key] = ref
+            else:
+                self._enqueue_unclaimed(initiator, port, ref)
             if msg.get("group"):
                 # multicast: join the delivery tree before data flows
                 self.host.network.join_group(msg["group"], self.host.name)
@@ -270,6 +323,55 @@ class MANTTS:
             self._send_signalling(
                 initiator, {"type": "open-refuse", "ref": ref, "from": self.host.name, **payload}
             )
+
+    # -- reservation bookkeeping (satellite of §4.1.3's termination) ----
+    def _enqueue_unclaimed(self, initiator: str, port: int, ref: str) -> None:
+        """Queue an accepted reservation until its data session claims it.
+
+        A renegotiate-down retry supersedes the same connection's earlier
+        attempt: any unclaimed ref with the same connection prefix is
+        rolled back here, so a refuse→retry→accept sequence leaves exactly
+        one ledger entry.  A backstop guard releases the reservation if no
+        session (and no ``open-abort``) ever arrives.
+        """
+        key = (initiator, port)
+        conn_prefix = ref.rsplit(":", 2)[0]
+        queue = self._unclaimed.setdefault(key, [])
+        for stale in [r for r in queue if r.rsplit(":", 2)[0] == conn_prefix]:
+            queue.remove(stale)
+            self._cancel_res_guard(stale)
+            self.resources.release(stale)
+        queue.append(ref)
+        self._res_guards[ref] = self.manager.defer(
+            RESERVATION_GUARD, lambda: self._res_guard_fired(key, ref)
+        )
+
+    def _cancel_res_guard(self, ref: str) -> None:
+        guard = self._res_guards.pop(ref, None)
+        if guard is not None:
+            guard.cancel()
+
+    def _res_guard_fired(self, key: Tuple[str, int], ref: str) -> None:
+        self._res_guards.pop(ref, None)
+        self._release_unclaimed(key, ref)
+
+    def _release_unclaimed(self, key: Tuple[str, int], ref: str) -> None:
+        queue = self._unclaimed.get(key)
+        if not queue or ref not in queue:
+            return
+        queue.remove(ref)
+        if not queue:
+            del self._unclaimed[key]
+        self.resources.release(ref)
+        if self._reservation_refs.get(key) == ref:
+            self._reservation_refs.pop(key, None)
+
+    def _on_open_abort(self, msg: dict) -> None:
+        """The initiator's open failed after we admitted it: roll back."""
+        ref = msg.get("ref", "")
+        key = (msg.get("from"), msg.get("service_port"))
+        self._cancel_res_guard(ref)
+        self._release_unclaimed(key, ref)
 
     def _on_reconfig(self, msg: dict) -> None:
         key = (msg["from"], msg["data_port"], msg["service_port"])
@@ -339,6 +441,7 @@ class MANTTS:
             renegotiate=renegotiate,
         )
         self.connections[conn.ref] = conn
+        self.manager.connection_opening(conn)
         conn.begin()
         if adaptation and not conn._failed:
             from repro.mantts.adaptation import AdaptationController
@@ -369,7 +472,7 @@ class AdaptiveConnection:
         self.mantts = mantts
         self.acd = acd
         self.host = mantts.host
-        self.ref = f"{self.host.name}-{next(_conn_refs)}"
+        self.ref = f"{self.host.name}-{next(mantts._ref_counter)}"
         self.on_deliver = on_deliver
         self.on_connected = on_connected
         self.on_closed = on_closed

@@ -17,8 +17,6 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, List, Optional
 
-from repro.mantts.monitor import NetworkMonitor
-from repro.mantts.transform import specify_scs
 from repro.mantts.tsc import select_tsc
 from repro.tko.config import SessionConfig
 from repro.unites.obs.telemetry import NULL_SPAN, TELEMETRY as _TELEMETRY
@@ -51,6 +49,9 @@ class ConnectionLifecycle:
         #: messages accepted while negotiation is still in flight; flushed
         #: into the session the moment Stage III instantiates it
         self.pending_sends: List[bytes] = []
+        #: (member, ref) per open-request sent — on failure each contacted
+        #: responder gets an ``open-abort`` so its reservation rolls back
+        self.sent_refs: List[tuple] = []
         # Async telemetry spans; initialized to the no-op span so every
         # exit path (failure before begin(), double-fail, ...) may end()
         # them unconditionally.
@@ -71,19 +72,16 @@ class ConnectionLifecycle:
         self.setup_span = _TELEMETRY.begin(
             "connection-setup", "mantts", conn=c.ref, peer=primary
         )
-        c.monitor = NetworkMonitor(
-            self.sim,
-            c.host.network,
-            c.host.name,
-            primary,
-            interval=c.mantts.monitor_interval,
+        manager = c.mantts.manager
+        c.monitor = manager.monitor_for(
+            primary, c.mantts.monitor_interval, conn=c
         )
         state = c.monitor.snapshot()
         if not state.reachable:
             self.fail(f"no route to {primary}")
             return
         c.tsc = select_tsc(acd)                      # Stage I
-        c.scs = specify_scs(acd, state, tsc=c.tsc, binding=c.binding)  # Stage II
+        c.scs = manager.scs_for(acd, state, c.tsc, c.binding)  # Stage II
         c.members = list(acd.participants)
         if acd.is_multicast:
             c.group = f"mc-{c.ref}"
@@ -149,6 +147,7 @@ class ConnectionLifecycle:
         for member in c.members:
             ref = f"{c.ref}:{member}:{attempt}"
             c.mantts._pending[ref] = reply_handler(member)
+            self.sent_refs.append((member, ref))
             c.mantts._send_signalling(
                 member,
                 {
@@ -160,6 +159,7 @@ class ConnectionLifecycle:
                     "throughput_bps": requested,
                     "min_throughput_bps": requested * (0.5 if self.renegotiated else 0.25),
                     "group": c.group,
+                    "tsc": c.tsc.value if c.tsc is not None else None,
                 },
             )
 
@@ -335,10 +335,12 @@ class ConnectionLifecycle:
                     "reneg": True,
                     "from": c.host.name,
                     "service_port": c.acd.service_port,
+                    "data_port": session.local_port,
                     "config": new_cfg.to_dict(),
                     "throughput_bps": requested,
                     "min_throughput_bps": 0.0,
                     "group": None,
+                    "tsc": c.tsc.value if c.tsc is not None else None,
                 },
             )
 
@@ -356,6 +358,7 @@ class ConnectionLifecycle:
         c = self.conn
         self.established = True
         self.setup_span.end(outcome="connected")
+        c.mantts.manager.connection_established(c)
         if c.on_connected is not None:
             c.on_connected(c)
 
@@ -368,6 +371,7 @@ class ConnectionLifecycle:
         if c.monitor is not None:
             c.monitor.stop()
         c.mantts.connections.pop(c.ref, None)
+        c.mantts.manager.connection_closed(c)
         if c.on_closed is not None:
             c.on_closed()
 
@@ -380,6 +384,22 @@ class ConnectionLifecycle:
         self.setup_span.end(outcome="failed", reason=reason)
         if c.monitor is not None:
             c.monitor.stop()
+        if not self.established and self.sent_refs:
+            # roll back any reservation a responder admitted for us: a
+            # refused/timed-out open must not leave the remote ledger
+            # charged (the recipient no-ops when it holds nothing)
+            for member, ref in self.sent_refs:
+                c.mantts._send_signalling(
+                    member,
+                    {
+                        "type": "open-abort",
+                        "ref": ref,
+                        "from": c.host.name,
+                        "service_port": c.acd.service_port,
+                    },
+                )
+            self.sent_refs.clear()
         c.mantts.connections.pop(c.ref, None)
+        c.mantts.manager.connection_failed(c)
         if c.on_failed is not None:
             c.on_failed(reason)

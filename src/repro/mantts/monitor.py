@@ -18,7 +18,7 @@ state to MANTTS entities.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, NamedTuple, Optional, Tuple
 
 from repro.netsim.network import Network
 from repro.sim.kernel import Simulator
@@ -54,6 +54,55 @@ class NetworkState:
         if self.rtt <= 0 or self.bottleneck_bps <= 0:
             return 1
         return max(1, int(self.bottleneck_bps * self.rtt / (8 * 1024)))
+
+
+class PathProbe(NamedTuple):
+    """One raw (un-smoothed) walk of a path's links.
+
+    Everything here is a pure read of network state at one instant, so
+    monitors watching the same ``(src, dst)`` pair inside the same kernel
+    event may share a single probe (the ConnectionManager's probe cache);
+    the per-connection EWMA fold stays private to each monitor.
+    """
+
+    reachable: bool
+    inst_congestion: float
+    inst_queue_delay: float
+    drops: int
+    offered: int
+    base_rtt: float
+    bottleneck_bps: float
+    mtu: int
+    ber: float
+    hops: int
+    path: Tuple[str, ...]
+    queue_limit: int
+
+
+def probe_path(network: Network, src: str, dst: str) -> PathProbe:
+    """Walk the path once, collecting every raw input the fold needs."""
+    links = network.path_links(src, dst)
+    if not links:
+        return PathProbe(False, 0.0, 0.0, 0, 0, float("inf"), 0.0, 0, 1.0, 0, (), 0)
+    inst_cong = network.path_queue_occupancy(src, dst)
+    qdelay = sum(l.queue_len * 1000 * 8.0 / l.bandwidth_bps for l in links)
+    drops = sum(l.stats.dropped_overflow for l in links)
+    offered = sum(l.stats.enqueued + l.stats.dropped_overflow for l in links)
+    base_rtt = network.nominal_rtt(src, dst) or float("inf")
+    return PathProbe(
+        reachable=True,
+        inst_congestion=inst_cong,
+        inst_queue_delay=qdelay,
+        drops=drops,
+        offered=offered,
+        base_rtt=base_rtt,
+        bottleneck_bps=network.path_bottleneck_bps(src, dst) or 0.0,
+        mtu=network.path_mtu(src, dst) or 0,
+        ber=network.path_ber(src, dst),
+        hops=len(links),
+        path=tuple(network.route(src, dst) or ()),
+        queue_limit=min(l.queue_limit for l in links),
+    )
 
 
 class NetworkMonitor:
@@ -99,46 +148,42 @@ class NetworkMonitor:
         for cb in self.on_sample:
             cb(state)
 
+    def _probe(self) -> PathProbe:
+        """One raw path walk; subclasses may serve this from a shared cache."""
+        return probe_path(self.network, self.src, self.dst)
+
     def snapshot(self) -> NetworkState:
         """Sample the path now and fold into the smoothed estimates."""
-        net = self.network
-        links = net.path_links(self.src, self.dst)
-        if not links:
+        raw = self._probe()
+        if not raw.reachable:
             return NetworkState(
                 self.src, self.dst, False, float("inf"), float("inf"),
                 0.0, 0, 1.0, 1.0, 1.0, 0,
             )
         # congestion: instantaneous queue occupancy, smoothed
-        inst_cong = net.path_queue_occupancy(self.src, self.dst)
-        self._congestion += self.ALPHA * (inst_cong - self._congestion)
+        self._congestion += self.ALPHA * (raw.inst_congestion - self._congestion)
         # queueing delay contribution: queued bytes / link rate, summed
-        qdelay = sum(
-            l.queue_len * 1000 * 8.0 / l.bandwidth_bps for l in links
-        )
-        self._queue_delay += self.ALPHA * (qdelay - self._queue_delay)
+        self._queue_delay += self.ALPHA * (raw.inst_queue_delay - self._queue_delay)
         # loss: delta of overflow drops vs delta of offered frames
-        drops = sum(l.stats.dropped_overflow for l in links)
-        offered = sum(l.stats.enqueued + l.stats.dropped_overflow for l in links)
         if self._prev_counts is not None:
-            d_drop = drops - self._prev_counts[0]
-            d_off = offered - self._prev_counts[1]
+            d_drop = raw.drops - self._prev_counts[0]
+            d_off = raw.offered - self._prev_counts[1]
             inst_loss = d_drop / d_off if d_off > 0 else 0.0
             self._loss += self.ALPHA * (inst_loss - self._loss)
-        self._prev_counts = (drops, offered)
+        self._prev_counts = (raw.drops, raw.offered)
 
-        base_rtt = self.network.nominal_rtt(self.src, self.dst) or float("inf")
         return NetworkState(
             src=self.src,
             dst=self.dst,
             reachable=True,
-            rtt=base_rtt + 2 * self._queue_delay,
-            base_rtt=base_rtt,
-            bottleneck_bps=net.path_bottleneck_bps(self.src, self.dst) or 0.0,
-            mtu=net.path_mtu(self.src, self.dst) or 0,
-            ber=net.path_ber(self.src, self.dst),
+            rtt=raw.base_rtt + 2 * self._queue_delay,
+            base_rtt=raw.base_rtt,
+            bottleneck_bps=raw.bottleneck_bps,
+            mtu=raw.mtu,
+            ber=raw.ber,
             congestion=self._congestion,
             loss_rate=max(0.0, self._loss),
-            hops=len(links),
-            path=tuple(net.route(self.src, self.dst) or ()),
-            queue_limit=min(l.queue_limit for l in links),
+            hops=raw.hops,
+            path=raw.path,
+            queue_limit=raw.queue_limit,
         )

@@ -100,8 +100,9 @@ def _respond_to_open(
     proposal = SessionConfig.from_dict(msg["config"])
     requested_bps = float(msg.get("throughput_bps", 64000.0))
     seg = proposal.segment_size or 1024
+    tsc = msg.get("tsc")  # admit against the class pool when one exists
 
-    offer = resources.best_offer_bps()
+    offer = resources.best_offer_bps(tsc)
     if offer <= 0:
         return "refuse", None, {"reason": "no admission capacity"}
 
@@ -125,7 +126,7 @@ def _respond_to_open(
     final = proposal.with_(**overrides) if overrides else proposal
 
     buffer_bytes = final.window * seg
-    if resources.admit(conn_ref, granted_bps, buffer_bytes) is None:
+    if resources.admit(conn_ref, granted_bps, buffer_bytes, tsc=tsc) is None:
         return "refuse", None, {"reason": "admission race: capacity consumed"}
     reply = {
         "config": final.to_dict(),

@@ -58,10 +58,21 @@ class PolicyEngine:
 
     def add_rule(self, rule: TSARule) -> None:
         self._rules.append(_RuleState(rule))
+        # a lazily-armed monitor (repro.host.connmgr) only ticks while
+        # someone consumes samples; a new rule is a new consumer
+        monitor = getattr(self.connection, "monitor", None)
+        poke = getattr(monitor, "poke", None)
+        if poke is not None:
+            poke()
 
     def add_rules(self, rules) -> None:
         for r in rules:
             self.add_rule(r)
+
+    @property
+    def active(self) -> bool:
+        """Whether any rule is installed (samples have observable effect)."""
+        return bool(self._rules)
 
     # ------------------------------------------------------------------
     def metric_value(self, name: str, state: NetworkState) -> Optional[float]:

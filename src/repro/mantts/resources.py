@@ -7,6 +7,13 @@ load information" (§4.1.3).  The resource manager tracks per-host
 bandwidth reservations and buffer commitments; explicit negotiation asks
 it whether a requested QoS can be admitted, and failed admission produces
 the paper's negotiate-down-or-refuse outcome.
+
+With :meth:`ResourceManager.configure_classes` the admission bandwidth is
+partitioned into per-TSC-class pools: each transport service class gets a
+guaranteed share, so a burst of bulk-transfer opens cannot starve the
+isochronous classes (the class-level pooling the ConnectionManager layer
+admits against).  Without configured classes behaviour is exactly the
+historical single-pool check.
 """
 
 from __future__ import annotations
@@ -24,6 +31,29 @@ class Reservation:
     conn_ref: str
     throughput_bps: float
     buffer_bytes: int
+    #: TSC class the reservation was admitted under (None = unclassified)
+    tsc: Optional[str] = None
+
+
+@dataclass
+class ClassPool:
+    """Per-TSC-class admission share and accounting."""
+
+    name: str
+    share: float                 #: fraction of the admission bandwidth
+    reserved_bps: float = 0.0
+    admitted: int = 0
+    refused: int = 0
+    released: int = 0
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "share": self.share,
+            "reserved_bps": self.reserved_bps,
+            "admitted": self.admitted,
+            "refused": self.refused,
+            "released": self.released,
+        }
 
 
 class ResourceManager:
@@ -46,6 +76,10 @@ class ResourceManager:
         self.overbooking = overbooking
         self._reservations: Dict[str, Reservation] = {}
         self.refusals = 0
+        self.admissions = 0
+        self.releases = 0
+        #: TSC class name -> pool; empty until :meth:`configure_classes`
+        self.class_pools: Dict[str, ClassPool] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -56,8 +90,35 @@ class ResourceManager:
     def reserved_buffer(self) -> int:
         return sum(r.buffer_bytes for r in self._reservations.values())
 
-    def available_bps(self) -> float:
-        return self.admission_bps * self.overbooking - self.reserved_bps
+    def available_bps(self, tsc: Optional[str] = None) -> float:
+        """Admissible bandwidth — host-wide, or within one class pool."""
+        total = self.admission_bps * self.overbooking - self.reserved_bps
+        pool = self.class_pools.get(tsc) if tsc is not None else None
+        if pool is None:
+            return total
+        class_cap = self.admission_bps * self.overbooking * pool.share
+        return min(total, class_cap - pool.reserved_bps)
+
+    # ------------------------------------------------------------------
+    def configure_classes(self, shares: Dict[str, float]) -> None:
+        """Partition admission bandwidth into guaranteed per-class shares.
+
+        ``shares`` maps TSC class names to fractions of the admission
+        bandwidth; the fractions must be positive and sum to at most 1.0.
+        Admissions that name a configured class are checked against both
+        the host-wide budget and the class pool; unclassified admissions
+        (or unknown class names) see only the host-wide budget, exactly as
+        before.
+        """
+        if any(s <= 0 for s in shares.values()):
+            raise ValueError("class shares must be positive")
+        if sum(shares.values()) > 1.0 + 1e-9:
+            raise ValueError("class shares sum to more than 1.0")
+        if self._reservations:
+            raise RuntimeError("cannot repartition with live reservations")
+        self.class_pools = {
+            name: ClassPool(name, share) for name, share in shares.items()
+        }
 
     # ------------------------------------------------------------------
     def admit(
@@ -65,6 +126,7 @@ class ResourceManager:
         conn_ref: str,
         throughput_bps: float,
         buffer_bytes: int,
+        tsc: Optional[str] = None,
     ) -> Optional[Reservation]:
         """Try to reserve; returns None (refusal) when over budget.
 
@@ -74,22 +136,36 @@ class ResourceManager:
         """
         if conn_ref in self._reservations:
             raise ValueError(f"connection {conn_ref!r} already has a reservation")
-        if throughput_bps > self.available_bps() or (
+        pool = self.class_pools.get(tsc) if tsc is not None else None
+        if throughput_bps > self.available_bps(tsc) or (
             self.reserved_buffer + buffer_bytes > self.buffer_budget
         ):
             self.refusals += 1
+            if pool is not None:
+                pool.refused += 1
             return None
-        r = Reservation(conn_ref, throughput_bps, buffer_bytes)
+        r = Reservation(conn_ref, throughput_bps, buffer_bytes, tsc=tsc)
         self._reservations[conn_ref] = r
+        self.admissions += 1
+        if pool is not None:
+            pool.reserved_bps += throughput_bps
+            pool.admitted += 1
         return r
 
-    def best_offer_bps(self) -> float:
+    def best_offer_bps(self, tsc: Optional[str] = None) -> float:
         """The throughput this host could still admit (counter-proposal)."""
-        return max(0.0, self.available_bps())
+        return max(0.0, self.available_bps(tsc))
 
     def release(self, conn_ref: str) -> None:
         """Termination-phase resource release (idempotent)."""
-        self._reservations.pop(conn_ref, None)
+        r = self._reservations.pop(conn_ref, None)
+        if r is None:
+            return
+        self.releases += 1
+        pool = self.class_pools.get(r.tsc) if r.tsc is not None else None
+        if pool is not None:
+            pool.reserved_bps = max(0.0, pool.reserved_bps - r.throughput_bps)
+            pool.released += 1
 
     def reservation(self, conn_ref: str) -> Optional[Reservation]:
         """The live reservation under ``conn_ref``, if any."""
@@ -99,7 +175,16 @@ class ResourceManager:
         """Adjust a live reservation after renegotiation."""
         r = self._reservations.get(conn_ref)
         if r is not None:
+            pool = self.class_pools.get(r.tsc) if r.tsc is not None else None
+            if pool is not None:
+                pool.reserved_bps = max(
+                    0.0, pool.reserved_bps - r.throughput_bps + throughput_bps
+                )
             r.throughput_bps = throughput_bps
+
+    def class_stats(self) -> Dict[str, Dict[str, float]]:
+        """Accounting snapshot for every configured class pool."""
+        return {name: pool.stats() for name, pool in self.class_pools.items()}
 
     def __len__(self) -> int:
         return len(self._reservations)

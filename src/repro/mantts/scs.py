@@ -36,6 +36,15 @@ class SCS:
         """Record one derivation decision (kept for experiment reports)."""
         self.rationale.append(reason)
 
+    def clone(self) -> "SCS":
+        """An independent SCS: shared immutable config, private rationale.
+
+        Cache layers (:mod:`repro.host.connmgr`) hand out clones so one
+        connection's negotiation notes and config swaps never leak into
+        another connection that derived the same specification.
+        """
+        return SCS(self.config, self.tsc, self.network, list(self.rationale))
+
     def negotiable(self) -> dict:
         """Parameters the responder may counter (Table 2's category (1))."""
         c = self.config

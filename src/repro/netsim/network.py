@@ -37,6 +37,9 @@ class Network:
         self.links: Dict[Tuple[str, str], Link] = {}
         self.groups: Dict[str, set[str]] = {}
         self._route_cache: Dict[Tuple[str, str], Optional[List[str]]] = {}
+        #: bumped on every topology/link-parameter change; lets path-probe
+        #: caches (repro.host.connmgr) invalidate without watching links
+        self.topology_version = 0
 
     # ------------------------------------------------------------------
     # topology construction
@@ -83,12 +86,23 @@ class Network:
             weight = delay + _ROUTE_PROBE_BYTES * 8.0 / bandwidth_bps
             self.graph.add_edge(u, v, weight=weight)
         self._route_cache.clear()
+        self.topology_version += 1
 
     def attach_host(self, name: str, deliver: Callable[[Frame], None]) -> Node:
         """Attach a host NIC callback to node ``name`` (creating it if new)."""
         node = self.nodes.get(name) or self.add_node(name)
         node.attach_host(deliver)
         return node
+
+    def detach_host(self, name: str) -> None:
+        """Remove the host attachment from node ``name`` (idempotent).
+
+        The switching node itself stays in the topology and keeps
+        forwarding transit traffic; only local delivery stops.
+        """
+        node = self.nodes.get(name)
+        if node is not None:
+            node.detach_host()
 
     # ------------------------------------------------------------------
     # routing
@@ -128,6 +142,7 @@ class Network:
                 self.graph.remove_edge(u, v)
             _TELEMETRY.instant("link-fail", "netsim", link=f"{u}->{v}")
         self._route_cache.clear()
+        self.topology_version += 1
 
     def restore_link(self, a: str, b: str, bidirectional: bool = True) -> None:
         """Bring link(s) back and restore their routing weight."""
@@ -139,6 +154,7 @@ class Network:
             self.graph.add_edge(u, v, weight=weight)
             _TELEMETRY.instant("link-restore", "netsim", link=f"{u}->{v}")
         self._route_cache.clear()
+        self.topology_version += 1
 
     # ------------------------------------------------------------------
     # run-time characteristic changes (fault-injection hooks)
@@ -157,6 +173,7 @@ class Network:
                 weight = link.delay + _ROUTE_PROBE_BYTES * 8.0 / link.bandwidth_bps
                 self.graph[u][v]["weight"] = weight
         self._route_cache.clear()
+        self.topology_version += 1
 
     def set_link_ber(self, a: str, b: str, ber: float, bidirectional: bool = True) -> None:
         """Change bit-error rate(s); routing weights are latency-based, so

@@ -49,6 +49,14 @@ class Node:
             raise ValueError(f"node {self.name} already has a host attached")
         self.host_deliver = deliver
 
+    def detach_host(self) -> None:
+        """Remove the host attachment (node teardown); idempotent.
+
+        Frames still in flight toward this node are counted as discarded
+        on arrival rather than delivered.
+        """
+        self.host_deliver = None
+
     # ------------------------------------------------------------------
     def receive(self, frame: Frame) -> None:
         """Entry point for frames arriving from an adjacent link."""
@@ -115,3 +123,8 @@ class Node:
         self.stats.delivered_local += 1
         if self.host_deliver is not None:
             self.host_deliver(frame)
+        else:
+            # no host (never attached, or torn down): surrender the payload
+            rel = getattr(frame.payload, "release", None)
+            if rel is not None:
+                rel()

@@ -26,8 +26,6 @@ from repro.tko.pdu import PDU, PduType
 from repro.tko.session import TKOSession
 from repro.tko.synthesizer import TKOSynthesizer
 
-_conn_ids = itertools.count(1)
-
 #: instructions to demultiplex one arriving PDU to its session
 DEMUX_COST = 120.0
 
@@ -47,6 +45,10 @@ class TKOProtocol:
     def __init__(self, host: Host, synthesizer: Optional[TKOSynthesizer] = None) -> None:
         self.host = host
         self.synthesizer = synthesizer if synthesizer is not None else TKOSynthesizer()
+        #: connection ids are per-protocol: they name per-session rng
+        #: streams, so they must not depend on how many sessions other
+        #: systems in the same process have created (run-to-run identity)
+        self._conn_ids = itertools.count(1)
         self.sessions: Dict[int, TKOSession] = {}
         self._listeners: Dict[int, Listener] = {}
         self.frames_demuxed = 0
@@ -75,7 +77,7 @@ class TKOProtocol:
         in the same event.
         """
         port = local_port if local_port is not None else self.host.ports.ephemeral_port()
-        conn_id = next(_conn_ids)
+        conn_id = next(self._conn_ids)
         session = self.synthesizer.instantiate(
             self.host,
             cfg,
@@ -116,6 +118,11 @@ class TKOProtocol:
         self._listeners.pop(port, None)
         self.host.ports.release(port)
 
+    def unlisten_all(self) -> None:
+        """Drop every passive-open registration (host teardown)."""
+        for port in list(self._listeners):
+            self.unlisten(port)
+
     # ------------------------------------------------------------------
     # receive path
     # ------------------------------------------------------------------
@@ -148,7 +155,7 @@ class TKOProtocol:
             self.frames_unclaimed += 1
             return
         cfg = listener.cfg_factory(pdu, frame)
-        conn_id = next(_conn_ids)
+        conn_id = next(self._conn_ids)
         session = self.synthesizer.instantiate(
             self.host,
             cfg,

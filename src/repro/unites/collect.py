@@ -175,6 +175,24 @@ class UNITES:
         timer.schedule(interval)
         return timer
 
+    def watch_manager(self, manager, interval: float = 0.5) -> Timer:
+        """Sample a host's connection-manager population gauges.
+
+        Rows land in the ``"host"`` scope under the owning host's name:
+        pending/open/degraded connection counts, lifetime totals,
+        admission verdicts, and timer-group occupancy — the per-host
+        scale view the connection-management layer maintains.
+        """
+
+        def tick() -> None:
+            self.repository.record_many(
+                self.sim.now, "host", manager.host.name, manager.snapshot()
+            )
+
+        timer = Timer(self.sim, tick, interval=interval, periodic=True)
+        timer.schedule(interval)
+        return timer
+
     def watch_network(self, network, interval: float = 0.5) -> Timer:
         """Sample per-link counters into the repository's "link" scope.
 

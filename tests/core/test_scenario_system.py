@@ -96,3 +96,57 @@ class TestScenario:
             seed=42,
         )
         assert run_point_to_point(**kw) == run_point_to_point(**kw)
+
+
+class TestTeardownNode:
+    def build(self):
+        sysm = AdaptiveSystem(seed=9)
+        sysm.attach_network(
+            linear_path(sysm.sim, ethernet_10(), ("A", "B"), rng=sysm.rng)
+        )
+        a = sysm.node("A")
+        b = sysm.node("B", admission_bps=1e9)
+        b.mantts.register_service(7000, on_deliver=lambda d, m: None)
+        return sysm, a, b
+
+    def video_acd(self):
+        p = APP_PROFILES["full-motion-video-compressed"]
+        return ACD(participants=("B",), quantitative=p.quantitative(),
+                   qualitative=p.qualitative())
+
+    def test_unknown_node_raises(self):
+        sysm, a, b = self.build()
+        with pytest.raises(KeyError):
+            sysm.teardown_node("C")
+
+    def test_teardown_twice_raises(self):
+        sysm, a, b = self.build()
+        sysm.teardown_node("A")
+        with pytest.raises(KeyError):
+            sysm.teardown_node("A")
+
+    def test_teardown_with_live_connections(self):
+        sysm, a, b = self.build()
+        conn = a.mantts.open(self.video_acd())
+        sysm.run(until=1.0)
+        assert conn.session is not None
+        assert len(b.mantts.resources) == 1
+        sysm.teardown_node("A")
+        sysm.run(until=8.0)
+        # initiator state is gone and its name can be reused
+        assert "A" not in sysm.nodes
+        assert conn.session.closed
+        assert len(a.mantts.manager) == 0
+        # the responder's reservation was released by the close handshake
+        assert len(b.mantts.resources) == 0
+        a2 = sysm.node("A")
+        assert a2.host.name == "A"
+
+    def test_responder_teardown_releases_unclaimed_reservations(self):
+        sysm, a, b = self.build()
+        conn = a.mantts.open(self.video_acd())
+        sysm.run(until=1.0)
+        sysm.teardown_node("B")
+        assert len(b.mantts.resources) == 0
+        assert not b.mantts._unclaimed
+        assert not b.mantts.protocol._listeners

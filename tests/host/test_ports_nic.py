@@ -3,7 +3,7 @@
 import pytest
 
 from repro.host.nic import Host
-from repro.host.ports import PortTable
+from repro.host.ports import PortExhaustedError, PortTable
 from repro.netsim.frame import Frame
 from repro.netsim.profiles import ethernet_10, linear_path
 
@@ -55,6 +55,65 @@ class TestPortTable:
         t.listen(1, "a")
         t.connect(2, "h", 3, "b")
         assert len(t) == 2
+
+
+class TestEphemeralExhaustion:
+    def make(self):
+        return PortTable(ephemeral_base=100, ephemeral_limit=104)
+
+    def test_exhaustion_raises_clean_error(self):
+        t = self.make()
+        for _ in range(4):
+            t.connect(t.ephemeral_port(), "peer", 9, object())
+        with pytest.raises(PortExhaustedError):
+            t.ephemeral_port()
+
+    def test_wraparound_reuses_released_port(self):
+        t = self.make()
+        for _ in range(4):
+            t.connect(t.ephemeral_port(), "peer", 9, object())
+        t.release(101, "peer", 9)
+        assert t.ephemeral_port() == 101  # wrapped past 103, skipped bound
+
+    def test_skips_listener_bound_port(self):
+        t = self.make()
+        t.listen(100, "listener")
+        assert t.ephemeral_port() == 101
+
+    def test_port_freed_only_after_last_binding(self):
+        t = self.make()
+        port = t.ephemeral_port()
+        t.connect(port, "p1", 9, object())
+        t.connect(port, "p2", 9, object())
+        t.release(port, "p1", 9)
+        assert t.port_in_use(port)  # p2's binding still holds it
+        t.release(port, "p2", 9)
+        assert not t.port_in_use(port)
+
+    def test_session_teardown_returns_port_to_pool(self):
+        """End-to-end: closing a session frees its ephemeral port."""
+        sim, rng = _world()
+        net = linear_path(sim, ethernet_10(), ("A", "B"), rng=rng)
+        host_a = Host(sim, net, "A")
+        Host(sim, net, "B")
+        from repro.tko.config import SessionConfig
+        from repro.tko.protocol import TKOProtocol
+
+        pa = TKOProtocol(host_a)
+        session = pa.create_session(SessionConfig(connection="implicit"), "B", 7)
+        port = session.local_port
+        assert host_a.ports.port_in_use(port)
+        session.connect()
+        session.close()
+        sim.run(until=1.0)
+        assert not host_a.ports.port_in_use(port)
+
+
+def _world():
+    from repro.sim.kernel import Simulator
+    from repro.sim.rng import RngStreams
+
+    return Simulator(), RngStreams(5)
 
 
 class TestHost:

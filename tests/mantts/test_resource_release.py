@@ -14,13 +14,14 @@ def video_acd():
                qualitative=p.qualitative())
 
 
-def build(admission_bps):
+def build(admission_bps, buffer_capacity=1 << 20):
     sysm = AdaptiveSystem(seed=33)
     sysm.attach_network(
         linear_path(sysm.sim, ethernet_10(), ("A", "B"), rng=sysm.rng)
     )
-    a = sysm.node("A")
-    b = sysm.node("B", admission_bps=admission_bps)
+    a = sysm.node("A", buffer_capacity=buffer_capacity)
+    b = sysm.node("B", admission_bps=admission_bps,
+                  buffer_capacity=buffer_capacity)
     b.mantts.register_service(7000, on_deliver=lambda d, m: None)
     return sysm, a, b
 
@@ -55,3 +56,82 @@ class TestResourceRelease:
         a.mantts.open(video_acd(), on_connected=lambda c: states.append("up"))
         sysm.run(until=12.0)
         assert states == ["up"]
+
+
+class TestClassPools:
+    def test_shares_validated(self):
+        import pytest
+
+        sysm, a, b = build(admission_bps=10e6)
+        rm = b.mantts.resources
+        with pytest.raises(ValueError):
+            rm.configure_classes({"video": 0.0})
+        with pytest.raises(ValueError):
+            rm.configure_classes({"a": 0.7, "b": 0.6})
+
+    def test_class_pool_caps_and_isolates(self):
+        sysm, a, b = build(admission_bps=10e6)
+        rm = b.mantts.resources
+        rm.configure_classes({"video": 0.5, "bulk": 0.5})
+        # bulk cannot spill into video's guaranteed half
+        assert rm.admit("b1", 4e6, 0, tsc="bulk") is not None
+        assert rm.admit("b2", 4e6, 0, tsc="bulk") is None
+        assert rm.class_stats()["bulk"]["refused"] == 1
+        # video's share is untouched by the bulk pressure
+        assert rm.admit("v1", 4e6, 0, tsc="video") is not None
+        # unclassified admissions see only the host-wide budget
+        assert rm.admit("u1", 2e6, 0) is not None
+        rm.release("b1")
+        assert rm.class_stats()["bulk"]["reserved_bps"] == 0.0
+
+    def test_repartition_requires_idle_ledger(self):
+        import pytest
+
+        sysm, a, b = build(admission_bps=10e6)
+        rm = b.mantts.resources
+        rm.admit("x", 1e6, 0)
+        with pytest.raises(RuntimeError):
+            rm.configure_classes({"video": 0.5})
+
+
+class TestLedgerChurn:
+    def test_500_cycles_return_ledger_to_zero(self):
+        """Satellite check: open/close churn never leaks reservations.
+
+        Waves of explicitly negotiated connections (which reserve on both
+        hosts) opened in overlapping waves — after everything closes,
+        both ledgers are empty and the accounting balances.
+        """
+        sysm, a, b = build(admission_bps=20e9, buffer_capacity=1 << 26)
+        sim = sysm.sim
+        closed = []
+
+        def cycle(i):
+            # close 0.5s after establishment (never before: a close with
+            # no session yet would silently no-op and leak the open)
+            conn = a.mantts.open(
+                video_acd(),
+                on_connected=lambda c: sim.schedule(0.5, c.close),
+                on_closed=lambda: closed.append(i),
+            )
+
+        for i in range(500):
+            sim.schedule((i // 4) * 0.05, lambda i=i: cycle(i))
+        sysm.run(until=30.0)
+        ra, rb = a.mantts.resources, b.mantts.resources
+        assert len(closed) == 500
+        assert len(ra) == 0 and len(rb) == 0
+        assert not b.mantts._unclaimed and not b.mantts._session_res
+        assert rb.admissions == rb.releases >= 500
+
+    def test_failed_admission_leaves_no_reservation(self):
+        # admission fits nothing: every explicit open is refused, and the
+        # responder ledger must end exactly where it started
+        sysm, a, b = build(admission_bps=1e3)
+        failed = []
+        for _ in range(20):
+            a.mantts.open(video_acd(), on_failed=failed.append)
+        sysm.run(until=10.0)
+        assert len(failed) == 20
+        assert len(b.mantts.resources) == 0
+        assert not b.mantts._unclaimed
