@@ -1,19 +1,24 @@
-"""UNITES-X overhead: disabled telemetry must be free (within 5%).
+"""UNITES-X overhead: disabled telemetry AND audit must be free (within 5%).
 
 The tentpole discipline is that every hot-path instrumentation site
-guards with a single ``if TELEMETRY.enabled:`` test.  This benchmark
-enforces the bound on the hottest path of all — the kernel dispatch loop
-— by timing the same E6-style bulk workload two ways:
+guards with a single ``if TELEMETRY.enabled:`` test — and, since the
+audit plane, every lifecycle/protocol hook with ``if AUDIT.enabled:``
+plus the session observer walk with ``if self.observers:``.  This
+benchmark enforces the bound on the hottest path of all — the kernel
+dispatch loop — by timing the same E6-style bulk workload two ways:
 
 * **baseline** — ``Simulator.run`` monkeypatched to
   ``Simulator._run_uninstrumented``, the inlined dispatch loop minus the
   per-event telemetry test, kept for exactly this purpose;
-* **disabled** — the shipping ``run`` with telemetry off (the default).
+* **disabled** — the shipping ``run`` with telemetry *and* audit off
+  (the default).  The workload traverses every audit hook site
+  (``create_session``, ``_accept``, send/deliver notify points), so the
+  ≤5% gate covers the auditor and flight-recorder guards too.
 
 Runs are ABAB-interleaved and the minimum of N is compared (minimum, not
-mean: scheduling noise only ever adds time).  An enabled-telemetry run is
-also timed and reported, but not bounded — paying for what you turn on is
-the deal.
+mean: scheduling noise only ever adds time).  Enabled-telemetry and
+enabled-audit runs are also timed and reported, but not bounded — paying
+for what you turn on is the deal.
 """
 
 import time
@@ -22,6 +27,7 @@ from repro.core.scenario import PointToPointScenario
 from repro.netsim.profiles import fddi_100
 from repro.sim.kernel import Simulator
 from repro.tko.config import SessionConfig
+from repro.unites.obs.audit import AUDIT, QoSContract
 from repro.unites.obs.telemetry import TELEMETRY
 from repro.unites.present import render_table
 
@@ -31,8 +37,10 @@ ROUNDS = 5
 MAX_DISABLED_OVERHEAD = 1.05
 
 
-def _workload(telemetry: bool) -> float:
+def _workload(telemetry: bool, audit: bool = False) -> float:
     """Wall seconds to run the E6 bulk transfer once; returns elapsed."""
+    if audit:
+        AUDIT.enable(window=0.25)
     scenario = PointToPointScenario(
         config=SessionConfig(window=30, segment_size=None),
         workload="bulk",
@@ -44,6 +52,17 @@ def _workload(telemetry: bool) -> float:
     )
     if telemetry:
         scenario.system.enable_telemetry()
+    if audit:
+        # full auditor + flight-recorder machinery on the data path:
+        # send-side observer now, delivery-side via the demux peer-watch
+        AUDIT.attach_session(
+            scenario.sender_session,
+            QoSContract(
+                connection="bench", avg_throughput_bps=1e3,
+                peak_throughput_bps=1e3, max_latency=5.0, max_jitter=5.0,
+                loss_tolerance=1.0, ordered=True, captured_at=0.0,
+            ),
+        )
     t0 = time.perf_counter()
     scenario.run(8.0)
     elapsed = time.perf_counter() - t0
@@ -51,12 +70,17 @@ def _workload(telemetry: bool) -> float:
     if telemetry:
         TELEMETRY.disable()
         TELEMETRY.reset()
+    if audit:
+        AUDIT.disable()
+        AUDIT.reset()
     return elapsed, events
 
 
 def test_obs_overhead_disabled_is_free(benchmark, monkeypatch):
     TELEMETRY.disable()
     TELEMETRY.reset()
+    AUDIT.disable()
+    AUDIT.reset()
 
     def measure():
         baseline, disabled = [], []
@@ -67,21 +91,26 @@ def test_obs_overhead_disabled_is_free(benchmark, monkeypatch):
             t, events = _workload(telemetry=False)
             baseline.append(t)
             monkeypatch.undo()
-            # B: shipping loop, telemetry disabled
+            # B: shipping loop, telemetry + audit disabled (the default)
+            assert not TELEMETRY.enabled and not AUDIT.enabled
             t, _ = _workload(telemetry=False)
             disabled.append(t)
         enabled, _ = _workload(telemetry=True)
-        return min(baseline), min(disabled), enabled, events
+        audited, _ = _workload(telemetry=True, audit=True)
+        return min(baseline), min(disabled), enabled, audited, events
 
-    base, disabled, enabled, events = benchmark.pedantic(
+    base, disabled, enabled, audited, events = benchmark.pedantic(
         measure, rounds=1, iterations=1
     )
     ratio = disabled / base
     rows = [
         {"variant": "no-telemetry baseline", "wall_s": base, "vs_baseline": 1.0},
-        {"variant": "telemetry disabled", "wall_s": disabled, "vs_baseline": ratio},
+        {"variant": "telemetry+audit disabled", "wall_s": disabled,
+         "vs_baseline": ratio},
         {"variant": "telemetry enabled", "wall_s": enabled,
          "vs_baseline": enabled / base},
+        {"variant": "telemetry+audit enabled", "wall_s": audited,
+         "vs_baseline": audited / base},
     ]
     record(
         benchmark,
@@ -93,6 +122,6 @@ def test_obs_overhead_disabled_is_free(benchmark, monkeypatch):
         events=events,
     )
     assert ratio <= MAX_DISABLED_OVERHEAD, (
-        f"disabled telemetry costs {100 * (ratio - 1):.1f}% "
+        f"disabled telemetry+audit costs {100 * (ratio - 1):.1f}% "
         f"(bound: {100 * (MAX_DISABLED_OVERHEAD - 1):.0f}%)"
     )

@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""QoS conformance auditing end to end: contract → violation → black box.
+
+A media stream negotiates 400 kbps over a healthy path, then the
+bottleneck link collapses to a tenth of its bandwidth mid-transfer.  The
+audit plane (UNITES-X §4.3) has captured the negotiated contract at
+Stage III instantiation and measures the *delivered* service in sliding
+sim-time windows, so the collapse surfaces as typed throughput
+violations, a falling conformance score, and — on the first breach — a
+self-contained flight-recorder dump that this script then analyzes the
+way an operator would after the fact:
+
+    python -m repro.unites.obs.flight <dump.json>
+
+Run:  python examples/qos_audit_demo.py
+"""
+
+import glob
+import json
+import os
+import tempfile
+
+from repro import ACD, AdaptiveSystem, QualitativeQoS, QuantitativeQoS
+from repro.netsim.faults import FaultInjector, FaultSchedule
+from repro.netsim.profiles import ethernet_10, linear_path
+from repro.unites.obs import AUDIT, TELEMETRY
+from repro.unites.obs.flight import analyze, load
+
+
+def main() -> None:
+    dump_dir = tempfile.mkdtemp(prefix="qos-audit-")
+    system = AdaptiveSystem(seed=17)
+    system.attach_network(
+        linear_path(system.sim, ethernet_10(), ("studio", "viewer"), rng=system.rng)
+    )
+    studio = system.node("studio")
+    viewer = system.node("viewer")
+
+    frames = []
+    viewer.mantts.register_service(
+        7000, on_deliver=lambda d, m: frames.append(len(d))
+    )
+
+    system.enable_telemetry()
+    # two warm-up windows: the ramp between contract capture and the
+    # first full-rate window must not count against the contract
+    system.enable_audit(window=0.25, warmup_windows=2, dump_dir=dump_dir)
+
+    acd = ACD(
+        participants=("viewer",),
+        quantitative=QuantitativeQoS(
+            avg_throughput_bps=400e3, max_latency=0.5, duration=600,
+        ),
+        qualitative=QualitativeQoS(),
+        service_port=7000,
+    )
+    conn = studio.mantts.open(acd)
+    system.run(until=0.3)
+    assert conn._established, "connection failed to establish"
+    auditor = AUDIT.auditors[conn.ref]
+    print(f"contract captured for {conn.ref}: {auditor.contract.describe()}")
+
+    # the bottleneck collapses to 10% for two seconds, mid-stream
+    schedule = FaultSchedule().bandwidth_collapse(
+        at=system.now + 1.0, a="s1", b="s2", factor=0.1, duration=2.0
+    )
+    FaultInjector(system.sim, system.network, schedule).arm()
+
+    def scoreline() -> str:
+        card = auditor.scorecard()
+        return (
+            f"t={system.now:5.2f}s  delivered={len(frames):3d} msgs  "
+            f"score={card['overall_score']:.3f}  "
+            f"violations={card['violations']}"
+        )
+
+    # offer a steady 400 kbps (1250 B every 25 ms), watching the scorecard
+    print("\nlive conformance scorecard:")
+    for step in range(16):
+        for _ in range(10):
+            conn.send(b"v" * 1250)
+            system.run(until=system.now + 0.025)
+        print(scoreline())
+    system.run(until=system.now + 1.0)
+    AUDIT.finalize()
+
+    card = auditor.scorecard()
+    assert frames, "nothing was delivered"
+    assert any(v.kind == "throughput" for v in auditor.violations), (
+        "the bandwidth collapse should have breached the throughput contract"
+    )
+    assert card["overall_score"] < 1.0
+    print(f"\nfinal score {card['overall_score']:.3f}; per-dimension verdicts:")
+    for kind, d in card["dimensions"].items():
+        print(f"  {kind:<10} {d['violations']}/{d['windows']} windows violated")
+
+    dumps = sorted(glob.glob(os.path.join(dump_dir, "flight-*.json")))
+    assert dumps, "a violation dump should have been written"
+    print(f"\nblack-box dump written to {dumps[0]}")
+    print("analyzer output (python -m repro.unites.obs.flight):\n")
+    dump = load(dumps[0])
+    assert dump["trigger"]["kind"] == "violation"
+    print(analyze(dump, tail=8))
+
+    # the dump round-trips as plain JSON: self-contained by construction
+    json.dumps(dump)
+
+
+if __name__ == "__main__":
+    try:
+        main()
+    finally:
+        TELEMETRY.disable()
+        TELEMETRY.reset()
+        AUDIT.disable()
+        AUDIT.reset()

@@ -136,6 +136,34 @@ class AdaptiveSystem:
 
         return TELEMETRY.enable(sim=self.sim, max_records=max_records)
 
+    def enable_audit(self, **kwargs):
+        """Turn on the QoS conformance audit plane for this system.
+
+        Every connection subsequently instantiated by a node's MANTTS
+        captures its negotiated contract and is measured against it.
+        Keyword arguments configure the plane (``window``,
+        ``warmup_windows``, ``loss_grace``, ``throughput_slack``,
+        ``flight_capacity``, ``dump_dir``); returns the global
+        :data:`~repro.unites.obs.audit.AUDIT` handle.
+        """
+        from repro.unites.obs.audit import AUDIT
+
+        return AUDIT.enable(**kwargs)
+
+    def serve_telemetry(self, host: str = "127.0.0.1", port: int = 0):
+        """Start the live HTTP telemetry plane for this system.
+
+        Serves ``/metrics``, ``/healthz``, ``/connections``, and
+        ``/audit`` from a daemon thread; returns the started
+        :class:`~repro.unites.obs.server.TelemetryServer` (``.url`` has
+        the bound address, ``.stop()`` shuts it down).
+        """
+        from repro.unites.obs.server import TelemetryServer
+
+        server = TelemetryServer(system=self, host=host, port=port)
+        server.start()
+        return server
+
     def run(self, until: Optional[float] = None) -> None:
         self.sim.run(until=until)
 

@@ -522,6 +522,52 @@ class ConnectionManager:
     # ------------------------------------------------------------------
     # views
     # ------------------------------------------------------------------
+    def table(self) -> List[Dict[str, object]]:
+        """The live connection table as plain rows (telemetry endpoint).
+
+        Each row carries the ref, lifecycle state, demux tuple (once
+        established), current adaptation rung, and — when the audit plane
+        is on — the connection's conformance score and violation count.
+        Read-only: building the table never touches protocol state.
+        """
+        from repro.mantts.adaptation import LEVELS as _LEVELS
+        from repro.unites.obs.audit import AUDIT as _AUDIT
+
+        rows: List[Dict[str, object]] = []
+        for ref in sorted(self.connections):
+            row: Dict[str, object] = {
+                "ref": ref,
+                "host": self.host.name,
+                "state": (
+                    "pending" if ref in self.pending_refs
+                    else "degraded" if ref in self.degraded_refs
+                    else "open" if ref in self.open_refs
+                    else "closing"
+                ),
+            }
+            key = self._keys.get(ref)
+            if key is not None:
+                row["local_port"], row["remote_host"], row["remote_port"] = key
+            ctrl = self.controllers.get(ref)
+            if ctrl is not None:
+                row["adaptation_level"] = _LEVELS[ctrl.level]
+            auditor = _AUDIT.auditors.get(ref) if _AUDIT.enabled else None
+            if auditor is not None:
+                row["qos_score"] = round(auditor.overall_score, 4)
+                row["qos_violations"] = len(auditor.violations)
+            rows.append(row)
+        return rows
+
+    def audit_scorecards(self) -> List[Dict[str, object]]:
+        """Conformance scorecards for this host's audited connections."""
+        from repro.unites.obs.audit import AUDIT as _AUDIT
+
+        return [
+            _AUDIT.auditors[ref].scorecard()
+            for ref in sorted(self.connections)
+            if ref in _AUDIT.auditors
+        ]
+
     def snapshot(self) -> Dict[str, float]:
         """The per-host gauge set (also what UNITES publishes)."""
         return {
@@ -571,6 +617,22 @@ class ConnectionManager:
             labels={**labels, "verdict": "reject"},
             help="admission verdicts recorded by the connection manager",
         ).value = float(self.admission_rejected)
+        from repro.unites.obs.audit import AUDIT as _AUDIT
+
+        if _AUDIT.enabled:
+            audited = [
+                _AUDIT.auditors[ref]
+                for ref in self.connections
+                if ref in _AUDIT.auditors
+            ]
+            metrics.gauge(
+                "connmgr_audited_connections", labels=labels,
+                help="live connections with a QoS conformance auditor attached",
+            ).set(len(audited))
+            metrics.gauge(
+                "connmgr_qos_violations_open", labels=labels,
+                help="QoS violations recorded against this host's live connections",
+            ).set(sum(len(a.violations) for a in audited))
 
     def __len__(self) -> int:
         return len(self.connections)

@@ -31,9 +31,11 @@ by tests) and emitted as UNITES ``adapt:*`` instants/metrics.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, List, Optional, Tuple
+from dataclasses import asdict, dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
 
 from repro.mantts.monitor import NetworkState
+from repro.unites.obs.audit import AUDIT as _AUDIT
 from repro.unites.obs.telemetry import TELEMETRY as _TELEMETRY
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -44,6 +46,51 @@ LEVELS = ("normal", "retuned", "segued", "renegotiated", "degraded")
 
 #: transmission schemes whose window should track the path's BDP
 _WINDOWED = ("stop-and-wait", "sliding-window", "window-rate", "tcp-aimd")
+
+
+@dataclass(frozen=True)
+class AdaptationDecision:
+    """One ladder decision with the evidence that produced it.
+
+    ``controller.events`` keeps the historical ``(time, action, detail)``
+    tuples untouched; this richer record adds *why* — the triggering
+    monitor sample, the exact thresholds it crossed, the rung the ladder
+    stood on, and the outcome — so a flight-recorder dump can show the
+    full cause→ladder→effect chain next to the QoS violations it
+    responded to.
+    """
+
+    time: float
+    action: str
+    detail: str
+    level: int
+    rung: str
+    outcome: str = ""
+    #: summary of the sample that triggered the decision (None for
+    #: decisions not driven by a sample, e.g. manual teardown)
+    trigger: Optional[Dict[str, Any]] = None
+    #: ``(threshold-name, measured, bound)`` per crossed threshold
+    thresholds: Tuple[Tuple[str, float, float], ...] = field(default_factory=tuple)
+
+    def to_dict(self) -> Dict[str, Any]:
+        d = asdict(self)
+        d["thresholds"] = [list(t) for t in self.thresholds]
+        return d
+
+
+def _sample_summary(state: Optional[NetworkState]) -> Optional[Dict[str, Any]]:
+    if state is None:
+        return None
+    return {
+        "rtt": state.rtt,
+        "base_rtt": state.base_rtt,
+        "congestion": state.congestion,
+        "loss_rate": state.loss_rate,
+        "ber": state.ber,
+        "bottleneck_bps": state.bottleneck_bps,
+        "reachable": state.reachable,
+        "path": "->".join(state.path) if state.path else "",
+    }
 
 
 class AdaptationController:
@@ -82,6 +129,9 @@ class AdaptationController:
         self.level = 0
         #: ordered decision log: (sim_time, action, detail) — deterministic
         self.events: List[Tuple[float, str, str]] = []
+        #: structured decision-audit trail (trigger sample, thresholds
+        #: crossed, rung, outcome) — what flight dumps cross-link
+        self.decisions: List[AdaptationDecision] = []
         self.teardown_retries = 0
         self._baseline: Optional[NetworkState] = None
         self._last_path: Optional[Tuple[str, ...]] = None
@@ -102,8 +152,26 @@ class AdaptationController:
     def level_name(self) -> str:
         return LEVELS[self.level]
 
-    def _record(self, action: str, detail: str) -> None:
-        self.events.append((self.conn.now, action, detail))
+    def _record(
+        self,
+        action: str,
+        detail: str,
+        state: Optional[NetworkState] = None,
+        outcome: str = "",
+    ) -> None:
+        now = self.conn.now
+        self.events.append((now, action, detail))
+        decision = AdaptationDecision(
+            time=now,
+            action=action,
+            detail=detail,
+            level=self.level,
+            rung=LEVELS[self.level],
+            outcome=outcome,
+            trigger=_sample_summary(state),
+            thresholds=self._crossed(state),
+        )
+        self.decisions.append(decision)
         _TELEMETRY.instant(
             f"adapt:{action}", "adaptation",
             conn=self.conn.ref, level=LEVELS[self.level], detail=detail,
@@ -112,6 +180,44 @@ class AdaptationController:
             _TELEMETRY.metrics.counter(
                 "adaptation_actions_total", labels={"action": action},
                 help="adaptation-ladder decisions by kind").inc()
+        if _AUDIT.enabled:
+            _AUDIT.note_adaptation(self.conn.ref, decision.to_dict())
+
+    def _crossed(
+        self, state: Optional[NetworkState]
+    ) -> Tuple[Tuple[str, float, float], ...]:
+        """Which degradation thresholds the sample crossed (evidence for
+        the decision trail; mirrors :meth:`_is_degraded`'s conditions)."""
+        if state is None:
+            return ()
+        out: List[Tuple[str, float, float]] = []
+        if not state.reachable:
+            out.append(("reachable", 0.0, 1.0))
+            return tuple(out)
+        base = self._baseline
+        if state.congestion > self.congestion_threshold:
+            out.append(("congestion", state.congestion, self.congestion_threshold))
+        if state.loss_rate > self.loss_threshold:
+            out.append(("loss_rate", state.loss_rate, self.loss_threshold))
+        ber_bound = max(self.ber_threshold, (base.ber * 10.0) if base else 0.0)
+        if state.ber > ber_bound:
+            out.append(("ber", state.ber, ber_bound))
+        if (
+            state.base_rtt > 0
+            and state.base_rtt != float("inf")
+            and state.rtt > self.rtt_factor * state.base_rtt
+        ):
+            out.append(("rtt", state.rtt, self.rtt_factor * state.base_rtt))
+        if (
+            base is not None
+            and base.bottleneck_bps > 0
+            and state.bottleneck_bps < self.bandwidth_floor * base.bottleneck_bps
+        ):
+            out.append((
+                "bandwidth", state.bottleneck_bps,
+                self.bandwidth_floor * base.bottleneck_bps,
+            ))
+        return tuple(out)
 
     # ------------------------------------------------------------------
     # the monitor callback — one decision per sample
@@ -232,7 +338,8 @@ class AdaptationController:
             sess.rtt.reseed(rto)
             for entry in sess.state.outstanding.values():
                 entry.retries = 0
-        self._record("failover", "->".join(state.path))
+        self._record("failover", "->".join(state.path), state=state,
+                     outcome="rederived")
 
     # ------------------------------------------------------------------
     # the ladder
@@ -266,7 +373,7 @@ class AdaptationController:
                 self.on_restored(self.conn, state)
         prior = LEVELS[self.level]
         self.level = 0
-        self._record("restore", f"from {prior}")
+        self._record("restore", f"from {prior}", state=state, outcome="normal")
 
     def _fair_rate(self, state: NetworkState, share: float = 0.5) -> float:
         cfg = self.conn.cfg
@@ -282,7 +389,8 @@ class AdaptationController:
         elif cfg.transmission in _WINDOWED:
             overrides["window"] = max(2, cfg.window // 2)
         applied = c.apply_overrides(overrides, reason="adapt-retune") if overrides else False
-        self._record("retune", "applied" if applied else "noop")
+        self._record("retune", "applied" if applied else "noop", state=state,
+                     outcome="applied" if applied else "noop")
 
     def _segue(self, state: NetworkState) -> None:
         """Mechanism swap chosen by dominant symptom.
@@ -313,7 +421,7 @@ class AdaptationController:
             detail = "gbn->sr"
         if overrides:
             c.apply_overrides(overrides, reason=f"adapt-segue:{detail}")
-        self._record("segue", detail)
+        self._record("segue", detail, state=state, outcome=detail)
 
     def _renegotiate(self, state: NetworkState) -> None:
         c = self.conn
@@ -327,11 +435,13 @@ class AdaptationController:
             new_cfg = cfg
         target_bps = max(8_000.0, state.bottleneck_bps * 0.5)
         self._reneg_pending = True
-        self._record("renegotiate", f"target={target_bps:.0f}bps")
+        self._record("renegotiate", f"target={target_bps:.0f}bps", state=state,
+                     outcome="started")
 
         def done(ok: bool) -> None:
             self._reneg_pending = False
-            self._record("renegotiate-done", "accept" if ok else "failed")
+            self._record("renegotiate-done", "accept" if ok else "failed",
+                         outcome="accept" if ok else "failed")
 
         started = c.lifecycle.renegotiate_midstream(
             new_cfg, throughput_bps=target_bps, on_done=done
@@ -356,7 +466,9 @@ class AdaptationController:
                 manager.note_degraded(c, True)
             if self.on_degraded is not None:
                 self.on_degraded(c, state)
-        self._record("degrade", str(sorted(overrides)) if overrides else "flag-only")
+        self._record("degrade", str(sorted(overrides)) if overrides else "flag-only",
+                     state=state,
+                     outcome="overrides" if overrides else "flag-only")
 
     # ------------------------------------------------------------------
     # unreachability: bounded retries with backoff, then teardown
@@ -369,7 +481,8 @@ class AdaptationController:
             return
         self.teardown_retries += 1
         if self.teardown_retries > self.max_teardown_retries:
-            self._record("teardown", f"after {self.max_teardown_retries} retries")
+            self._record("teardown", f"after {self.max_teardown_retries} retries",
+                         state=state, outcome="abort")
             sess = self.conn.session
             if sess is not None and not sess.closed:
                 sess.abort("adaptation: destination unreachable")
@@ -377,4 +490,5 @@ class AdaptationController:
         # wait exponentially longer (in monitor periods) before the next
         # escalation — the bounded-retry backoff
         self._giveup_at += self.unreachable_after * (2 ** self.teardown_retries)
-        self._record("retry", f"attempt {self.teardown_retries}")
+        self._record("retry", f"attempt {self.teardown_retries}", state=state,
+                     outcome="backoff")

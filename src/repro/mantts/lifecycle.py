@@ -19,6 +19,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.mantts.tsc import select_tsc
 from repro.tko.config import SessionConfig
+from repro.unites.obs.audit import AUDIT as _AUDIT
 from repro.unites.obs.telemetry import NULL_SPAN, TELEMETRY as _TELEMETRY
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -217,6 +218,11 @@ class ConnectionLifecycle:
                 on_open_failed=self.fail,
             )
             c.session.connect()
+        if _AUDIT.enabled:
+            # contract capture: the negotiated QoS is now final, the
+            # session exists, and no data has flowed — the instant the
+            # audit plane's conformance clock should start
+            _AUDIT.attach_connection(c)
         for data in self.pending_sends:
             c.session.send(data)
         self.pending_sends.clear()
@@ -382,6 +388,8 @@ class ConnectionLifecycle:
         c = self.conn
         self.nego_span.end(outcome="fail")
         self.setup_span.end(outcome="failed", reason=reason)
+        if _AUDIT.enabled:
+            _AUDIT.note_teardown(c.ref, reason)
         if c.monitor is not None:
             c.monitor.stop()
         if not self.established and self.sent_refs:

@@ -25,6 +25,7 @@ from repro.tko.config import SessionConfig
 from repro.tko.pdu import PDU, PduType
 from repro.tko.session import TKOSession
 from repro.tko.synthesizer import TKOSynthesizer
+from repro.unites.obs.audit import AUDIT as _AUDIT
 
 #: instructions to demultiplex one arriving PDU to its session
 DEMUX_COST = 120.0
@@ -96,6 +97,8 @@ class TKOProtocol:
         else:
             self.host.ports.connect(port, remote_host, remote_port, session)
         self.sessions[conn_id] = session
+        if _AUDIT.enabled:
+            _AUDIT.session_created(session)
         return session
 
     def listen(
@@ -167,6 +170,10 @@ class TKOProtocol:
         )
         self.host.ports.connect(listener.port, frame.src, pdu.src_port, session)
         self.sessions[conn_id] = session
+        if _AUDIT.enabled:
+            # a QoS auditor watching this demux tuple attaches its
+            # delivery-side observer before the opening PDU is processed
+            _AUDIT.session_created(session)
         self.frames_demuxed += 1
         session.context.connection.passive_open(pdu)
         if pdu.ptype is PduType.DATA:

@@ -381,6 +381,7 @@ class TKOSession:
     def notify_closed(self) -> None:
         if self._closed:
             return
+        self._notify("close")
         self._teardown()
         if self.on_closed is not None:
             self.on_closed()

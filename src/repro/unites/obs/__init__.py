@@ -16,7 +16,18 @@ a repository); this subpackage adds the *systems* half:
   :class:`~repro.unites.repository.MetricRepository`;
 * :mod:`repro.unites.obs.exporters` — JSONL event logs, Chrome
   ``trace_event`` JSON (loadable in Perfetto / ``chrome://tracing``), and
-  Prometheus-style text dumps.
+  Prometheus-style text dumps (with :func:`~repro.unites.obs.exporters.
+  validate_prometheus` structural checks);
+* :mod:`repro.unites.obs.audit` — the QoS conformance **audit plane**:
+  per-connection contract capture, sliding-window measurement of the
+  delivered service, typed :class:`~repro.unites.obs.audit.QoSViolation`
+  events, and scorecards behind the global
+  :data:`~repro.unites.obs.audit.AUDIT` handle;
+* :mod:`repro.unites.obs.flight` — the bounded black-box flight recorder
+  and its post-hoc analyzer (``python -m repro.unites.obs.flight``);
+* :mod:`repro.unites.obs.server` — a stdlib daemon-thread HTTP endpoint
+  serving ``/metrics``, ``/healthz``, ``/connections``, and ``/audit``
+  from the live registries.
 
 These modules are deliberate *leaves*: they import nothing from the rest of
 ``repro``, so the lowest substrate (``repro.sim.kernel``) can import the
@@ -29,22 +40,41 @@ from repro.unites.obs.exporters import (
     render_prometheus,
     to_chrome_trace,
     to_jsonl,
+    validate_prometheus,
     write_chrome_trace,
     write_jsonl,
 )
+from repro.unites.obs.audit import (
+    AUDIT,
+    AuditPlane,
+    QoSAuditor,
+    QoSContract,
+    QoSViolation,
+)
+from repro.unites.obs.flight import FlightRecorder, analyze as analyze_flight
+from repro.unites.obs.server import TelemetryServer
 
 __all__ = [
+    "AUDIT",
+    "AuditPlane",
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricRegistry",
     "NULL_SPAN",
+    "QoSAuditor",
+    "QoSContract",
+    "QoSViolation",
     "TELEMETRY",
+    "TelemetryServer",
     "Span",
     "Telemetry",
+    "analyze_flight",
     "render_prometheus",
     "to_chrome_trace",
     "to_jsonl",
+    "validate_prometheus",
     "write_chrome_trace",
     "write_jsonl",
 ]

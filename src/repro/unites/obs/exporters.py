@@ -169,10 +169,11 @@ def render_prometheus(registry: MetricRegistry) -> str:
         if m.name not in seen_family:
             seen_family.add(m.name)
             if m.help:
-                lines.append(f"# HELP {m.name} {m.help}")
+                lines.append(f"# HELP {m.name} {_escape_help(m.help)}")
             lines.append(f"# TYPE {m.name} {m.kind}")
         if isinstance(m, (Counter, Gauge)):
-            lines.append(f"{m.flat_name} {_prom_num(m.value)}")
+            flat = format_labels(m.name, dict(m.labels))
+            lines.append(f"{flat} {_prom_num(m.value)}")
         elif isinstance(m, Histogram):
             cumulative = 0
             base = dict(m.labels)
@@ -190,8 +191,110 @@ def render_prometheus(registry: MetricRegistry) -> str:
     return "\n".join(lines) + ("\n" if lines else "")
 
 
+def _escape_label_value(v: str) -> str:
+    """Escape a label value per the exposition format: backslash first,
+    then the quote the value is wrapped in, then literal newlines."""
+    return v.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(text: str) -> str:
+    """HELP text escaping: backslash and newline (quotes stay literal)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def format_labels(name: str, labels: Dict[str, str]) -> str:
+    """Prometheus sample name ``name{k="v",...}`` with label-value escaping.
+
+    Every Counter/Gauge/Histogram sample rendered by
+    :func:`render_prometheus` routes through here — there is exactly one
+    place label values are serialized, so hostile values (quotes,
+    backslashes, newlines) cannot corrupt the exposition stream.
+    """
     if not labels:
         return name
-    inner = ",".join(f'{k}="{v}"' for k, v in labels.items())
+    inner = ",".join(
+        f'{k}="{_escape_label_value(str(v))}"' for k, v in labels.items()
+    )
     return f"{name}{{{inner}}}"
+
+
+# ----------------------------------------------------------------------
+# exposition-format validation (CI telemetry smoke)
+# ----------------------------------------------------------------------
+def validate_prometheus(text: str) -> List[str]:
+    """Structural checks on a Prometheus text payload; returns problems.
+
+    Verifies what a scraper's parser would reject: each ``# TYPE`` /
+    ``# HELP`` appears at most once per family and *before* that
+    family's samples, every sample line parses (name + float value, with
+    ``+Inf``/``-Inf``/``NaN`` accepted), sample names belong to a
+    declared family (histograms may append ``_bucket``/``_sum``/
+    ``_count``), and no ``(name, labels)`` series repeats.  An empty
+    list means the payload is well-formed.
+    """
+    problems: List[str] = []
+    typed: Dict[str, str] = {}
+    helped: set = set()
+    sampled_families: set = set()
+    seen_series: set = set()
+
+    def family_of(sample_name: str) -> str:
+        for suffix in ("_bucket", "_sum", "_count"):
+            base = sample_name[: -len(suffix)] if sample_name.endswith(suffix) else None
+            if base and typed.get(base) == "histogram":
+                return base
+        return sample_name
+
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(None, 3)
+            if len(parts) < 4:
+                problems.append(f"line {lineno}: malformed TYPE line")
+                continue
+            name, kind = parts[2], parts[3]
+            if name in typed:
+                problems.append(f"line {lineno}: duplicate TYPE for family {name}")
+            if name in sampled_families:
+                problems.append(f"line {lineno}: TYPE for {name} after its samples")
+            typed[name] = kind
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(None, 3)
+            if len(parts) < 3:
+                problems.append(f"line {lineno}: malformed HELP line")
+                continue
+            name = parts[2]
+            if name in helped:
+                problems.append(f"line {lineno}: duplicate HELP for family {name}")
+            if name in sampled_families:
+                problems.append(f"line {lineno}: HELP for {name} after its samples")
+            helped.add(name)
+            continue
+        if line.startswith("#"):
+            continue
+        # sample line: name[{labels}] value
+        head, _, value_part = line.rpartition(" ")
+        if not head:
+            problems.append(f"line {lineno}: no value on sample line")
+            continue
+        value = value_part.strip()
+        if value not in ("+Inf", "-Inf", "NaN"):
+            try:
+                float(value)
+            except ValueError:
+                problems.append(f"line {lineno}: unparseable value {value!r}")
+                continue
+        series = head.strip()
+        name = series.split("{", 1)[0]
+        family = family_of(name)
+        if family not in typed:
+            problems.append(f"line {lineno}: sample {name} has no TYPE declaration")
+        sampled_families.add(family)
+        if series in seen_series:
+            problems.append(f"line {lineno}: duplicate series {series}")
+        seen_series.add(series)
+    for name in helped - set(typed):
+        problems.append(f"family {name} has HELP but no TYPE")
+    return problems

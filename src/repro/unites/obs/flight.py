@@ -1,0 +1,200 @@
+"""Black-box flight recorder: a bounded ring of recent per-connection
+events, dumped as self-contained JSON when something goes wrong.
+
+Aircraft flight recorders keep only the last N minutes — enough context
+to reconstruct the failure without unbounded storage.  The transport
+analogue here is a :class:`FlightRecorder` ring fed by the QoS auditor
+(:mod:`repro.unites.obs.audit`): recent deliveries, retransmissions,
+network-monitor samples, window summaries, adaptation-ladder decisions,
+and violations.  On a QoS violation, a degradation, or an abnormal
+teardown, the audit plane snapshots the ring together with the
+contract, scorecard, violation list, and adaptation decision trail into
+one JSON document that answers *what led up to this* offline — the
+cause→ladder→effect chain the UNITES monitoring mandate (§4.3) asks for.
+
+Post-hoc analysis::
+
+    python -m repro.unites.obs.flight flight-A-1-violation-1.json
+
+All timestamps are sim time; no wall-clock state enters a dump, so two
+equivalent runs produce byte-identical black boxes.  This module is a
+leaf: stdlib only.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from collections import deque
+from typing import Any, Dict, List, Optional
+
+
+class FlightRecorder:
+    """Bounded ring of recent events for one connection."""
+
+    __slots__ = ("capacity", "records", "noted_total")
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError("flight recorder capacity must be >= 1")
+        self.capacity = int(capacity)
+        self.records: deque = deque(maxlen=self.capacity)
+        self.noted_total = 0
+
+    def note(self, kind: str, time: float, **details: Any) -> None:
+        """Append one event; the oldest falls off when the ring is full."""
+        rec = {"kind": kind, "time": time}
+        if details:
+            rec.update(details)
+        self.records.append(rec)
+        self.noted_total += 1
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        return [dict(r) for r in self.records]
+
+    @property
+    def dropped(self) -> int:
+        return max(0, self.noted_total - len(self.records))
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+# ----------------------------------------------------------------------
+# post-hoc analysis
+# ----------------------------------------------------------------------
+def _fmt_value(v: Any) -> str:
+    if isinstance(v, float):
+        return f"{v:.6g}"
+    return str(v)
+
+
+def _fmt_record(rec: Dict[str, Any]) -> str:
+    t = rec.get("time", 0.0)
+    kind = rec.get("kind", "?")
+    rest = ", ".join(
+        f"{k}={_fmt_value(v)}" for k, v in rec.items()
+        if k not in ("time", "kind") and v is not None
+    )
+    return f"  t={t:10.6f}  {kind:<12} {rest}"
+
+
+def analyze(dump: Dict[str, Any], tail: int = 20) -> str:
+    """Render one flight dump as a human-readable incident report.
+
+    The report walks cause→ladder→effect: the contract that was in
+    force, the conformance scorecard at dump time, the violation that
+    (typically) triggered the dump, the adaptation-ladder decisions that
+    responded, and the tail of the raw event ring for fine-grained
+    context.
+    """
+    lines: List[str] = []
+    conn = dump.get("connection", "?")
+    trigger = dump.get("trigger", {})
+    lines.append(f"=== flight recorder dump: connection {conn} ===")
+    tkind = trigger.get("kind", "?")
+    ttime = trigger.get("time")
+    head = f"trigger : {tkind}"
+    if ttime is not None:
+        head += f" at t={float(ttime):.6f}s"
+    v = trigger.get("violation")
+    if isinstance(v, dict):
+        head += (
+            f" ({v.get('kind')}: measured {_fmt_value(v.get('measured'))}"
+            f" vs bound {_fmt_value(v.get('bound'))})"
+        )
+    if trigger.get("reason"):
+        head += f" ({trigger['reason']})"
+    lines.append(head)
+
+    contract = dump.get("contract", {})
+    if contract:
+        lines.append(
+            "contract: "
+            + ", ".join(
+                f"{k}={_fmt_value(v)}" for k, v in contract.items()
+                if k not in ("connection", "captured_at") and v is not None
+            )
+        )
+
+    card = dump.get("scorecard", {})
+    if card:
+        lines.append(
+            f"scorecard: overall {card.get('overall_score')} over "
+            f"{card.get('windows_evaluated', 0)} evaluated windows, "
+            f"{card.get('violations', 0)} violations"
+        )
+        for kind, d in (card.get("dimensions") or {}).items():
+            lines.append(
+                f"  {kind:<10} score {d.get('score')} "
+                f"({d.get('violations')}/{d.get('windows')} windows violated)"
+            )
+
+    violations = dump.get("violations") or []
+    if violations:
+        lines.append(f"violations ({len(violations)}):")
+        for v in violations[-10:]:
+            lines.append(
+                f"  t={v.get('time', 0.0):10.6f}  {v.get('kind', '?'):<10} "
+                f"measured {_fmt_value(v.get('measured'))} "
+                f"vs bound {_fmt_value(v.get('bound'))}  {v.get('detail', '')}"
+            )
+
+    trail = dump.get("adaptation") or []
+    if trail:
+        lines.append(f"adaptation trail ({len(trail)} decisions):")
+        for d in trail[-10:]:
+            row = (
+                f"  t={d.get('time', 0.0):10.6f}  {d.get('action', '?'):<16} "
+                f"{d.get('detail', '')}"
+            )
+            crossed = d.get("thresholds")
+            if crossed:
+                row += "  [" + "; ".join(
+                    f"{name} {_fmt_value(measured)}>{_fmt_value(bound)}"
+                    for name, measured, bound in crossed
+                ) + "]"
+            if d.get("outcome"):
+                row += f" -> {d['outcome']}"
+            lines.append(row)
+
+    records = dump.get("records") or []
+    if records:
+        lines.append(f"event ring (last {min(tail, len(records))} of {len(records)}):")
+        for rec in records[-tail:]:
+            lines.append(_fmt_record(rec))
+
+    cfg = dump.get("config")
+    if cfg:
+        lines.append(
+            "session config: "
+            + ", ".join(f"{k}={v}" for k, v in sorted(cfg.items()) if v is not None)
+        )
+    return "\n".join(lines)
+
+
+def load(path: str) -> Dict[str, Any]:
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """``python -m repro.unites.obs.flight <dump.json> [...]``"""
+    args = list(sys.argv[1:] if argv is None else argv)
+    if not args or args[0] in ("-h", "--help"):
+        print("usage: python -m repro.unites.obs.flight <dump.json> [...]")
+        return 0 if args else 2
+    status = 0
+    for path in args:
+        try:
+            dump = load(path)
+        except (OSError, ValueError) as exc:
+            print(f"{path}: cannot read dump: {exc}", file=sys.stderr)
+            status = 1
+            continue
+        print(analyze(dump))
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()
+    raise SystemExit(main())

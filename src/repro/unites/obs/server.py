@@ -1,0 +1,189 @@
+"""Live telemetry plane: a stdlib HTTP endpoint for the running system.
+
+The ROADMAP's real-I/O direction calls for "UNITES-X Prometheus
+exporters serving live ``/metrics``"; this module is that endpoint, kept
+to the standard library (``http.server`` on a daemon thread):
+
+========== ==========================================================
+route      payload
+========== ==========================================================
+/metrics   Prometheus text exposition of the live metric registry
+/healthz   liveness JSON (sim time, collection counts)
+/connections  every ConnectionManager's table as JSON
+/audit     current QoS conformance scorecards (the audit plane)
+========== ==========================================================
+
+The server only *reads* shared state — the registry, the connection
+tables, the audit scorecards — and Python object reads are atomic under
+the GIL, so a scrape racing the simulation sees a merely slightly-stale
+view, never a torn one.  Nothing here schedules kernel events or
+touches protocol state: serving telemetry cannot perturb the simulated
+world, and a system that never starts a server pays nothing.
+
+Typical wiring::
+
+    server = system.serve_telemetry()          # port=0 picks a free port
+    print(server.url)                          # http://127.0.0.1:PORT
+    ...
+    server.stop()
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Optional
+
+from repro.unites.obs.audit import AUDIT
+from repro.unites.obs.exporters import render_prometheus
+from repro.unites.obs.telemetry import TELEMETRY
+
+#: content type Prometheus scrapers expect for the text format
+PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class TelemetryServer:
+    """A daemon-thread HTTP endpoint over the live observability state.
+
+    ``system`` (an ``AdaptiveSystem``) or an explicit ``managers`` list
+    supplies the connection tables; the metric registry and scorecards
+    come from the process-global :data:`TELEMETRY` / :data:`AUDIT`
+    handles.  ``port=0`` binds an ephemeral port (read it back from
+    :attr:`port` / :attr:`url` — what tests and CI smoke runs use).
+    """
+
+    def __init__(
+        self,
+        system=None,
+        managers: Optional[List[Any]] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.system = system
+        self._managers = list(managers) if managers is not None else None
+        self.host = host
+        self.port = port
+        self.requests_served = 0
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    def managers(self) -> List[Any]:
+        if self._managers is not None:
+            return self._managers
+        if self.system is not None:
+            return [
+                node.mantts.manager
+                for node in self.system.nodes.values()
+                if getattr(node.mantts, "manager", None) is not None
+            ]
+        return []
+
+    # ------------------------------------------------------------------
+    # payload builders (also callable without a running server)
+    # ------------------------------------------------------------------
+    def render_metrics(self) -> str:
+        return render_prometheus(TELEMETRY.metrics)
+
+    def render_health(self) -> Dict[str, Any]:
+        sim = getattr(self.system, "sim", None) or TELEMETRY._sim
+        return {
+            "status": "ok",
+            "sim_time": sim.now if sim is not None else None,
+            "telemetry_enabled": TELEMETRY.enabled,
+            "audit_enabled": AUDIT.enabled,
+            "spans": len(TELEMETRY.spans),
+            "instants": len(TELEMETRY.instants),
+            "metrics": len(TELEMETRY.metrics),
+            "audited_connections": len(AUDIT),
+            "requests_served": self.requests_served,
+        }
+
+    def render_connections(self) -> List[Dict[str, Any]]:
+        rows: List[Dict[str, Any]] = []
+        for manager in self.managers():
+            rows.extend(manager.table())
+        return rows
+
+    def render_audit(self) -> Dict[str, Any]:
+        return AUDIT.scorecards()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "TelemetryServer":
+        if self._httpd is not None:
+            return self
+        server = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def log_message(self, fmt, *args):  # quiet: no stderr spam
+                pass
+
+            def do_GET(self) -> None:
+                server.requests_served += 1
+                path = self.path.split("?", 1)[0].rstrip("/") or "/"
+                try:
+                    if path == "/metrics":
+                        body = server.render_metrics().encode()
+                        ctype = PROM_CONTENT_TYPE
+                    elif path in ("/", "/healthz"):
+                        body = _to_json(server.render_health())
+                        ctype = "application/json"
+                    elif path == "/connections":
+                        body = _to_json(server.render_connections())
+                        ctype = "application/json"
+                    elif path == "/audit":
+                        body = _to_json(server.render_audit())
+                        ctype = "application/json"
+                    else:
+                        body = _to_json({"error": f"unknown route {path}"})
+                        self._reply(404, "application/json", body)
+                        return
+                except Exception as exc:  # a scrape must never kill the server
+                    body = _to_json({"error": f"{type(exc).__name__}: {exc}"})
+                    self._reply(500, "application/json", body)
+                    return
+                self._reply(200, ctype, body)
+
+            def _reply(self, code: int, ctype: str, body: bytes) -> None:
+                self.send_response(code)
+                self.send_header("Content-Type", ctype)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+        self._httpd = ThreadingHTTPServer((self.host, self.port), Handler)
+        self._httpd.daemon_threads = True
+        self.port = self._httpd.server_address[1]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name=f"telemetry-server:{self.port}",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        httpd, self._httpd = self._httpd, None
+        if httpd is not None:
+            httpd.shutdown()
+            httpd.server_close()
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            thread.join(timeout=5.0)
+
+    def __enter__(self) -> "TelemetryServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+
+def _to_json(payload: Any) -> bytes:
+    return json.dumps(payload, indent=1, default=str).encode()

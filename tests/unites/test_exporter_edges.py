@@ -1,0 +1,140 @@
+"""Prometheus exposition edge cases: hostile label values, histogram
+bucket invariants, number formatting, and the payload validator."""
+
+import math
+
+from repro.unites.obs.exporters import (
+    _prom_num,
+    format_labels,
+    render_prometheus,
+    validate_prometheus,
+)
+from repro.unites.obs.registry import MetricRegistry
+
+
+class TestLabelEscaping:
+    def test_hostile_label_values_are_escaped(self):
+        """Regression: quotes/backslashes/newlines in a label value used to
+        be emitted raw, corrupting the exposition stream."""
+        r = MetricRegistry()
+        hostile = 'conn "A"\\path\nB'
+        r.counter("evil_total", labels={"conn": hostile}, help="hostile").inc()
+        text = render_prometheus(r)
+        assert '\\"A\\"' in text          # quote escaped
+        assert "\\\\path" in text         # backslash escaped
+        assert "\\npath" not in text      # ...before, not after, the backslash
+        assert "\\nB" in text             # newline escaped
+        # one HELP, one TYPE, one sample — the newline did not split the line
+        sample_lines = [
+            line for line in text.splitlines() if not line.startswith("#")
+        ]
+        assert len(sample_lines) == 1
+        assert validate_prometheus(text) == []
+
+    def test_backslash_escaped_before_quote(self):
+        # escaping order matters: \" must not become \\" -> \\\"
+        assert format_labels("m", {"k": '\\"'}) == 'm{k="\\\\\\""}'
+
+    def test_no_labels_returns_bare_name(self):
+        assert format_labels("m", {}) == "m"
+
+    def test_non_string_values_coerced(self):
+        assert format_labels("m", {"port": 7000}) == 'm{port="7000"}'
+
+    def test_help_text_newlines_escaped(self):
+        r = MetricRegistry()
+        r.gauge("g", help="line1\nline2").set(1)
+        text = render_prometheus(r)
+        assert "# HELP g line1\\nline2" in text
+        assert validate_prometheus(text) == []
+
+
+class TestHistogramExposition:
+    def _parse_buckets(self, text, name):
+        buckets = []
+        for line in text.splitlines():
+            if line.startswith(f"{name}_bucket"):
+                le = line.split('le="', 1)[1].split('"', 1)[0]
+                buckets.append((le, float(line.rsplit(" ", 1)[1])))
+        return buckets
+
+    def test_cumulative_buckets_are_monotone_and_inf_matches_count(self):
+        r = MetricRegistry()
+        h = r.histogram("lat", bounds=(0.001, 0.01, 0.1, 1.0))
+        for v in (0.0005, 0.005, 0.005, 0.05, 0.5, 5.0, 50.0):
+            h.observe(v)
+        text = render_prometheus(r)
+        buckets = self._parse_buckets(text, "lat")
+        assert buckets[-1][0] == "+Inf"
+        counts = [c for _, c in buckets]
+        assert counts == sorted(counts)          # cumulative: non-decreasing
+        assert counts[-1] == h.count == 7        # +Inf bucket == count
+        assert f"lat_count {h.count}" in text
+        assert f"lat_sum {_prom_num(h.sum)}" in text
+        assert validate_prometheus(text) == []
+
+    def test_labelled_histogram_keeps_series_distinct(self):
+        r = MetricRegistry()
+        r.histogram("d", labels={"conn": "a"}, bounds=(1.0,)).observe(0.5)
+        r.histogram("d", labels={"conn": "b"}, bounds=(1.0,)).observe(2.0)
+        text = render_prometheus(r)
+        assert validate_prometheus(text) == []
+        assert 'd_bucket{conn="a",le="1"} 1' in text
+        assert 'd_bucket{conn="b",le="1"} 0' in text
+
+
+class TestPromNum:
+    def test_infinities(self):
+        assert _prom_num(float("inf")) == "+Inf"
+        assert _prom_num(float("-inf")) == "-Inf"
+
+    def test_integral_floats_render_without_decimal(self):
+        assert _prom_num(4.0) == "4"
+        assert _prom_num(-7.0) == "-7"
+
+    def test_large_magnitudes_stay_float_repr(self):
+        big = 1e18
+        assert _prom_num(big) == repr(big)
+
+    def test_fractions_roundtrip(self):
+        assert float(_prom_num(0.875)) == 0.875
+        assert math.isnan(float("nan"))  # NaN accepted by the validator below
+        assert validate_prometheus("# TYPE x gauge\nx NaN\n") == []
+
+
+class TestValidator:
+    def test_clean_payload_passes(self):
+        r = MetricRegistry()
+        r.counter("a_total", help="a").inc()
+        r.gauge("b", labels={"x": "1"}).set(2)
+        r.histogram("c", bounds=(1.0,)).observe(0.5)
+        assert validate_prometheus(render_prometheus(r)) == []
+
+    def test_duplicate_type_flagged(self):
+        text = "# TYPE a counter\n# TYPE a counter\na 1\n"
+        assert any("duplicate TYPE" in p for p in validate_prometheus(text))
+
+    def test_type_after_samples_flagged(self):
+        text = "a 1\n# TYPE a counter\n"
+        probs = validate_prometheus(text)
+        assert any("no TYPE declaration" in p for p in probs)
+        assert any("after its samples" in p for p in probs)
+
+    def test_duplicate_series_flagged(self):
+        text = '# TYPE a counter\na{x="1"} 1\na{x="1"} 2\n'
+        assert any("duplicate series" in p for p in validate_prometheus(text))
+
+    def test_unparseable_value_flagged(self):
+        text = "# TYPE a counter\na one\n"
+        assert any("unparseable value" in p for p in validate_prometheus(text))
+
+    def test_help_without_type_flagged(self):
+        text = "# HELP a about a\n"
+        assert any("HELP but no TYPE" in p for p in validate_prometheus(text))
+
+    def test_histogram_suffixes_resolve_to_family(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="+Inf"} 1\nh_sum 0.5\nh_count 1\n'
+        )
+        assert validate_prometheus(text) == []

@@ -1,0 +1,116 @@
+"""Flight recorder: bounded ring semantics, dump analysis, and the
+``python -m repro.unites.obs.flight`` CLI."""
+
+import json
+
+import pytest
+
+from repro.unites.obs.flight import FlightRecorder, analyze, load, main
+
+
+class TestRing:
+    def test_capacity_bounds_the_ring(self):
+        r = FlightRecorder(capacity=4)
+        for i in range(10):
+            r.note("tick", float(i), n=i)
+        assert len(r) == 4
+        assert r.noted_total == 10
+        assert r.dropped == 6
+        assert [rec["n"] for rec in r.snapshot()] == [6, 7, 8, 9]
+
+    def test_snapshot_returns_copies(self):
+        r = FlightRecorder()
+        r.note("tick", 0.0, n=1)
+        snap = r.snapshot()
+        snap[0]["n"] = 99
+        assert r.snapshot()[0]["n"] == 1
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+
+def sample_dump():
+    return {
+        "version": 1,
+        "kind": "flight-recorder-dump",
+        "trigger": {
+            "kind": "violation",
+            "time": 1.25,
+            "violation": {
+                "kind": "throughput", "measured": 96000.0, "bound": 200000.0,
+            },
+        },
+        "connection": "A-1",
+        "contract": {
+            "connection": "A-1", "avg_throughput_bps": 200000.0,
+            "max_latency": 0.5, "loss_tolerance": 0.0, "ordered": True,
+            "captured_at": 0.1,
+        },
+        "scorecard": {
+            "overall_score": 0.875, "windows_evaluated": 8, "violations": 1,
+            "dimensions": {
+                "throughput": {"windows": 8, "violations": 1, "score": 0.875},
+            },
+        },
+        "violations": [
+            {"time": 1.25, "kind": "throughput", "measured": 96000.0,
+             "bound": 200000.0, "detail": "delivered 96000bps of 200000bps"},
+        ],
+        "adaptation": [
+            {"time": 1.1, "action": "retune", "detail": "applied",
+             "rung": "normal", "outcome": "applied",
+             "thresholds": [["congestion", 0.9, 0.5]]},
+        ],
+        "records": [
+            {"kind": "deliver", "time": 1.2, "msg_id": 7, "nbytes": 600},
+            {"kind": "violation", "time": 1.25, "dimension": "throughput"},
+        ],
+        "config": {"transmission": "sliding-window", "window": 8},
+    }
+
+
+class TestAnalyze:
+    def test_report_walks_cause_ladder_effect(self):
+        report = analyze(sample_dump())
+        assert "connection A-1" in report
+        assert "trigger : violation at t=1.250000s" in report
+        assert "throughput: measured 96000 vs bound 200000" in report
+        assert "scorecard: overall 0.875" in report
+        assert "adaptation trail" in report
+        assert "congestion 0.9>0.5" in report        # thresholds crossed
+        assert "-> applied" in report                # outcome
+        assert "event ring" in report
+        assert "session config" in report
+
+    def test_teardown_trigger_reason(self):
+        d = sample_dump()
+        d["trigger"] = {"kind": "abnormal-teardown", "time": 2.0,
+                        "reason": "destination unreachable"}
+        report = analyze(d)
+        assert "abnormal-teardown" in report
+        assert "(destination unreachable)" in report
+
+    def test_minimal_dump_does_not_crash(self):
+        assert analyze({}) .startswith("=== flight recorder dump")
+
+
+class TestCli:
+    def test_main_analyzes_files(self, tmp_path, capsys):
+        p = tmp_path / "dump.json"
+        p.write_text(json.dumps(sample_dump()))
+        assert main([str(p)]) == 0
+        out = capsys.readouterr().out
+        assert "connection A-1" in out
+        assert load(str(p))["connection"] == "A-1"
+
+    def test_main_usage_and_errors(self, tmp_path, capsys):
+        assert main([]) == 2
+        assert main(["-h"]) == 0
+        missing = tmp_path / "nope.json"
+        assert main([str(missing)]) == 1
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main([str(bad)]) == 1
+        err = capsys.readouterr().err
+        assert "cannot read dump" in err

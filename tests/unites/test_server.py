@@ -1,0 +1,136 @@
+"""The live telemetry plane: HTTP endpoint routing, payload shape, and the
+Prometheus exposition served by ``/metrics``.
+
+This file is also the body of the CI ``telemetry-smoke`` job: it stands up
+a real simulated world with telemetry + audit enabled, scrapes every
+route over actual HTTP, and validates the Prometheus payload.
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.system import AdaptiveSystem
+from repro.mantts.acd import ACD
+from repro.mantts.qos import QualitativeQoS, QuantitativeQoS
+from repro.netsim.profiles import ethernet_10, linear_path
+from repro.unites.obs import AUDIT, TELEMETRY, TelemetryServer, validate_prometheus
+
+
+@pytest.fixture(autouse=True)
+def clean_global_planes():
+    TELEMETRY.disable()
+    TELEMETRY.reset()
+    AUDIT.disable()
+    AUDIT.reset()
+    yield
+    TELEMETRY.disable()
+    TELEMETRY.reset()
+    AUDIT.disable()
+    AUDIT.reset()
+
+
+def build_world():
+    sysm = AdaptiveSystem(seed=2)
+    sysm.attach_network(
+        linear_path(sysm.sim, ethernet_10(), ("A", "B"), rng=sysm.rng)
+    )
+    a, b = sysm.node("A"), sysm.node("B")
+    got = []
+    b.mantts.register_service(7000, on_deliver=lambda d, m: got.append(d))
+    sysm.enable_telemetry()
+    sysm.enable_audit(window=0.1)
+    acd = ACD(
+        participants=("B",),
+        quantitative=QuantitativeQoS(
+            avg_throughput_bps=50e3, duration=600, max_latency=0.5
+        ),
+        qualitative=QualitativeQoS(),
+    )
+    conn = a.mantts.open(acd)
+    sysm.run(until=0.5)
+    for _ in range(10):
+        conn.send(b"x" * 400)
+        sysm.run(until=sysm.now + 0.02)
+    sysm.run(until=sysm.now + 0.2)
+    return sysm, conn
+
+
+def fetch(url):
+    with urllib.request.urlopen(url, timeout=10) as resp:
+        return resp.status, resp.headers.get("Content-Type", ""), resp.read()
+
+
+class TestEndpoints:
+    def test_live_world_scrape(self):
+        sysm, conn = build_world()
+        with sysm.serve_telemetry() as server:
+            assert server.port != 0
+
+            status, ctype, body = fetch(server.url + "/healthz")
+            assert status == 200 and ctype == "application/json"
+            health = json.loads(body)
+            assert health["status"] == "ok"
+            assert health["telemetry_enabled"] and health["audit_enabled"]
+            assert health["sim_time"] == pytest.approx(sysm.now)
+            assert health["audited_connections"] == 1
+
+            status, ctype, body = fetch(server.url + "/metrics")
+            assert status == 200
+            assert ctype.startswith("text/plain")
+            text = body.decode()
+            assert "qos_conformance_score" in text
+            assert validate_prometheus(text) == []
+
+            status, _, body = fetch(server.url + "/connections")
+            rows = json.loads(body)
+            assert len(rows) == 1
+            row = rows[0]
+            assert row["ref"] == conn.ref
+            assert row["state"] == "open"
+            assert row["remote_host"] == "B" and row["remote_port"] == 7000
+            assert "qos_score" in row
+
+            status, _, body = fetch(server.url + "/audit")
+            cards = json.loads(body)
+            assert conn.ref in cards
+            assert cards[conn.ref]["contract"]["avg_throughput_bps"] == 50e3
+
+            # root aliases healthz; unknown routes 404 with a JSON error
+            status, _, _ = fetch(server.url + "/")
+            assert status == 200
+            with pytest.raises(urllib.error.HTTPError) as exc:
+                fetch(server.url + "/nope")
+            assert exc.value.code == 404
+            assert json.loads(exc.value.read())["error"].startswith("unknown route")
+
+            assert server.requests_served >= 6
+        # context-manager exit stopped the server
+        with pytest.raises(urllib.error.URLError):
+            fetch(server.url + "/healthz")
+
+    def test_server_without_system_serves_empty_tables(self):
+        server = TelemetryServer().start()
+        try:
+            status, _, body = fetch(server.url + "/connections")
+            assert status == 200 and json.loads(body) == []
+            status, _, body = fetch(server.url + "/healthz")
+            assert json.loads(body)["audited_connections"] == 0
+        finally:
+            server.stop()
+
+    def test_stop_is_idempotent_and_start_reentrant(self):
+        server = TelemetryServer()
+        assert server.start() is server.start()
+        server.stop()
+        server.stop()
+
+    def test_renderers_work_without_http(self):
+        sysm, conn = build_world()
+        server = TelemetryServer(system=sysm)
+        assert validate_prometheus(server.render_metrics()) == []
+        assert server.render_connections()[0]["ref"] == conn.ref
+        assert conn.ref in server.render_audit()
+        assert server.render_health()["status"] == "ok"
