@@ -1,6 +1,7 @@
-"""Perf trajectory recorder — emits ``BENCH_kernel.json`` + ``BENCH_scale.json``.
+"""Perf trajectory recorder — emits ``BENCH_kernel.json``,
+``BENCH_scale.json`` + ``BENCH_transport.json``.
 
-Three measurements, two snapshot files, so every future PR has a baseline:
+Four measurements, three snapshot files, so every future PR has a baseline:
 
 * **kernel**: events/sec on an ACK-clocked timer-churn workload (the
   retransmission pattern that dominates transport simulations: ~80% of
@@ -18,6 +19,12 @@ Three measurements, two snapshot files, so every future PR has a baseline:
   Records the wall-clock ratio plus three determinism cross-checks:
   same-seed repeat runs, coalesced-vs-legacy at N=10, and
   coalesced-vs-legacy at full N must all report bit-identical metrics.
+* **transport** (→ ``BENCH_transport.json``): endpoint round-trip
+  latency (p50/p99) over ``backend.pair()`` ping-pong on the two real
+  substrates from :mod:`repro.transport` — in-process loopback and
+  asyncio-UDP datagrams on 127.0.0.1.  Every round trip must complete
+  (no timeouts, no resets); the latency gates are deliberately loose —
+  they catch a wedged substrate, not a slow CI runner.
 
 Usage::
 
@@ -52,6 +59,13 @@ MIN_KERNEL_SPEEDUP = 1.30
 MAX_SCALE_RATIO = 0.70
 SCALE_N = 1000
 SCALE_SEED = 7
+
+TRANSPORT_ROUNDTRIPS = 200
+TRANSPORT_WARMUP = 20
+TRANSPORT_PAYLOAD = 1024
+TRANSPORT_RECV_TIMEOUT = 5.0
+#: generous p99 ceilings (seconds) — a wedged-substrate alarm, not a race
+MAX_TRANSPORT_P99 = {"loopback": 0.10, "udp": 0.50}
 
 RTO = 0.05          # retransmission timeout per flow
 ACK_DELAY = 0.01    # ACK arrival (cancels the timer) — 4/5 of sends
@@ -219,6 +233,65 @@ def bench_scale(n: int = SCALE_N, seed: int = SCALE_SEED, repeats: int = 2) -> d
     }
 
 
+def _percentile(sorted_samples, q: float) -> float:
+    """Nearest-rank percentile on an already-sorted sample list."""
+    idx = min(len(sorted_samples) - 1, max(0, round(q * (len(sorted_samples) - 1))))
+    return sorted_samples[idx]
+
+
+def _pingpong(make_backend, n: int, warmup: int) -> dict:
+    """Round-trip latency over one ``backend.pair()``: A sends, B echoes.
+
+    Loopback feeds the peer synchronously and UDP feeds it from the
+    backend's loop thread through the shared buffered-endpoint condition,
+    so the same single-threaded loop exercises both substrates.
+    """
+    msg = b"\xa5" * TRANSPORT_PAYLOAD
+    backend = make_backend()
+    try:
+        a, b = backend.pair()
+        samples = []
+        for i in range(warmup + n):
+            w0 = perf_counter()
+            sent = a.send(msg)
+            if sent != len(msg):
+                raise AssertionError(f"send returned {sent} on trip {i}")
+            ping = b.recv(timeout=TRANSPORT_RECV_TIMEOUT)
+            if not ping.ok:
+                raise AssertionError(f"echo-side recv code {ping.code} on trip {i}")
+            b.send(ping.data)
+            pong = a.recv(timeout=TRANSPORT_RECV_TIMEOUT)
+            if not pong.ok or pong.data != msg:
+                raise AssertionError(f"round trip {i} failed: code {pong.code}")
+            if i >= warmup:
+                samples.append(perf_counter() - w0)
+        a.close()
+        b.close()
+    finally:
+        backend.close()
+    samples.sort()
+    return {
+        "roundtrips": len(samples),
+        "payload_bytes": TRANSPORT_PAYLOAD,
+        "p50_us": round(_percentile(samples, 0.50) * 1e6, 1),
+        "p99_us": round(_percentile(samples, 0.99) * 1e6, 1),
+        "max_us": round(samples[-1] * 1e6, 1),
+    }
+
+
+def bench_transport(n: int = TRANSPORT_ROUNDTRIPS,
+                    warmup: int = TRANSPORT_WARMUP) -> dict:
+    """Loopback vs UDP endpoint round-trip p50/p99 over the pair() API."""
+    from repro.transport import LoopbackBackend, UdpBackend
+
+    return {
+        "workload": (f"{n} ping-pong round trips x {TRANSPORT_PAYLOAD}B "
+                     f"over backend.pair(), {warmup} warmup"),
+        "loopback": _pingpong(LoopbackBackend, n, warmup),
+        "udp": _pingpong(UdpBackend, n, warmup),
+    }
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--events", type=int, default=200_000,
@@ -230,8 +303,13 @@ def main(argv=None) -> int:
     ap.add_argument("--scale-out", default=str(repo / "BENCH_scale.json"))
     ap.add_argument("--scale-n", type=int, default=SCALE_N,
                     help="churn population for the scale section")
-    ap.add_argument("--only", nargs="+", choices=("kernel", "sweep", "scale"),
-                    default=("kernel", "sweep", "scale"),
+    ap.add_argument("--transport-out",
+                    default=str(repo / "BENCH_transport.json"))
+    ap.add_argument("--roundtrips", type=int, default=TRANSPORT_ROUNDTRIPS,
+                    help="ping-pong count per transport substrate")
+    ap.add_argument("--only", nargs="+",
+                    choices=("kernel", "sweep", "scale", "transport"),
+                    default=("kernel", "sweep", "scale", "transport"),
                     help="which benchmark sections to run")
     ap.add_argument("--check", action="store_true",
                     help="exit non-zero unless the perf gates hold")
@@ -286,6 +364,21 @@ def main(argv=None) -> int:
         summary.append(f"scale ratio {section['wall_ratio']} "
                        f"(gate {MAX_SCALE_RATIO}), peak "
                        f"{section['peak_concurrent']} concurrent")
+
+    if "transport" in args.only:
+        snapshot = dict(env)
+        snapshot["transport"] = transport = bench_transport(args.roundtrips)
+        Path(args.transport_out).write_text(
+            json.dumps(snapshot, indent=2) + "\n")
+        print(json.dumps(snapshot, indent=2))
+        for sub, gate in MAX_TRANSPORT_P99.items():
+            stats = transport[sub]
+            if args.check and stats["p99_us"] > gate * 1e6:
+                print(f"FAIL: {sub} p99 {stats['p99_us']}us > "
+                      f"{gate * 1e6:.0f}us gate", file=sys.stderr)
+                ok = False
+            summary.append(f"{sub} rtt p50 {stats['p50_us']}us / "
+                           f"p99 {stats['p99_us']}us")
 
     if args.check:
         if not ok:

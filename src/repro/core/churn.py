@@ -119,6 +119,7 @@ class ChurnScenario:
         wave_interval: float = 0.02,
         reopen_every: int = 3,
         rx_batching: bool = False,
+        transport=None,
     ) -> None:
         if n_connections <= 0:
             raise ValueError("n_connections must be positive")
@@ -126,7 +127,10 @@ class ChurnScenario:
         self.mode = mode
         self.reopen_every = reopen_every
 
-        self.system = AdaptiveSystem(seed=seed)
+        # ``transport`` selects the substrate (default: fresh SimBackend);
+        # the digest equivalence test passes route_frames=True here to
+        # prove the backend interface is bit-identical to the old wiring.
+        self.system = AdaptiveSystem(seed=seed, transport=transport)
         # One switch on a fast LAN: explicit negotiations to a single peer
         # all share one signalling session, so the path must turn requests
         # around well inside NEGOTIATION_TIMEOUT even when hundreds queue.

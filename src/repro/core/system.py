@@ -32,12 +32,29 @@ class AdaptiveNode:
 
 
 class AdaptiveSystem:
-    """Owns the simulator, network, UNITES, and the per-host nodes."""
+    """Owns the transport substrate, network, UNITES, and per-host nodes.
 
-    def __init__(self, seed: int = 0) -> None:
-        self.sim = Simulator()
+    ``transport`` selects the substrate the whole stack runs over
+    (:class:`repro.transport.base.TransportBackend`).  The default is the
+    simulated world, wired exactly as before substrates became pluggable:
+    the system creates a fresh :class:`~repro.transport.sim.SimBackend`,
+    whose simulator/clock it exposes, and ``attach_network`` hands the
+    caller-built topology to the backend untouched.  Real substrates
+    (loopback, UDP) arrive with their fabric already built, so
+    ``attach_network`` is skipped and ``run`` paces the event kernel
+    against the wall clock.
+    """
+
+    def __init__(self, seed: int = 0, transport=None) -> None:
+        if transport is None:
+            from repro.transport.sim import SimBackend
+
+            transport = SimBackend()
+        self.transport = transport
+        self.sim = transport.simulator
+        self.clock = transport.clock
         self.rng = RngStreams(seed)
-        self.network: Optional[Network] = None
+        self.network: Optional[Network] = transport.network
         self.unites = UNITES(self.sim)
         self.templates = TemplateCache()
         self.nodes: Dict[str, AdaptiveNode] = {}
@@ -47,8 +64,8 @@ class AdaptiveSystem:
         """Install the (already built) topology; its RNG is unified."""
         if self.network is not None:
             raise RuntimeError("system already has a network")
-        self.network = network
-        return network
+        self.network = self.transport.adopt_network(network)
+        return self.network
 
     def node(
         self,
@@ -164,8 +181,14 @@ class AdaptiveSystem:
         server.start()
         return server
 
-    def run(self, until: Optional[float] = None) -> None:
-        self.sim.run(until=until)
+    def run(self, until: Optional[float] = None, **kwargs) -> None:
+        """Advance this system's world to timeline point ``until``.
+
+        On the sim substrate this is plain event dispatch; on real
+        substrates the backend paces the same event queue against the
+        wall clock (extra keywords like ``stop_when`` pass through).
+        """
+        self.transport.run(until=until, **kwargs)
 
     @property
     def now(self) -> float:

@@ -16,19 +16,25 @@ from typing import Callable, Optional
 from repro.host.buffers import BufferPool
 from repro.host.cpu import Cpu, CpuCosts
 from repro.netsim.frame import Frame
-from repro.netsim.network import Network
 from repro.sim.kernel import Simulator
 from repro.sim.timers import TimerWheel
 from repro.host.ports import PortTable
 
 
 class Host:
-    """A named end system attached to one network node."""
+    """A named end system attached to one network fabric.
+
+    ``network`` is any object with the fabric surface (``attach_host`` /
+    ``detach_host`` / ``send`` / groups / path characteristics): the
+    simulated :class:`~repro.netsim.network.Network`, or a real
+    substrate's :class:`~repro.transport.fabric.RealFabric`.  The host —
+    and every protocol layer above it — is substrate-blind.
+    """
 
     def __init__(
         self,
         sim: Simulator,
-        network: Network,
+        network,
         name: str,
         mips: float = 25.0,
         costs: Optional[CpuCosts] = None,

@@ -75,6 +75,11 @@ class MANTTS:
             host, admission_bps=1e9
         )
         self.monitor_interval = monitor_interval
+        #: negotiation patience in this entity's clock domain — virtual
+        #: seconds in simulation, wall seconds on a real substrate.  The
+        #: reservation guard tracks it at 2x.  Default preserves every
+        #: simulated timeline bit-for-bit.
+        self.negotiation_timeout = NEGOTIATION_TIMEOUT
         #: the per-host connection-scale layer: connection table, shared
         #: probe/SCS caches, coalesced timer groups, population gauges
         self.manager = manager if manager is not None else ConnectionManager(
@@ -343,7 +348,7 @@ class MANTTS:
             self.resources.release(stale)
         queue.append(ref)
         self._res_guards[ref] = self.manager.defer(
-            RESERVATION_GUARD, lambda: self._res_guard_fired(key, ref)
+            2 * self.negotiation_timeout, lambda: self._res_guard_fired(key, ref)
         )
 
     def _cancel_res_guard(self, ref: str) -> None:

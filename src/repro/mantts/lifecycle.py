@@ -63,6 +63,16 @@ class ConnectionLifecycle:
     def sim(self):
         return self.conn.host.sim
 
+    @property
+    def negotiation_timeout(self) -> float:
+        """Seconds to wait for negotiation replies — the per-MANTTS value.
+
+        Virtual seconds on the sim substrate, wall seconds on a real one
+        (the injected clock decides); defaults to the module constant, so
+        simulated timelines are unchanged.
+        """
+        return self.conn.mantts.negotiation_timeout
+
     # ------------------------------------------------------------------
     # establishment (Figure 2 stages + Figure 3 negotiation)
     # ------------------------------------------------------------------
@@ -110,7 +120,7 @@ class ConnectionLifecycle:
         outstanding = set(c.members)
         results: Dict[str, dict] = {}
         timeout = self.sim.schedule(
-            NEGOTIATION_TIMEOUT, self._negotiation_timeout, outstanding
+            self.negotiation_timeout, self._negotiation_timeout, outstanding
         )
 
         def reply_handler(member: str):
@@ -287,7 +297,7 @@ class ConnectionLifecycle:
 
         session.pause()
         drain_guard = self.sim.schedule(
-            NEGOTIATION_TIMEOUT, lambda: finish(False, "drain-timeout")
+            self.negotiation_timeout, lambda: finish(False, "drain-timeout")
         )
 
         def proceed() -> None:
@@ -304,7 +314,7 @@ class ConnectionLifecycle:
                 c.mantts._pending.pop(ref, None)  # drop a late reply
                 finish(False, "timeout")
 
-            timeout = self.sim.schedule(NEGOTIATION_TIMEOUT, on_timeout)
+            timeout = self.sim.schedule(self.negotiation_timeout, on_timeout)
 
             def on_reply(msg: dict) -> None:
                 if finished:

@@ -1,0 +1,84 @@
+"""The sim-time / wall-time split, made explicit.
+
+Every layer above the kernel reads time through a :class:`Clock` rather
+than assuming which domain it lives in:
+
+* :class:`SimClock` — virtual seconds from a :class:`~repro.sim.kernel.
+  Simulator`'s event clock.  Deterministic: two runs with the same seed
+  read identical times.  This is the default domain; the whole simulated
+  world (timers, RTT estimators, negotiation timeouts) runs on it.
+* :class:`WallClock` — monotonic wall seconds, zeroed at construction so
+  a real-I/O run's timeline starts near ``0.0`` like a simulation's.
+  Used by the loopback/UDP transport backends, where MANTTS negotiation
+  timeouts and TKO retransmission timers must elapse in real time.
+
+The two domains compose through the realtime driver
+(:class:`repro.transport.realtime.RealtimeDriver`): it paces the kernel's
+event queue against a ``WallClock``, so code written against ``sim.now``
+transparently measures wall time when the substrate is real.
+
+``timestamp_ns()`` is the CORTEX-style monotonic timestamp hook: an
+integer nanosecond reading suitable for latency math on received data.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Simulator
+
+
+class Clock(ABC):
+    """A monotonic time source; seconds via :meth:`now`, ns via
+    :meth:`timestamp_ns`."""
+
+    #: which domain this clock measures: ``"sim"`` or ``"wall"``
+    domain = ""
+
+    @abstractmethod
+    def now(self) -> float:
+        """Current time in seconds (monotonic within one run)."""
+
+    def timestamp_ns(self) -> int:
+        """Monotonic integer-nanosecond timestamp (CORTEX contract)."""
+        return int(self.now() * 1e9)
+
+
+class SimClock(Clock):
+    """Virtual time: a read-through view of one simulator's event clock."""
+
+    domain = "sim"
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+
+    def now(self) -> float:
+        return self.sim.now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SimClock t={self.sim.now:.6f}>"
+
+
+class WallClock(Clock):
+    """Real time: ``time.monotonic()`` re-zeroed at construction.
+
+    Zeroing keeps wall timelines comparable to simulated ones (both start
+    near 0.0) and keeps float precision high over long host uptimes.
+    """
+
+    domain = "wall"
+
+    def __init__(self) -> None:
+        self._t0 = time.monotonic()
+
+    def now(self) -> float:
+        return time.monotonic() - self._t0
+
+    def timestamp_ns(self) -> int:
+        return time.monotonic_ns()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<WallClock t={self.now():.6f}>"

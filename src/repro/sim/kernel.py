@@ -552,6 +552,14 @@ class Simulator:
         self._running = False
         self._stopped = False
         self.events_dispatched = 0
+        # Imported here: repro.sim.clock is dependency-free, but keeping
+        # the import local preserves this module's zero-import hot path.
+        from repro.sim.clock import SimClock
+
+        #: this simulator's time domain as an injectable Clock — what the
+        #: transport layer hands to code that must not care whether it is
+        #: running on virtual or wall time
+        self.clock = SimClock(self)
 
     # ------------------------------------------------------------------
     # clock
@@ -560,6 +568,16 @@ class Simulator:
     def now(self) -> float:
         """Current virtual time in seconds."""
         return self._now
+
+    def next_event_time(self) -> Optional[float]:
+        """Absolute time of the earliest live pending event, or None.
+
+        A pure peek (cancelled heap tops are lazily discarded, wheel
+        buckets are flushed only as far as an ordinary pop would).  The
+        realtime driver uses this to sleep exactly until the next
+        simulated obligation instead of polling.
+        """
+        return self._queue.peek_time()
 
     # ------------------------------------------------------------------
     # scheduling

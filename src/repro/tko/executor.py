@@ -591,7 +591,11 @@ class CompiledExecutor(_ExecutorBase):
             dst = s.remote_host
             priority = PRIO_CONTROL if (control or pdu.is_control) else pipe.data_priority
         if pdu.pooled:
-            pdu.retain()  # the wire's reference; the receive path releases it
+            # The wire's reference.  On the sim substrate the receive path
+            # releases it; on a real substrate the fabric consumes it at
+            # send time (success or any failure path) — past the codec no
+            # local receive path will ever see this shell again.
+            pdu.retain()
         frame = Frame(
             src=s.host.name,
             dst=dst,

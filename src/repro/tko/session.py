@@ -21,6 +21,14 @@ Send path:   app message → fragmentation → sequence assignment →
 Receive path: frame → CPU charge → detection verify → type dispatch →
              receive window (ordering/dup policy) → reassembly →
              jitter playout → application callback.
+
+Sessions are substrate-blind: "network" above is whatever fabric the
+host is attached to — the simulated :class:`~repro.netsim.network.
+Network` or a real transport backend's fabric (``repro.transport``).
+Path MTU, the per-session RNG stream, and frame hand-off all go through
+the same surface; on a real substrate the fabric serializes frames with
+the versioned wire codec and owns the pooled PDU's wire reference from
+that point on.
 """
 
 from __future__ import annotations

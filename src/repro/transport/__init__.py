@@ -1,0 +1,47 @@
+"""repro.transport — the pluggable substrate under the ADAPTIVE stack.
+
+One CORTEX-style contract (:class:`TransportBackend` / :class:`Endpoint`
+with explicit ``ETIMEDOUT``/``ECONNRESET`` recv results), three
+substrates:
+
+==============  =======  ============================================
+backend         clock    use when
+==============  =======  ============================================
+``SimBackend``  sim      default; deterministic experiments — bit-
+                         identical to the pre-refactor wiring
+``LoopbackBackend``  wall  fast in-process wall-clock tests, no sockets
+``UdpBackend``  wall     real OS processes exchanging datagrams
+==============  =======  ============================================
+
+See ``docs/transports.md`` for the full table, wire-format spec, and
+sim-vs-wall clock rules.
+"""
+
+from repro.transport.base import (
+    ECONNRESET,
+    ETIMEDOUT,
+    Endpoint,
+    RecvResult,
+    TransportBackend,
+)
+from repro.transport.fabric import RealFabric, VirtualLink
+from repro.transport.loopback import LoopbackBackend, loopback_pair
+from repro.transport.realtime import RealtimeDriver, drive
+from repro.transport.sim import SimBackend
+from repro.transport.udp import UdpBackend
+
+__all__ = [
+    "ECONNRESET",
+    "ETIMEDOUT",
+    "Endpoint",
+    "RecvResult",
+    "TransportBackend",
+    "RealFabric",
+    "VirtualLink",
+    "LoopbackBackend",
+    "loopback_pair",
+    "RealtimeDriver",
+    "drive",
+    "SimBackend",
+    "UdpBackend",
+]

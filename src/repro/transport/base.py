@@ -1,0 +1,263 @@
+"""The pluggable transport substrate contract (CORTEX-style).
+
+Every substrate the ADAPTIVE stack can run over — the discrete-event
+``repro.netsim`` world, in-process loopback queues, real UDP sockets —
+is presented through two small interfaces:
+
+* :class:`Endpoint` — one byte-stream conversation with one peer:
+  ``send`` / ``recv``-with-timeout / ``close`` / ``timestamp``, with the
+  explicit recv result contract below;
+* :class:`TransportBackend` — the substrate itself: owns the clock
+  domain (:class:`~repro.sim.clock.Clock`), the simulator the stack
+  schedules on, the *fabric* (the network-surface object hosts attach
+  to), and an :meth:`~TransportBackend.pair` factory producing two
+  connected endpoints for conformance tests and benchmarks.
+
+recv contract (every backend, one shared conformance suite)
+-----------------------------------------------------------
+``recv(max_len, timeout)`` returns a :class:`RecvResult` whose ``code``
+is exactly one of:
+
+========================  ============================================
+``code > 0``              that many payload bytes in ``data`` (short
+                          reads are normal: whatever is buffered, up to
+                          ``max_len``)
+``code == 0``             orderly EOF — the peer closed after all its
+                          data was consumed
+``code == ETIMEDOUT``     nothing arrived within ``timeout`` seconds
+``code == ECONNRESET``    the conversation was aborted (peer reset, or
+                          recv on a locally closed endpoint); pending
+                          data is discarded, like a TCP RST
+========================  ============================================
+
+Negative codes deliberately mirror errno magnitudes offset into a
+private range so they can never collide with a byte count.
+"""
+
+from __future__ import annotations
+
+import threading
+from abc import ABC, abstractmethod
+from collections import deque
+from typing import Optional, Tuple
+
+from repro.sim.clock import Clock
+
+#: recv timed out with no data (CORTEX's explicit-timeout result)
+ETIMEDOUT = -1000
+#: the conversation was reset (peer abort / local close)
+ECONNRESET = -1001
+
+
+class RecvResult:
+    """One recv outcome: a code per the contract above plus the bytes."""
+
+    __slots__ = ("code", "data")
+
+    def __init__(self, code: int, data: bytes = b"") -> None:
+        self.code = code
+        self.data = data
+
+    @property
+    def ok(self) -> bool:
+        return self.code > 0
+
+    @property
+    def eof(self) -> bool:
+        return self.code == 0
+
+    @property
+    def timed_out(self) -> bool:
+        return self.code == ETIMEDOUT
+
+    @property
+    def reset(self) -> bool:
+        return self.code == ECONNRESET
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.ok:
+            return f"<RecvResult {self.code}B>"
+        name = {0: "EOF", ETIMEDOUT: "ETIMEDOUT", ECONNRESET: "ECONNRESET"}
+        return f"<RecvResult {name.get(self.code, self.code)}>"
+
+
+class Endpoint(ABC):
+    """One conversation with one peer over some substrate."""
+
+    #: backend name this endpoint belongs to (set by the backend)
+    backend = ""
+
+    @abstractmethod
+    def send(self, data: bytes) -> int:
+        """Queue ``data`` toward the peer.
+
+        Returns the number of bytes accepted (all of them — substrates
+        here never short-write) or :data:`ECONNRESET` when the endpoint
+        is closed/reset.
+        """
+
+    @abstractmethod
+    def recv(self, max_len: int = 65536,
+             timeout: Optional[float] = None) -> RecvResult:
+        """Receive up to ``max_len`` bytes per the module recv contract.
+
+        ``timeout`` is in seconds of this endpoint's clock domain;
+        ``None`` blocks until data, EOF, or reset (sim endpoints treat an
+        idle event queue as a timeout — virtual time cannot pass without
+        events).
+        """
+
+    @abstractmethod
+    def close(self) -> None:
+        """Orderly shutdown: the peer drains buffered data, then sees EOF."""
+
+    @abstractmethod
+    def abort(self) -> None:
+        """Reset the conversation: the peer's pending data is discarded
+        and its next recv returns :data:`ECONNRESET`."""
+
+    @abstractmethod
+    def timestamp(self) -> int:
+        """Monotonic nanoseconds in this endpoint's clock domain."""
+
+    def __enter__(self) -> "Endpoint":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class _BufferedEndpoint(Endpoint):
+    """Shared rx-buffer machinery for the wall-clock backends.
+
+    A deque of byte chunks guarded by one condition variable; a feeder
+    thread (queue peer or asyncio receiver) appends and notifies.  Short
+    reads split chunks; EOF/reset are flags checked in contract order
+    (reset wins, buffered data beats EOF).
+    """
+
+    def __init__(self, clock: Clock) -> None:
+        self.clock = clock
+        self._cond = threading.Condition()
+        self._chunks: deque = deque()
+        self._eof = False
+        self._reset = False
+        self._closed = False
+
+    # -- feeder side (peer endpoint / receiver thread) ------------------
+    def _feed(self, data: bytes) -> None:
+        with self._cond:
+            if self._eof or self._reset:
+                return  # late data after FIN/RST is dropped
+            if data:
+                self._chunks.append(data)
+                self._cond.notify_all()
+
+    def _feed_eof(self) -> None:
+        with self._cond:
+            self._eof = True
+            self._cond.notify_all()
+
+    def _feed_reset(self) -> None:
+        with self._cond:
+            self._reset = True
+            self._chunks.clear()  # RST semantics: pending data is gone
+            self._cond.notify_all()
+
+    # -- contract -------------------------------------------------------
+    def recv(self, max_len: int = 65536,
+             timeout: Optional[float] = None) -> RecvResult:
+        if max_len <= 0:
+            raise ValueError("max_len must be positive")
+        deadline = None if timeout is None else self.clock.now() + timeout
+        with self._cond:
+            while True:
+                if self._reset or self._closed:
+                    return RecvResult(ECONNRESET)
+                if self._chunks:
+                    return RecvResult(*self._take(max_len))
+                if self._eof:
+                    return RecvResult(0)
+                if deadline is None:
+                    self._cond.wait()
+                else:
+                    remaining = deadline - self.clock.now()
+                    if remaining <= 0 or not self._cond.wait(remaining):
+                        if self._chunks or self._eof or self._reset:
+                            continue  # state changed on the wait's edge
+                        return RecvResult(ETIMEDOUT)
+
+    def _take(self, max_len: int) -> Tuple[int, bytes]:
+        """Pop up to ``max_len`` buffered bytes (caller holds the lock)."""
+        out = bytearray()
+        while self._chunks and len(out) < max_len:
+            chunk = self._chunks[0]
+            room = max_len - len(out)
+            if len(chunk) <= room:
+                out += self._chunks.popleft()
+            else:
+                out += chunk[:room]
+                self._chunks[0] = chunk[room:]
+        return len(out), bytes(out)
+
+    def timestamp(self) -> int:
+        return self.clock.timestamp_ns()
+
+
+class TransportBackend(ABC):
+    """One substrate the ADAPTIVE stack can be constructed over.
+
+    A backend owns four things:
+
+    * ``clock`` — the substrate's time domain (sim or wall);
+    * ``simulator`` — the kernel instance the stack above schedules on
+      (real-I/O backends pace it against the wall clock via the
+      realtime driver);
+    * ``network`` — the fabric hosts attach to (``attach_host`` /
+      ``send`` / path characteristics), or ``None`` when the caller
+      supplies a simulated topology via ``adopt_network``;
+    * :meth:`pair` — two connected :class:`Endpoint`\\ s for the shared
+      recv-contract conformance suite and round-trip benchmarks.
+    """
+
+    #: short name used in metrics labels and reprs
+    name = ""
+
+    clock: Clock
+
+    @property
+    @abstractmethod
+    def simulator(self):
+        """The kernel this backend's world schedules on."""
+
+    @property
+    def network(self):
+        """The fabric hosts attach to (None until one exists)."""
+        return None
+
+    def adopt_network(self, network):
+        """Install a caller-built simulated topology as this backend's
+        fabric.  Only meaningful for the sim substrate; real backends
+        bring their own fabric and refuse."""
+        raise RuntimeError(
+            f"{type(self).__name__} provides its own fabric; "
+            "attach_network() is a sim-substrate operation"
+        )
+
+    @abstractmethod
+    def pair(self, **kwargs) -> Tuple[Endpoint, Endpoint]:
+        """Two connected endpoints (a <-> b) over this substrate."""
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Advance this backend's world (sim: event dispatch until
+        ``until``; real-I/O: wall-paced driving for ``until`` seconds)."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release substrate resources (sockets, threads).  Idempotent."""
+
+    def __enter__(self) -> "TransportBackend":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -1,0 +1,142 @@
+"""Pacing the event kernel against a wall clock.
+
+The simulated world runs the kernel as fast as events allow — virtual
+time jumps from event to event.  Over a *real* substrate the same event
+queue (MANTTS negotiation timeouts, TKO retransmission timers, rate
+pacers) must elapse in genuine wall seconds, interleaved with I/O
+arriving from sockets on other threads.
+
+:class:`RealtimeDriver` is that interleave:
+
+* it repeatedly advances ``sim.run(until=wall_now)`` so every timer fires
+  within one poll interval of its wall deadline (``run`` is resumable and
+  never moves time backward, so composing calls is safe);
+* a thread-safe inbox (:meth:`post`) lets receiver threads inject work —
+  e.g. "deliver this decoded frame to the host" — which the driver
+  executes on *its* thread at the current sim frontier, keeping the whole
+  protocol stack single-threaded exactly as in simulation;
+* between rounds it sleeps until the earliest pending event, the run
+  deadline, or a :meth:`post` wake-up, whichever is soonest.
+
+The stack above never sees the difference: ``sim.now`` simply reads wall
+seconds (within poll granularity) instead of virtual ones.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Callable, Iterable, Optional
+
+from repro.sim.clock import WallClock
+
+#: default sleep granularity; bounds timer-firing latency when idle
+DEFAULT_POLL = 0.005
+
+
+class RealtimeDriver:
+    """Drives one simulator's event queue in wall time."""
+
+    def __init__(self, sim, clock: Optional[WallClock] = None,
+                 poll: float = DEFAULT_POLL) -> None:
+        self.sim = sim
+        self.clock = clock if clock is not None else WallClock()
+        self.poll = poll
+        self._inbox: deque = deque()
+        self._wake = threading.Event()
+        self._stopping = False
+
+    # ------------------------------------------------------------------
+    # cross-thread injection
+    # ------------------------------------------------------------------
+    def post(self, fn: Callable, *args) -> None:
+        """Run ``fn(*args)`` on the driver thread at the sim frontier.
+
+        Safe from any thread (deque appends are atomic under the GIL);
+        wakes the driver if it is sleeping.
+        """
+        self._inbox.append((fn, args))
+        self._wake.set()
+
+    def stop(self) -> None:
+        """Make the current :meth:`run` return after its next round."""
+        self._stopping = True
+        self._wake.set()
+
+    # ------------------------------------------------------------------
+    # the pacing loop
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """One pacing round: drain the inbox, fire due timers."""
+        inbox = self._inbox
+        while inbox:
+            fn, args = inbox.popleft()
+            fn(*args)
+        self.sim.run(until=self.clock.now())
+
+    def run(self, duration: Optional[float] = None,
+            stop_when: Optional[Callable[[], bool]] = None,
+            poll: Optional[float] = None) -> None:
+        """Pace the world for ``duration`` wall seconds (or until
+        ``stop_when()`` turns true, or :meth:`stop` is called)."""
+        if poll is None:
+            poll = self.poll
+        self._stopping = False
+        end = None if duration is None else self.clock.now() + duration
+        while not self._stopping:
+            self.step()
+            if stop_when is not None and stop_when():
+                break
+            now = self.clock.now()
+            if end is not None and now >= end:
+                break
+            sleep = poll
+            nxt = self.sim.next_event_time()
+            if nxt is not None:
+                sleep = min(sleep, nxt - now)
+            if end is not None:
+                sleep = min(sleep, end - now)
+            if sleep > 0 and not self._inbox:
+                self._wake.wait(sleep)
+                self._wake.clear()
+        self.step()  # final drain so posted work is never stranded
+
+
+def drive(drivers: Iterable[RealtimeDriver],
+          duration: Optional[float] = None,
+          stop_when: Optional[Callable[[], bool]] = None,
+          poll: float = DEFAULT_POLL) -> None:
+    """Co-drive several worlds from one thread.
+
+    Used by in-process tests that stand up *two* full ADAPTIVE systems
+    (initiator and responder) joined by a loopback fabric: each round
+    steps every driver, so cross-system frames posted by one world are
+    consumed by the other within one poll interval.
+    """
+    drivers = list(drivers)
+    if not drivers:
+        return
+    lead = drivers[0]
+    for d in drivers[1:]:
+        d._wake = lead._wake  # one wake event, so any post ends the sleep
+    end = None if duration is None else lead.clock.now() + duration
+    while True:
+        for d in drivers:
+            d.step()
+        if stop_when is not None and stop_when():
+            break
+        now = lead.clock.now()
+        if end is not None and now >= end:
+            break
+        sleep = poll
+        for d in drivers:
+            nxt = d.sim.next_event_time()
+            if nxt is not None:
+                sleep = min(sleep, nxt - d.clock.now())
+        if end is not None:
+            sleep = min(sleep, end - now)
+        if sleep > 0 and not any(d._inbox for d in drivers):
+            lead._wake.wait(sleep)
+            lead._wake.clear()
+    for d in drivers:
+        d.step()

@@ -1,0 +1,162 @@
+"""The simulated substrate — the default, and required bit-identical.
+
+:class:`SimBackend` wraps the existing ``repro.netsim`` world behind the
+transport interface without changing a single event: ``adopt_network``
+hands back the caller-built :class:`~repro.netsim.network.Network`
+untouched, so the default construction path is *the same objects* as
+before the substrate became pluggable.  With ``route_frames=True`` the
+network is wrapped in a pure-Python counting proxy — every frame then
+demonstrably crosses the backend interface, and because the proxy adds
+no events and perturbs no RNG stream, delivery digests stay bit-identical
+(the equivalence test in ``tests/transport/`` runs the churn digest both
+ways and compares).
+
+:meth:`SimBackend.pair` gives the conformance suite sim-domain endpoints:
+a FIFO byte pipe modelled directly on the event kernel (serialization +
+propagation per chunk), where ``recv`` *pumps the simulator* until data
+arrives or virtual time reaches the deadline.  Timeouts here are virtual
+seconds — the whole point of the :class:`~repro.sim.clock.Clock` split.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.sim.kernel import Simulator
+from repro.transport.base import (
+    ECONNRESET,
+    ETIMEDOUT,
+    RecvResult,
+    TransportBackend,
+    _BufferedEndpoint,
+)
+
+
+class _CountingFabric:
+    """A pure pass-through Network proxy that counts routed frames.
+
+    ``send`` is the only intercepted method; everything else delegates,
+    so hosts, the monitor, and MANTTS see the genuine Network.  No events
+    are added and no RNG stream is touched — the simulation's event
+    sequence is byte-for-byte the unproxied one.
+    """
+
+    __slots__ = ("_network", "_backend")
+
+    def __init__(self, network, backend: "SimBackend") -> None:
+        object.__setattr__(self, "_network", network)
+        object.__setattr__(self, "_backend", backend)
+
+    def send(self, frame) -> None:
+        self._backend.frames_routed += 1
+        self._network.send(frame)
+
+    def __getattr__(self, name):
+        return getattr(self._network, name)
+
+
+class SimEndpoint(_BufferedEndpoint):
+    """One side of a simulated FIFO byte pipe.
+
+    Chunks depart back-to-back (a shared cursor models the serializer)
+    and arrive ``delay`` later; EOF rides the same cursor so it can never
+    overtake data, while a reset is immediate — RST semantics.
+    """
+
+    backend = "sim"
+
+    def __init__(self, sim: Simulator, bandwidth_bps: float,
+                 delay: float) -> None:
+        super().__init__(sim.clock)
+        self.sim = sim
+        self._bw = bandwidth_bps
+        self._delay = delay
+        self._cursor = 0.0  # when our serializer next falls idle
+        self._peer: Optional["SimEndpoint"] = None
+
+    def send(self, data: bytes) -> int:
+        if self._closed or self._reset:
+            return ECONNRESET
+        data = bytes(data)
+        depart = max(self.sim.now, self._cursor) + len(data) * 8.0 / self._bw
+        self._cursor = depart
+        self.sim.schedule_at(depart + self._delay, self._peer._feed, data)
+        return len(data)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        eof_at = max(self.sim.now, self._cursor) + self._delay
+        self.sim.schedule_at(eof_at, self._peer._feed_eof)
+
+    def abort(self) -> None:
+        self._closed = True
+        self.sim.schedule_at(self.sim.now, self._peer._feed_reset)
+
+    def recv(self, max_len: int = 65536,
+             timeout: Optional[float] = None) -> RecvResult:
+        """Pump the simulator until data, EOF, reset, or the virtual
+        deadline.  A drained event queue with nothing buffered is a
+        timeout — virtual time cannot pass without events."""
+        if max_len <= 0:
+            raise ValueError("max_len must be positive")
+        deadline = None if timeout is None else self.sim.now + timeout
+        while True:
+            if self._reset or self._closed:
+                return RecvResult(ECONNRESET)
+            if self._chunks:
+                return RecvResult(*self._take(max_len))
+            if self._eof:
+                return RecvResult(0)
+            nxt = self.sim.next_event_time()
+            if nxt is None or (deadline is not None and nxt > deadline):
+                if deadline is not None:
+                    self.sim.run(until=deadline)
+                return RecvResult(ETIMEDOUT)
+            self.sim.run(until=nxt)
+
+
+class SimBackend(TransportBackend):
+    """The discrete-event substrate (default)."""
+
+    name = "sim"
+
+    def __init__(self, sim: Optional[Simulator] = None,
+                 route_frames: bool = False) -> None:
+        self._sim = sim if sim is not None else Simulator()
+        self.clock = self._sim.clock
+        self.route_frames = route_frames
+        self._network = None
+        #: frames that crossed the backend interface (route_frames mode)
+        self.frames_routed = 0
+
+    @property
+    def simulator(self) -> Simulator:
+        return self._sim
+
+    @property
+    def network(self):
+        return self._network
+
+    def adopt_network(self, network):
+        """Install a caller-built topology as this backend's fabric.
+
+        Default mode returns ``network`` unchanged — the pre-refactor
+        wiring, object for object.  ``route_frames=True`` interposes the
+        counting proxy (still event-free, still bit-identical)."""
+        if self.route_frames:
+            network = _CountingFabric(network, self)
+        self._network = network
+        return network
+
+    def pair(self, bandwidth_bps: float = 1e9, delay: float = 1e-3,
+             **kwargs) -> Tuple[SimEndpoint, SimEndpoint]:
+        a = SimEndpoint(self._sim, bandwidth_bps, delay)
+        b = SimEndpoint(self._sim, bandwidth_bps, delay)
+        a._peer, b._peer = b, a
+        return a, b
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> None:
+        self._sim.run(until=until, max_events=max_events)

@@ -43,6 +43,18 @@ from repro.unites.obs.telemetry import TELEMETRY
 PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 
+class _ReusableHTTPServer(ThreadingHTTPServer):
+    """SO_REUSEADDR on explicitly, not by platform accident.
+
+    CI starts and stops telemetry servers across many tests (and the
+    transport suites bind from multiple processes); without address
+    reuse, a port lingering in TIME_WAIT makes a rebind fail spuriously.
+    """
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+
 class TelemetryServer:
     """A daemon-thread HTTP endpoint over the live observability state.
 
@@ -158,8 +170,8 @@ class TelemetryServer:
                 self.end_headers()
                 self.wfile.write(body)
 
-        self._httpd = ThreadingHTTPServer((self.host, self.port), Handler)
-        self._httpd.daemon_threads = True
+        self._httpd = _ReusableHTTPServer((self.host, self.port), Handler)
+        # port 0 = ephemeral bind; report the port the kernel chose
         self.port = self._httpd.server_address[1]
         self._thread = threading.Thread(
             target=self._httpd.serve_forever,

@@ -1,0 +1,119 @@
+"""The shared recv-contract conformance suite (ISSUE 7 satellite).
+
+One parametrized suite, three substrates.  Every backend's endpoint pair
+must exhibit the identical CORTEX-style contract: data delivery, short
+reads, EOF == 0 only after buffered data drains, ETIMEDOUT on silence,
+ECONNRESET on abort (with pending data discarded) and on recv after a
+local close.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.transport import (
+    ECONNRESET,
+    LoopbackBackend,
+    SimBackend,
+    UdpBackend,
+)
+
+#: wall-domain backends need a beat for cross-thread feeds to land
+_SETTLE = 0.25
+#: generous recv bound so a slow CI box never flakes
+_PATIENCE = 5.0
+
+
+@pytest.fixture(params=["sim", "loopback", "udp"])
+def backend(request):
+    b = {
+        "sim": SimBackend,
+        "loopback": LoopbackBackend,
+        "udp": UdpBackend,
+    }[request.param]()
+    yield b
+    b.close()
+
+
+def _settle(backend) -> None:
+    """Give wall-domain substrates time to carry in-flight control
+    datagrams; the sim substrate needs none (recv pumps the kernel)."""
+    if backend.clock.domain == "wall":
+        time.sleep(_SETTLE)
+
+
+def test_data_roundtrip(backend):
+    a, b = backend.pair()
+    assert a.send(b"hello substrate") == 15
+    r = b.recv(timeout=_PATIENCE)
+    assert r.ok
+    assert r.data == b"hello substrate"
+
+
+def test_short_read_preserves_order(backend):
+    a, b = backend.pair()
+    a.send(b"abcdef")
+    got = bytearray()
+    while len(got) < 6:
+        r = b.recv(4, timeout=_PATIENCE)
+        assert r.ok, f"expected data, got {r!r}"
+        assert len(r.data) <= 4
+        got += r.data
+    assert bytes(got) == b"abcdef"
+
+
+def test_eof_only_after_data_drained(backend):
+    a, b = backend.pair()
+    a.send(b"final bytes")
+    a.close()
+    _settle(backend)
+    got = bytearray()
+    while True:
+        r = b.recv(timeout=_PATIENCE)
+        if r.eof:
+            break
+        assert r.ok, f"expected data or EOF, got {r!r}"
+        got += r.data
+    assert bytes(got) == b"final bytes"
+    # EOF is sticky
+    assert b.recv(timeout=0.1).eof
+
+
+def test_timeout_when_silent(backend):
+    _, b = backend.pair()
+    t0 = backend.clock.now()
+    r = b.recv(timeout=0.2)
+    assert r.timed_out
+    # the substrate's own clock must have advanced past the deadline
+    assert backend.clock.now() - t0 >= 0.2
+
+
+def test_reset_discards_pending(backend):
+    a, b = backend.pair()
+    a.send(b"never seen")
+    a.abort()
+    _settle(backend)
+    r = b.recv(timeout=_PATIENCE)
+    assert r.reset, f"expected reset, got {r!r}"
+    assert r.data == b""
+    # reset is sticky
+    assert b.recv(timeout=0.1).reset
+
+
+def test_local_close_resets_own_recv_and_send(backend):
+    a, _ = backend.pair()
+    a.close()
+    assert a.recv(timeout=0.1).reset
+    assert a.send(b"late") == ECONNRESET
+
+
+def test_timestamp_is_monotonic_ns(backend):
+    a, b = backend.pair()
+    t1 = a.timestamp()
+    a.send(b"tick")
+    assert b.recv(timeout=_PATIENCE).ok
+    t2 = a.timestamp()
+    assert isinstance(t1, int) and isinstance(t2, int)
+    assert t2 >= t1

@@ -1,0 +1,121 @@
+"""The versioned frame wire codec: round-trip fidelity and rejection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netsim.frame import (
+    PRIO_CONTROL,
+    WIRE_MAGIC,
+    WIRE_VERSION,
+    Frame,
+    WireFormatError,
+    decode_frame,
+    encode_frame,
+)
+from repro.tko.message import TKOMessage
+from repro.tko.pdu import PDU, PduType
+
+
+def _data_frame() -> Frame:
+    pdu = PDU(
+        PduType.DATA,
+        41,
+        src_port=7001,
+        dst_port=7000,
+        seq=12,
+        ack=9,
+        sack=(3, 5, 7),
+        msg_id=4,
+        frag_index=1,
+        frag_count=3,
+        window=16,
+        timestamp=1.25,
+        options={"fec_group": 2, "piggy": {"rto": 0.25}},
+        message=TKOMessage(b"\x00payload bytes\xff"),
+        compact=True,
+    )
+    pdu.checksum = 0xDEAD
+    pdu.checksum_placement = "trailer"
+    pdu.aux_size = 8
+    f = Frame("A", "B", size=1540, payload=pdu, priority=PRIO_CONTROL,
+              created_at=2.5)
+    f.hops = 3
+    f.corrupted = True
+    return f
+
+
+def test_roundtrip_preserves_every_field():
+    f = _data_frame()
+    g = decode_frame(encode_frame(f))
+    assert (g.src, g.dst, g.size, g.priority) == ("A", "B", 1540, PRIO_CONTROL)
+    assert g.created_at == 2.5
+    assert g.hops == 3
+    assert g.corrupted is True
+    p, q = f.payload, g.payload
+    assert isinstance(q, PDU) and not q.pooled
+    for field in ("conn_id", "src_port", "dst_port", "seq", "ack", "sack",
+                  "msg_id", "frag_index", "frag_count", "window",
+                  "timestamp", "options", "compact", "checksum",
+                  "checksum_placement", "aux_size"):
+        assert getattr(q, field) == getattr(p, field), field
+    assert q.ptype is PduType.DATA
+    assert q.message.materialize() == b"\x00payload bytes\xff"
+
+
+def test_roundtrip_payloadless_control_pdu():
+    pdu = PDU(PduType.SYN_ACK, 7, options={"config": {"recovery": "gbn"}})
+    f = Frame("init", "resp", size=64, payload=pdu, created_at=0.0)
+    q = decode_frame(encode_frame(f)).payload
+    assert q.ptype is PduType.SYN_ACK
+    assert q.message is None
+    assert q.options == {"config": {"recovery": "gbn"}}
+
+
+def test_roundtrip_opaque_payload_dropped_but_frame_survives():
+    # non-PDU payloads (test doubles) are not wire-encodable content;
+    # the frame envelope still round-trips
+    f = Frame("A", "B", size=100, payload=None)
+    g = decode_frame(encode_frame(f))
+    assert g.payload is None
+    assert (g.src, g.dst, g.size) == ("A", "B", 100)
+
+
+def test_semantic_size_is_preserved_not_recomputed():
+    # receiver-side CPU charges and audit byte accounting key off
+    # frame.size as the *sender's* cost model set it
+    f = _data_frame()
+    encoded = encode_frame(f)
+    assert decode_frame(encoded).size == f.size
+    assert len(encoded) != f.size
+
+
+def test_multicast_frames_refused():
+    pdu = PDU(PduType.DATA, 1, message=TKOMessage(b"x"))
+    f = Frame("A", "G", size=10, payload=pdu, multicast_dsts=["B", "C"])
+    with pytest.raises(WireFormatError, match="multicast"):
+        encode_frame(f)
+
+
+def test_unencodable_options_refused():
+    pdu = PDU(PduType.DATA, 1, options={"cb": object()})
+    f = Frame("A", "B", size=10, payload=pdu)
+    with pytest.raises(WireFormatError, match="options"):
+        encode_frame(f)
+
+
+@pytest.mark.parametrize(
+    "mutate",
+    [
+        lambda d: b"XXXX" + d[4:],                     # bad magic
+        lambda d: d[:4] + bytes([WIRE_VERSION + 1]) + d[5:],  # future version
+        lambda d: d[: len(d) // 2],                    # truncated
+        lambda d: d + b"\x00",                         # trailing garbage
+        lambda d: b"",                                 # empty
+    ],
+)
+def test_malformed_datagrams_raise(mutate):
+    data = encode_frame(_data_frame())
+    assert data[:4] == WIRE_MAGIC
+    with pytest.raises(WireFormatError):
+        decode_frame(mutate(data))

@@ -134,3 +134,45 @@ class TestEndpoints:
         assert server.render_connections()[0]["ref"] == conn.ref
         assert conn.ref in server.render_audit()
         assert server.render_health()["status"] == "ok"
+
+
+class TestBindBehaviour:
+    """ISSUE 7 satellite: explicit SO_REUSEADDR + ephemeral port-0 bind."""
+
+    def test_port_zero_reports_kernel_chosen_port(self):
+        server = TelemetryServer(port=0).start()
+        try:
+            assert server.port != 0
+            assert str(server.port) in server.url
+            status, _, _ = fetch(server.url + "/healthz")
+            assert status == 200
+        finally:
+            server.stop()
+
+    def test_socket_has_reuseaddr_set(self):
+        import socket
+
+        server = TelemetryServer().start()
+        try:
+            assert server._httpd.allow_reuse_address is True
+            flag = server._httpd.socket.getsockopt(
+                socket.SOL_SOCKET, socket.SO_REUSEADDR
+            )
+            assert flag != 0
+        finally:
+            server.stop()
+
+    def test_immediate_rebind_of_same_port(self):
+        # without SO_REUSEADDR a lingering TIME_WAIT peer makes this flaky;
+        # with it, stop-then-rebind on the same port must always succeed
+        first = TelemetryServer().start()
+        port = first.port
+        fetch(first.url + "/healthz")  # create at least one connection
+        first.stop()
+        second = TelemetryServer(port=port).start()
+        try:
+            assert second.port == port
+            status, _, _ = fetch(second.url + "/healthz")
+            assert status == 200
+        finally:
+            second.stop()
