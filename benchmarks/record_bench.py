@@ -279,9 +279,38 @@ def _pingpong(make_backend, n: int, warmup: int) -> dict:
     }
 
 
+def bench_impaired() -> dict:
+    """Lossy-path recovery: the chaos harness's 10×2KiB transfer through
+    20% loss + 10% dup + 10% reorder in *both* directions.
+
+    Deterministic mode (stepped clock, poll=0), so ``protocol_time_s`` —
+    how much timeline the stack needed to win against the hostile path —
+    is reproducible; ``wall_s`` measures the harness itself.
+    """
+    from repro.transport.chaos import run_impaired_transfer
+
+    w0 = perf_counter()
+    res = run_impaired_transfer()
+    wall = perf_counter() - w0
+    trace = res["trace"]
+    return {
+        "workload": ("10 x 2048B over ImpairedFabric, 20% loss + 10% dup "
+                     "+ 10% reorder each direction, deterministic replay"),
+        "delivered": res["delivered"],
+        "digest_ok": res["digest_ok"],
+        "frames_sent": res["frames_sent"],
+        "datagrams_dropped": sum(1 for ln in trace if ln.endswith("drop")),
+        "datagrams_duplicated": sum(1 for ln in trace if "dup" in ln),
+        "datagrams_reordered": sum(1 for ln in trace if "reorder" in ln),
+        "protocol_time_s": round(res["timeline_s"], 3),
+        "wall_s": round(wall, 3),
+        "pool_balanced": res["pool_delta"][0] == res["pool_delta"][1],
+    }
+
+
 def bench_transport(n: int = TRANSPORT_ROUNDTRIPS,
                     warmup: int = TRANSPORT_WARMUP) -> dict:
-    """Loopback vs UDP endpoint round-trip p50/p99 over the pair() API."""
+    """Loopback vs UDP round-trip p50/p99, plus lossy-path recovery."""
     from repro.transport import LoopbackBackend, UdpBackend
 
     return {
@@ -289,6 +318,7 @@ def bench_transport(n: int = TRANSPORT_ROUNDTRIPS,
                      f"over backend.pair(), {warmup} warmup"),
         "loopback": _pingpong(LoopbackBackend, n, warmup),
         "udp": _pingpong(UdpBackend, n, warmup),
+        "impaired": bench_impaired(),
     }
 
 
@@ -379,6 +409,16 @@ def main(argv=None) -> int:
                 ok = False
             summary.append(f"{sub} rtt p50 {stats['p50_us']}us / "
                            f"p99 {stats['p99_us']}us")
+        imp = transport["impaired"]
+        if args.check and not (imp["delivered"] == 10 and imp["digest_ok"]
+                               and imp["pool_balanced"]):
+            print(f"FAIL: lossy-path recovery incomplete: {imp}",
+                  file=sys.stderr)
+            ok = False
+        summary.append(
+            f"impaired recovery {imp['delivered']}/10 in "
+            f"{imp['protocol_time_s']}s timeline "
+            f"({imp['datagrams_dropped']} drops)")
 
     if args.check:
         if not ok:

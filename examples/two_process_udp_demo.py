@@ -151,8 +151,17 @@ def _read_event(proc: subprocess.Popen, want: str, cap: float) -> dict:
     raise RuntimeError(f"timed out waiting for '{want}' event")
 
 
+#: the counters the live scrape must witness; a scrape that lands in the
+#: first milliseconds of the run may see only one of them registered, so
+#: the poll keeps going until *all* are present (this was a CI flake)
+_REQUIRED_COUNTERS = (
+    "transport_frames_sent_total",
+    "transport_frames_delivered_total",
+)
+
+
 def _scrape_transport_metrics(url: str, cap: float = 15.0) -> str:
-    """Poll /metrics until transport_* counters appear (the live proof)."""
+    """Poll /metrics until every required counter appears (the live proof)."""
     deadline = time.monotonic() + cap
     last = ""
     while time.monotonic() < deadline:
@@ -161,10 +170,12 @@ def _scrape_transport_metrics(url: str, cap: float = 15.0) -> str:
                 last = rsp.read().decode()
         except OSError:
             last = ""
-        if "transport_" in last:
+        if all(name in last for name in _REQUIRED_COUNTERS):
             return last
         time.sleep(0.1)
-    raise RuntimeError("never saw transport_* counters on live /metrics")
+    raise RuntimeError(
+        "never saw all required transport_* counters on live /metrics; "
+        f"last scrape had: {sorted(ln.split()[0] for ln in last.splitlines() if ln.startswith('transport_'))}")
 
 
 def orchestrate() -> int:

@@ -80,6 +80,16 @@ class MANTTS:
         #: reservation guard tracks it at 2x.  Default preserves every
         #: simulated timeline bit-for-bit.
         self.negotiation_timeout = NEGOTIATION_TIMEOUT
+        #: extra negotiation attempts after a timeout (0 = the classic
+        #: single-shot open, preserving simulated timelines).  Real lossy
+        #: substrates set this >0 so a lost open-request/accept exchange
+        #: retries with exponential backoff instead of failing setup.
+        self.negotiation_retries = 0
+        #: base backoff before retry k is ``backoff * 2**(k-1)`` seconds
+        self.negotiation_backoff = 0.5
+        #: uniform jitter fraction on top of each backoff (decorrelates
+        #: two peers that timed out on the same lost exchange)
+        self.negotiation_jitter = 0.25
         #: the per-host connection-scale layer: connection table, shared
         #: probe/SCS caches, coalesced timer groups, population gauges
         self.manager = manager if manager is not None else ConnectionManager(

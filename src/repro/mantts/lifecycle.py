@@ -47,6 +47,9 @@ class ConnectionLifecycle:
         #: a mid-stream renegotiation is in flight (pause/drain/resume)
         self.reneg_active = False
         self._reneg_attempts = 0
+        #: timed-out setup negotiations retried so far (lossy-path
+        #: hardening; bounded by ``mantts.negotiation_retries``)
+        self._setup_attempts = 0
         #: messages accepted while negotiation is still in flight; flushed
         #: into the session the moment Stage III instantiates it
         self.pending_sends: List[bytes] = []
@@ -155,6 +158,10 @@ class ConnectionLifecycle:
             return on_reply
 
         attempt = "retry" if self.renegotiated else "first"
+        if self._setup_attempts:
+            # timeout-retry refs must not collide with (or resurrect)
+            # handlers from the attempt that timed out
+            attempt = f"{attempt}~{self._setup_attempts}"
         for member in c.members:
             ref = f"{c.ref}:{member}:{attempt}"
             c.mantts._pending[ref] = reply_handler(member)
@@ -187,8 +194,58 @@ class ConnectionLifecycle:
             c.scs.config = cfg.with_(**overrides)
 
     def _negotiation_timeout(self, outstanding: set) -> None:
-        if not self.established and not self.failed:
-            self.fail(f"negotiation timed out waiting for {sorted(outstanding)}")
+        if self.established or self.failed:
+            return
+        m = self.conn.mantts
+        if self._setup_attempts < m.negotiation_retries:
+            self._setup_attempts += 1
+            self._retry_negotiation()
+            return
+        self.fail(f"negotiation timed out waiting for {sorted(outstanding)}")
+
+    def _retry_negotiation(self) -> None:
+        """Timed-out open on a lossy path: roll back, back off, go again.
+
+        Every contacted responder gets an ``open-abort`` for the stale
+        ref (a reservation its accept may have charged must not stay on
+        the remote ledger — the recipient no-ops when it holds nothing),
+        the stale reply handlers are dropped, and a fresh
+        :meth:`negotiate_explicit` is scheduled after an exponential
+        backoff with deterministic per-attempt jitter.
+        """
+        import random
+
+        c = self.conn
+        m = c.mantts
+        self.nego_span.end(outcome="timeout-retry")
+        for member, ref in self.sent_refs:
+            m._pending.pop(ref, None)
+            m._send_signalling(
+                member,
+                {
+                    "type": "open-abort",
+                    "ref": ref,
+                    "from": c.host.name,
+                    "service_port": c.acd.service_port,
+                },
+            )
+        self.sent_refs.clear()
+        base = m.negotiation_backoff * (2 ** (self._setup_attempts - 1))
+        # string-seeded: reproducible per (connection, attempt), and
+        # decorrelated between the two ends of a lost exchange
+        rng = random.Random(f"{c.host.name}|{c.ref}|retry{self._setup_attempts}")
+        delay = base * (1.0 + m.negotiation_jitter * rng.random())
+        if c.scs is not None:
+            c.scs.note(
+                f"negotiation attempt {self._setup_attempts} timed out; "
+                f"retrying in {delay:.3f}s"
+            )
+
+        def go() -> None:
+            if not self.established and not self.failed:
+                self.negotiate_explicit()
+
+        self.sim.schedule(delay, go)
 
     def _complete_negotiation(self, results: Dict[str, dict]) -> None:
         """Merge counters: the session runs at the *weakest* accepted QoS."""

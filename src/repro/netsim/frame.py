@@ -12,6 +12,7 @@ from __future__ import annotations
 import itertools
 import json
 import struct
+import zlib
 from typing import Any, Optional, Sequence
 
 _frame_ids = itertools.count(1)
@@ -60,6 +61,7 @@ class Frame:
         "multicast_dsts",
         "created_at",
         "trace",
+        "heartbeat",
     )
 
     def __init__(
@@ -85,6 +87,9 @@ class Frame:
         self.multicast_dsts = list(multicast_dsts) if multicast_dsts else None
         self.created_at = created_at
         self.trace: list[str] = []
+        #: wire-level liveness beacon (carries no payload; real fabrics
+        #: consume it before host delivery — see repro.transport.liveness)
+        self.heartbeat = False
 
     def clone_for(self, dsts: Sequence[str]) -> "Frame":
         """Replicate the frame at a multicast branch point.
@@ -103,6 +108,7 @@ class Frame:
             created_at=self.created_at,
         )
         f.corrupted = self.corrupted
+        f.heartbeat = self.heartbeat
         f.hops = self.hops
         f.trace = list(self.trace)
         return f
@@ -121,6 +127,7 @@ class Frame:
 #   magic "ADPT" | version u8 | flags u8 | priority u8 | hops u8
 #   | size u32 | created_at f64 | src (u8 len + utf8) | dst (u8 len + utf8)
 #   [ | pdu-header u32 len + JSON | payload u32 len + bytes ]   (flag bit 0)
+#   | crc32 u32   (over every preceding byte)
 #
 # ``size`` is the *semantic* on-wire size (headers included) the sender's
 # cost model charged — the decoded Frame reproduces it exactly, so the
@@ -130,17 +137,34 @@ class Frame:
 # carried, options dicts (piggybacked configs, FEC metadata) are JSON by
 # construction, and the TKOMessage payload is materialized once — the
 # same single copy the app boundary pays in-process.
+#
+# Version 2 (hostile-path hardening) added two things over v1:
+#
+# * a trailing CRC32 over the whole datagram.  On a hostile path a
+#   single flipped byte in a length field or a host-name byte would
+#   otherwise silently re-frame the datagram — possibly decoding into a
+#   *different* src/dst.  With the checksum, any byte damage is refused
+#   as ``WireFormatError`` and the datagram is dropped (counted as a
+#   decode error), which upper layers experience as loss — exactly what
+#   a UDP checksum gives a real stack.  This is distinct from the
+#   ``corrupted`` *flag*: that is the simulated network's semantic
+#   "delivered but damaged" marker, which rides a *valid* datagram so
+#   transport-level detection mechanisms can earn their keep.
+# * flag bit 2: a heartbeat beacon (no PDU).  Fabrics consume heartbeat
+#   frames before host delivery; they exist only to prove the peer's
+#   wire is alive (see ``repro.transport.liveness``).
 
 #: 4-byte magic opening every encoded frame
 WIRE_MAGIC = b"ADPT"
-#: current (and only) wire format version
-WIRE_VERSION = 1
+#: current wire format version (2 = +CRC32 trailer, +heartbeat flag)
+WIRE_VERSION = 2
 
 _FIXED = struct.Struct("!4sBBBBId")
 _U32 = struct.Struct("!I")
 
 _FLAG_PDU = 0x01
 _FLAG_CORRUPTED = 0x02
+_FLAG_HEARTBEAT = 0x04
 
 
 class WireFormatError(ValueError):
@@ -166,6 +190,8 @@ def encode_frame(frame: "Frame") -> bytes:
     flags = 0
     if frame.corrupted:
         flags |= _FLAG_CORRUPTED
+    if frame.heartbeat:
+        flags |= _FLAG_HEARTBEAT
     body = b""
     if isinstance(pdu, PDU):
         flags |= _FLAG_PDU
@@ -195,13 +221,14 @@ def encode_frame(frame: "Frame") -> bytes:
             raise WireFormatError(f"unencodable PDU options: {exc}") from exc
         payload_b = pdu.message.materialize() if pdu.message is not None else b""
         body = _U32.pack(len(head_b)) + head_b + _U32.pack(len(payload_b)) + payload_b
-    return (
+    datagram = (
         _FIXED.pack(WIRE_MAGIC, WIRE_VERSION, flags, frame.priority,
                     min(frame.hops, 255), frame.size, frame.created_at)
         + bytes((len(src),)) + src
         + bytes((len(dst),)) + dst
         + body
     )
+    return datagram + _U32.pack(zlib.crc32(datagram))
 
 
 def decode_frame(data: bytes) -> "Frame":
@@ -210,18 +237,24 @@ def decode_frame(data: bytes) -> "Frame":
     from repro.tko.message import TKOMessage
     from repro.tko.pdu import PDU, PduType
 
-    if len(data) < _FIXED.size + 2:
+    if len(data) < _FIXED.size + 2 + 4:
         raise WireFormatError(f"datagram too short ({len(data)} bytes)")
     magic, version, flags, priority, hops, size, created_at = _FIXED.unpack_from(data)
     if magic != WIRE_MAGIC:
         raise WireFormatError(f"bad magic {magic!r}")
     if version != WIRE_VERSION:
         raise WireFormatError(f"unsupported wire version {version}")
+    # integrity before structure: a hostile path flipping one byte must
+    # never re-frame the datagram into a different-looking (src, dst)
+    want = _U32.unpack_from(data, len(data) - 4)[0]
+    if zlib.crc32(data[:-4]) != want:
+        raise WireFormatError("checksum mismatch (damaged datagram)")
+    end = len(data) - 4
     off = _FIXED.size
 
     def take(n: int) -> bytes:
         nonlocal off
-        if off + n > len(data):
+        if off + n > end:
             raise WireFormatError("truncated datagram")
         chunk = data[off:off + n]
         off += n
@@ -262,10 +295,11 @@ def decode_frame(data: bytes) -> "Frame":
         pdu.checksum_placement = head.get("kp")
         pdu.aux_size = head.get("ax", 0)
         payload = pdu
-    if off != len(data):
-        raise WireFormatError(f"{len(data) - off} trailing bytes")
+    if off != end:
+        raise WireFormatError(f"{end - off} trailing bytes")
     frame = Frame(src, dst, size, payload=payload, priority=priority,
                   created_at=created_at)
     frame.corrupted = bool(flags & _FLAG_CORRUPTED)
+    frame.heartbeat = bool(flags & _FLAG_HEARTBEAT)
     frame.hops = hops
     return frame

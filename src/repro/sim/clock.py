@@ -82,3 +82,36 @@ class WallClock(Clock):
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<WallClock t={self.now():.6f}>"
+
+
+class SteppedClock(Clock):
+    """A deterministic stand-in for :class:`WallClock`.
+
+    Each :meth:`now` call advances time by a fixed ``dt``, so any code
+    that polls a wall clock (the realtime driver, liveness timers, the
+    impairment fabric's jitter scheduling) sees a strictly increasing
+    but *reproducible* timeline.  Driving two co-located backends with
+    ``drive(..., poll=0)`` on a shared ``SteppedClock`` turns a real
+    loopback run into a single-threaded deterministic one — which is
+    how the chaos acceptance suite gets byte-identical impairment
+    traces from two same-seed runs on the "wall" domain.
+    """
+
+    domain = "wall"
+
+    def __init__(self, dt: float = 1e-4, start: float = 0.0) -> None:
+        if dt <= 0.0:
+            raise ValueError(f"dt must be positive, got {dt}")
+        self.dt = float(dt)
+        self._t = float(start)
+
+    def now(self) -> float:
+        self._t += self.dt
+        return self._t
+
+    def peek(self) -> float:
+        """Read the current time without advancing it."""
+        return self._t
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SteppedClock t={self._t:.6f} dt={self.dt}>"

@@ -357,6 +357,12 @@ class ReferenceExecutor(_ExecutorBase):
         else:
             # discarded (GBN out-of-order / duplicate): release its buffer
             self._release_buffer(pdu)
+            if not gap:
+                # stale duplicate below the window: the ACK that covered
+                # it was lost on the way back.  Re-acknowledge now (TCP's
+                # segment-below-window rule) or the sender retransmits a
+                # delivered PDU all the way to its give-up limit.
+                ctx.ack.on_gap(pdu)
         for out in deliverable:
             self._deliver_pdu(out)
         # a data arrival can complete an FEC group whose parity came first
@@ -696,6 +702,10 @@ class CompiledExecutor(_ExecutorBase):
         else:
             # discarded (GBN out-of-order / duplicate): release its buffer
             self._release_buffer(pdu)
+            if not gap:
+                # stale duplicate below the window: re-acknowledge (the
+                # mirror of the reference executor's below-window rule)
+                self._ack_on_gap(pdu)
         for out in deliverable:
             self._deliver_pdu(out)
         # a data arrival can complete an FEC group whose parity came first

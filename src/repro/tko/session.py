@@ -418,6 +418,18 @@ class TKOSession:
         # a drain can no longer complete; its initiator learns the outcome
         # from the session's close/abort callbacks instead
         self._drain_waiters.clear()
+        # an abort abandons data still queued or awaiting acknowledgement;
+        # the retransmission queue's creator references die with it, or
+        # the pool leaks one shell per unacked PDU (hostile paths abort
+        # sessions with full windows — see the chaos acceptance suite)
+        for entry in self.state.outstanding.values():
+            if entry.pdu.pooled:
+                entry.pdu.release()
+        self.state.outstanding.clear()
+        for pdu in self._send_queue:
+            if pdu.pooled:
+                pdu.release()
+        self._send_queue.clear()
         self.timers.cancel_all()
         if self._pump_event is not None:
             self.sim.cancel(self._pump_event)

@@ -25,8 +25,10 @@ from repro.transport.base import (
     TransportBackend,
 )
 from repro.transport.fabric import RealFabric, VirtualLink
+from repro.transport.impair import ImpairedFabric, ImpairmentSpec
+from repro.transport.liveness import LivenessConfig, PeerLiveness
 from repro.transport.loopback import LoopbackBackend, loopback_pair
-from repro.transport.realtime import RealtimeDriver, drive
+from repro.transport.realtime import DriverWatchdog, RealtimeDriver, drive
 from repro.transport.sim import SimBackend
 from repro.transport.udp import UdpBackend
 
@@ -38,8 +40,13 @@ __all__ = [
     "TransportBackend",
     "RealFabric",
     "VirtualLink",
+    "ImpairedFabric",
+    "ImpairmentSpec",
+    "LivenessConfig",
+    "PeerLiveness",
     "LoopbackBackend",
     "loopback_pair",
+    "DriverWatchdog",
     "RealtimeDriver",
     "drive",
     "SimBackend",

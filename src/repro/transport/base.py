@@ -120,6 +120,17 @@ class Endpoint(ABC):
     def timestamp(self) -> int:
         """Monotonic nanoseconds in this endpoint's clock domain."""
 
+    def keepalive(self) -> None:
+        """Send a liveness beacon carrying no payload.
+
+        Keepalives refresh the peer's ``last_heard`` lease but are *not*
+        data: a ``recv`` blocked on a peer that only sends keepalives
+        still returns :data:`ETIMEDOUT` when its timeout elapses (the
+        conformance suite asserts this).  Default: no-op, for substrates
+        without a beacon concept (the sim world has injected crashes
+        instead of silent ones).
+        """
+
     def __enter__(self) -> "Endpoint":
         return self
 
@@ -143,15 +154,25 @@ class _BufferedEndpoint(Endpoint):
         self._eof = False
         self._reset = False
         self._closed = False
+        #: clock reading of the last peer sign-of-life (data or keepalive)
+        self.last_heard = clock.now()
 
     # -- feeder side (peer endpoint / receiver thread) ------------------
     def _feed(self, data: bytes) -> None:
         with self._cond:
             if self._eof or self._reset:
                 return  # late data after FIN/RST is dropped
+            self.last_heard = self.clock.now()
             if data:
                 self._chunks.append(data)
                 self._cond.notify_all()
+
+    def _feed_keepalive(self) -> None:
+        """A peer beacon arrived: refresh the lease, wake nobody — a
+        keepalive is a sign of life, not data, so blocked recvs keep
+        waiting toward their :data:`ETIMEDOUT`."""
+        with self._cond:
+            self.last_heard = self.clock.now()
 
     def _feed_eof(self) -> None:
         with self._cond:
@@ -242,6 +263,20 @@ class TransportBackend(ABC):
         raise RuntimeError(
             f"{type(self).__name__} provides its own fabric; "
             "attach_network() is a sim-substrate operation"
+        )
+
+    def impair(self, spec):
+        """Wrap this backend's fabric in a deterministic
+        :class:`~repro.transport.impair.ImpairedFabric` and return it.
+
+        Only meaningful for the real substrates — the sim world injects
+        hostility through :mod:`repro.netsim.faults` instead.  Must be
+        called *before* systems are constructed over the backend (the
+        stack captures ``backend.network`` at construction).
+        """
+        raise RuntimeError(
+            f"{type(self).__name__} has no real fabric to impair; "
+            "use repro.netsim.faults for the sim substrate"
         )
 
     @abstractmethod

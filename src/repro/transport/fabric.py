@@ -20,7 +20,7 @@ path* — mirroring the simulated receive path's release discipline so
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Set
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.netsim.frame import Frame, WireFormatError, encode_frame
 from repro.sim.rng import RngStreams
@@ -84,6 +84,10 @@ class RealFabric:
         self.bytes_sent = 0
         self.frames_delivered = 0
         self.send_errors = 0
+        #: optional :class:`repro.transport.liveness.PeerLiveness`; when
+        #: set, every delivered frame refreshes the sender's lease and
+        #: heartbeat beacons are consumed before host delivery
+        self.liveness = None
 
     # ------------------------------------------------------------------
     # host attachment (Host.__init__ / teardown call these)
@@ -112,9 +116,13 @@ class RealFabric:
     # path characteristics — static VirtualLink estimates
     # ------------------------------------------------------------------
     def route(self, src: str, dst: str) -> Optional[List[str]]:
+        if self.liveness is not None and self.liveness.is_dead(dst):
+            return None  # the monitor reads "no route" as unreachable
         return [src, dst]
 
     def path_links(self, src: str, dst: str) -> List[VirtualLink]:
+        if self.liveness is not None and self.liveness.is_dead(dst):
+            return []
         return [self.link]
 
     def path_mtu(self, src: str, dst: str) -> Optional[int]:
@@ -147,7 +155,24 @@ class RealFabric:
         consumed here no matter what happens — encode error, unknown
         destination, or transmit failure — because past this point no
         receive path in this process will ever release it.
+
+        The path splits into :meth:`_encode_for_send` (resolve + encode
+        + consume the wire reference) and :meth:`_dispatch` (move one
+        datagram, count it) so an impairment wrapper can interpose on
+        delivery without re-implementing pool discipline (see
+        :class:`repro.transport.impair.ImpairedFabric`).
         """
+        encoded = self._encode_for_send(frame)
+        if encoded is None:
+            return
+        data, dsts = encoded
+        for dst in dsts:
+            self._dispatch(data, dst, frame)
+
+    def _encode_for_send(
+            self, frame: Frame) -> Optional[Tuple[bytes, List[str]]]:
+        """Resolve destinations and encode ``frame``, consuming the
+        pooled wire reference.  Returns ``None`` on encode failure."""
         dsts = [frame.dst]
         members = self.groups.get(frame.dst)
         if members is not None:
@@ -158,24 +183,34 @@ class RealFabric:
         except WireFormatError:
             self.send_errors += 1
             self._count("transport_send_errors_total", reason="encode")
-            return
+            return None
         finally:
             if pdu is not None:
                 pdu.release()  # the wire's reference, consumed either way
-        for dst in dsts:
-            try:
-                self._transmit(data, dst, frame)
-            except (KeyError, OSError):
-                self.send_errors += 1
-                self._count("transport_send_errors_total", reason="transmit")
-                continue
-            self.frames_sent += 1
-            self.bytes_sent += len(data)
-            self._count("transport_frames_sent_total")
-            self._count("transport_bytes_sent_total", by=len(data))
+        return data, dsts
+
+    def _dispatch(self, data: bytes, dst: str, frame: Frame) -> None:
+        """Move one encoded datagram to ``dst``, counting the attempt."""
+        try:
+            self._transmit(data, dst, frame)
+        except (KeyError, OSError):
+            self.send_errors += 1
+            self._count("transport_send_errors_total", reason="transmit")
+            return
+        self.frames_sent += 1
+        self.bytes_sent += len(data)
+        self._count("transport_frames_sent_total")
+        self._count("transport_bytes_sent_total", by=len(data))
 
     def deliver(self, frame: Frame) -> None:
         """Hand a decoded frame to the attached host (driver thread)."""
+        if self.liveness is not None:
+            self.liveness.note_heard(frame.src)
+            if frame.heartbeat:
+                self._count("transport_liveness_heartbeats_rx_total")
+                return  # beacons prove the wire; they never reach hosts
+        elif frame.heartbeat:
+            return
         handler = self._handlers.get(frame.dst)
         if handler is None:
             self._count("transport_frames_unrouted_total")

@@ -1,0 +1,208 @@
+"""Deterministic hostile-path injection for the real substrates.
+
+``repro.netsim.faults`` makes the *simulated* network hostile; this
+module does the same for the real one.  :class:`ImpairedFabric` wraps
+any :class:`~repro.transport.fabric.RealFabric` (loopback or UDP) and
+impairs each outgoing datagram — loss, duplication, byte corruption,
+delay jitter, reordering — exactly the way a bad path would, while the
+wrapped fabric keeps doing everything else (attachment, groups, path
+characteristics, pooled-PDU wire-reference discipline).
+
+Determinism is the whole point: every datagram's fate is drawn from a
+private ``random.Random(f"{seed}|{index}")`` keyed by the datagram's
+send index, with a fixed draw order, so the *decision sequence* depends
+only on the spec's seed and the order frames hit the wire — never on
+wall-clock timing, thread interleaving, or ``PYTHONHASHSEED``.  The
+ordered :attr:`ImpairedFabric.trace` records each decision; two runs
+whose stacks emit the same datagram sequence (e.g. loopback pairs
+driven by a :class:`~repro.sim.clock.SteppedClock` with ``poll=0``)
+produce byte-identical traces — the chaos acceptance suite asserts
+exactly that via :meth:`ImpairedFabric.trace_digest`.
+
+Corruption comes in two flavours, mirroring the two damage semantics
+the stack distinguishes:
+
+* ``"wire"`` — flip one payload byte and leave the CRC stale.  The
+  receiver's codec refuses the datagram (``WireFormatError``), so upper
+  layers experience it as loss: what a real UDP checksum gives you.
+* ``"mark"`` — set the frame's *corrupted* flag and recompute the CRC,
+  so the datagram arrives intact-but-marked: the simulated network's
+  bit-error semantics, letting transport-level checksum mechanisms (and
+  configurations without them) earn their keep on the real path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+import zlib
+from dataclasses import dataclass
+from typing import List
+
+from repro.netsim.frame import Frame, _FLAG_CORRUPTED, _U32
+
+#: byte offset of the flags field inside an encoded frame
+#: (magic 4B + version 1B, see repro.netsim.frame._FIXED)
+_FLAGS_OFF = 5
+
+
+@dataclass
+class ImpairmentSpec:
+    """Per-datagram impairment probabilities and magnitudes.
+
+    All probabilities are independent per datagram; a single datagram
+    can be duplicated *and* corrupted *and* delayed.  Loss wins: a
+    dropped datagram is never also duplicated or delayed.
+    """
+
+    seed: int = 0
+    #: P(drop the datagram entirely)
+    loss: float = 0.0
+    #: P(dispatch a second copy)
+    dup: float = 0.0
+    #: P(damage the datagram's bytes)
+    corrupt: float = 0.0
+    #: "wire" (stale CRC -> receiver drops) or "mark" (corrupted flag,
+    #: valid CRC -> delivered damaged)
+    corrupt_mode: str = "wire"
+    #: max uniform extra delay per datagram, seconds
+    jitter: float = 0.0
+    #: P(hold the datagram back long enough to reorder)
+    reorder: float = 0.0
+    #: extra delay applied to reordered datagrams, seconds
+    reorder_delay: float = 0.05
+
+    def __post_init__(self) -> None:
+        for name in ("loss", "dup", "corrupt", "reorder"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {p}")
+        if self.corrupt_mode not in ("wire", "mark"):
+            raise ValueError(
+                f"corrupt_mode must be 'wire' or 'mark', got {self.corrupt_mode!r}")
+        if self.jitter < 0.0 or self.reorder_delay < 0.0:
+            raise ValueError("delays must be non-negative")
+
+
+def _corrupt_wire(data: bytes, rng: random.Random) -> bytes:
+    """Flip one byte, leaving the CRC stale: the receiver will refuse."""
+    pos = rng.randrange(len(data))
+    flip = rng.randrange(1, 256)
+    out = bytearray(data)
+    out[pos] ^= flip
+    return bytes(out)
+
+
+def _corrupt_mark(data: bytes, rng: random.Random) -> bytes:
+    """Set the frame's corrupted flag and re-seal the CRC: the receiver
+    accepts a valid datagram carrying damaged-payload semantics."""
+    out = bytearray(data)
+    out[_FLAGS_OFF] |= _FLAG_CORRUPTED
+    out[-4:] = _U32.pack(zlib.crc32(bytes(out[:-4])))
+    return bytes(out)
+
+
+class ImpairedFabric:
+    """A hostile path wrapped around a healthy fabric.
+
+    Delegates the whole network surface to the inner fabric and
+    interposes only on the send path's dispatch step: the inner
+    fabric's :meth:`~repro.transport.fabric.RealFabric._encode_for_send`
+    still resolves destinations, encodes, and consumes the pooled wire
+    reference (so pool discipline is untouched no matter what this
+    wrapper drops), then each datagram is impaired and dispatched — now
+    or, for jittered/reordered datagrams, via the backend's simulator so
+    the realtime driver replays the hold-back in its own clock domain.
+    """
+
+    def __init__(self, inner, spec: ImpairmentSpec) -> None:
+        self._inner = inner
+        self.spec = spec
+        #: ordered decision log, one line per datagram send
+        self.trace: List[str] = []
+        self._index = 0
+        self._sim = inner.backend.simulator
+
+    # -- delegation ------------------------------------------------------
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    @property
+    def liveness(self):
+        return self._inner.liveness
+
+    @liveness.setter
+    def liveness(self, value) -> None:
+        self._inner.liveness = value
+
+    @property
+    def inner(self):
+        """The wrapped fabric (escape hatch for tests/diagnostics)."""
+        return self._inner
+
+    # -- the impaired send path ------------------------------------------
+    def send(self, frame: Frame) -> None:
+        encoded = self._inner._encode_for_send(frame)
+        if encoded is None:
+            return
+        data, dsts = encoded
+        for dst in dsts:
+            self._impair_dispatch(data, dst, frame)
+
+    def _impair_dispatch(self, data: bytes, dst: str, frame: Frame) -> None:
+        spec = self.spec
+        idx = self._index
+        self._index += 1
+        # string-seeded so the stream is stable across runs and processes
+        # (int hashing is PYTHONHASHSEED-independent too, but the string
+        # key also namespaces the per-datagram streams unambiguously)
+        rng = random.Random(f"{spec.seed}|{idx}")
+        actions: List[str] = []
+        # fixed draw order: loss, dup, corrupt, reorder, jitter
+        if rng.random() < spec.loss:
+            self.trace.append(f"{idx:06d} dst={dst} len={len(data)} drop")
+            self._count_impair("drop")
+            return
+        copies = 1
+        if rng.random() < spec.dup:
+            copies = 2
+            actions.append("dup")
+            self._count_impair("dup")
+        if rng.random() < spec.corrupt:
+            if spec.corrupt_mode == "wire":
+                data = _corrupt_wire(data, rng)
+                actions.append("corrupt-wire")
+            else:
+                data = _corrupt_mark(data, rng)
+                actions.append("corrupt-mark")
+            self._count_impair("corrupt")
+        delay = 0.0
+        if rng.random() < spec.reorder:
+            delay += spec.reorder_delay
+            actions.append("reorder")
+            self._count_impair("reorder")
+        if spec.jitter > 0.0:
+            j = rng.random() * spec.jitter
+            delay += j
+            actions.append(f"jitter={j * 1000.0:.3f}ms")
+            self._count_impair("jitter")
+        self.trace.append(
+            f"{idx:06d} dst={dst} len={len(data)} "
+            + (",".join(actions) if actions else "pass"))
+        for _ in range(copies):
+            if delay > 0.0:
+                self._sim.schedule(delay, self._inner._dispatch,
+                                   data, dst, frame)
+            else:
+                self._inner._dispatch(data, dst, frame)
+
+    def trace_digest(self) -> str:
+        """SHA-256 over the ordered decision log — the reproducibility
+        witness the chaos acceptance suite compares across runs."""
+        return hashlib.sha256("\n".join(self.trace).encode()).hexdigest()
+
+    def _count_impair(self, action: str) -> None:
+        self._inner._count("transport_impair_injected_total", action=action)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ImpairedFabric over {self._inner!r} spec={self.spec}>"

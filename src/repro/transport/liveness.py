@@ -1,0 +1,160 @@
+"""Wire-level liveness: heartbeats out, dead-peer detection in.
+
+A simulated network cannot silently lose a peer — crashes are injected
+events the monitor can see.  A real path can: the process on the other
+end of a UDP flow dies and nothing ever arrives again.  This module
+gives the real substrates the missing failure detector:
+
+* every :attr:`LivenessConfig.interval` seconds, one heartbeat frame
+  (``frame.heartbeat = True``, no payload) goes to each watched peer
+  through the normal fabric send path — so heartbeats traverse the
+  impairment wrapper and the wire codec like any other frame;
+* every frame *delivered* from a peer (data or heartbeat — the fabric
+  calls :meth:`PeerLiveness.note_heard` before demux) refreshes that
+  peer's lease;
+* a peer silent for ``interval × miss_budget`` seconds is declared
+  dead: bound endpoints are reset (their next ``recv`` returns a sticky
+  ``ECONNRESET`` per the backend recv contract), death callbacks fire,
+  and the fabric's ``route``/``path_links`` answers turn empty — which
+  the unmodified :class:`~repro.mantts.monitor.NetworkMonitor` reports
+  as *unreachable*, driving :class:`~repro.mantts.adaptation.
+  AdaptationController`'s existing retune→degrade→teardown ladder and
+  its flight-recorder dump.  No new control plane: liveness feeds the
+  adaptation machinery the paper already specifies.
+
+A peer heard from again after death is *revived* (routes reopen) but
+endpoint resets stay sticky, exactly like a TCP connection that died
+under the application: the wire may heal, the conversation does not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Set
+
+from repro.netsim.frame import PRIO_CONTROL, Frame
+from repro.sim.timers import Timer
+
+#: on-wire size charged per heartbeat beacon (header-only frame)
+HEARTBEAT_SIZE = 64
+
+
+@dataclass
+class LivenessConfig:
+    """The two knobs of the failure detector."""
+
+    #: seconds between heartbeat beacons to each watched peer
+    interval: float = 0.5
+    #: consecutive silent intervals before a peer is declared dead
+    miss_budget: int = 3
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0.0:
+            raise ValueError(f"interval must be positive, got {self.interval}")
+        if self.miss_budget < 1:
+            raise ValueError(
+                f"miss_budget must be >= 1, got {self.miss_budget}")
+
+    @property
+    def deadline(self) -> float:
+        """Silence budget in seconds: ``interval × miss_budget``."""
+        return self.interval * self.miss_budget
+
+
+def heartbeat_frame(src: str, dst: str, now: float) -> Frame:
+    """One liveness beacon: control priority, no payload, heartbeat flag."""
+    f = Frame(src, dst, HEARTBEAT_SIZE, payload=None,
+              priority=PRIO_CONTROL, created_at=now)
+    f.heartbeat = True
+    return f
+
+
+class PeerLiveness:
+    """Per-peer failure detector for one real backend's fabric.
+
+    Construct with the backend, the local host name heartbeats are
+    sourced from, and a :class:`LivenessConfig`; then :meth:`watch` each
+    peer and :meth:`start`.  Installs itself as ``fabric.liveness`` so
+    the fabric refreshes leases on delivery and consumes heartbeat
+    beacons before host demux.
+    """
+
+    def __init__(self, backend, local_name: str,
+                 config: LivenessConfig | None = None) -> None:
+        self.backend = backend
+        self.local_name = local_name
+        self.config = config if config is not None else LivenessConfig()
+        self.clock = backend.clock
+        self._fabric = backend.network
+        if self._fabric is None:
+            raise RuntimeError("backend has no fabric to watch")
+        self.last_heard: Dict[str, float] = {}
+        self.dead: Set[str] = set()
+        self._endpoints: Dict[str, List] = {}
+        self._death_cbs: List[Callable[[str], None]] = []
+        self._timer = Timer(backend.simulator, self._tick,
+                            interval=self.config.interval, periodic=True)
+        self._fabric.liveness = self
+
+    # -- wiring ----------------------------------------------------------
+    def watch(self, peer: str) -> None:
+        """Track ``peer``: heartbeat it and time out its silence."""
+        self.last_heard.setdefault(peer, self.clock.now())
+
+    def unwatch(self, peer: str) -> None:
+        self.last_heard.pop(peer, None)
+        self.dead.discard(peer)
+        self._endpoints.pop(peer, None)
+
+    def bind_endpoint(self, peer: str, endpoint) -> None:
+        """Reset ``endpoint`` (sticky ``ECONNRESET``) when ``peer`` dies."""
+        self._endpoints.setdefault(peer, []).append(endpoint)
+
+    def on_death(self, cb: Callable[[str], None]) -> None:
+        """Register ``cb(peer)`` to fire once per death transition."""
+        self._death_cbs.append(cb)
+
+    def start(self) -> None:
+        if not self._timer.armed:
+            self._timer.schedule()
+
+    def stop(self) -> None:
+        self._timer.cancel()
+
+    # -- the detector ----------------------------------------------------
+    def note_heard(self, peer: str) -> None:
+        """A frame from ``peer`` was delivered: refresh its lease."""
+        if peer not in self.last_heard:
+            return  # unwatched peers carry no lease
+        self.last_heard[peer] = self.clock.now()
+        if peer in self.dead:
+            self.dead.discard(peer)
+            self._count("transport_liveness_revivals_total")
+
+    def is_dead(self, peer: str) -> bool:
+        return peer in self.dead
+
+    def _tick(self) -> None:
+        now = self.clock.now()
+        deadline = self.config.deadline
+        for peer, heard in list(self.last_heard.items()):
+            if peer not in self.dead:
+                self._fabric.send(heartbeat_frame(self.local_name, peer, now))
+                self._count("transport_liveness_heartbeats_tx_total")
+            if peer not in self.dead and now - heard > deadline:
+                self._declare_dead(peer, now - heard)
+
+    def _declare_dead(self, peer: str, silent_for: float) -> None:
+        self.dead.add(peer)
+        self._count("transport_liveness_deaths_total")
+        for ep in self._endpoints.get(peer, []):
+            ep._feed_reset()
+        for cb in self._death_cbs:
+            cb(peer)
+
+    def _count(self, name: str) -> None:
+        self._fabric._count(name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<PeerLiveness local={self.local_name} "
+                f"watched={sorted(self.last_heard)} dead={sorted(self.dead)}>")

@@ -17,8 +17,8 @@ from __future__ import annotations
 
 from typing import Optional, Tuple
 
-from repro.netsim.frame import decode_frame
-from repro.sim.clock import WallClock
+from repro.netsim.frame import WireFormatError, decode_frame
+from repro.sim.clock import Clock, WallClock
 from repro.sim.kernel import Simulator
 from repro.sim.rng import RngStreams
 from repro.transport.base import ECONNRESET, TransportBackend, _BufferedEndpoint
@@ -51,6 +51,10 @@ class LoopbackEndpoint(_BufferedEndpoint):
         self._closed = True
         self._peer._feed_reset()
 
+    def keepalive(self) -> None:
+        if not (self._closed or self._reset):
+            self._peer._feed_keepalive()
+
 
 class LoopbackFabric(RealFabric):
     """The network surface of one system in a cross-connected pair.
@@ -74,7 +78,15 @@ class LoopbackFabric(RealFabric):
         if target is None:
             raise KeyError(dst)
         driver, fabric = target
-        driver.post(fabric.deliver, decode_frame(data))
+        # the receiver-side decode happens here on the sender's thread;
+        # a damaged datagram (impairment's "wire" corruption) is the
+        # *receiver's* loss, not a sender error
+        try:
+            decoded = decode_frame(data)
+        except WireFormatError:
+            fabric._count("transport_decode_errors_total")
+            return
+        driver.post(fabric.deliver, decoded)
 
 
 class LoopbackBackend(TransportBackend):
@@ -87,7 +99,7 @@ class LoopbackBackend(TransportBackend):
 
     name = "loopback"
 
-    def __init__(self, clock: Optional[WallClock] = None,
+    def __init__(self, clock: Optional[Clock] = None,
                  seed: int = 0, link: Optional[VirtualLink] = None) -> None:
         self.clock = clock if clock is not None else WallClock()
         self._sim = Simulator()
@@ -100,7 +112,16 @@ class LoopbackBackend(TransportBackend):
         return self._sim
 
     @property
-    def network(self) -> LoopbackFabric:
+    def network(self):
+        return self._fabric
+
+    def impair(self, spec):
+        """Make this side's sends hostile (see
+        :class:`~repro.transport.impair.ImpairedFabric`).  Call before
+        constructing systems over the backend; returns the wrapper."""
+        from repro.transport.impair import ImpairedFabric
+
+        self._fabric = ImpairedFabric(self._fabric, spec)
         return self._fabric
 
     def connect(self, other: "LoopbackBackend") -> None:
@@ -139,11 +160,18 @@ class LoopbackBackend(TransportBackend):
 
 
 def loopback_pair(seed: int = 0,
-                  link: Optional[VirtualLink] = None
+                  link: Optional[VirtualLink] = None,
+                  clock: Optional[Clock] = None
                   ) -> Tuple[LoopbackBackend, LoopbackBackend]:
     """Two cross-connected backends sharing one wall clock, ready to be
-    handed to two ``AdaptiveSystem`` constructions."""
-    clock = WallClock()
+    handed to two ``AdaptiveSystem`` constructions.
+
+    Pass a :class:`~repro.sim.clock.SteppedClock` as ``clock`` (and
+    drive with ``poll=0``) for a fully deterministic wall-domain run —
+    the chaos acceptance suite's reproducibility mode.
+    """
+    if clock is None:
+        clock = WallClock()
     a = LoopbackBackend(clock=clock, seed=seed, link=link)
     b = LoopbackBackend(clock=clock, seed=seed + 1, link=link)
     a.connect(b)

@@ -25,8 +25,10 @@ seconds (within poll granularity) instead of virtual ones.
 from __future__ import annotations
 
 import threading
+import time
+import traceback
 from collections import deque
-from typing import Callable, Iterable, Optional
+from typing import Callable, Iterable, List, Optional
 
 from repro.sim.clock import WallClock
 
@@ -45,6 +47,12 @@ class RealtimeDriver:
         self._inbox: deque = deque()
         self._wake = threading.Event()
         self._stopping = False
+        #: wall instant (``time.monotonic``) of the last pacing round —
+        #: the watchdog's stall signal
+        self.last_round = time.monotonic()
+        #: True while :meth:`run` (or a co-driving :func:`drive`) is live
+        self.running = False
+        self._thread_ident: Optional[int] = None
 
     # ------------------------------------------------------------------
     # cross-thread injection
@@ -68,6 +76,8 @@ class RealtimeDriver:
     # ------------------------------------------------------------------
     def step(self) -> None:
         """One pacing round: drain the inbox, fire due timers."""
+        self.last_round = time.monotonic()
+        self._thread_ident = threading.get_ident()
         inbox = self._inbox
         while inbox:
             fn, args = inbox.popleft()
@@ -83,23 +93,27 @@ class RealtimeDriver:
             poll = self.poll
         self._stopping = False
         end = None if duration is None else self.clock.now() + duration
-        while not self._stopping:
-            self.step()
-            if stop_when is not None and stop_when():
-                break
-            now = self.clock.now()
-            if end is not None and now >= end:
-                break
-            sleep = poll
-            nxt = self.sim.next_event_time()
-            if nxt is not None:
-                sleep = min(sleep, nxt - now)
-            if end is not None:
-                sleep = min(sleep, end - now)
-            if sleep > 0 and not self._inbox:
-                self._wake.wait(sleep)
-                self._wake.clear()
-        self.step()  # final drain so posted work is never stranded
+        self.running = True
+        try:
+            while not self._stopping:
+                self.step()
+                if stop_when is not None and stop_when():
+                    break
+                now = self.clock.now()
+                if end is not None and now >= end:
+                    break
+                sleep = poll
+                nxt = self.sim.next_event_time()
+                if nxt is not None:
+                    sleep = min(sleep, nxt - now)
+                if end is not None:
+                    sleep = min(sleep, end - now)
+                if sleep > 0 and not self._inbox:
+                    self._wake.wait(sleep)
+                    self._wake.clear()
+            self.step()  # final drain so posted work is never stranded
+        finally:
+            self.running = False
 
 
 def drive(drivers: Iterable[RealtimeDriver],
@@ -117,26 +131,127 @@ def drive(drivers: Iterable[RealtimeDriver],
     if not drivers:
         return
     lead = drivers[0]
+    own_wakes = [d._wake for d in drivers]
     for d in drivers[1:]:
         d._wake = lead._wake  # one wake event, so any post ends the sleep
-    end = None if duration is None else lead.clock.now() + duration
-    while True:
+    for d in drivers:
+        d.running = True
+    try:
+        end = None if duration is None else lead.clock.now() + duration
+        while True:
+            for d in drivers:
+                d.step()
+            if stop_when is not None and stop_when():
+                break
+            now = lead.clock.now()
+            if end is not None and now >= end:
+                break
+            sleep = poll
+            for d in drivers:
+                nxt = d.sim.next_event_time()
+                if nxt is not None:
+                    sleep = min(sleep, nxt - d.clock.now())
+            if end is not None:
+                sleep = min(sleep, end - now)
+            if sleep > 0 and not any(d._inbox for d in drivers):
+                lead._wake.wait(sleep)
+                lead._wake.clear()
         for d in drivers:
             d.step()
-        if stop_when is not None and stop_when():
-            break
-        now = lead.clock.now()
-        if end is not None and now >= end:
-            break
-        sleep = poll
-        for d in drivers:
-            nxt = d.sim.next_event_time()
-            if nxt is not None:
-                sleep = min(sleep, nxt - d.clock.now())
-        if end is not None:
-            sleep = min(sleep, end - now)
-        if sleep > 0 and not any(d._inbox for d in drivers):
-            lead._wake.wait(sleep)
-            lead._wake.clear()
-    for d in drivers:
-        d.step()
+    finally:
+        # restore private wake events: a co-driven driver later run solo
+        # must not sleep on an event nobody sets for it
+        for d, wake in zip(drivers, own_wakes):
+            d._wake = wake
+            d.running = False
+
+
+class DriverWatchdog:
+    """Detects a wedged pacing loop and files a flight-recorder incident.
+
+    A healthy :class:`RealtimeDriver` stamps :attr:`~RealtimeDriver.
+    last_round` every round — at least once per poll interval even when
+    idle.  If a posted callback or a timer handler blocks (a deadlocked
+    lock, an accidental blocking socket call), the stamp goes stale
+    while ``running`` stays true.  The watchdog samples from its own
+    daemon thread; after ``stall_after`` stale seconds it captures the
+    driver thread's current stack via ``sys._current_frames`` and files
+    one incident per stall episode into its
+    :class:`~repro.unites.obs.flight.FlightRecorder` (and the incident
+    list), then re-arms when the loop comes back.
+
+    Incident dumps share the flight-dump shape (``trigger`` +
+    ``records``) so ``python -m repro.unites.obs.flight`` renders them.
+    """
+
+    def __init__(self, driver: RealtimeDriver, stall_after: float = 1.0,
+                 check_every: float = 0.1, recorder=None,
+                 on_incident: Optional[Callable[[dict], None]] = None) -> None:
+        from repro.unites.obs.flight import FlightRecorder
+
+        if stall_after <= 0.0:
+            raise ValueError("stall_after must be positive")
+        self.driver = driver
+        self.stall_after = float(stall_after)
+        self.check_every = float(check_every)
+        self.recorder = recorder if recorder is not None else FlightRecorder(64)
+        self.on_incident = on_incident
+        self.incidents: List[dict] = []
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._tripped = False  # one incident per stall episode
+
+    def start(self) -> "DriverWatchdog":
+        if self._thread is None or not self._thread.is_alive():
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._watch, name="driver-watchdog", daemon=True)
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+
+    # -- the sampling loop ----------------------------------------------
+    def _watch(self) -> None:
+        while not self._stop.wait(self.check_every):
+            d = self.driver
+            if not d.running:
+                self._tripped = False
+                continue
+            stale = time.monotonic() - d.last_round
+            if stale < self.stall_after:
+                self._tripped = False
+                continue
+            if not self._tripped:
+                self._tripped = True
+                self._file_incident(stale)
+
+    def _file_incident(self, stale: float) -> None:
+        import sys
+
+        stack = None
+        ident = self.driver._thread_ident
+        frame = sys._current_frames().get(ident) if ident is not None else None
+        if frame is not None:
+            stack = "".join(traceback.format_stack(frame))
+        incident = {
+            "connection": "driver",
+            "trigger": {
+                "kind": "watchdog-stall",
+                "time": self.driver.clock.now(),
+                "reason": (f"pacing loop silent for {stale:.3f}s "
+                           f"(stall_after={self.stall_after}s)"),
+            },
+            "stalled_for": stale,
+            "driver_thread": ident,
+            "driver_stack": stack,
+            "records": [dict(r) for r in self.recorder.records],
+        }
+        self.recorder.note("watchdog-stall", self.driver.clock.now(),
+                           stalled_for=round(stale, 3))
+        self.incidents.append(incident)
+        if self.on_incident is not None:
+            self.on_incident(incident)

@@ -14,8 +14,9 @@ Two layers ride the same loop:
   failure path (see :class:`~repro.transport.fabric.RealFabric`);
 * :class:`UdpEndpoint` pairs — the conformance/bench endpoints, framing
   the byte-pipe contract onto datagrams with a one-byte type prefix
-  (``D`` data, ``F`` fin, ``R`` reset).  Loopback UDP preserves order
-  and never drops in practice, which is all the contract tests need.
+  (``D`` data, ``F`` fin, ``R`` reset, ``H`` keepalive).  Loopback UDP
+  preserves order and never drops in practice, which is all the
+  contract tests need.
 """
 
 from __future__ import annotations
@@ -50,8 +51,16 @@ class _FabricProtocol(asyncio.DatagramProtocol):
             fabric._count("transport_decode_errors_total")
             return
         # learn the sender's address, so a responder bound on port 0 can
-        # reply without out-of-band peer configuration
-        fabric.peers.setdefault(frame.src, (addr[0], addr[1]))
+        # reply without out-of-band peer configuration — and *relearn* it
+        # when the source moves, so a peer that restarts on a new port is
+        # reachable again instead of pinned to its first-seen address
+        known = fabric.peers.get(frame.src)
+        here = (addr[0], addr[1])
+        if known != here:
+            fabric.peers[frame.src] = here
+            if known is not None:
+                fabric.peer_rebinds += 1
+                fabric._count("transport_peer_rebinds_total")
         fabric._count("transport_bytes_received_total", by=len(data))
         self.backend.driver.post(fabric.deliver, frame)
 
@@ -68,6 +77,7 @@ class UdpFabric(RealFabric):
         super().__init__(rng=rng, link=link)
         self.backend = backend
         self.peers: Dict[str, Tuple[str, int]] = dict(peers or {})
+        self.peer_rebinds = 0
         self._transport: Optional[asyncio.DatagramTransport] = None
 
     def add_peer(self, name: str, host: str, port: int) -> None:
@@ -75,11 +85,19 @@ class UdpFabric(RealFabric):
 
     def _transmit(self, data: bytes, dst: str, frame) -> None:
         if dst in self._handlers:  # self-send: skip the socket entirely
-            self.backend.driver.post(self.deliver, decode_frame(data))
+            try:
+                decoded = decode_frame(data)
+            except WireFormatError:
+                self._count("transport_decode_errors_total")
+                return
+            self.backend.driver.post(self.deliver, decoded)
             return
         addr = self.peers[dst]  # KeyError -> counted by RealFabric.send
-        self.backend._loop.call_soon_threadsafe(
-            self._transport.sendto, data, addr)
+        try:
+            self.backend._loop.call_soon_threadsafe(
+                self._transport.sendto, data, addr)
+        except RuntimeError as exc:  # loop closed mid-send
+            raise OSError(str(exc)) from exc
 
 
 class _EndpointProtocol(asyncio.DatagramProtocol):
@@ -99,6 +117,8 @@ class _EndpointProtocol(asyncio.DatagramProtocol):
             self.endpoint._feed_eof()
         elif kind == b"R":
             self.endpoint._feed_reset()
+        elif kind == b"H":
+            self.endpoint._feed_keepalive()
 
 
 class UdpEndpoint(_BufferedEndpoint):
@@ -120,8 +140,11 @@ class UdpEndpoint(_BufferedEndpoint):
         return transport.get_extra_info("sockname")[:2]
 
     def _sendto(self, datagram: bytes) -> None:
-        self._owner._loop.call_soon_threadsafe(
-            self._transport.sendto, datagram, self._peer_addr)
+        try:
+            self._owner._loop.call_soon_threadsafe(
+                self._transport.sendto, datagram, self._peer_addr)
+        except RuntimeError:
+            pass  # backend closed under this endpoint; drop like the wire
 
     def send(self, data: bytes) -> int:
         if self._closed or self._reset:
@@ -138,6 +161,10 @@ class UdpEndpoint(_BufferedEndpoint):
     def abort(self) -> None:
         self._closed = True
         self._sendto(b"R")
+
+    def keepalive(self) -> None:
+        if not (self._closed or self._reset):
+            self._sendto(b"H")
 
 
 class UdpBackend(TransportBackend):
@@ -157,6 +184,7 @@ class UdpBackend(TransportBackend):
                  seed: int = 0, clock: Optional[WallClock] = None,
                  link: Optional[VirtualLink] = None) -> None:
         self.clock = clock if clock is not None else WallClock()
+        self.local_name = local_name
         self._sim = Simulator()
         self.driver = RealtimeDriver(self._sim, self.clock)
         self._loop = asyncio.new_event_loop()
@@ -165,6 +193,7 @@ class UdpBackend(TransportBackend):
         self._thread.start()
         self._fabric: Optional[UdpFabric] = None
         self._endpoints: list = []
+        self._closed = False
         self.port: Optional[int] = None
         if local_name is not None:
             self._fabric = UdpFabric(self, peers=peers,
@@ -184,7 +213,18 @@ class UdpBackend(TransportBackend):
         return self._sim
 
     @property
-    def network(self) -> Optional[UdpFabric]:
+    def network(self):
+        return self._fabric
+
+    def impair(self, spec):
+        """Make this backend's sends hostile (see
+        :class:`~repro.transport.impair.ImpairedFabric`).  Call before
+        constructing a system over the backend; returns the wrapper."""
+        from repro.transport.impair import ImpairedFabric
+
+        if self._fabric is None:
+            raise RuntimeError("no fabric to impair (no local_name bound)")
+        self._fabric = ImpairedFabric(self._fabric, spec)
         return self._fabric
 
     def pair(self, **kwargs) -> Tuple[UdpEndpoint, UdpEndpoint]:
@@ -205,8 +245,18 @@ class UdpBackend(TransportBackend):
         self.driver.run(duration=duration, stop_when=stop_when, poll=poll)
 
     def close(self) -> None:
-        if not self._thread.is_alive():
+        """Idempotent shutdown: stop the driver, close every transport on
+        the loop thread, stop and *always* release the loop.
+
+        Safe to call twice (the second call is a no-op), safe while the
+        driver is mid-``run`` (``stop`` ends it), and a wedged loop
+        thread gets a second stop request before we give up — the loop
+        object itself is closed whenever the thread has actually exited,
+        never leaked behind an early return.
+        """
+        if self._closed:
             return
+        self._closed = True
         self.driver.stop()
 
         def _shutdown() -> None:
@@ -217,7 +267,19 @@ class UdpBackend(TransportBackend):
                 self._fabric._transport.close()
             self._loop.stop()
 
-        self._loop.call_soon_threadsafe(_shutdown)
-        self._thread.join(timeout=_CALL_TIMEOUT)
-        if not self._loop.is_running():
+        if self._thread.is_alive():
+            try:
+                self._loop.call_soon_threadsafe(_shutdown)
+            except RuntimeError:
+                pass  # the loop died under us; nothing left to run there
+            self._thread.join(timeout=_CALL_TIMEOUT)
+            if self._thread.is_alive():
+                # a handler wedged the first shutdown; one more stop, one
+                # more bounded join, then fall through to the close check
+                try:
+                    self._loop.call_soon_threadsafe(self._loop.stop)
+                except RuntimeError:
+                    pass
+                self._thread.join(timeout=_CALL_TIMEOUT)
+        if not self._loop.is_running() and not self._loop.is_closed():
             self._loop.close()

@@ -107,6 +107,17 @@ def analyze(dump: Dict[str, Any], tail: int = 20) -> str:
         head += f" ({trigger['reason']})"
     lines.append(head)
 
+    # watchdog incidents (repro.transport.realtime.DriverWatchdog) carry
+    # the wedged pacing thread's stack — the "what was it doing" answer
+    if dump.get("driver_stack"):
+        stalled = dump.get("stalled_for")
+        label = "driver stack at stall"
+        if stalled is not None:
+            label += f" (silent {_fmt_value(stalled)}s)"
+        lines.append(label + ":")
+        for ln in str(dump["driver_stack"]).rstrip().splitlines():
+            lines.append("  " + ln)
+
     contract = dump.get("contract", {})
     if contract:
         lines.append(

@@ -1,0 +1,122 @@
+"""Seeded wire-codec fuzz (ISSUE 8 satellite).
+
+The v2 codec carries a trailing CRC32 precisely so that a hostile path
+flipping bytes can never silently re-frame a datagram.  The contract
+under fuzz: for *any* mutation of a valid datagram, ``decode_frame``
+either raises :class:`WireFormatError` or returns a frame whose
+``(src, dst)`` match the original — a mis-decode into a different
+conversation must be impossible.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.netsim.frame import (
+    Frame,
+    WireFormatError,
+    decode_frame,
+    encode_frame,
+)
+from repro.tko.message import TKOMessage
+from repro.tko.pdu import PDU, PduType
+
+_SEED = 0xADAB
+_TRIALS = 400
+
+
+def _frame(i: int = 0) -> Frame:
+    pdu = PDU(
+        PduType.DATA,
+        42,
+        src_port=7,
+        dst_port=9,
+        seq=i,
+        ack=3,
+        msg_id=1000 + i,
+        window=8,
+        timestamp=1.5,
+        options={"config": {"recovery": "gbn"}},
+        message=TKOMessage(bytes(range(256)) * 2),
+    )
+    f = Frame("alpha", "bravo", 1500, payload=pdu, created_at=2.25)
+    return f
+
+
+def _mutate(data: bytes, rng: random.Random) -> bytes:
+    """One adversarial edit: byte flips, truncation, garbage extension,
+    or a random splice.  Guaranteed to differ from ``data``."""
+    op = rng.randrange(4)
+    out = bytearray(data)
+    if op == 0:  # flip 1-4 bytes
+        for _ in range(rng.randrange(1, 5)):
+            pos = rng.randrange(len(out))
+            out[pos] ^= rng.randrange(1, 256)
+        return bytes(out)
+    if op == 1:  # truncate
+        return bytes(out[: rng.randrange(len(out))])
+    if op == 2:  # extend with garbage
+        return bytes(out) + bytes(
+            rng.randrange(256) for _ in range(rng.randrange(1, 9)))
+    # splice a random run
+    start = rng.randrange(len(out))
+    run = rng.randrange(1, 17)
+    repl = bytes(rng.randrange(256) for _ in range(run))
+    spliced = bytes(out[:start]) + repl + bytes(out[start + run:])
+    return spliced if spliced != data else spliced + b"\x00"
+
+
+def test_mutations_never_misdecode_src_dst():
+    rng = random.Random(_SEED)
+    refused = 0
+    for i in range(_TRIALS):
+        original = _frame(i)
+        data = encode_frame(original)
+        damaged = _mutate(data, rng)
+        assert damaged != data
+        try:
+            decoded = decode_frame(damaged)
+        except WireFormatError:
+            refused += 1
+            continue
+        # astronomically unlikely (a CRC32 collision) — but if the codec
+        # accepts, it must not have re-framed the conversation
+        assert (decoded.src, decoded.dst) == (original.src, original.dst)
+    # the CRC must be doing real work: essentially every edit is refused
+    assert refused >= _TRIALS - 1
+
+
+def test_every_truncation_prefix_is_refused():
+    data = encode_frame(_frame())
+    for n in range(len(data)):
+        with pytest.raises(WireFormatError):
+            decode_frame(data[:n])
+
+
+def test_single_byte_flip_reads_as_checksum_damage():
+    data = bytearray(encode_frame(_frame()))
+    # flip a byte inside the src-name region (past the fixed header) —
+    # pre-CRC this was exactly the silent-reframe hazard
+    data[len(data) // 2] ^= 0x40
+    with pytest.raises(WireFormatError):
+        decode_frame(bytes(data))
+
+
+def test_valid_frame_roundtrips_unharmed():
+    f = _frame(3)
+    q = decode_frame(encode_frame(f))
+    assert (q.src, q.dst, q.size) == (f.src, f.dst, f.size)
+    assert q.created_at == f.created_at
+    assert q.payload.seq == f.payload.seq
+    assert q.payload.message.materialize() == f.payload.message.materialize()
+    assert not q.heartbeat
+
+
+def test_heartbeat_flag_roundtrips():
+    f = Frame("alpha", "bravo", 64, created_at=1.0)
+    f.heartbeat = True
+    q = decode_frame(encode_frame(f))
+    assert q.heartbeat
+    assert q.payload is None

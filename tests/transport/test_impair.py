@@ -1,0 +1,215 @@
+"""The deterministic impairment fabric (ISSUE 8 tentpole, part 1).
+
+Every datagram's fate must be a pure function of (spec seed, send
+index); the wrapper must preserve the inner fabric's pool discipline no
+matter what it drops; and each impairment kind must land with the right
+semantics (loss = silence, wire corruption = receiver-side decode drop,
+mark corruption = delivered-but-damaged, reorder/jitter = sim-scheduled
+hold-back).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netsim.frame import Frame
+from repro.sim.clock import SteppedClock
+from repro.tko.message import TKOMessage
+from repro.tko.pdu import PDU_POOL, PduType
+from repro.transport import ImpairmentSpec, LoopbackBackend
+from repro.transport.impair import ImpairedFabric
+
+
+def _impaired_backend(spec, dt=0.01, seed=3):
+    """One backend, two local hosts, impaired sends A->B."""
+    backend = LoopbackBackend(clock=SteppedClock(dt=dt), seed=seed)
+    imp = backend.impair(spec)
+    got = []
+    imp.attach_host("A", lambda f: None)
+    imp.attach_host("B", got.append)
+    return backend, imp, got
+
+
+def _pump(backend, horizon=2.0):
+    """Run the driver until the stepped timeline crosses ``horizon``."""
+    backend.run(until=backend.clock.peek() + horizon, poll=0)
+
+
+# ----------------------------------------------------------------------
+# spec validation
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("kwargs", [
+    {"loss": 1.5},
+    {"loss": -0.1},
+    {"dup": 2.0},
+    {"corrupt": -1.0},
+    {"reorder": 1.01},
+    {"corrupt_mode": "sideways"},
+    {"jitter": -0.5},
+    {"reorder_delay": -0.01},
+])
+def test_spec_rejects_nonsense(kwargs):
+    with pytest.raises(ValueError):
+        ImpairmentSpec(**kwargs)
+
+
+def test_healthy_spec_is_a_passthrough():
+    backend, imp, got = _impaired_backend(ImpairmentSpec())
+    for i in range(4):
+        imp.send(Frame("A", "B", 64 + i))
+    backend.driver.step()
+    assert len(got) == 4
+    assert all(line.endswith("pass") for line in imp.trace)
+    backend.close()
+
+
+# ----------------------------------------------------------------------
+# determinism: decisions depend only on (seed, index)
+# ----------------------------------------------------------------------
+
+def test_same_seed_same_frames_same_trace():
+    spec = ImpairmentSpec(seed=7, loss=0.4, dup=0.3, reorder=0.2)
+    traces = []
+    for _ in range(2):
+        backend, imp, _ = _impaired_backend(spec)
+        for _i in range(50):
+            imp.send(Frame("A", "B", 128))
+        _pump(backend)
+        traces.append((list(imp.trace), imp.trace_digest()))
+        backend.close()
+    assert traces[0] == traces[1]
+    # the mix is genuinely mixed, not all-drop or all-pass
+    decisions = [ln.split()[-1] for ln in traces[0][0]]
+    assert any(d == "drop" for d in decisions)
+    assert any(d != "drop" for d in decisions)
+
+
+def test_different_seed_diverges():
+    a = ImpairmentSpec(seed=1, loss=0.5)
+    b = ImpairmentSpec(seed=2, loss=0.5)
+    digests = []
+    for spec in (a, b):
+        backend, imp, _ = _impaired_backend(spec)
+        for _i in range(40):
+            imp.send(Frame("A", "B", 128))
+        backend.driver.step()
+        digests.append(imp.trace_digest())
+        backend.close()
+    assert digests[0] != digests[1]
+
+
+# ----------------------------------------------------------------------
+# each impairment kind
+# ----------------------------------------------------------------------
+
+def test_loss_drops_before_dispatch():
+    backend, imp, got = _impaired_backend(ImpairmentSpec(loss=1.0))
+    for _i in range(5):
+        imp.send(Frame("A", "B", 64))
+    backend.driver.step()
+    assert got == []
+    assert imp.inner.frames_sent == 0  # dropped pre-dispatch, not counted
+    assert all(line.endswith("drop") for line in imp.trace)
+    backend.close()
+
+
+def test_dup_delivers_two_copies():
+    backend, imp, got = _impaired_backend(ImpairmentSpec(dup=1.0))
+    imp.send(Frame("A", "B", 64))
+    backend.driver.step()
+    assert len(got) == 2
+    assert imp.inner.frames_sent == 2
+    assert "dup" in imp.trace[0]
+    backend.close()
+
+
+def test_wire_corruption_is_receiver_side_loss():
+    backend, imp, got = _impaired_backend(
+        ImpairmentSpec(corrupt=1.0, corrupt_mode="wire"))
+    for _i in range(3):
+        imp.send(Frame("A", "B", 64))
+    backend.driver.step()
+    # the damaged datagram left the sender (counted) but the receiving
+    # codec refused it: upper layers experience pure loss
+    assert got == []
+    assert imp.inner.frames_sent == 3
+    assert all("corrupt-wire" in line for line in imp.trace)
+    backend.close()
+
+
+def test_mark_corruption_arrives_damaged_but_intact():
+    backend, imp, got = _impaired_backend(
+        ImpairmentSpec(corrupt=1.0, corrupt_mode="mark"))
+    imp.send(Frame("A", "B", 64))
+    backend.driver.step()
+    assert len(got) == 1
+    f = got[0]
+    assert f.corrupted  # the semantic damage marker survived the CRC re-seal
+    assert (f.src, f.dst) == ("A", "B")
+    assert "corrupt-mark" in imp.trace[0]
+    backend.close()
+
+
+def test_reorder_holds_a_datagram_behind_a_later_one():
+    backend, imp, got = _impaired_backend(
+        ImpairmentSpec(reorder=1.0, reorder_delay=0.05))
+    imp.send(Frame("A", "B", 100))   # held back 50ms
+    imp.spec.reorder = 0.0           # spec is live; next send goes straight
+    imp.send(Frame("A", "B", 200))
+    _pump(backend)
+    assert [f.size for f in got] == [200, 100]
+    assert "reorder" in imp.trace[0]
+    backend.close()
+
+
+def test_jitter_delays_and_traces_magnitude():
+    backend, imp, got = _impaired_backend(ImpairmentSpec(jitter=0.02))
+    imp.send(Frame("A", "B", 64))
+    assert got == []  # scheduled into the sim, not dispatched inline
+    assert backend.simulator.next_event_time() is not None
+    _pump(backend)
+    assert len(got) == 1
+    assert "jitter=" in imp.trace[0] and imp.trace[0].endswith("ms")
+    backend.close()
+
+
+# ----------------------------------------------------------------------
+# pool discipline and delegation
+# ----------------------------------------------------------------------
+
+def test_dropped_pooled_pdu_still_releases_wire_ref():
+    backend, imp, got = _impaired_backend(ImpairmentSpec(loss=1.0))
+    pdu = PDU_POOL.acquire(PduType.DATA, 1)
+    pdu.message = TKOMessage(b"doomed by the path")
+    pdu.retain()  # the wire ref, as the executor takes before framing
+    r0 = PDU_POOL.recycled
+    imp.send(Frame("A", "B", 64, payload=pdu))
+    pdu.release()  # the creator ref
+    assert PDU_POOL.recycled == r0 + 1  # drop happened after encode+consume
+    assert got == []
+    backend.close()
+
+
+def test_wrapper_delegates_the_network_surface():
+    backend, imp, _got = _impaired_backend(ImpairmentSpec())
+    assert isinstance(imp, ImpairedFabric)
+    assert backend.network is imp
+    assert imp.route("A", "B") == ["A", "B"]
+    assert imp.path_mtu("A", "B") == imp.inner.link.mtu
+    imp.join_group("g", "B")
+    assert imp.group_members("g") == {"B"}
+    # the liveness slot must reach the *inner* fabric: deliver() is the
+    # inner's bound method and reads its own attribute
+    sentinel = object()
+    imp.liveness = sentinel
+    assert imp.inner.liveness is sentinel
+    imp.liveness = None
+    backend.close()
+
+
+def test_sim_backend_refuses_impairment():
+    from repro.transport import SimBackend
+
+    with pytest.raises(RuntimeError):
+        SimBackend().impair(ImpairmentSpec())

@@ -1,0 +1,248 @@
+"""Wire-level liveness: heartbeats, dead-peer detection, and the
+adaptation hand-off (ISSUE 8 tentpole, part 2).
+
+All detector unit tests run two loopback worlds on one
+:class:`~repro.sim.clock.SteppedClock` with ``poll=0`` — fully
+deterministic, no wall sleeps.  The acceptance test at the bottom closes
+the whole loop the ISSUE specifies: a silenced peer is detected within
+``interval × miss_budget``, surfaces as a sticky ``ECONNRESET`` on bound
+endpoints, and drives the unmodified monitor → AdaptationController
+ladder to a teardown with a flight-recorder dump.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.clock import SteppedClock
+from repro.transport import LivenessConfig, PeerLiveness, loopback_pair
+from repro.transport.liveness import heartbeat_frame
+
+_CFG = LivenessConfig(interval=0.2, miss_budget=2)
+
+
+def _pair(dt=0.005, seed=2):
+    clock = SteppedClock(dt=dt)
+    ta, tb = loopback_pair(seed=seed, clock=clock)
+    return clock, ta, tb
+
+
+def _attach(ta, tb):
+    got_a, got_b = [], []
+    ta.network.attach_host("A", got_a.append)
+    tb.network.attach_host("B", got_b.append)
+    return got_a, got_b
+
+
+def _run(ta, horizon, stop_when=None):
+    ta.run(until=ta.clock.peek() + horizon, stop_when=stop_when, poll=0)
+
+
+# ----------------------------------------------------------------------
+# config and frame shape
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("kwargs", [
+    {"interval": 0.0},
+    {"interval": -1.0},
+    {"miss_budget": 0},
+])
+def test_config_rejects_nonsense(kwargs):
+    with pytest.raises(ValueError):
+        LivenessConfig(**kwargs)
+
+
+def test_deadline_is_interval_times_budget():
+    assert LivenessConfig(interval=0.5, miss_budget=3).deadline == 1.5
+
+
+def test_heartbeat_frame_is_a_payloadless_beacon():
+    f = heartbeat_frame("A", "B", 1.0)
+    assert f.heartbeat and f.payload is None
+    assert (f.src, f.dst) == ("A", "B")
+
+
+# ----------------------------------------------------------------------
+# the detector
+# ----------------------------------------------------------------------
+
+def test_mutual_heartbeats_keep_both_peers_alive():
+    _clock, ta, tb = _pair()
+    _attach(ta, tb)
+    la = PeerLiveness(ta, "A", _CFG)
+    lb = PeerLiveness(tb, "B", _CFG)
+    la.watch("B")
+    lb.watch("A")
+    la.start()
+    lb.start()
+    _run(ta, 5 * _CFG.deadline)
+    assert not la.is_dead("B")
+    assert not lb.is_dead("A")
+    assert ta.network.frames_sent > 0 and tb.network.frames_sent > 0
+    ta.close()
+    tb.close()
+
+
+def test_heartbeats_never_reach_host_handlers():
+    _clock, ta, tb = _pair()
+    got_a, got_b = _attach(ta, tb)
+    la = PeerLiveness(ta, "A", _CFG)
+    la.watch("B")
+    la.start()
+    # B has no liveness installed: beacons must still be consumed
+    _run(ta, 4 * _CFG.interval)
+    assert got_b == [] and got_a == []
+    assert tb.network.frames_delivered == 0  # consumed pre-demux
+    ta.close()
+    tb.close()
+
+
+def test_silent_peer_dies_within_the_budget_and_loses_routes():
+    clock, ta, tb = _pair()
+    _attach(ta, tb)
+    la = PeerLiveness(ta, "A", _CFG)
+    la.watch("B")
+    la.start()
+    deaths = []
+    la.on_death(lambda peer: deaths.append((peer, clock.peek())))
+    t0 = clock.peek()
+    _run(ta, 10 * _CFG.deadline, stop_when=lambda: la.is_dead("B"))
+    assert la.is_dead("B")
+    assert [d[0] for d in deaths] == ["B"]
+    # detected within interval × miss_budget, plus timer granularity
+    assert deaths[0][1] - t0 <= _CFG.deadline + 2 * _CFG.interval
+    # the fabric now answers "no route": the monitor's unreachable signal
+    assert ta.network.route("A", "B") is None
+    assert ta.network.path_links("A", "B") == []
+    ta.close()
+    tb.close()
+
+
+def test_dead_peer_resets_bound_endpoints_sticky():
+    _clock, ta, tb = _pair()
+    _attach(ta, tb)
+    la = PeerLiveness(ta, "A", _CFG)
+    la.watch("B")
+    la.start()
+    ep, _peer_ep = ta.pair()
+    la.bind_endpoint("B", ep)
+    _run(ta, 10 * _CFG.deadline, stop_when=lambda: la.is_dead("B"))
+    assert ep.recv(timeout=0.01).reset
+    assert ep.recv(timeout=0.01).reset  # sticky, per the recv contract
+    ta.close()
+    tb.close()
+
+
+def test_revival_reopens_routes_but_not_conversations():
+    _clock, ta, tb = _pair()
+    _attach(ta, tb)
+    la = PeerLiveness(ta, "A", _CFG)
+    la.watch("B")
+    la.start()
+    ep, _peer_ep = ta.pair()
+    la.bind_endpoint("B", ep)
+    _run(ta, 10 * _CFG.deadline, stop_when=lambda: la.is_dead("B"))
+    assert la.is_dead("B")
+    # B comes back: its own detector starts beaconing
+    lb = PeerLiveness(tb, "B", _CFG)
+    lb.watch("A")
+    lb.start()
+    _run(ta, 10 * _CFG.interval, stop_when=lambda: not la.is_dead("B"))
+    assert not la.is_dead("B")
+    assert ta.network.route("A", "B") == ["A", "B"]
+    # the wire healed; the conversation did not
+    assert ep.recv(timeout=0.01).reset
+    ta.close()
+    tb.close()
+
+
+def test_unwatched_peers_carry_no_lease():
+    _clock, ta, tb = _pair()
+    _attach(ta, tb)
+    la = PeerLiveness(ta, "A", _CFG)
+    la.note_heard("stranger")
+    assert "stranger" not in la.last_heard
+    la.start()
+    _run(ta, 4 * _CFG.deadline)
+    assert la.dead == set()  # nothing watched, nothing to kill
+    ta.close()
+    tb.close()
+
+
+def test_liveness_requires_a_fabric():
+    from repro.transport import SimBackend
+
+    with pytest.raises(RuntimeError):
+        PeerLiveness(SimBackend(), "A", _CFG)
+
+
+# ----------------------------------------------------------------------
+# acceptance: silence → detection → adaptation ladder → flight dump
+# ----------------------------------------------------------------------
+
+def test_silenced_peer_drives_adaptation_teardown_and_flight_dump():
+    from repro.core.system import AdaptiveSystem
+    from repro.mantts.acd import ACD
+    from repro.unites.obs import AUDIT
+
+    AUDIT.reset()
+    AUDIT.enable(window=0.25, warmup_windows=1, loss_grace=10.0)
+    clock = SteppedClock(dt=2e-4)
+    ta, tb = loopback_pair(seed=9, clock=clock)
+    try:
+        sys_a = AdaptiveSystem(seed=1, transport=ta)
+        sys_b = AdaptiveSystem(seed=2, transport=tb)
+        a = sys_a.node("A", mips=400.0)
+        b = sys_b.node("B", mips=400.0)
+        b.mantts.register_service(7200, on_deliver=lambda d, m: None)
+
+        outcome = {}
+        conn = a.mantts.open(
+            ACD(participants=("B",), service_port=7200),
+            on_connected=lambda c: outcome.setdefault("connected", True),
+            on_failed=lambda r: outcome.setdefault("failed", r),
+            adaptation={"unreachable_after": 1, "max_teardown_retries": 1},
+        )
+        sys_a.run(until=clock.peek() + 30.0,
+                  stop_when=lambda: bool(outcome), poll=0)
+        assert outcome.get("connected"), f"negotiation failed: {outcome!r}"
+        assert conn.adaptation is not None
+
+        cfg = LivenessConfig(interval=0.2, miss_budget=2)
+        la = PeerLiveness(ta, "A", cfg)
+        lb = PeerLiveness(tb, "B", cfg)
+        la.watch("B")
+        lb.watch("A")
+        la.start()
+        lb.start()
+
+        # healthy period: mutual beacons, no deaths, no ladder action
+        sys_a.run(until=clock.peek() + 3 * cfg.deadline, poll=0)
+        assert not la.is_dead("B")
+
+        # silence B: its beacons stop; the established conversation is
+        # idle, so A's only evidence of B's life disappears
+        lb.stop()
+        t_silence = clock.peek()
+        sys_a.run(until=clock.peek() + 30.0, poll=0,
+                  stop_when=lambda: conn.session is not None
+                  and conn.session.closed)
+
+        assert la.is_dead("B")
+        death_t = la.last_heard["B"]  # lease froze at B's last beacon
+        assert clock.peek() - t_silence >= cfg.deadline  # no early call
+        assert death_t <= t_silence + cfg.interval
+
+        actions = [ev[1] for ev in conn.adaptation.events]
+        assert "teardown" in actions, f"ladder never gave up: {actions}"
+        assert conn.session.closed
+
+        dumps = [d for d in AUDIT.dumps
+                 if d.get("trigger", {}).get("kind") == "abnormal-teardown"]
+        assert dumps, (
+            f"no teardown flight dump; kinds="
+            f"{[d.get('trigger', {}).get('kind') for d in AUDIT.dumps]}")
+    finally:
+        AUDIT.reset()
+        ta.close()
+        tb.close()

@@ -1,0 +1,142 @@
+"""RealtimeDriver watchdog + co-driving hygiene (ISSUE 8 tentpole part 3
+and the ``drive()`` wake-aliasing satellite).
+
+The watchdog's job: a posted callback or timer handler that blocks the
+pacing loop must be *seen* — one incident per stall episode, carrying
+the wedged thread's stack so the flight report answers "what was it
+doing".
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.sim.kernel import Simulator
+from repro.transport import DriverWatchdog, RealtimeDriver, drive
+from repro.unites.obs.flight import analyze
+
+import pytest
+
+
+def _driver(poll=0.005) -> RealtimeDriver:
+    return RealtimeDriver(Simulator(), poll=poll)
+
+
+def _wait_for(cond, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if cond():
+            return True
+        time.sleep(0.01)
+    return cond()
+
+
+# ----------------------------------------------------------------------
+# drive() must not leave co-driven drivers entangled
+# ----------------------------------------------------------------------
+
+def test_drive_restores_private_wake_events():
+    d1, d2 = _driver(), _driver()
+    w1, w2 = d1._wake, d2._wake
+    drive([d1, d2], duration=0.02)
+    # regression: drive() used to alias every driver to the lead's wake
+    # event forever; a later solo run() then slept on an event nobody set
+    assert d1._wake is w1
+    assert d2._wake is w2
+    assert d1._wake is not d2._wake
+    assert not d1.running and not d2.running
+
+
+def test_drive_restores_wakes_even_when_a_step_raises():
+    d1, d2 = _driver(), _driver()
+    w2 = d2._wake
+    d1.post(lambda: (_ for _ in ()).throw(RuntimeError("boom")))
+    with pytest.raises(RuntimeError):
+        drive([d1, d2], duration=1.0)
+    assert d2._wake is w2
+    assert not d2.running
+
+
+def test_post_wakes_a_solo_run_after_co_driving():
+    d1, d2 = _driver(poll=2.0), _driver(poll=2.0)
+    drive([d1, d2], duration=0.01, poll=0.005)
+    hit = threading.Event()
+    t = threading.Thread(
+        target=lambda: d2.run(duration=10.0, stop_when=hit.is_set),
+        daemon=True)
+    t.start()
+    time.sleep(0.1)
+    d2.post(hit.set)  # with an aliased wake this sleeps out the 2s poll
+    t0 = time.monotonic()
+    t.join(timeout=5.0)
+    assert not t.is_alive()
+    assert time.monotonic() - t0 < 1.0, "post() failed to wake the solo run"
+
+
+# ----------------------------------------------------------------------
+# the watchdog
+# ----------------------------------------------------------------------
+
+def test_watchdog_rejects_nonpositive_stall():
+    with pytest.raises(ValueError):
+        DriverWatchdog(_driver(), stall_after=0.0)
+
+
+def test_idle_driver_never_trips():
+    d = _driver()
+    d.last_round -= 100.0  # ancient stamp, but the loop is not running
+    wd = DriverWatchdog(d, stall_after=0.05, check_every=0.02).start()
+    time.sleep(0.2)
+    wd.stop()
+    assert wd.incidents == []
+
+
+def test_wedged_loop_files_one_incident_with_the_thread_stack():
+    d = _driver()
+    release = threading.Event()
+    incidents_cb = []
+    wd = DriverWatchdog(d, stall_after=0.2, check_every=0.05,
+                        on_incident=incidents_cb.append).start()
+    t = threading.Thread(target=lambda: d.run(duration=10.0), daemon=True)
+    t.start()
+    assert _wait_for(lambda: d.running)
+    d.post(release.wait, 8.0)  # the wedge: a blocking call on the loop
+
+    assert _wait_for(lambda: wd.incidents), "stall never detected"
+    inc = wd.incidents[0]
+    trig = inc["trigger"]
+    assert trig["kind"] == "watchdog-stall"
+    assert inc["stalled_for"] >= 0.2
+    assert inc["driver_thread"] == t.ident
+    # the stack answers "what was it doing": the blocking wait is visible
+    assert inc["driver_stack"] and "wait" in inc["driver_stack"]
+
+    # one incident per stall episode, not one per check tick
+    time.sleep(0.4)
+    assert len(wd.incidents) == 1
+
+    release.set()
+    d.stop()
+    t.join(timeout=5.0)
+    assert not t.is_alive()
+
+    # the incident renders through the standard flight-report path
+    report = analyze(inc)
+    assert "watchdog-stall" in report
+    assert "driver stack at stall" in report
+
+    # a healthy loop re-arms the watchdog: wedge it again after recovery
+    # and a second episode files a second incident
+    release2 = threading.Event()
+    t2 = threading.Thread(target=lambda: d.run(duration=10.0), daemon=True)
+    t2.start()
+    assert _wait_for(lambda: d.running)
+    time.sleep(0.15)  # healthy rounds reset the trip latch
+    d.post(release2.wait, 8.0)
+    assert _wait_for(lambda: len(wd.incidents) == 2)
+    release2.set()
+    d.stop()
+    t2.join(timeout=5.0)
+    wd.stop()
+    assert len(incidents_cb) == len(wd.incidents) == 2
