@@ -32,8 +32,16 @@ Usage::
     PYTHONPATH=src python benchmarks/record_bench.py --check    # CI gate
     PYTHONPATH=src python benchmarks/record_bench.py --only scale
 
+The kernel section also carries **bytes_plane**: per-send latency
+(p50/p99 and sends/sec) of the generated per-session executor vs the
+compiled pipeline on the teleconference SCS, with a bit-identity
+cross-check and a fast-path engagement proof (every timed send must take
+the generated closure, not the fallback).
+
 ``--check`` exits non-zero unless the fast kernel beats legacy by >= 30%
 events/sec on the cancel-heavy workload (the Issue-4 acceptance bar), the
+generated executor beats compiled by >= 1.5x p50 per-send latency with a
+p99 no worse than compiled +10% (the Issue-9 acceptance bar), the
 serial/parallel sweep results are bit-identical, and — for the scale
 section — the churn runs are bit-identical with a coalesced/legacy
 wall-clock ratio <= 0.7 at N=1000 (the Issue-5 acceptance bar).
@@ -59,6 +67,14 @@ MIN_KERNEL_SPEEDUP = 1.30
 MAX_SCALE_RATIO = 0.70
 SCALE_N = 1000
 SCALE_SEED = 7
+
+#: bytes-plane per-send latency gates (Issue-9 acceptance bar): the
+#: generated executor must cut p50 send latency by >= 1.5x over the
+#: compiled pipeline, with a p99 no worse than compiled +10%.
+MIN_BYTES_PLANE_SPEEDUP = 1.50
+MAX_BYTES_PLANE_P99_RATIO = 1.10
+BYTES_PLANE_MESSAGES = 400
+BYTES_PLANE_ROUNDS = 3
 
 TRANSPORT_ROUNDTRIPS = 200
 TRANSPORT_WARMUP = 20
@@ -145,12 +161,137 @@ def bench_kernel(n_events: int, repeats: int = 5) -> dict:
     return {
         "workload": (f"{FLOWS} ACK-clocked flows, RTO={RTO}s, "
                      f"ACK={ACK_DELAY}s, 1-in-{LOSS_EVERY} ACK loss"),
+        "cpu_count": os.cpu_count(),
         "events": fast["events"],
         "cancel_fraction": round(fast["cancel_fraction"], 4),
         "fast_events_per_sec": round(fast["events_per_sec"], 1),
         "legacy_events_per_sec": round(legacy["events_per_sec"], 1),
         "speedup": round(fast["events_per_sec"] / legacy["events_per_sec"], 3),
         "repeats": repeats,
+    }
+
+
+def _teleconference_config():
+    """Derive the teleconference SCS through the real Stage I/II path."""
+    from repro.mantts.acd import ACD
+    from repro.mantts.monitor import NetworkState
+    from repro.mantts.transform import specify_scs
+    from repro.mantts.tsc import APP_PROFILES
+
+    profile = APP_PROFILES["tele-conferencing"]
+    acd = ACD(
+        participants=("B",),
+        quantitative=profile.quantitative(),
+        qualitative=profile.qualitative(),
+    )
+    lan = NetworkState("A", "B", True, 0.004, 0.004, 10e6, 1500, 1e-6, 0.0, 0.0, 3)
+    return specify_scs(acd, lan).config
+
+
+def _bytes_plane_run(kind: str, cfg) -> tuple:
+    """One teleconference run under executor ``kind``.
+
+    Returns ``(per-send wall samples, simulated identity tuple,
+    fast-path send count or None)``.  Only ``session.send()`` is timed;
+    the simulator advances between sends, outside the timed region.
+    """
+    from repro.host.nic import Host
+    from repro.netsim.profiles import ethernet_10, linear_path
+    from repro.sim.rng import RngStreams
+    from repro.tko.executor import DEFAULT_KIND, use_executor
+    from repro.tko.protocol import TKOProtocol
+
+    use_executor(kind)
+    try:
+        sim = Simulator()
+        rng = RngStreams(5)
+        net = linear_path(sim, ethernet_10(), ("A", "B"), n_switches=2, rng=rng)
+        ha = Host(sim, net, "A", mips=25.0)
+        hb = Host(sim, net, "B", mips=25.0)
+        pa = TKOProtocol(ha)
+        pb = TKOProtocol(hb)
+        delivered = []
+
+        def on_session(s):
+            s.on_deliver = lambda data, meta: delivered.append(len(data))
+
+        pb.listen(7000, lambda pdu, frame: cfg, on_session)
+        sender = pa.create_session(cfg, "B", 7000)
+        sender.connect()
+        sim.run(until=0.05)
+
+        msg = b"\xa5" * 512
+        samples = []
+        t = 0.05
+        for _ in range(BYTES_PLANE_MESSAGES):
+            t += 0.02  # 50 Hz conference tick
+            sim.run(until=t)
+            w0 = perf_counter()
+            sender.send(msg)
+            samples.append(perf_counter() - w0)
+        sim.run(until=t + 2.0)
+
+        identity = (
+            len(delivered),
+            sum(delivered),
+            sim.now,
+            sender.stats.pdus_sent,
+            sender.stats.retransmissions,
+            ha.cpu.instructions_retired,
+            hb.cpu.instructions_retired,
+        )
+        fast = getattr(sender.executor, "fast_sends", None)
+        return samples, identity, fast
+    finally:
+        use_executor(DEFAULT_KIND)
+
+
+def bench_bytes_plane(rounds: int = BYTES_PLANE_ROUNDS) -> dict:
+    """Generated vs compiled per-send latency on the teleconference SCS.
+
+    ABAB-interleaved rounds; per-send samples are reduced elementwise to
+    their minimum across rounds (each send's best case — strips scheduler
+    noise) before the percentiles.  The simulated identity tuple must be
+    bit-identical across every run of both executors, and the generated
+    executor must prove fast-path engagement on every send.
+    """
+    from repro.unites.obs import TELEMETRY
+
+    TELEMETRY.disable()
+    cfg = _teleconference_config()
+    comp_rounds, gen_rounds = [], []
+    identities = set()
+    fast_sends = None
+    for _ in range(rounds):
+        samples, ident, _ = _bytes_plane_run("compiled", cfg)
+        comp_rounds.append(samples)
+        identities.add(ident)
+        samples, ident, fast_sends = _bytes_plane_run("generated", cfg)
+        gen_rounds.append(samples)
+        identities.add(ident)
+
+    def stats(per_round: list) -> dict:
+        best = sorted(min(col) for col in zip(*per_round))
+        mean = sum(best) / len(best)
+        return {
+            "p50_us": round(_percentile(best, 0.50) * 1e6, 2),
+            "p99_us": round(_percentile(best, 0.99) * 1e6, 2),
+            "sends_per_sec": round(1.0 / mean, 1),
+        }
+
+    comp, gen = stats(comp_rounds), stats(gen_rounds)
+    return {
+        "workload": (f"teleconference SCS, {BYTES_PLANE_MESSAGES} x 512B "
+                     f"sends at 50Hz, min of {rounds} ABAB rounds"),
+        "cpu_count": os.cpu_count(),
+        "compiled": comp,
+        "generated": gen,
+        "speedup_p50": round(comp["p50_us"] / gen["p50_us"], 3),
+        "p99_ratio": round(gen["p99_us"] / comp["p99_us"], 3),
+        "bit_identical": len(identities) == 1,
+        "fast_path_sends": fast_sends,
+        "fast_path_engaged": fast_sends == BYTES_PLANE_MESSAGES,
+        "rounds": rounds,
     }
 
 
@@ -169,6 +310,7 @@ def bench_sweep() -> dict:
     parallel = SweepRunner(SWEEP_SPEC, workers=None).run()
     identical = parallel.metrics_only() == serial.metrics_only()
     return {
+        "cpu_count": os.cpu_count(),
         "cells": len(serial),
         "workers": parallel.workers,
         "serial_wall_s": round(serial.wall_s, 3),
@@ -214,6 +356,7 @@ def bench_scale(n: int = SCALE_N, seed: int = SCALE_SEED, repeats: int = 2) -> d
     return {
         "workload": (f"{n} mixed-TSC connections (voice/video/bulk/telnet), "
                      f"staggered waves, 1-in-3 reopened, seed {seed}"),
+        "cpu_count": os.cpu_count(),
         "n_connections": n,
         "established": coalesced["established"],
         "failed": coalesced["failed"],
@@ -316,6 +459,7 @@ def bench_transport(n: int = TRANSPORT_ROUNDTRIPS,
     return {
         "workload": (f"{n} ping-pong round trips x {TRANSPORT_PAYLOAD}B "
                      f"over backend.pair(), {warmup} warmup"),
+        "cpu_count": os.cpu_count(),
         "loopback": _pingpong(LoopbackBackend, n, warmup),
         "udp": _pingpong(UdpBackend, n, warmup),
         "impaired": bench_impaired(),
@@ -361,6 +505,31 @@ def main(argv=None) -> int:
                 ok = False
             summary.append(f"kernel {kernel['speedup']}x "
                            f"(gate {MIN_KERNEL_SPEEDUP}x)")
+            bp = snapshot["bytes_plane"] = bench_bytes_plane()
+            if args.check:
+                if not bp["bit_identical"]:
+                    print("FAIL: generated executor diverged from compiled "
+                          "on the bytes-plane workload", file=sys.stderr)
+                    ok = False
+                if not bp["fast_path_engaged"]:
+                    print(f"FAIL: generated fast path engaged on only "
+                          f"{bp['fast_path_sends']}/{BYTES_PLANE_MESSAGES} "
+                          f"sends", file=sys.stderr)
+                    ok = False
+                if bp["speedup_p50"] < MIN_BYTES_PLANE_SPEEDUP:
+                    print(f"FAIL: bytes-plane p50 speedup "
+                          f"{bp['speedup_p50']}x < "
+                          f"{MIN_BYTES_PLANE_SPEEDUP}x gate", file=sys.stderr)
+                    ok = False
+                if bp["p99_ratio"] > MAX_BYTES_PLANE_P99_RATIO:
+                    print(f"FAIL: bytes-plane p99 ratio {bp['p99_ratio']} > "
+                          f"{MAX_BYTES_PLANE_P99_RATIO} gate", file=sys.stderr)
+                    ok = False
+            summary.append(
+                f"bytes-plane {bp['speedup_p50']}x p50 "
+                f"(gate {MIN_BYTES_PLANE_SPEEDUP}x), p50 "
+                f"{bp['generated']['p50_us']}us / p99 "
+                f"{bp['generated']['p99_us']}us")
         if "sweep" in args.only:
             sweep = snapshot["sweep"] = bench_sweep()
             if args.check and not sweep["bit_identical"]:

@@ -84,7 +84,10 @@ class Cpu:
         if instructions < 0:
             raise ValueError("instruction count cannot be negative")
         now = self.sim.now
-        core = min(range(self.cores), key=self._busy_until.__getitem__)
+        if self.cores == 1:
+            core = 0  # the overwhelmingly common shape: skip the core scan
+        else:
+            core = min(range(self.cores), key=self._busy_until.__getitem__)
         start = max(now, self._busy_until[core])
         duration = self.seconds_for(instructions)
         finish = start + duration
@@ -92,6 +95,30 @@ class Cpu:
         self.busy_time += duration
         self.instructions_retired += instructions
         self.sim.schedule_transient_at(finish, fn, *args)
+        return finish
+
+    def charge(self, instructions: float) -> float:
+        """Retire ``instructions`` with no completion callback.
+
+        Identical serialization accounting to :meth:`submit` — the next
+        submission starts after this work drains — but no kernel event is
+        scheduled, because nothing observes the completion.  This is the
+        fast lane for deferred charges (e.g. a trailer checksum computed
+        during serialization) whose only effect is occupying the CPU.
+        """
+        if instructions < 0:
+            raise ValueError("instruction count cannot be negative")
+        now = self.sim.now
+        if self.cores == 1:
+            core = 0
+        else:
+            core = min(range(self.cores), key=self._busy_until.__getitem__)
+        start = max(now, self._busy_until[core])
+        duration = self.seconds_for(instructions)
+        finish = start + duration
+        self._busy_until[core] = finish
+        self.busy_time += duration
+        self.instructions_retired += instructions
         return finish
 
     def utilization(self, elapsed: float) -> float:

@@ -171,8 +171,19 @@ class WireFormatError(ValueError):
     """Raised on any malformed, truncated, or wrong-version datagram."""
 
 
-def encode_frame(frame: "Frame") -> bytes:
-    """Serialize one frame (and its PDU payload, if any) to bytes.
+def encode_frame_into(frame: "Frame", buf: bytearray) -> memoryview:
+    """Serialize one frame into a reusable staging buffer.
+
+    The bytes-plane encode path: every piece — fixed header, host names,
+    PDU header JSON, payload segments, CRC — is written straight into
+    ``buf`` (grown as needed, never shrunk), and the payload streams out
+    of the message's ``memoryview`` segments via
+    :meth:`~repro.tko.message.TKOMessage.write_into`, so a multi-segment
+    slab-backed message crosses the codec with exactly one payload copy
+    and zero intermediate ``bytes`` objects.  Returns a ``memoryview`` of
+    the encoded datagram *inside* ``buf`` — valid only until the next
+    encode into the same buffer; substrates that hand datagrams to
+    asynchronous machinery must snapshot (``bytes(view)``) first.
 
     Multicast frames are refused: group fan-out happens inside the
     simulated network; a real substrate sends one unicast frame per
@@ -192,8 +203,10 @@ def encode_frame(frame: "Frame") -> bytes:
         flags |= _FLAG_CORRUPTED
     if frame.heartbeat:
         flags |= _FLAG_HEARTBEAT
-    body = b""
-    if isinstance(pdu, PDU):
+    head_b = b""
+    payload_len = 0
+    is_pdu = isinstance(pdu, PDU)
+    if is_pdu:
         flags |= _FLAG_PDU
         head = {
             "t": pdu.ptype.value,
@@ -219,21 +232,57 @@ def encode_frame(frame: "Frame") -> bytes:
             head_b = json.dumps(head, separators=(",", ":")).encode()
         except (TypeError, ValueError) as exc:
             raise WireFormatError(f"unencodable PDU options: {exc}") from exc
-        payload_b = pdu.message.materialize() if pdu.message is not None else b""
-        body = _U32.pack(len(head_b)) + head_b + _U32.pack(len(payload_b)) + payload_b
-    datagram = (
-        _FIXED.pack(WIRE_MAGIC, WIRE_VERSION, flags, frame.priority,
-                    min(frame.hops, 255), frame.size, frame.created_at)
-        + bytes((len(src),)) + src
-        + bytes((len(dst),)) + dst
-        + body
-    )
-    return datagram + _U32.pack(zlib.crc32(datagram))
+        payload_len = pdu.message.data_length if pdu.message is not None else 0
+    need = (_FIXED.size + 2 + len(src) + len(dst)
+            + ((8 + len(head_b) + payload_len) if is_pdu else 0) + 4)
+    if len(buf) < need:
+        buf += bytes(need - len(buf))
+    mv = memoryview(buf)
+    _FIXED.pack_into(buf, 0, WIRE_MAGIC, WIRE_VERSION, flags, frame.priority,
+                     min(frame.hops, 255), frame.size, frame.created_at)
+    off = _FIXED.size
+    buf[off] = len(src)
+    off += 1
+    buf[off:off + len(src)] = src
+    off += len(src)
+    buf[off] = len(dst)
+    off += 1
+    buf[off:off + len(dst)] = dst
+    off += len(dst)
+    if is_pdu:
+        _U32.pack_into(buf, off, len(head_b))
+        off += 4
+        buf[off:off + len(head_b)] = head_b
+        off += len(head_b)
+        _U32.pack_into(buf, off, payload_len)
+        off += 4
+        if pdu.message is not None:
+            off += pdu.message.write_into(mv[off:off + payload_len])
+    _U32.pack_into(buf, off, zlib.crc32(mv[:off]))
+    off += 4
+    return mv[:off]
 
 
-def decode_frame(data: bytes) -> "Frame":
+def encode_frame(frame: "Frame") -> bytes:
+    """Serialize one frame (and its PDU payload, if any) to bytes.
+
+    Convenience wrapper over :func:`encode_frame_into` with a throwaway
+    buffer; hot paths should hold a per-endpoint staging buffer instead.
+    """
+    return bytes(encode_frame_into(frame, bytearray()))
+
+
+def decode_frame(data: bytes, arena: Optional[Any] = None) -> "Frame":
     """Rebuild a Frame (+ fresh, unpooled PDU) from :func:`encode_frame`
-    output.  Raises :class:`WireFormatError` on anything malformed."""
+    output.  Raises :class:`WireFormatError` on anything malformed.
+
+    With ``arena`` (a :class:`repro.tko.slab.SlabArena`), the payload
+    bytes are stored straight from the datagram into slab storage and the
+    rebuilt message carries the slab lease — released automatically at the
+    message's terminal points, and released *here* on every decode failure
+    after the allocation, so a hostile datagram can never leak a slab
+    claim.
+    """
     from repro.tko.message import TKOMessage
     from repro.tko.pdu import PDU, PduType
 
@@ -263,6 +312,7 @@ def decode_frame(data: bytes) -> "Frame":
     src = take(take(1)[0]).decode()
     dst = take(take(1)[0]).decode()
     payload = None
+    message = None
     if flags & _FLAG_PDU:
         head_len = _U32.unpack(take(4))[0]
         try:
@@ -270,8 +320,19 @@ def decode_frame(data: bytes) -> "Frame":
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
             raise WireFormatError(f"malformed PDU header: {exc}") from exc
         body_len = _U32.unpack(take(4))[0]
-        body = take(body_len)
+        if off + body_len > end:
+            raise WireFormatError("truncated datagram")
+        body_off = off
+        off += body_len
         try:
+            if head["hm"]:
+                if arena is not None:
+                    # one copy, datagram -> slab, no intermediate bytes
+                    lease = arena.store(memoryview(data)[body_off:off])
+                    message = TKOMessage(lease.view)
+                    message.attach_lease(lease)
+                else:
+                    message = TKOMessage(data[body_off:off])
             pdu = PDU(
                 PduType(head["t"]),
                 head["c"],
@@ -286,19 +347,26 @@ def decode_frame(data: bytes) -> "Frame":
                 window=head["w"],
                 timestamp=head["ts"],
                 options=head["o"] or {},
-                message=TKOMessage(body) if head["hm"] else None,
+                message=message,
                 compact=head["cp"],
             )
         except (KeyError, ValueError, TypeError) as exc:
+            if message is not None:
+                message.release_payload()
             raise WireFormatError(f"malformed PDU fields: {exc}") from exc
         pdu.checksum = head.get("ck")
         pdu.checksum_placement = head.get("kp")
         pdu.aux_size = head.get("ax", 0)
         payload = pdu
-    if off != end:
-        raise WireFormatError(f"{end - off} trailing bytes")
-    frame = Frame(src, dst, size, payload=payload, priority=priority,
-                  created_at=created_at)
+    try:
+        if off != end:
+            raise WireFormatError(f"{end - off} trailing bytes")
+        frame = Frame(src, dst, size, payload=payload, priority=priority,
+                      created_at=created_at)
+    except (WireFormatError, ValueError):
+        if message is not None:
+            message.release_payload()
+        raise
     frame.corrupted = bool(flags & _FLAG_CORRUPTED)
     frame.heartbeat = bool(flags & _FLAG_HEARTBEAT)
     frame.hops = hops

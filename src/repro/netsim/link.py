@@ -93,6 +93,18 @@ class Link:
         self._queues: list[deque[Frame]] = [deque() for _ in range(N_PRIORITIES)]
         self._transmitting = False
         self._rng = rng.stream(f"link:{name}")
+        # Batched delivery (fast kernel only): serialization completions
+        # and propagation arrivals are two monotone event streams, so each
+        # gets an EventChain — back-to-back frames then cost one deque
+        # append instead of one heap event, and the kernel's batch-drain
+        # hook can fire a whole burst off a single heap pop.  The legacy
+        # kernel keeps the per-frame transient events verbatim.
+        if getattr(sim, "_legacy", False):
+            self._tx_chain = None
+            self._rx_chain = None
+        else:
+            self._tx_chain = sim.make_chain()
+            self._rx_chain = sim.make_chain()
 
     # ------------------------------------------------------------------
     @property
@@ -115,7 +127,7 @@ class Link:
         """
         if not self.up:
             self.stats.dropped_down += 1
-            self._count_drop("down")
+            self._count_drop("down", frame.size)
             self._drop_payload(frame)
             return False
         if frame.size > self.mtu:
@@ -125,12 +137,12 @@ class Link:
             # the transport sees it as loss (reliable sessions will
             # retransmit until their give-up threshold surfaces the fault).
             self.stats.dropped_mtu += 1
-            self._count_drop("mtu")
+            self._count_drop("mtu", frame.size)
             self._drop_payload(frame)
             return False
         if self.queue_len >= self.queue_limit:
             self.stats.dropped_overflow += 1
-            self._count_drop("overflow")
+            self._count_drop("overflow", frame.size)
             self._drop_payload(frame)
             return False
         prio = min(max(frame.priority, 0), N_PRIORITIES - 1)
@@ -140,6 +152,9 @@ class Link:
             _TELEMETRY.metrics.counter(
                 "link_frames_enqueued_total", labels={"link": self.name},
                 help="frames accepted into the link queue").inc()
+            _TELEMETRY.metrics.counter(
+                "link_bytes_enqueued_total", labels={"link": self.name},
+                help="bytes accepted into the link queue").inc(frame.size)
         if not self._transmitting:
             self._start_next()
         return True
@@ -156,12 +171,17 @@ class Link:
         if rel is not None:
             rel()
 
-    def _count_drop(self, reason: str) -> None:
+    def _count_drop(self, reason: str, nbytes: int = 0) -> None:
         if _TELEMETRY.enabled:
             _TELEMETRY.metrics.counter(
                 "link_frames_dropped_total",
                 labels={"link": self.name, "reason": reason},
                 help="frames lost at the link, by cause").inc()
+            if nbytes:
+                _TELEMETRY.metrics.counter(
+                    "link_bytes_dropped_total",
+                    labels={"link": self.name, "reason": reason},
+                    help="bytes lost at the link, by cause").inc(nbytes)
             _TELEMETRY.instant("link-drop", "netsim", link=self.name, reason=reason)
 
     def _start_next(self) -> None:
@@ -176,7 +196,11 @@ class Link:
         self._transmitting = True
         ser = self.serialization_time(frame.size)
         self.stats.busy_time += ser
-        self.sim.schedule_transient(ser, self._tx_done, frame)
+        chain = self._tx_chain
+        if chain is not None:
+            chain.schedule(ser, self._tx_done, frame)
+        else:
+            self.sim.schedule_transient(ser, self._tx_done, frame)
 
     def _tx_done(self, frame: Frame) -> None:
         # Channel errors are imposed while the frame is on the wire.
@@ -190,10 +214,14 @@ class Link:
                         "link_frames_corrupted_total", labels={"link": self.name},
                         help="frames hit by channel bit errors").inc()
         if self.up:
-            self.sim.schedule_transient(self.delay, self._arrive, frame)
+            chain = self._rx_chain
+            if chain is not None:
+                chain.schedule(self.delay, self._arrive, frame)
+            else:
+                self.sim.schedule_transient(self.delay, self._arrive, frame)
         else:
             self.stats.dropped_down += 1
-            self._count_drop("down")
+            self._count_drop("down", frame.size)
             self._drop_payload(frame)
         self._start_next()
 
@@ -205,6 +233,9 @@ class Link:
             t.metrics.counter(
                 "link_frames_delivered_total", labels={"link": self.name},
                 help="frames handed to the far endpoint").inc()
+            t.metrics.counter(
+                "link_bytes_delivered_total", labels={"link": self.name},
+                help="bytes handed to the far endpoint").inc(frame.size)
             # The frame left the queue serialization_time before the
             # propagation delay began: reconstruct its time on the wire.
             start = self.sim.now - self.delay - self.serialization_time(frame.size)
@@ -248,7 +279,7 @@ class Link:
             while self.queue_len > self.queue_limit and q:
                 frame = q.pop()
                 self.stats.dropped_overflow += 1
-                self._count_drop("overflow")
+                self._count_drop("overflow", frame.size)
                 self._drop_payload(frame)
 
     def fail(self) -> None:
@@ -268,6 +299,11 @@ class Link:
                     "link_frames_dropped_total",
                     labels={"link": self.name, "reason": "down"},
                     help="frames lost at the link, by cause").inc(lost)
+                _TELEMETRY.metrics.counter(
+                    "link_bytes_dropped_total",
+                    labels={"link": self.name, "reason": "down"},
+                    help="bytes lost at the link, by cause",
+                ).inc(sum(frame.size for frame in q))
             for frame in q:
                 self._drop_payload(frame)
             q.clear()

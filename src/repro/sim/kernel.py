@@ -69,7 +69,7 @@ class Event:
     """
 
     __slots__ = ("time", "priority", "seq", "fn", "args", "cancelled",
-                 "pooled", "wheeled")
+                 "pooled", "wheeled", "chain")
 
     def __init__(
         self,
@@ -87,6 +87,9 @@ class Event:
         self.cancelled = False
         self.pooled = False
         self.wheeled = False
+        #: kernel-internal: set on an EventChain's sentinel record so the
+        #: dispatch loops re-arm (or batch-drain) the chain after firing
+        self.chain = None
 
     def cancel(self) -> None:
         """Mark the event so the kernel skips it (idempotent, O(1))."""
@@ -518,6 +521,107 @@ class RepeatingEvent:
         return not self.cancelled and self._event is not None
 
 
+class EventChain:
+    """A monotone stream of occurrences sharing one heap sentinel.
+
+    The batch-drain hook for components that emit long runs of
+    nondecreasing-time events from a single logical source — a link's
+    serialization completions, its propagation arrivals.  Instead of one
+    heap-resident :class:`Event` per occurrence, the chain keeps a plain
+    ``deque`` of ``(time, priority, seq, fn, args)`` tuples and exposes a
+    single sentinel Event that always carries the *earliest* pending
+    occurrence's key.  Appending to a busy chain is a deque append — no
+    ``heappush`` — and the inlined run loop may **drain several
+    occurrences from one heap pop** when it can prove no other pending
+    event precedes them in the ``(time, priority, seq)`` total order.
+
+    Determinism is preserved exactly:
+
+    * every occurrence claims its ``seq`` from the simulator's global
+      counter at schedule time, at the same call sites as before, so
+      tie-breaking against foreign events is bit-identical;
+    * the sentinel always sits in the heap under the head occurrence's
+      own ``(time, priority, seq)`` key, so heap ordering is the order
+      the per-event scheme would have produced;
+    * inline draining fires an occurrence early only when the heap top
+      and the timer wheel provably contain nothing that precedes it —
+      otherwise the sentinel is re-pushed and ordering falls back to the
+      ordinary pop discipline.
+
+    Occurrences are fire-and-forget (no cancellation handle); a stream
+    that needs cancellable events should keep using the plain scheduling
+    APIs.  An out-of-order append (time earlier than the last pending
+    occurrence) falls back to :meth:`Simulator.schedule_transient_at`
+    transparently, so monotonicity is an optimization contract, not a
+    correctness obligation on callers.
+    """
+
+    __slots__ = ("sim", "pending", "sentinel", "armed", "last_time",
+                 "appended", "fallbacks", "drained_inline")
+
+    def __init__(self, sim: "Simulator") -> None:
+        from collections import deque
+
+        self.sim = sim
+        self.pending: Any = deque()
+        self.sentinel = Event(0.0, 0, 0, None, ())
+        self.sentinel.chain = self
+        self.armed = False
+        self.last_time = 0.0
+        #: occurrences accepted (stats; fallbacks are *not* counted here)
+        self.appended = 0
+        #: out-of-order schedules routed to the plain transient API
+        self.fallbacks = 0
+        #: occurrences fired inline off another occurrence's heap pop
+        self.drained_inline = 0
+
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any,
+                 priority: int = 0) -> None:
+        """Append ``fn(*args)`` at ``now + delay`` to the stream."""
+        self.schedule_at(self.sim._now + delay, fn, *args, priority=priority)
+
+    def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any,
+                    priority: int = 0) -> None:
+        sim = self.sim
+        if time < sim._now or (self.armed and time < self.last_time):
+            # keep total order: a non-monotone occurrence takes the
+            # ordinary heap route (still fires at its exact key)
+            self.fallbacks += 1
+            sim.schedule_transient_at(time, fn, *args, priority=priority)
+            return
+        sim._seq += 1
+        self.appended += 1
+        self.last_time = time
+        sim._queue._live += 1
+        if not self.armed:
+            s = self.sentinel
+            s.time = time
+            s.priority = priority
+            s.seq = sim._seq
+            s.fn = fn
+            s.args = args
+            self.armed = True
+            _heappush(sim._queue._heap, s)
+        else:
+            self.pending.append((time, priority, sim._seq, fn, args))
+
+    def _rearm(self) -> None:
+        """After the sentinel fired: load the next occurrence, re-push."""
+        pending = self.pending
+        if pending:
+            s = self.sentinel
+            s.time, s.priority, s.seq, s.fn, s.args = pending.popleft()
+            _heappush(self.sim._queue._heap, s)
+        else:
+            self.armed = False
+            s = self.sentinel
+            s.fn = None
+            s.args = ()
+
+    def __len__(self) -> int:
+        return len(self.pending) + (1 if self.armed else 0)
+
+
 class Simulator:
     """The global virtual clock and event dispatcher.
 
@@ -680,6 +784,16 @@ class Simulator:
         q.push(ev)
         return ev
 
+    def make_chain(self) -> EventChain:
+        """Create an :class:`EventChain` — the batch-drain scheduling hook.
+
+        For single-source monotone event streams (link serialization /
+        propagation).  Chains work on the legacy kernel too (the sentinel
+        is an ordinary heap event; ``step()`` re-arms it), but only the
+        fast inlined :meth:`run` loop performs multi-occurrence drains.
+        """
+        return EventChain(self)
+
     def cancel(self, event) -> None:
         """Cancel a previously scheduled event (idempotent).
 
@@ -713,6 +827,8 @@ class Simulator:
             self._dispatch_instrumented(ev)
         else:
             ev.fn(*ev.args)
+        if ev.chain is not None:
+            ev.chain._rearm()
         self._queue._retire(ev)
         return True
 
@@ -730,6 +846,8 @@ class Simulator:
         self._now = ev.time
         self.events_dispatched += 1
         ev.fn(*ev.args)
+        if ev.chain is not None:
+            ev.chain._rearm()
         self._queue._retire(ev)
         return True
 
@@ -831,6 +949,37 @@ class Simulator:
                     ev.args = ()
                     if len(free) < FREELIST_MAX:
                         free.append(ev)
+                elif ev.chain is not None:
+                    # batch-drain hook: fire successive chain occurrences
+                    # off this one heap pop while each provably precedes
+                    # every other pending event in (time, priority, seq)
+                    ch = ev.chain
+                    pending = ch.pending
+                    if pending and not tele.enabled:
+                        drained = 0
+                        while pending:
+                            nt, npr, ns, nfn, nargs = pending[0]
+                            if ((until is not None and nt > until)
+                                    or self._stopped or n == budget):
+                                break
+                            if heap:
+                                h0 = heap[0]
+                                if not (nt < h0.time or (
+                                        nt == h0.time
+                                        and (npr, ns) < (h0.priority, h0.seq))):
+                                    break
+                            if (wheel.live and nt >= wheel.flushed_until
+                                    and nt >= wheel.min_start):
+                                break
+                            pending.popleft()
+                            q._live -= 1
+                            self._now = nt
+                            nfn(*nargs)
+                            n += 1
+                            drained += 1
+                        if drained:
+                            ch.drained_inline += drained
+                    ch._rearm()
             if until is not None and not self._stopped and self._now < until:
                 self._now = until
         finally:
@@ -883,6 +1032,8 @@ class Simulator:
                     ev.args = ()
                     if len(free) < FREELIST_MAX:
                         free.append(ev)
+                elif ev.chain is not None:
+                    ev.chain._rearm()
             if until is not None and not self._stopped and self._now < until:
                 self._now = until
         finally:

@@ -42,9 +42,12 @@ if TYPE_CHECKING:  # pragma: no cover
 
 _msg_counter = itertools.count(1)
 
-EXECUTOR_KINDS = ("reference", "compiled")
+EXECUTOR_KINDS = ("reference", "compiled", "generated")
 
-_EXECUTOR_KIND = "compiled"
+#: the kind new sessions get unless :func:`use_executor` overrides it
+DEFAULT_KIND = "generated"
+
+_EXECUTOR_KIND = DEFAULT_KIND
 
 
 def use_executor(kind: str) -> None:
@@ -60,6 +63,10 @@ def current_executor() -> str:
 
 
 def build_executor(session: "TKOSession") -> "_ExecutorBase":
+    if _EXECUTOR_KIND == "generated":
+        from repro.tko.genexec import GeneratedExecutor  # avoid import cycle
+
+        return GeneratedExecutor(session)
     cls = CompiledExecutor if _EXECUTOR_KIND == "compiled" else ReferenceExecutor
     return cls(session)
 

@@ -28,8 +28,6 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
-import numpy as np
-
 _msg_ids = itertools.count(1)
 
 
@@ -78,7 +76,7 @@ class Header:
 class TKOMessage:
     """A message with O(1) header manipulation and shared data segments."""
 
-    __slots__ = ("id", "_headers", "_segments", "meter")
+    __slots__ = ("id", "_headers", "_segments", "meter", "_leases")
 
     def __init__(
         self,
@@ -93,6 +91,47 @@ class TKOMessage:
         else:
             self._segments = [s for s in data if len(s)]
         self.meter = meter if meter is not None else CopyMeter()
+        #: slab leases backing the data segments (None for plain messages).
+        #: Zero-copy ops retain on share; ``materialize`` and the PDU
+        #: pool's ``recycle`` release.  See repro.tko.slab.
+        self._leases: Optional[list] = None
+
+    # ------------------------------------------------------------------
+    # slab-lease ownership (see repro.tko.slab for the discipline)
+    # ------------------------------------------------------------------
+    def attach_lease(self, lease: Any) -> None:
+        """Take ownership of a slab lease backing this message's segments.
+
+        Ownership transfer: the caller's reference is *not* retained again;
+        the message's terminal points will release it.
+        """
+        if self._leases is None:
+            self._leases = [lease]
+        else:
+            self._leases.append(lease)
+
+    def _adopt_leases_from(self, other: "TKOMessage") -> None:
+        """Retain and share ``other``'s leases (used by zero-copy ops)."""
+        if other._leases:
+            for lease in other._leases:
+                lease.retain()
+            if self._leases is None:
+                self._leases = list(other._leases)
+            else:
+                self._leases.extend(other._leases)
+
+    def release_payload(self) -> None:
+        """Drop this message's slab claims (idempotent).
+
+        Called at terminal points — after the payload was flattened out of
+        the slab, or when a pooled PDU shell carrying this message is
+        recycled.  Plain (non-slab) messages are unaffected.
+        """
+        leases = self._leases
+        if leases:
+            self._leases = None
+            for lease in leases:
+                lease.release()
 
     # ------------------------------------------------------------------
     # sizes
@@ -151,6 +190,7 @@ class TKOMessage:
         m = TKOMessage((), meter=self.meter)
         m._segments = list(self._segments)
         m._headers = [Header(h.name, h.size, dict(h.fields), h.aligned) for h in self._headers]
+        m._adopt_leases_from(self)
         return m
 
     def split(self, at: int) -> Tuple["TKOMessage", "TKOMessage"]:
@@ -177,17 +217,30 @@ class TKOMessage:
         left = TKOMessage((), meter=self.meter)
         left._segments = left_segs
         left._headers = self._headers
+        left._adopt_leases_from(self)
         right = TKOMessage((), meter=self.meter)
         right._segments = right_segs
+        right._adopt_leases_from(self)
         return left, right
 
     def concat(self, other: "TKOMessage") -> None:
         """Append ``other``'s data region to this one (reassembly), no copy."""
         self._segments.extend(other._segments)
+        self._adopt_leases_from(other)
+
+    def extend(self, other: "TKOMessage") -> None:
+        """Alias of :meth:`concat` (the paper's reassembly primitive)."""
+        self.concat(other)
 
     def take(self, n: int) -> "TKOMessage":
         """Detach and return the first ``n`` data bytes as a new message."""
         left, right = self.split(n)
+        # self keeps its own leases (right retained them in split); drop
+        # the extra retain right acquired since right's list replaces ours
+        if self._leases:
+            for lease in self._leases:
+                lease.release()
+        self._leases = right._leases
         self._segments = right._segments
         self._headers = []
         return left
@@ -205,7 +258,26 @@ class TKOMessage:
         out = b"".join(bytes(s) for s in self._segments)
         self.meter.record(len(out))
         self._segments = [memoryview(out)] if out else []
+        # the flattened copy no longer references slab storage
+        self.release_payload()
         return out
+
+    def write_into(self, dest: memoryview) -> int:
+        """Copy the data region into ``dest`` (a single metered copy).
+
+        The wire codec's staging path: segments stream straight into a
+        preallocated encode buffer, skipping :meth:`materialize`'s
+        intermediate ``bytes`` join.  Returns the byte count written.
+        ``dest`` must be at least ``data_length`` long.  The message keeps
+        its segments (and slab leases) — the caller owns the destination.
+        """
+        off = 0
+        for seg in self._segments:
+            n = len(seg)
+            dest[off:off + n] = seg
+            off += n
+        self.meter.record(off)
+        return off
 
     def copy_through(self) -> "TKOMessage":
         """Eager copy (the naive discipline): duplicates all payload bytes."""
@@ -223,29 +295,37 @@ class TKOMessage:
     def checksum16(self) -> int:
         """RFC-1071-style 16-bit ones-complement sum over the data region.
 
-        Walks segments in place — no flattening — so checksum computation
-        itself is copy-free.  Vectorised with numpy: the byte stream is
-        summed as big-endian 16-bit words with end-around carry folding.
+        Walks segments in place — no flattening, no intermediate ``bytes``
+        — using the modular identity behind end-around-carry folding:
+        since ``2**16 ≡ 1 (mod 0xFFFF)``, the folded sum of big-endian
+        16-bit words equals the whole byte stream read as one big-endian
+        integer, reduced mod ``0xFFFF`` (with the usual 0-vs-0xFFFF
+        distinction for an all-zero stream).  ``int.from_bytes`` does the
+        heavy lifting in C, which beats word-array summation at wire-PDU
+        sizes.
         """
-        total = 0
-        odd_carry: Optional[int] = None
+        m = 0
+        nbytes = 0
+        nonzero = False
         for seg in self._segments:
-            b = bytes(seg)
-            if odd_carry is not None:
-                total += (odd_carry << 8) | b[0]
-                b = b[1:]
-                odd_carry = None
-            if len(b) % 2:
-                odd_carry = b[-1]
-                b = b[:-1]
-            if b:
-                arr = np.frombuffer(b, dtype=">u2")
-                total += int(arr.sum(dtype=np.uint64))
-        if odd_carry is not None:
-            total += odd_carry << 8
-        while total >> 16:
-            total = (total & 0xFFFF) + (total >> 16)
-        return (~total) & 0xFFFF
+            n = len(seg)
+            if not n:
+                continue
+            nbytes += n
+            v = int.from_bytes(seg, "big")
+            if v:
+                nonzero = True
+            elif not m:
+                continue  # leading/interleaved zeros: 0 * 256**n stays 0
+            if m:
+                m = (m * pow(256, n, 0xFFFF) + v) % 0xFFFF
+            else:
+                m = v % 0xFFFF
+        if nbytes & 1:
+            m = (m << 8) % 0xFFFF  # odd tail: pad one zero byte on the right
+        if nonzero and not m:
+            m = 0xFFFF  # a non-empty sum folds to 0xFFFF, never to 0
+        return (~m) & 0xFFFF
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         hs = "/".join(h.name for h in reversed(self._headers)) or "-"

@@ -280,6 +280,11 @@ class PduPool:
         self.recycled += 1
         # un-flag first: any stray release() on a stale reference is inert
         pdu.pooled = False
+        msg = pdu.message
+        if msg is not None:
+            # terminal point for slab-backed payloads: the shell's claim on
+            # its slab region dies with the shell (clones retained their own)
+            msg.release_payload()
         pdu.message = None
         pdu.options = {}
         if len(self._free) < self.max_free:

@@ -147,6 +147,24 @@ class CompiledPipeline:
     def control_charge(self, compact: bool) -> float:
         return self.control_aligned if compact else self.control_unaligned
 
+    def charge_bindings(self) -> Dict[str, object]:
+        """The closed-form charge scalars as codegen closure bindings.
+
+        The generated executor (:mod:`repro.tko.genexec`) folds these
+        constants into its rendered send/recv closures; keeping the
+        name → scalar mapping here means the fold can never drift from
+        the charge expressions above.
+        """
+        return {
+            "SB": self.send_base, "SPB": self.send_per_byte,
+            "SD": self.send_dispatch, "DF": self.send_def_fixed,
+            "DPB": self.send_def_per_byte, "PRIORITY": self.data_priority,
+            "RBA": self.recv_base_aligned, "RBU": self.recv_base_unaligned,
+            "RPB": self.recv_per_byte, "RD": self.recv_dispatch,
+            "RDF": self.recv_def_fixed, "RDPB": self.recv_def_per_byte,
+            "CA": self.control_aligned, "CU": self.control_unaligned,
+        }
+
     def respec(self, session: "TKOSession", slot: str) -> "CompiledPipeline":
         """Recompile with only ``slot``'s stage re-derived (segue path)."""
         specs = dict(self.specs)

@@ -1,0 +1,181 @@
+"""Refcounted slab payload buffers for the bytes plane.
+
+Pooled PDU shells (:mod:`repro.tko.pdu`) removed allocator churn from the
+*control* structures; this module does the same for *payload* storage.  A
+:class:`SlabArena` bump-allocates variable-size regions out of large
+reusable ``bytearray`` slabs and hands them out as :class:`SlabLease`\\ s —
+refcounted claims that :class:`~repro.tko.message.TKOMessage` propagates
+through its zero-copy operations (``clone``/``split``/``take``/``concat``).
+When the last lease on a slab is released the whole slab returns to the
+arena's free list, so steady-state traffic stores payload bytes with zero
+allocator traffic and zero copies beyond the single store.
+
+Ownership discipline (documented in docs/performance.md):
+
+* whoever calls :meth:`SlabArena.store` owns the returned lease and must
+  either attach it to a message (``TKOMessage.attach_lease`` — ownership
+  transfer) or :meth:`~SlabLease.release` it on every failure path;
+* zero-copy message ops retain on share and the terminal points —
+  ``materialize()`` and ``PduPool.recycle`` — release;
+* a leaked lease is *safe*: the slab simply never returns to the free
+  list and Python's GC reclaims it once the views die.  Premature release
+  is the only true hazard, same contract as the PDU pool.
+
+The arena is deliberately not thread-safe; each transport endpoint owns
+one (the sim substrate shares payload by reference and never needs one).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+#: default slab capacity — comfortably above common path MTUs so a slab
+#: amortizes tens of datagram payloads before sealing
+DEFAULT_SLAB_SIZE = 64 * 1024
+
+
+class _Slab:
+    """One reusable buffer: a bump pointer plus a live-lease count."""
+
+    __slots__ = ("buf", "view", "offset", "refs", "standard")
+
+    def __init__(self, size: int, standard: bool) -> None:
+        self.buf = bytearray(size)
+        self.view = memoryview(self.buf)
+        self.offset = 0
+        self.refs = 0
+        #: arena-standard size (eligible for the free list); oversize
+        #: one-shot slabs are dropped to the GC on release instead
+        self.standard = standard
+
+
+class SlabLease:
+    """A refcounted claim on one region of one slab.
+
+    ``view`` is the region's ``memoryview``; it stays valid until the
+    final :meth:`release`.  ``retain``/``release`` are idempotent-safe in
+    the same way as pooled PDUs: releasing an already-dead lease is inert.
+    """
+
+    __slots__ = ("arena", "slab", "view", "refs")
+
+    def __init__(self, arena: "SlabArena", slab: Optional[_Slab],
+                 view: memoryview) -> None:
+        self.arena = arena
+        self.slab = slab
+        self.view = view
+        self.refs = 1
+
+    def retain(self) -> None:
+        if self.slab is not None:
+            self.refs += 1
+
+    def release(self) -> None:
+        slab = self.slab
+        if slab is None:
+            return
+        self.refs -= 1
+        if self.refs <= 0:
+            self.slab = None
+            self.arena._lease_done(slab)
+
+    @property
+    def live(self) -> bool:
+        return self.slab is not None
+
+
+class SlabArena:
+    """Bump allocator over recycled slabs.
+
+    Stats are plain attributes so benchmarks and leak checks can assert
+    balance: a quiesced endpoint must satisfy
+    ``leases_released == leases_issued`` (and then every standard slab is
+    either current, free, or GC'd).
+    """
+
+    def __init__(self, slab_size: int = DEFAULT_SLAB_SIZE,
+                 max_free: int = 8) -> None:
+        if slab_size < 1:
+            raise ValueError("slab size must be >= 1")
+        self.slab_size = int(slab_size)
+        self.max_free = int(max_free)
+        self._current: Optional[_Slab] = None
+        self._free: list[_Slab] = []
+        self.slabs_built = 0
+        self.slabs_recycled = 0
+        self.leases_issued = 0
+        self.leases_released = 0
+        self.bytes_stored = 0
+
+    # ------------------------------------------------------------------
+    def alloc(self, nbytes: int) -> SlabLease:
+        """Claim a writable ``nbytes`` region; the caller fills it."""
+        if nbytes < 0:
+            raise ValueError("cannot allocate negative bytes")
+        self.leases_issued += 1
+        self.bytes_stored += nbytes
+        if nbytes == 0:
+            # inert lease: no slab, refcounting is a no-op; born released
+            # so issued/released stay balanced for leak checks
+            self.leases_released += 1
+            lease = SlabLease(self, None, memoryview(b""))
+            lease.refs = 0
+            return lease
+        if nbytes > self.slab_size:
+            # oversize one-shot slab, never pooled
+            slab = _Slab(nbytes, standard=False)
+            self.slabs_built += 1
+            slab.offset = nbytes
+            slab.refs = 1
+            return SlabLease(self, slab, slab.view)
+        slab = self._current
+        if slab is None or slab.offset + nbytes > self.slab_size:
+            slab = self._open_slab()
+        view = slab.view[slab.offset:slab.offset + nbytes]
+        slab.offset += nbytes
+        slab.refs += 1
+        return SlabLease(self, slab, view)
+
+    def store(self, data: Union[bytes, bytearray, memoryview]) -> SlabLease:
+        """Copy ``data`` into the arena (the bytes plane's *one* copy)."""
+        lease = self.alloc(len(data))
+        if len(data):
+            lease.view[:] = data
+        return lease
+
+    # ------------------------------------------------------------------
+    @property
+    def live_leases(self) -> int:
+        return self.leases_issued - self.leases_released
+
+    def _open_slab(self) -> _Slab:
+        # seal the old current; if its leases already all died it goes
+        # straight back to the free list
+        old = self._current
+        if old is not None and old.refs == 0:
+            self._recycle(old)
+        if self._free:
+            slab = self._free.pop()
+            self.slabs_recycled += 1
+        else:
+            slab = _Slab(self.slab_size, standard=True)
+            self.slabs_built += 1
+        self._current = slab
+        return slab
+
+    def _lease_done(self, slab: _Slab) -> None:
+        self.leases_released += 1
+        slab.refs -= 1
+        if slab.refs > 0:
+            return
+        if slab is self._current:
+            # still open for bump allocation: rewind instead of sealing
+            slab.offset = 0
+            return
+        if slab.standard:
+            self._recycle(slab)
+
+    def _recycle(self, slab: _Slab) -> None:
+        slab.offset = 0
+        if len(self._free) < self.max_free:
+            self._free.append(slab)

@@ -117,6 +117,11 @@ class TKOSynthesizer:
             pipe = getattr(session.executor, "pipeline", None)
             if pipe is not None:
                 template.specs = dict(pipe.specs)
+        if template.codegen is None:
+            # which generated-closure shape serves this configuration —
+            # a pure diagnostic linking the template cache to the codegen
+            # factory cache; absent under non-generated executors
+            template.codegen = getattr(session.executor, "codegen_key", None)
 
     # ------------------------------------------------------------------
     # run-time reconfiguration

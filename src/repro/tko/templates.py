@@ -51,6 +51,9 @@ class Template:
     created_for: Optional[str] = None  #: e.g. the TSC name that seeded it
     plan: Optional[tuple] = None   #: ((slot, cls, kwargs), ...) build recipe
     specs: Optional[dict] = None   #: slot → StageSpec, compiled once
+    #: structural key of the generated send closure serving this shape
+    #: (diagnostic only — never part of the signature or the cost model)
+    codegen: Optional[tuple] = None
 
 
 class TemplateCache:

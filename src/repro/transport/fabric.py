@@ -22,9 +22,10 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
-from repro.netsim.frame import Frame, WireFormatError, encode_frame
+from repro.netsim.frame import Frame, WireFormatError, encode_frame_into
 from repro.sim.rng import RngStreams
 from repro.tko.pdu import PDU
+from repro.tko.slab import SlabArena
 from repro.unites.obs import TELEMETRY
 
 
@@ -88,6 +89,14 @@ class RealFabric:
         #: set, every delivered frame refreshes the sender's lease and
         #: heartbeat beacons are consumed before host delivery
         self.liveness = None
+        #: reusable encode staging buffer — every outgoing datagram is
+        #: written in place by :func:`encode_frame_into`, then snapshotted
+        #: once (substrates hold datagrams asynchronously)
+        self._wire_buf = bytearray(2048)
+        #: slab arena for decoded payload storage on this endpoint's
+        #: protocol thread (see repro.tko.slab); substrates that decode on
+        #: a different thread must pass ``arena=None`` to the codec
+        self.arena = SlabArena()
 
     # ------------------------------------------------------------------
     # host attachment (Host.__init__ / teardown call these)
@@ -179,7 +188,9 @@ class RealFabric:
             dsts = sorted(m for m in members if m != frame.src)
         pdu = frame.payload if isinstance(frame.payload, PDU) else None
         try:
-            data = encode_frame(frame)
+            # stage into the reusable buffer (payload segments stream in
+            # with one copy), snapshot once for the async substrate
+            data = bytes(encode_frame_into(frame, self._wire_buf))
         except WireFormatError:
             self.send_errors += 1
             self._count("transport_send_errors_total", reason="encode")
@@ -214,6 +225,10 @@ class RealFabric:
         handler = self._handlers.get(frame.dst)
         if handler is None:
             self._count("transport_frames_unrouted_total")
+            payload = frame.payload
+            if isinstance(payload, PDU) and payload.message is not None:
+                # an undeliverable decoded frame surrenders its slab claim
+                payload.message.release_payload()
             return
         self.frames_delivered += 1
         self._count("transport_frames_delivered_total")

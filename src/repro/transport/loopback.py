@@ -82,7 +82,9 @@ class LoopbackFabric(RealFabric):
         # a damaged datagram (impairment's "wire" corruption) is the
         # *receiver's* loss, not a sender error
         try:
-            decoded = decode_frame(data)
+            # the receiving fabric's slab arena stores the payload (both
+            # worlds are co-driven from one thread, so this is safe)
+            decoded = decode_frame(data, arena=fabric.arena)
         except WireFormatError:
             fabric._count("transport_decode_errors_total")
             return

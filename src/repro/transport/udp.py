@@ -86,7 +86,10 @@ class UdpFabric(RealFabric):
     def _transmit(self, data: bytes, dst: str, frame) -> None:
         if dst in self._handlers:  # self-send: skip the socket entirely
             try:
-                decoded = decode_frame(data)
+                # same-thread decode: slab-store the payload locally
+                # (socket receives decode on the loop thread and must
+                # stay arena-free — see _FabricProtocol)
+                decoded = decode_frame(data, arena=self.arena)
             except WireFormatError:
                 self._count("transport_decode_errors_total")
                 return

@@ -148,3 +148,68 @@ class TestFailure:
         assert link.send(Frame("A", "B", 100)) is True
         sim.run()
         assert len(got) == 1
+
+
+class TestByteCounters:
+    """UNITES byte counters alongside the frame counters (Issue 9)."""
+
+    @pytest.fixture(autouse=True)
+    def _telemetry(self, sim):
+        from repro.unites.obs.telemetry import TELEMETRY
+
+        TELEMETRY.enable(sim=sim)
+        yield TELEMETRY
+        TELEMETRY.disable()
+        TELEMETRY.reset()
+
+    def _counter(self, t, name, **labels):
+        c = t.metrics.get(name, labels or None)
+        return 0 if c is None else c.value
+
+    def test_enqueued_and_delivered_bytes(self, sim, _telemetry):
+        link, got = make_link(sim, queue_limit=10)
+        sizes = [100, 700, 1400]
+        for n in sizes:
+            link.send(Frame("A", "B", n))
+        sim.run()
+        t = _telemetry
+        assert self._counter(t, "link_bytes_enqueued_total", link="t") == sum(sizes)
+        assert self._counter(t, "link_bytes_delivered_total", link="t") == sum(sizes)
+        assert link.stats.bytes_delivered == sum(sizes)
+        assert self._counter(t, "link_frames_delivered_total", link="t") == len(sizes)
+
+    def test_overflow_drop_counts_bytes(self, sim, _telemetry):
+        link, _ = make_link(sim, queue_limit=1)
+        for _ in range(4):
+            link.send(Frame("A", "B", 1000))
+        dropped = self._counter(
+            _telemetry, "link_bytes_dropped_total", link="t", reason="overflow")
+        # 1 on the wire + 1 queued accepted; the rest dropped with their bytes
+        assert dropped == 2000
+        assert self._counter(
+            _telemetry, "link_frames_dropped_total", link="t", reason="overflow") == 2
+
+    def test_mtu_drop_counts_bytes(self, sim, _telemetry):
+        link, _ = make_link(sim)
+        link.send(Frame("A", "B", link.mtu + 100))
+        assert self._counter(
+            _telemetry, "link_bytes_dropped_total", link="t", reason="mtu") == link.mtu + 100
+
+    def test_down_drop_counts_bytes(self, sim, _telemetry):
+        link, _ = make_link(sim)
+        link.fail()
+        link.send(Frame("A", "B", 600))
+        assert self._counter(
+            _telemetry, "link_bytes_dropped_total", link="t", reason="down") == 600
+
+    def test_fail_drain_counts_queued_bytes(self, sim, _telemetry):
+        link, _ = make_link(sim, queue_limit=10)
+        for _ in range(4):
+            link.send(Frame("A", "B", 500))
+        link.fail()
+        # 3 queued frames drain (one is on the wire; it drops at tx-done)
+        assert self._counter(
+            _telemetry, "link_bytes_dropped_total", link="t", reason="down") == 1500
+        sim.run()
+        assert self._counter(
+            _telemetry, "link_bytes_dropped_total", link="t", reason="down") == 2000

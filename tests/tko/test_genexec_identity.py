@@ -1,0 +1,189 @@
+"""GeneratedExecutor: bit-identity, fast-path engagement, fallback contract.
+
+The generated executor (``repro.tko.genexec``) renders one specialized
+send/recv closure per session shape and installs it over the compiled
+path.  Three families of guarantees:
+
+* **identity** — on the connection-churn workload the generated executor
+  produces the same delivery digest as ``ReferenceExecutor`` and
+  ``CompiledExecutor``, per seed, under both connection-manager modes.
+* **engagement** — on a shape it specializes for (teleconference SCS,
+  wire-size ``bytes`` payloads) every send takes the generated closure;
+  ``fast_sends`` counts them so identity checks cannot pass vacuously.
+* **fallback** — anything the fast path does not specialize for
+  (telemetry on, observers attached, protocol-graph layers, mutable
+  buffers, multi-fragment messages) drops to the compiled path *before*
+  consuming any state, so behaviour stays bit-identical.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.churn import identity_fields, run_churn
+from repro.mantts.acd import ACD
+from repro.mantts.monitor import NetworkState
+from repro.mantts.transform import specify_scs
+from repro.mantts.tsc import APP_PROFILES
+from repro.tko import genexec
+from repro.tko.executor import DEFAULT_KIND, EXECUTOR_KINDS, use_executor
+from repro.unites.obs.telemetry import TELEMETRY
+
+from tests.conftest import TwoHosts
+
+
+@pytest.fixture(autouse=True)
+def _default_executor():
+    """Every test leaves the process-wide executor selection restored."""
+    yield
+    use_executor(DEFAULT_KIND)
+
+
+def teleconference_config():
+    """The §2.1(B) teleconference SCS via the real Stage I/II transform.
+
+    The richest config that runs the fast path: tracked delivery,
+    retransmission recovery, Internet-checksum trailer, window+rate
+    transmission control.
+    """
+    profile = APP_PROFILES["tele-conferencing"]
+    acd = ACD(
+        participants=("B",),
+        quantitative=profile.quantitative(),
+        qualitative=profile.qualitative(),
+    )
+    lan = NetworkState("A", "B", True, 0.004, 0.004, 10e6, 1500, 1e-6, 0.0, 0.0, 3)
+    return specify_scs(acd, lan).config
+
+
+def conference_run(kind, cfg, payloads, mutate=None):
+    """Run one A→B conference under executor ``kind``; return
+    ``(identity tuple, fast_sends)``.  ``mutate(world, sender)`` runs
+    after connect, before the sends (for fallback-trigger setups)."""
+    use_executor(kind)
+    try:
+        w = TwoHosts(seed=5)
+        w.listen(cfg)
+        sender = w.open(cfg)
+        w.sim.run(until=0.05)
+        if mutate is not None:
+            mutate(w, sender)
+        t = 0.05
+        for data in payloads:
+            t += 0.02
+            w.sim.run(until=t)
+            sender.send(data)
+        w.sim.run(until=t + 2.0)
+        identity = (
+            len(w.delivered),
+            sum(len(d) for d, _ in w.delivered),
+            w.sim.now,
+            sender.stats.pdus_sent,
+            sender.stats.retransmissions,
+            w.ha.cpu.instructions_retired,
+            w.hb.cpu.instructions_retired,
+        )
+        return identity, getattr(sender.executor, "fast_sends", None)
+    finally:
+        use_executor(DEFAULT_KIND)
+
+
+class TestChurnIdentity:
+    """The delivery digest is the cross-executor identity check."""
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    @pytest.mark.parametrize("mode", ["coalesced", "legacy"])
+    def test_executors_bit_identical(self, seed, mode):
+        idents = []
+        for kind in EXECUTOR_KINDS:
+            use_executor(kind)
+            idents.append((kind, identity_fields(run_churn(40, mode=mode, seed=seed))))
+        base_kind, base = idents[0]
+        for kind, ident in idents[1:]:
+            assert ident == base, (
+                f"{kind} diverged from {base_kind} at seed {seed} ({mode})"
+            )
+        assert base["delivered"] > 0
+
+
+class TestFastPathEngagement:
+    def test_wire_size_bytes_take_fast_path(self):
+        cfg = teleconference_config()
+        payloads = [b"\xa5" * 512] * 50
+        compiled, _ = conference_run("compiled", cfg, payloads)
+        generated, fast = conference_run("generated", cfg, payloads)
+        assert fast == len(payloads), "every send must take the fast path"
+        assert generated == compiled
+
+    def test_warm_template_records_codegen_shape(self):
+        # the template cache's diagnostic linkage: a warmed template
+        # remembers which generated-closure shape serves it
+        use_executor("generated")
+        cfg = teleconference_config()
+        w = TwoHosts(seed=5)
+        w.listen(cfg)
+        sender = w.open(cfg)
+        w.sim.run(until=0.1)
+        template = w.pa.synthesizer.templates.peek(cfg)
+        assert template is not None
+        assert template.codegen == sender.executor.codegen_key
+        assert template.codegen[-3:] == ("window-rate", "retransmit", "internet")
+
+    def test_codegen_factory_is_shared_across_sessions(self):
+        cfg = teleconference_config()
+        before = dict(genexec.codegen_stats)
+        conference_run("generated", cfg, [b"x" * 64] * 3)
+        mid = dict(genexec.codegen_stats)
+        conference_run("generated", cfg, [b"x" * 64] * 3)
+        after = dict(genexec.codegen_stats)
+        assert mid["installed"] > before["installed"]
+        assert after["installed"] > mid["installed"]
+        # the second world re-uses the first world's rendered factories
+        assert after["rendered"] == mid["rendered"]
+        assert after["factory_hits"] > mid["factory_hits"]
+
+
+class TestFallback:
+    """Unspecialized shapes must fall back — and stay bit-identical."""
+
+    def _identical_with_fallback(self, payloads, mutate=None, engaged=0):
+        cfg = teleconference_config()
+        compiled, _ = conference_run("compiled", cfg, payloads, mutate)
+        generated, fast = conference_run("generated", cfg, payloads, mutate)
+        assert fast == engaged
+        assert generated == compiled
+
+    def test_bytearray_payload_falls_back(self):
+        # mutable buffers: the compiled ctor snapshots them, the fast
+        # path would alias them
+        self._identical_with_fallback([bytearray(b"\xa5" * 256)] * 20)
+
+    def test_multi_fragment_message_falls_back(self):
+        # larger than the segment size → segmentation loop, not the
+        # single-PDU fast path
+        self._identical_with_fallback([b"\xa5" * 60_000] * 5)
+
+    def test_observers_force_fallback(self):
+        def attach(world, sender):
+            sender.observers.append(lambda event, session, **details: None)
+
+        self._identical_with_fallback([b"\xa5" * 256] * 20, mutate=attach)
+
+    def test_telemetry_forces_fallback(self):
+        cfg = teleconference_config()
+        payloads = [b"\xa5" * 256] * 20
+        try:
+            TELEMETRY.enable()
+            _, fast = conference_run("generated", cfg, payloads)
+        finally:
+            TELEMETRY.disable()
+            TELEMETRY.reset()
+        assert fast == 0
+
+    def test_mixed_traffic_splits_between_paths(self):
+        # alternating wire-size bytes and mutable buffers: only the
+        # former engage, and the stream stays identical to compiled
+        payloads = []
+        for i in range(20):
+            payloads.append(b"\xa5" * 256 if i % 2 == 0 else bytearray(b"\x5a" * 256))
+        self._identical_with_fallback(payloads, engaged=10)

@@ -135,6 +135,91 @@ class TestCopies:
         assert meter.copies == 0 and meter.bytes_copied == 0
 
 
+class TestZeroCopyDiscipline:
+    """Copy-count assertions for the bytes plane (Issue 9 satellite).
+
+    ``memoryview`` cannot be subclassed, so the instrument is two-fold:
+    the shared :class:`CopyMeter` (every real byte move is metered) plus
+    ``memoryview.obj`` identity — a surviving segment must still view one
+    of the *original* underlying buffers, proving no intermediate
+    flattening happened behind the meter's back.
+    """
+
+    def _multisegment(self, meter):
+        bufs = [b"a" * 700, b"b" * 900, b"c" * 400]
+        m = TKOMessage(memoryview(bufs[0]), meter=meter)
+        for b in bufs[1:]:
+            m.concat(TKOMessage(memoryview(b), meter=meter))
+        return m, bufs
+
+    def _assert_views_originals(self, msg, bufs):
+        owners = {id(b) for b in bufs}
+        for seg in msg.segments_view():
+            assert id(seg.obj) in owners, "segment no longer views an original buffer"
+
+    def test_split_moves_zero_payload_bytes(self):
+        meter = CopyMeter()
+        m, bufs = self._multisegment(meter)
+        left, right = m.split(1100)  # cuts inside the second segment
+        assert meter.bytes_copied == 0
+        self._assert_views_originals(left, bufs)
+        self._assert_views_originals(right, bufs)
+
+    def test_extend_moves_zero_payload_bytes(self):
+        meter = CopyMeter()
+        m, bufs = self._multisegment(meter)
+        extra = b"d" * 300
+        m.extend(TKOMessage(memoryview(extra), meter=meter))
+        assert meter.bytes_copied == 0
+        self._assert_views_originals(m, bufs + [extra])
+
+    def test_clone_moves_zero_payload_bytes(self):
+        meter = CopyMeter()
+        m, bufs = self._multisegment(meter)
+        c = m.clone()
+        assert meter.bytes_copied == 0
+        self._assert_views_originals(c, bufs)
+
+    def test_fragmentation_reassembly_pipeline_copies_once(self):
+        # the whole segmentation -> clone-for-retransmit -> reassembly
+        # pipeline moves payload bytes exactly once: the final delivery
+        # materialize
+        meter = CopyMeter()
+        m, _ = self._multisegment(meter)
+        total = m.data_length
+        frags = []
+        while m.data_length > 512:
+            frags.append(m.take(512))
+        frags.append(m)
+        for f in frags:
+            f.clone()  # the retransmission queue's reference
+        whole = TKOMessage((), meter=meter)
+        for f in frags:
+            whole.extend(f)
+        assert meter.bytes_copied == 0, "zero bytes moved before delivery"
+        assert whole.materialize() == b"a" * 700 + b"b" * 900 + b"c" * 400
+        assert meter.copies == 1
+        assert meter.bytes_copied == total
+
+    def test_materialize_meters_its_single_copy(self):
+        meter = CopyMeter()
+        m, _ = self._multisegment(meter)
+        n = m.data_length
+        m.materialize()
+        assert (meter.copies, meter.bytes_copied) == (1, n)
+
+    def test_write_into_meters_its_single_copy(self):
+        meter = CopyMeter()
+        m, bufs = self._multisegment(meter)
+        dest = bytearray(m.data_length)
+        wrote = m.write_into(memoryview(dest))
+        assert wrote == m.data_length
+        assert bytes(dest) == b"".join(bufs)
+        assert (meter.copies, meter.bytes_copied) == (1, wrote)
+        # staging into the wire buffer does not collapse the segments
+        self._assert_views_originals(m, bufs)
+
+
 class TestChecksum:
     def test_known_value_stability(self):
         assert TKOMessage(b"hello").checksum16() == TKOMessage(b"hello").checksum16()
