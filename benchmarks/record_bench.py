@@ -19,6 +19,14 @@ Four measurements, three snapshot files, so every future PR has a baseline:
   Records the wall-clock ratio plus three determinism cross-checks:
   same-seed repeat runs, coalesced-vs-legacy at N=10, and
   coalesced-vs-legacy at full N must all report bit-identical metrics.
+* **sharded** (→ ``BENCH_scale.json``): the same churn workload spread
+  over a multi-group topology and executed across 2+ worker-kernel
+  processes under the conservative link-delay lookahead barrier
+  (:mod:`repro.shard`).  Gated on *correctness*: the sharded delivery
+  digest must be bit-identical to the serial run, every shard's PDU pool
+  must balance, and the barrier must make progress (a wedge raises).
+  The serial-vs-sharded wall ratio is recorded honestly — on a
+  single-core runner parallelism cannot win and the ratio is >= 1.
 * **transport** (→ ``BENCH_transport.json``): endpoint round-trip
   latency (p50/p99) over ``backend.pair()`` ping-pong on the two real
   substrates from :mod:`repro.transport` — in-process loopback and
@@ -67,6 +75,15 @@ MIN_KERNEL_SPEEDUP = 1.30
 MAX_SCALE_RATIO = 0.70
 SCALE_N = 1000
 SCALE_SEED = 7
+
+#: sharded one-world run (Issue-10): grouped churn split across kernel
+#: processes with the link-delay lookahead barrier.  The gates are
+#: correctness gates — bit-identity with the serial run and a live,
+#: non-wedged barrier — never a speedup bar: on a single-core CI runner
+#: the honest wall ratio is >= 1 and is recorded as such.
+SHARDED_N = 1000
+SHARDED_SHARDS = 2
+SHARDED_GROUPS = 4
 
 #: bytes-plane per-send latency gates (Issue-9 acceptance bar): the
 #: generated executor must cut p50 send latency by >= 1.5x over the
@@ -376,6 +393,63 @@ def bench_scale(n: int = SCALE_N, seed: int = SCALE_SEED, repeats: int = 2) -> d
     }
 
 
+def bench_sharded(n: int = SHARDED_N, n_shards: int = SHARDED_SHARDS,
+                  seed: int = SCALE_SEED) -> dict:
+    """Sharded vs serial grouped churn: bit-identity + barrier health.
+
+    Runs the one-world grouped scenario serially, then across
+    ``n_shards`` conservative-parallel kernel processes, and compares
+    the receiver-side identity fields (per-connection delivery digests
+    folded in global index order).  A wedged barrier raises
+    ``ShardSyncError`` out of the run — there is no silent hang mode.
+    """
+    from repro.core.churn import (
+        grouped_identity_fields,
+        run_grouped_churn,
+        run_sharded_churn,
+    )
+
+    w0 = perf_counter()
+    serial = run_grouped_churn(n, n_groups=SHARDED_GROUPS, seed=seed)
+    serial_wall = perf_counter() - w0
+    w0 = perf_counter()
+    sharded = run_sharded_churn(n, n_shards=n_shards,
+                                n_groups=SHARDED_GROUPS, seed=seed)
+    sharded_wall = perf_counter() - w0
+    coord = sharded["coordinator"]
+    return {
+        "workload": (f"{n} mixed-TSC connections over {SHARDED_GROUPS} host "
+                     f"groups + cross-group trunks, {n_shards} shard kernels, "
+                     f"lookahead {coord['lookahead']}s, seed {seed}"),
+        "cpu_count": os.cpu_count(),
+        "n_connections": n,
+        "n_shards": n_shards,
+        "established": sharded["established"],
+        "failed": sharded["failed"],
+        "messages_delivered": sharded["delivered"],
+        "peak_concurrent": sharded["peak_concurrent"],
+        "delivery_digest": sharded["delivery_digest"],
+        "serial_wall_s": round(serial_wall, 3),
+        "sharded_wall_s": round(sharded_wall, 3),
+        "wall_ratio_vs_serial": round(sharded_wall / serial_wall, 3)
+        if serial_wall else 1.0,
+        "epochs": coord["epochs"],
+        "horizon_stalls": coord["horizon_stalls"],
+        "barrier_wait_s": coord["barrier_wait_s"],
+        "cross_shard_frames": coord["cross_frames"],
+        "cross_shard_bytes": coord["cross_bytes"],
+        "bit_identical": (grouped_identity_fields(sharded)
+                          == grouped_identity_fields(serial)),
+        "pool_balanced": all(
+            r["pdu_acquired"] == r["pdu_recycled"] for r in sharded["shards"]
+        ),
+        "boundary_clean": all(
+            r["shard_refused_multicast"] == r["shard_refused_heartbeat"]
+            == r["shard_encode_errors"] == 0 for r in sharded["shards"]
+        ),
+    }
+
+
 def _percentile(sorted_samples, q: float) -> float:
     """Nearest-rank percentile on an already-sorted sample list."""
     idx = min(len(sorted_samples) - 1, max(0, round(q * (len(sorted_samples) - 1))))
@@ -481,9 +555,15 @@ def main(argv=None) -> int:
                     default=str(repo / "BENCH_transport.json"))
     ap.add_argument("--roundtrips", type=int, default=TRANSPORT_ROUNDTRIPS,
                     help="ping-pong count per transport substrate")
+    ap.add_argument("--sharded-n", type=int, default=SHARDED_N,
+                    help="churn population for the sharded section")
+    ap.add_argument("--sharded-shards", type=int, default=SHARDED_SHARDS,
+                    help="worker-kernel count for the sharded section")
     ap.add_argument("--only", nargs="+",
-                    choices=("kernel", "sweep", "scale", "transport"),
-                    default=("kernel", "sweep", "scale", "transport"),
+                    choices=("kernel", "sweep", "scale", "sharded",
+                             "transport"),
+                    default=("kernel", "sweep", "scale", "sharded",
+                             "transport"),
                     help="which benchmark sections to run")
     ap.add_argument("--check", action="store_true",
                     help="exit non-zero unless the perf gates hold")
@@ -540,29 +620,62 @@ def main(argv=None) -> int:
         Path(args.out).write_text(json.dumps(snapshot, indent=2) + "\n")
         print(json.dumps(snapshot, indent=2))
 
-    if "scale" in args.only:
-        scale = dict(env)
-        scale["scale"] = section = bench_scale(args.scale_n)
-        Path(args.scale_out).write_text(json.dumps(scale, indent=2) + "\n")
-        print(json.dumps(scale, indent=2))
-        if args.check:
-            if section["wall_ratio"] > MAX_SCALE_RATIO:
-                print(f"FAIL: scale wall ratio {section['wall_ratio']} > "
-                      f"{MAX_SCALE_RATIO} gate", file=sys.stderr)
-                ok = False
-            for gate in ("repeat_identical", "mode_identical_n10",
-                         "mode_identical_full"):
-                if not section[gate]:
-                    print(f"FAIL: scale determinism gate {gate} failed",
+    if "scale" in args.only or "sharded" in args.only:
+        # one snapshot file for both sections: a partial run (--only
+        # scale) keeps the other section from the existing snapshot
+        try:
+            scale = json.loads(Path(args.scale_out).read_text())
+        except (OSError, ValueError):
+            scale = {}
+        scale.update(env)
+        if "scale" in args.only:
+            scale["scale"] = section = bench_scale(args.scale_n)
+            if args.check:
+                if section["wall_ratio"] > MAX_SCALE_RATIO:
+                    print(f"FAIL: scale wall ratio {section['wall_ratio']} > "
+                          f"{MAX_SCALE_RATIO} gate", file=sys.stderr)
+                    ok = False
+                for gate in ("repeat_identical", "mode_identical_n10",
+                             "mode_identical_full"):
+                    if not section[gate]:
+                        print(f"FAIL: scale determinism gate {gate} failed",
+                              file=sys.stderr)
+                        ok = False
+                if section["peak_concurrent"] < min(1000, args.scale_n):
+                    print(f"FAIL: peak concurrency "
+                          f"{section['peak_concurrent']} below target",
                           file=sys.stderr)
                     ok = False
-            if section["peak_concurrent"] < min(1000, args.scale_n):
-                print(f"FAIL: peak concurrency {section['peak_concurrent']} "
-                      f"below target", file=sys.stderr)
-                ok = False
-        summary.append(f"scale ratio {section['wall_ratio']} "
-                       f"(gate {MAX_SCALE_RATIO}), peak "
-                       f"{section['peak_concurrent']} concurrent")
+            summary.append(f"scale ratio {section['wall_ratio']} "
+                           f"(gate {MAX_SCALE_RATIO}), peak "
+                           f"{section['peak_concurrent']} concurrent")
+        if "sharded" in args.only:
+            scale["sharded"] = shard = bench_sharded(
+                args.sharded_n, args.sharded_shards)
+            if args.check:
+                if not shard["bit_identical"]:
+                    print("FAIL: sharded run diverged from serial delivery "
+                          "digest", file=sys.stderr)
+                    ok = False
+                if not shard["pool_balanced"]:
+                    print("FAIL: a shard leaked pooled PDUs across the "
+                          "gateway", file=sys.stderr)
+                    ok = False
+                if not shard["boundary_clean"]:
+                    print("FAIL: control/multicast traffic reached a shard "
+                          "boundary", file=sys.stderr)
+                    ok = False
+                if shard["epochs"] <= 0 or shard["cross_shard_frames"] <= 0:
+                    print("FAIL: sharded run never exercised the barrier",
+                          file=sys.stderr)
+                    ok = False
+            summary.append(
+                f"sharded {shard['n_shards']}-way bit-identical at "
+                f"n={shard['n_connections']}, {shard['epochs']} epochs, "
+                f"{shard['cross_shard_frames']} cross frames, wall ratio "
+                f"{shard['wall_ratio_vs_serial']} vs serial")
+        Path(args.scale_out).write_text(json.dumps(scale, indent=2) + "\n")
+        print(json.dumps(scale, indent=2))
 
     if "transport" in args.only:
         snapshot = dict(env)

@@ -167,17 +167,22 @@ class AdaptiveSystem:
 
         return AUDIT.enable(**kwargs)
 
-    def serve_telemetry(self, host: str = "127.0.0.1", port: int = 0):
+    def serve_telemetry(self, host: str = "127.0.0.1", port: int = 0,
+                        instance_labels=None):
         """Start the live HTTP telemetry plane for this system.
 
         Serves ``/metrics``, ``/healthz``, ``/connections``, and
         ``/audit`` from a daemon thread; returns the started
         :class:`~repro.unites.obs.server.TelemetryServer` (``.url`` has
         the bound address, ``.stop()`` shuts it down).
+        ``instance_labels`` (e.g. ``{"shard": "2"}``) are stamped onto
+        every exported metric sample — a shard worker serving its own
+        scrape endpoint stays series-disjoint from its siblings.
         """
         from repro.unites.obs.server import TelemetryServer
 
-        server = TelemetryServer(system=self, host=host, port=port)
+        server = TelemetryServer(system=self, host=host, port=port,
+                                 instance_labels=instance_labels)
         server.start()
         return server
 

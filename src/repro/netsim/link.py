@@ -214,16 +214,28 @@ class Link:
                         "link_frames_corrupted_total", labels={"link": self.name},
                         help="frames hit by channel bit errors").inc()
         if self.up:
-            chain = self._rx_chain
-            if chain is not None:
-                chain.schedule(self.delay, self._arrive, frame)
-            else:
-                self.sim.schedule_transient(self.delay, self._arrive, frame)
+            self._propagate(frame)
         else:
             self.stats.dropped_down += 1
             self._count_drop("down", frame.size)
             self._drop_payload(frame)
         self._start_next()
+
+    def _propagate(self, frame: Frame) -> None:
+        """Launch a serialized frame onto the propagation delay.
+
+        Runs after the error model, so the frame's fate on the channel is
+        already decided.  Shard boundary links override this one hook
+        (:class:`repro.shard.gateway.GatewayLink`) to hand the frame to
+        the cross-process gateway instead of the local event chain —
+        queueing, serialization, BER draws, and drop accounting on the
+        near side stay byte-identical to a serial run.
+        """
+        chain = self._rx_chain
+        if chain is not None:
+            chain.schedule(self.delay, self._arrive, frame)
+        else:
+            self.sim.schedule_transient(self.delay, self._arrive, frame)
 
     def _arrive(self, frame: Frame) -> None:
         self.stats.delivered += 1

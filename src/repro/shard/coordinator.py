@@ -1,0 +1,195 @@
+"""The epoch barrier: conservative parallel scheduling over WorkerTeam.
+
+The synchronous variant of Chandy–Misra–Bryant null messages: instead of
+flooding per-link null messages, a coordinator computes, each epoch,
+
+* ``N`` — the global minimum over every shard's next-event time and
+  every still-undelivered cross-shard message's arrival time, and
+* ``H = N + L`` — the horizon, with ``L`` the lookahead (minimum
+  boundary-link propagation delay, :meth:`ShardPlan.lookahead`).
+
+Every event strictly before ``H`` is safe: the earliest anything anywhere
+can execute is ``N``, so the earliest message an epoch can *generate*
+arrives at ``>= N + L = H``.  Workers run ``run_until_horizon(H)``, the
+coordinator routes the outboxes, and the epoch repeats.  When ``H``
+passes the experiment end, one inclusive final stretch
+(``run(until=...)``) reproduces the serial ``run(until)`` semantics
+exactly — leftover cross-frames arrive after ``until`` and would never
+have executed serially either.
+
+Liveness is enforced twice: the :class:`~repro.sweep.pool.WorkerTeam`
+receive timeout catches a dead or wedged *worker*, and the coordinator's
+progress check catches a wedged *barrier* (a horizon that stops
+advancing with no events dispatched — e.g. a zero-lookahead cycle that
+slipped past plan validation), raising :class:`ShardSyncError` instead
+of spinning forever.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.shard.worker import record_shard_metrics, shard_worker_main
+from repro.sweep.pool import WorkerTeam
+
+
+class ShardSyncError(RuntimeError):
+    """The epoch barrier stopped making progress (wedged barrier)."""
+
+
+class ShardCoordinator:
+    """Drive ``n_shards`` worker kernels to ``until`` in lockstep epochs.
+
+    Parameters
+    ----------
+    builder:
+        Importable module-level callable; each worker calls
+        ``builder(shard_id=i, **builder_kw)`` and gets the shard runtime
+        (``sim`` / ``gateway`` / ``collect()``).
+    lookahead:
+        The conservative bound ``L`` — must not exceed the true minimum
+        boundary-link delay of the built topology (the builder should
+        derive both from the same plan; see
+        :meth:`repro.shard.partition.ShardPlan.lookahead`).
+    recv_timeout:
+        Worker-reply budget per barrier, seconds.  Generous by default:
+        it is a crash/wedge detector, not a performance target.
+    """
+
+    def __init__(
+        self,
+        builder: Callable[..., Any],
+        builder_kw: Dict[str, Any],
+        n_shards: int,
+        until: float,
+        lookahead: float,
+        recv_timeout: float = 300.0,
+        name: str = "shard",
+    ) -> None:
+        if n_shards < 2:
+            raise ValueError("sharding needs at least two shards")
+        if lookahead <= 0.0:
+            raise ValueError("lookahead must be positive")
+        if until <= 0.0:
+            raise ValueError("until must be positive")
+        self.builder = builder
+        self.builder_kw = dict(builder_kw)
+        self.n_shards = n_shards
+        self.until = float(until)
+        self.lookahead = float(lookahead)
+        self.recv_timeout = float(recv_timeout)
+        self.name = name
+        #: filled by :meth:`run`
+        self.stats: Dict[str, Any] = {}
+
+    # ------------------------------------------------------------------
+    def run(self) -> Dict[str, Any]:
+        """Execute the world; returns per-shard results + barrier stats."""
+        team = WorkerTeam(
+            shard_worker_main,
+            self.n_shards,
+            args_for=lambda i: (self.builder, self.builder_kw),
+            name=self.name,
+            timeout=self.recv_timeout,
+        )
+        try:
+            return self._drive(team)
+        finally:
+            team.close(farewell=("stop",))
+
+    # ------------------------------------------------------------------
+    def _drive(self, team: WorkerTeam) -> Dict[str, Any]:
+        n = self.n_shards
+        until, lookahead = self.until, self.lookahead
+        next_ts: List[Optional[float]] = [None] * n
+        for i in range(n):
+            _tag, shard_id, next_t = team.recv(i)
+            next_ts[shard_id] = next_t
+
+        pending: List[List[Any]] = [[] for _ in range(n)]
+        epochs = 0
+        stalls = 0
+        barrier_wait = 0.0
+        last_n_min: Optional[float] = None
+        last_events: Optional[int] = None
+        # hard backstop well above any live schedule's epoch count: the
+        # horizon advances by >= lookahead whenever N advances, so a
+        # healthy run needs about until/lookahead epochs
+        max_epochs = int(until / lookahead) * 4 + 1024
+
+        while True:
+            candidates = [t for t in next_ts if t is not None]
+            candidates += [msg[0] for box in pending for msg in box]
+            n_min = min(candidates) if candidates else None
+            if n_min is None:
+                break  # every shard idle, nothing in flight: done early
+            horizon = n_min + lookahead
+            if horizon > until:
+                break  # the final stretch covers the rest inclusively
+
+            if epochs >= max_epochs:
+                raise ShardSyncError(
+                    f"barrier exceeded {max_epochs} epochs before t={until} "
+                    f"(horizon {horizon:.9f})"
+                )
+            for i in range(n):
+                team.send(i, ("epoch", horizon, pending[i]))
+                pending[i] = []
+            w0 = perf_counter()
+            replies = team.gather()
+            barrier_wait += perf_counter() - w0
+            total_events = 0
+            for i, (_tag, next_t, outbox, events) in enumerate(replies):
+                next_ts[i] = next_t
+                total_events += events
+                for dst_shard, message in outbox:
+                    pending[dst_shard].append(message)
+            epochs += 1
+            if last_n_min is not None and n_min <= last_n_min:
+                stalls += 1
+                if total_events == last_events:
+                    raise ShardSyncError(
+                        f"wedged barrier: horizon stuck at {horizon:.9f} "
+                        f"with no events dispatched (epoch {epochs})"
+                    )
+            last_n_min = n_min
+            last_events = total_events
+
+        # final stretch: inclusive run to the experiment end, with any
+        # still-pending messages injected; frames generated here arrive
+        # after `until` (lookahead bound) and are dropped with the team —
+        # their pooled payload references were already consumed at egress
+        for i in range(n):
+            team.send(i, ("finish", until, pending[i]))
+            pending[i] = []
+        w0 = perf_counter()
+        team.gather()
+        barrier_wait += perf_counter() - w0
+
+        results: List[Dict[str, Any]] = [{} for _ in range(n)]
+        for i in range(n):
+            team.send(i, ("collect",))
+        for i in range(n):
+            _tag, result = team.recv(i)
+            results[result["shard_id"]] = result
+
+        self.stats = {
+            "n_shards": n,
+            "epochs": epochs,
+            "horizon_stalls": stalls,
+            "barrier_wait_s": round(barrier_wait, 6),
+            "lookahead": lookahead,
+            "cross_frames": sum(r.get("shard_frames_out", 0) for r in results),
+            "cross_bytes": sum(r.get("shard_bytes_out", 0) for r in results),
+        }
+        for r in results:
+            record_shard_metrics(r["shard_id"], {
+                "epochs": epochs,
+                "horizon_stalls": stalls,
+                "frames_out": r.get("shard_frames_out", 0),
+                "frames_in": r.get("shard_frames_in", 0),
+                "bytes_out": r.get("shard_bytes_out", 0),
+                "barrier_wait_s": r.get("shard_barrier_wait_s", 0.0),
+            })
+        return {"shards": results, "coordinator": dict(self.stats)}

@@ -1,0 +1,111 @@
+"""The shard worker: one kernel process speaking the epoch protocol.
+
+Runs inside a :class:`~repro.sweep.pool.WorkerTeam` child.  The builder
+(an importable module-level callable, pickled by reference) constructs
+this shard's runtime — full topology, locally-owned hosts, boundary
+links converted to gateway mode — and the loop then alternates with the
+coordinator over the pipe:
+
+===========================  ========================================
+coordinator → worker          worker → coordinator
+===========================  ========================================
+(handshake)                  ``("ready", shard_id, next_event_time)``
+``("epoch", H, inbound)``    ``("state", next_t, outbox, stats)``
+``("finish", until, inbound)``  ``("state", next_t, outbox, stats)``
+``("collect",)``             ``("result", runtime.collect())``
+``("stop",)``                (exits)
+===========================  ========================================
+
+Each epoch injects the inbound cross-shard messages (future-timestamped
+by construction), runs :meth:`~repro.sim.kernel.Simulator.run_until_horizon`
+— events strictly before ``H`` — and returns the new outbox.  ``finish``
+is the final stretch: an *inclusive* ``run(until=...)``, exactly the
+serial semantics; any cross-frames it generates arrive after ``until``
+by the lookahead bound, so they are provably never executed in a serial
+run either.
+
+The runtime object the builder returns needs ``sim``, ``gateway``, and
+``collect()`` — see :class:`repro.core.churn.GroupedChurnScenario`.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Any, Dict
+
+from repro.tko.pdu import PDU_POOL
+from repro.unites.obs.telemetry import TELEMETRY as _TELEMETRY
+
+
+def record_shard_metrics(shard_id: int, stats: Dict[str, Any]) -> None:
+    """Export one shard's ``shard_*`` counters into the UNITES registry.
+
+    Labelled ``shard="N"``; combined with the telemetry server's
+    instance label this makes multi-process scrapes collision-free.
+    """
+    m = _TELEMETRY.metrics
+    labels = {"shard": str(shard_id)}
+    m.counter("shard_epochs_total", labels=labels,
+              help="lookahead-barrier epochs this shard executed").inc(
+                  stats.get("epochs", 0))
+    m.counter("shard_horizon_stalls_total", labels=labels,
+              help="epochs whose horizon did not advance").inc(
+                  stats.get("horizon_stalls", 0))
+    m.counter("shard_cross_frames_out_total", labels=labels,
+              help="frames shipped across the shard boundary").inc(
+                  stats.get("frames_out", 0))
+    m.counter("shard_cross_frames_in_total", labels=labels,
+              help="frames received across the shard boundary").inc(
+                  stats.get("frames_in", 0))
+    m.counter("shard_cross_bytes_out_total", labels=labels,
+              help="wire bytes shipped across the shard boundary").inc(
+                  stats.get("bytes_out", 0))
+    m.gauge("shard_barrier_wait_seconds", labels=labels,
+            help="wall-clock seconds spent blocked on the epoch barrier"
+            ).set(stats.get("barrier_wait_s", 0.0))
+
+
+def shard_worker_main(conn, shard_id: int, builder, builder_kw: Dict[str, Any]) -> None:
+    """WorkerTeam entry point: build the shard world, then serve epochs."""
+    pool0 = (PDU_POOL.acquired, PDU_POOL.recycled)
+    runtime = builder(shard_id=shard_id, **builder_kw)
+    sim = runtime.sim
+    gateway = runtime.gateway
+    epochs = 0
+    barrier_wait = 0.0
+    conn.send(("ready", shard_id, sim.next_event_time()))
+    while True:
+        w0 = perf_counter()
+        msg = conn.recv()
+        barrier_wait += perf_counter() - w0
+        kind = msg[0]
+        if kind == "epoch":
+            _, horizon, inbound = msg
+            gateway.inject(inbound)
+            sim.run_until_horizon(horizon)
+            epochs += 1
+            conn.send(("state", sim.next_event_time(),
+                       gateway.drain_outbox(), sim.events_dispatched))
+        elif kind == "finish":
+            _, until, inbound = msg
+            gateway.inject(inbound)
+            sim.run(until=until)
+            conn.send(("state", sim.next_event_time(),
+                       gateway.drain_outbox(), sim.events_dispatched))
+        elif kind == "collect":
+            result = dict(runtime.collect())
+            result["shard_id"] = shard_id
+            result["shard_epochs"] = epochs
+            result["shard_barrier_wait_s"] = round(barrier_wait, 6)
+            result.update(
+                {f"shard_{k}": v for k, v in gateway.stats_dict().items()}
+            )
+            # pool-balance proof: every pooled wire reference this shard
+            # acquired was released (gateway egress included)
+            result["pdu_acquired"] = PDU_POOL.acquired - pool0[0]
+            result["pdu_recycled"] = PDU_POOL.recycled - pool0[1]
+            conn.send(("result", result))
+        elif kind == "stop":
+            return
+        else:
+            raise RuntimeError(f"shard {shard_id}: unknown message {kind!r}")

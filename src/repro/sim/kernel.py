@@ -35,6 +35,7 @@ policy, and the determinism argument.
 from __future__ import annotations
 
 import heapq
+import math
 from heapq import heappop as _heappop, heappush as _heappush
 from time import perf_counter
 from typing import Any, Callable, Iterable, Optional
@@ -1066,6 +1067,30 @@ class Simulator:
                 self._now = until
         finally:
             self._running = False
+
+    def run_until_horizon(
+        self, horizon: float, max_events: Optional[int] = None
+    ) -> None:
+        """Run every pending event *strictly before* ``horizon``.
+
+        The conservative-parallel epoch API (see ``docs/sharding.md``):
+        a shard worker may only execute events it can prove are unaffected
+        by messages still in flight from other shards.  With lookahead
+        ``L = min`` boundary-link delay and global minimum next-event time
+        ``N``, every cross-shard message generated this epoch arrives at
+        ``>= N + L``, so events with ``t < N + L`` are safe — the bound is
+        *exclusive*, because an event exactly at the horizon could race an
+        inbound message timestamped there.
+
+        Implemented as ``run(until=nextafter(horizon, -inf))``: floats are
+        totally ordered with no value between ``nextafter(horizon)`` and
+        ``horizon``, so the inclusive fast loop runs exactly the events
+        with ``t < horizon`` and the hot dispatch path needs no extra
+        per-event comparison.  Afterwards :attr:`now` sits just below the
+        horizon; :meth:`schedule_at` therefore accepts injected arrivals
+        at exactly ``horizon``.
+        """
+        self.run(until=math.nextafter(horizon, -math.inf), max_events=max_events)
 
     def stop(self) -> None:
         """Request that the current :meth:`run` loop return after this event."""

@@ -22,12 +22,12 @@ state — each worker imports the module fresh.
 
 from __future__ import annotations
 
-import multiprocessing
 import os
 from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.sweep.pool import OrderedStreamer, map_unordered
 from repro.sweep.spec import ScenarioSpec, SweepCell
 from repro.unites.obs.telemetry import TELEMETRY as _TELEMETRY
 from repro.unites.repository import MetricRepository
@@ -172,22 +172,23 @@ class SweepRunner:
         slots: List[Optional[Tuple[Dict[str, Any], float]]],
         workers: int,
     ) -> None:
-        """Shard cells across a process pool; stream the completed prefix."""
-        ctx = multiprocessing.get_context()
-        payloads = [self._payload(c) for c in cells]
-        streamed = 0
-        with ctx.Pool(processes=workers) as pool:
-            for index, metrics, wall in pool.imap_unordered(
-                _execute_cell, payloads, chunksize=1
-            ):
-                slots[index] = (metrics, wall)
-                # flush the contiguous completed prefix in index order so
-                # repository rows are identical to a serial run
-                start = streamed
-                while streamed < len(slots) and slots[streamed] is not None:
-                    streamed += 1
-                if streamed > start:
-                    self._stream(cells, slots, upto=streamed, start=start)
+        """Shard cells across the shared pool substrate; stream the prefix.
+
+        The contiguous completed prefix is flushed in index order so
+        repository rows are identical to a serial run; a crashed cell
+        surfaces as :class:`repro.sweep.pool.WorkerCrashError` with its
+        cell index.
+        """
+        streamer = OrderedStreamer(slots)
+        for _tid, (index, metrics, wall) in map_unordered(
+            _execute_cell,
+            [self._payload(c) for c in cells],
+            workers,
+            ids=[c.index for c in cells],
+        ):
+            start, upto = streamer.put(index, (metrics, wall))
+            if upto > start:
+                self._stream(cells, slots, upto=upto, start=start)
 
     def _stream(
         self,

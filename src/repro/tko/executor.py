@@ -409,6 +409,12 @@ class ReferenceExecutor(_ExecutorBase):
             for seq in [q for q in s.state.outstanding if q < pdu.ack]:
                 if ctx.delivery.ack_complete(seq, from_host):
                     self.finalize_ack(seq)
+        if s._closed:
+            # this ack completed a pending close (finalize_ack ->
+            # _maybe_finish_close tears the session down synchronously
+            # under non-blocking connection management); the mechanisms
+            # are unbound now, so the pdu has nothing left to drive
+            return
         if pdu.sack:
             destinations = set(ctx.delivery.destinations())
             for seq in pdu.sack:
@@ -759,6 +765,12 @@ class CompiledExecutor(_ExecutorBase):
             for seq in [q for q in outstanding if q < ack]:
                 if self._ack_complete(seq, from_host):
                     self.finalize_ack(seq)
+        if s._closed:
+            # this ack completed a pending close (finalize_ack ->
+            # _maybe_finish_close tears the session down synchronously
+            # under non-blocking connection management); the mechanisms
+            # are unbound now, so the pdu has nothing left to drive
+            return
         if pdu.sack:
             destinations = set(self._destinations())
             for seq in pdu.sack:

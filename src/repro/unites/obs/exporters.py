@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import json
 import math
-from typing import Any, Dict, Iterator, List
+from typing import Any, Dict, Iterator, List, Optional
 
 from repro.unites.obs.registry import Counter, Gauge, Histogram, MetricRegistry
 from repro.unites.obs.telemetry import Telemetry
@@ -161,10 +161,22 @@ def _prom_num(v: float) -> str:
     return repr(v)
 
 
-def render_prometheus(registry: MetricRegistry) -> str:
-    """The registry in Prometheus text format (HELP/TYPE per family)."""
+def render_prometheus(
+    registry: MetricRegistry,
+    extra_labels: Optional[Dict[str, str]] = None,
+) -> str:
+    """The registry in Prometheus text format (HELP/TYPE per family).
+
+    ``extra_labels`` are instance labels (e.g. ``{"shard": "2"}``)
+    stamped onto **every** sample — counters, gauges, and each histogram
+    bucket/sum/count line — so scrapes from multiple processes of one
+    sharded world never collide on a series.  They merge *under* the
+    metric's own labels (a metric label of the same name wins) and pass
+    through the same :func:`format_labels` escaping as everything else.
+    """
     lines: List[str] = []
     seen_family: set = set()
+    stamp = dict(extra_labels) if extra_labels else {}
     for m in registry.collect():
         if m.name not in seen_family:
             seen_family.add(m.name)
@@ -172,11 +184,11 @@ def render_prometheus(registry: MetricRegistry) -> str:
                 lines.append(f"# HELP {m.name} {_escape_help(m.help)}")
             lines.append(f"# TYPE {m.name} {m.kind}")
         if isinstance(m, (Counter, Gauge)):
-            flat = format_labels(m.name, dict(m.labels))
+            flat = format_labels(m.name, {**stamp, **dict(m.labels)})
             lines.append(f"{flat} {_prom_num(m.value)}")
         elif isinstance(m, Histogram):
             cumulative = 0
-            base = dict(m.labels)
+            base = {**stamp, **dict(m.labels)}
             for bound, count in zip(m.bounds, m.bucket_counts):
                 cumulative += count
                 labels = dict(base)

@@ -71,11 +71,16 @@ class TelemetryServer:
         managers: Optional[List[Any]] = None,
         host: str = "127.0.0.1",
         port: int = 0,
+        instance_labels: Optional[Dict[str, str]] = None,
     ) -> None:
         self.system = system
         self._managers = list(managers) if managers is not None else None
         self.host = host
         self.port = port
+        #: labels stamped onto every exported sample (e.g. ``shard="2"``)
+        #: so scrapes from the processes of one sharded world never
+        #: collide on a series; values go through the standard escaping
+        self.instance_labels = dict(instance_labels) if instance_labels else {}
         self.requests_served = 0
         self._httpd: Optional[ThreadingHTTPServer] = None
         self._thread: Optional[threading.Thread] = None
@@ -96,7 +101,9 @@ class TelemetryServer:
     # payload builders (also callable without a running server)
     # ------------------------------------------------------------------
     def render_metrics(self) -> str:
-        return render_prometheus(TELEMETRY.metrics)
+        return render_prometheus(
+            TELEMETRY.metrics, extra_labels=self.instance_labels or None
+        )
 
     def render_health(self) -> Dict[str, Any]:
         sim = getattr(self.system, "sim", None) or TELEMETRY._sim

@@ -1,0 +1,77 @@
+"""Partitioning and lookahead: the plan must be safe before any kernel runs."""
+
+import pytest
+
+from repro.netsim.network import Network
+from repro.shard.partition import PartitionError, ShardPlan
+from repro.sim.kernel import Simulator
+
+
+def _net(links, delay=1e-3):
+    sim = Simulator()
+    net = Network(sim)
+    for u, v in links:
+        for n in (u, v):
+            if n not in net.nodes:
+                net.add_node(n)
+    for u, v in links:
+        net.add_link(u, v, bandwidth_bps=1e6, delay=delay)
+    return net
+
+
+class TestShardPlan:
+    def test_from_groups_contiguous_blocks(self):
+        plan = ShardPlan.from_groups(
+            [{"a0"}, {"a1"}, {"a2"}, {"a3"}], 2
+        )
+        assert [plan.shard_of(f"a{g}") for g in range(4)] == [0, 0, 1, 1]
+
+    def test_uneven_split_still_covers_every_shard(self):
+        plan = ShardPlan.from_groups([{"a"}, {"b"}, {"c"}], 2)
+        assert {plan.shard_of(n) for n in "abc"} == {0, 1}
+
+    def test_duplicate_node_rejected(self):
+        with pytest.raises(PartitionError):
+            ShardPlan.from_groups([{"a"}, {"a"}], 2)
+
+    def test_more_shards_than_groups_rejected(self):
+        with pytest.raises(PartitionError):
+            ShardPlan.from_groups([{"a"}], 2)
+
+    def test_out_of_range_owner_rejected(self):
+        with pytest.raises(PartitionError):
+            ShardPlan(n_shards=2, owner={"a": 2})
+
+    def test_unowned_node_rejected_at_boundary_scan(self):
+        net = _net([("a", "b")])
+        plan = ShardPlan(n_shards=2, owner={"a": 0})
+        with pytest.raises(PartitionError):
+            plan.boundary_links(net)
+
+
+class TestLookahead:
+    def test_boundary_links_are_directed_cross_pairs(self):
+        net = _net([("a", "b"), ("b", "c")])
+        plan = ShardPlan(n_shards=2, owner={"a": 0, "b": 0, "c": 1})
+        boundary = plan.boundary_links(net)
+        # bidirectional add_link creates both directions; only b<->c cross
+        assert set(boundary) == {("b", "c"), ("c", "b")}
+        assert boundary[("b", "c")] == (0, 1)
+        assert boundary[("c", "b")] == (1, 0)
+
+    def test_lookahead_is_min_boundary_delay(self):
+        net = _net([("a", "b")], delay=7e-3)
+        plan = ShardPlan(n_shards=2, owner={"a": 0, "b": 1})
+        assert plan.lookahead(net) == pytest.approx(7e-3)
+
+    def test_zero_delay_boundary_rejected_with_offender_names(self):
+        net = _net([("a", "b")], delay=0.0)
+        plan = ShardPlan(n_shards=2, owner={"a": 0, "b": 1})
+        with pytest.raises(PartitionError, match="a->b"):
+            plan.lookahead(net)
+
+    def test_no_boundary_links_rejected(self):
+        net = _net([("a", "b")])
+        plan = ShardPlan(n_shards=2, owner={"a": 0, "b": 0, "z": 1})
+        with pytest.raises(PartitionError):
+            plan.lookahead(net)

@@ -1,0 +1,67 @@
+"""``run_until_horizon``: the epoch primitive of the conservative kernel.
+
+The contract the shard barrier leans on: every event *strictly before*
+the horizon executes, nothing at or after it does, and afterwards the
+kernel still accepts an injected arrival stamped exactly at the horizon
+(a cross-shard frame whose arrival equals ``N + L``).
+"""
+
+import pytest
+
+from repro.sim.kernel import SimulationError, Simulator
+
+
+class TestRunUntilHorizon:
+    def test_strictly_before_executes_at_or_after_does_not(self):
+        sim = Simulator()
+        fired = []
+        for t in (0.5, 1.0, 1.999999, 2.0, 2.5):
+            sim.schedule(t, lambda t=t: fired.append(t))
+        sim.run_until_horizon(2.0)
+        assert fired == [0.5, 1.0, 1.999999]
+        assert sim.next_event_time() == pytest.approx(2.0)
+
+    def test_injection_at_exactly_the_horizon_is_accepted(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run_until_horizon(2.0)
+        fired = []
+        # a cross-shard arrival stamped exactly N + L must be schedulable
+        sim.schedule_transient_at(2.0, lambda: fired.append("arrival"))
+        sim.run_until_horizon(3.0)
+        assert fired == ["arrival"]
+
+    def test_event_scheduled_during_epoch_respects_the_horizon(self):
+        sim = Simulator()
+        fired = []
+
+        def cascade():
+            fired.append("first")
+            sim.schedule(0.4, lambda: fired.append("inside"))   # t=0.5
+            sim.schedule(3.0, lambda: fired.append("outside"))  # t=3.1
+
+        sim.schedule(0.1, cascade)
+        sim.run_until_horizon(1.0)
+        assert fired == ["first", "inside"]
+        sim.run_until_horizon(4.0)
+        assert fired == ["first", "inside", "outside"]
+
+    def test_repeated_epochs_compose_like_one_run(self):
+        serial, epoched = Simulator(), Simulator()
+        order_a, order_b = [], []
+        for sim, order in ((serial, order_a), (epoched, order_b)):
+            for t in (0.25, 0.5, 0.5, 1.25, 2.75):
+                sim.schedule(t, lambda t=t, o=order, s=sim: o.append((s.now, t)))
+        serial.run(until=3.0)
+        for horizon in (0.5, 1.0, 1.5, 2.0, 2.5, 3.0):
+            epoched.run_until_horizon(horizon)
+        epoched.run(until=3.0)  # the inclusive final stretch
+        assert order_b == order_a
+        assert epoched.now == serial.now
+
+    def test_past_injection_still_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run_until_horizon(2.0)
+        with pytest.raises(SimulationError):
+            sim.schedule_at(1.0, lambda: None)

@@ -1,0 +1,138 @@
+"""The shared worker-pool substrate: crash surfacing, ordering, liveness.
+
+The contract both consumers (SweepRunner and the shard coordinator) rely
+on: a worker that raises, exits, or is killed produces a
+:class:`WorkerCrashError` naming the failing cell or shard — never a
+hung barrier, never a bare pool traceback.
+"""
+
+import os
+import signal
+import sys
+import time
+
+import pytest
+
+from repro.sweep.pool import (
+    OrderedStreamer,
+    WorkerCrashError,
+    WorkerTeam,
+    map_unordered,
+)
+
+
+# ---------------------------------------------------------------------------
+# module-level targets (workers unpickle them by reference)
+# ---------------------------------------------------------------------------
+def square(x):
+    return x * x
+
+
+def explode_on_three(x):
+    if x == 3:
+        raise RuntimeError("payload three is poison")
+    return x
+
+
+def echo_worker(conn, worker_id):
+    while True:
+        msg = conn.recv()
+        if msg == "stop":
+            return
+        conn.send((worker_id, msg))
+
+
+def crashing_worker(conn, worker_id):
+    msg = conn.recv()
+    raise RuntimeError(f"worker {worker_id} refused {msg!r}")
+
+
+def exiting_worker(conn, worker_id):
+    conn.recv()
+    os._exit(3)  # simulates a hard kill: no traceback, no farewell
+
+
+def wedged_worker(conn, worker_id):
+    conn.recv()
+    time.sleep(60)  # never replies within any sane test timeout
+
+
+def suicidal_worker(conn, worker_id):
+    conn.recv()
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+class TestMapUnordered:
+    def test_results_cover_all_items(self):
+        out = dict(map_unordered(square, [1, 2, 3, 4], workers=2))
+        assert out == {0: 1, 1: 4, 2: 9, 3: 16}
+
+    def test_custom_ids_are_carried_through(self):
+        out = dict(map_unordered(square, [2, 3], workers=2, ids=["a", "b"]))
+        assert out == {"a": 4, "b": 9}
+
+    def test_worker_exception_names_the_failing_cell(self):
+        with pytest.raises(WorkerCrashError) as err:
+            list(map_unordered(explode_on_three, [1, 2, 3], workers=2,
+                               ids=["cell 0", "cell 1", "cell 2"]))
+        assert err.value.task_id == "cell 2"
+        assert "payload three is poison" in err.value.detail
+
+    def test_mismatched_ids_rejected(self):
+        with pytest.raises(ValueError):
+            list(map_unordered(square, [1, 2], workers=1, ids=[0]))
+
+
+class TestOrderedStreamer:
+    def test_contiguous_prefix_reported_incrementally(self):
+        s = OrderedStreamer([None] * 4)
+        assert s.put(2, "c") == (0, 0)      # gap at 0: nothing streams
+        assert s.put(0, "a") == (0, 1)      # 0 arrives: [0,1) flushes
+        assert s.put(3, "d") == (1, 1)      # gap at 1 remains
+        assert s.put(1, "b") == (1, 4)      # backlog flushes to the end
+        assert s.slots == ["a", "b", "c", "d"]
+
+
+class TestWorkerTeam:
+    def test_round_trip_and_barrier_order(self):
+        with WorkerTeam(echo_worker, 3, name="echo", timeout=30.0) as team:
+            team.broadcast(["x", "y", "z"])
+            assert team.gather() == [(0, "x"), (1, "y"), (2, "z")]
+            team.close(farewell="stop")
+
+    def test_raising_worker_surfaces_named_crash(self):
+        with WorkerTeam(crashing_worker, 2, name="shard", timeout=30.0) as team:
+            team.send(1, "work")
+            with pytest.raises(WorkerCrashError) as err:
+                team.recv(1)
+        assert err.value.task_id == "shard 1"
+        assert "refused 'work'" in err.value.detail
+
+    def test_exiting_worker_surfaces_instead_of_hanging(self):
+        with WorkerTeam(exiting_worker, 2, name="shard", timeout=30.0) as team:
+            team.send(0, "go")
+            with pytest.raises(WorkerCrashError, match="shard 0"):
+                team.recv(0)
+
+    @pytest.mark.skipif(sys.platform == "win32", reason="POSIX signals")
+    def test_sigkilled_worker_surfaces_instead_of_hanging(self):
+        with WorkerTeam(suicidal_worker, 2, name="shard", timeout=30.0) as team:
+            team.send(1, "go")
+            with pytest.raises(WorkerCrashError, match="shard 1"):
+                team.recv(1)
+
+    def test_wedged_worker_times_out_with_barrier_hint(self):
+        with WorkerTeam(wedged_worker, 1, name="shard", timeout=30.0) as team:
+            team.send(0, "go")
+            with pytest.raises(WorkerCrashError, match="wedged"):
+                team.recv(0, timeout=1.0)
+
+    def test_send_to_dead_worker_raises(self):
+        team = WorkerTeam(echo_worker, 1, name="shard", timeout=30.0)
+        team.close(farewell="stop")
+        with pytest.raises(WorkerCrashError, match="shard 0"):
+            team.send(0, "too late")
+
+    def test_empty_team_rejected(self):
+        with pytest.raises(ValueError):
+            WorkerTeam(echo_worker, 0)

@@ -235,6 +235,31 @@ class TestClose:
         assert s.stats.aborted == "test abort"
         w.sim.run(until=2.0)
 
+    @pytest.mark.parametrize("kind", ["reference", "compiled", "generated"])
+    def test_final_ack_completing_close_is_clean(self, kind):
+        # close() with the window still outstanding parks the session in
+        # _closing; under implicit (non-blocking) connection management the
+        # ack that releases the last entry finishes the close *inside*
+        # handle_ack, unbinding the mechanism table mid-call.  The executor
+        # must stop driving the unbound mechanisms at that point instead of
+        # dereferencing mechanism.session == None.
+        from repro.tko.executor import current_executor, use_executor
+
+        prev = current_executor()
+        use_executor(kind)
+        try:
+            w = TwoHosts()
+            w.listen()
+            s = w.open(SessionConfig(connection="implicit"))
+            for _ in range(4):
+                s.send(b"z" * 600)
+            s.close()
+            w.sim.run(until=10.0)
+        finally:
+            use_executor(prev)
+        assert s.closed
+        assert len(w.delivered) == 4
+
     def test_close_flushes_fec_partial_group(self):
         w = TwoHosts()
         cfg = SessionConfig(

@@ -1,0 +1,73 @@
+"""Instance labels on the exported metrics plane (sharded scrapes).
+
+A shard worker serving its own ``/metrics`` stamps ``shard="N"`` onto
+every sample so a fleet-wide scrape never collides on a series.  The
+label value rides the same single escaping choke point as metric-level
+labels — hostile values cannot corrupt the exposition stream.
+"""
+
+from repro.unites.obs.exporters import render_prometheus, validate_prometheus
+from repro.unites.obs.registry import MetricRegistry
+from repro.unites.obs.server import TelemetryServer
+
+
+def _registry():
+    reg = MetricRegistry()
+    reg.counter("frames_total", help="frames").inc(3)
+    reg.gauge("queue_depth", labels={"link": "a->b"}).set(7)
+    h = reg.histogram("latency_seconds", bounds=[0.1, 1.0])
+    h.observe(0.05)
+    return reg
+
+
+class TestExtraLabels:
+    def test_stamped_on_every_sample_kind(self):
+        text = render_prometheus(_registry(), extra_labels={"shard": "2"})
+        assert 'frames_total{shard="2"} 3' in text
+        assert 'queue_depth{shard="2",link="a->b"} 7' in text
+        for suffix in ("_bucket", "_sum", "_count"):
+            assert f'latency_seconds{suffix}{{shard="2"' in text
+        assert validate_prometheus(text) == []
+
+    def test_absent_by_default(self):
+        text = render_prometheus(_registry())
+        assert "shard=" not in text
+        assert render_prometheus(_registry(), extra_labels=None) == text
+
+    def test_metric_level_label_wins_a_collision(self):
+        reg = MetricRegistry()
+        reg.counter("c_total", labels={"shard": "own"}).inc(1)
+        text = render_prometheus(reg, extra_labels={"shard": "9"})
+        assert 'c_total{shard="own"} 1' in text
+        assert 'shard="9"' not in text
+
+    def test_hostile_values_are_escaped_not_injected(self):
+        hostile = 'a"b\\c\nd'
+        text = render_prometheus(
+            _registry(), extra_labels={"shard": hostile}
+        )
+        assert 'shard="a\\"b\\\\c\\nd"' in text
+        # no raw newline may split a sample line in two
+        for line in text.splitlines():
+            assert line.startswith(("#", "frames_total", "queue_depth",
+                                    "latency_seconds"))
+        assert validate_prometheus(text) == []
+
+
+class TestServerThreading:
+    def test_server_stamps_instance_labels_on_scrape(self):
+        from repro.unites.obs.telemetry import TELEMETRY
+
+        TELEMETRY.metrics.counter("probe_total", help="probe").inc()
+        server = TelemetryServer(instance_labels={"shard": "3"})
+        text = server.render_metrics()
+        assert 'probe_total{shard="3"}' in text
+
+    def test_server_without_labels_is_unchanged(self):
+        from repro.unites.obs.telemetry import TELEMETRY
+
+        TELEMETRY.metrics.counter("bare_probe_total", help="probe").inc()
+        server = TelemetryServer()
+        assert server.instance_labels == {}
+        # the unlabelled metric renders with no stamped labels at all
+        assert "\nbare_probe_total 1" in "\n" + server.render_metrics()
